@@ -1,0 +1,68 @@
+//! Kernel bench: the local FFT engines across sizes and planner paths.
+//!
+//! The node-local FFTs are the compute substrate of both distributed
+//! algorithms (Fig 2 uses "Intel MKL FFTs ... as building blocks"; we use
+//! these). Throughput here anchors the `ComputeRates` discussion in
+//! DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use soi_bench::workload::tone_mix;
+use soi_fft::Plan;
+
+fn bench_pow2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_pow2");
+    for lg in [10usize, 12, 14, 16] {
+        let n = 1usize << lg;
+        let plan = Plan::<f64>::forward(n);
+        let x = tone_mix(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut buf = x.clone();
+            let mut scratch = buf.clone();
+            b.iter(|| plan.execute_with_scratch(&mut buf, &mut scratch));
+        });
+    }
+    g.finish();
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft_engines");
+    // Same magnitude, three planner paths.
+    for n in [4096usize, 3 * 1280, 4093] {
+        let plan = Plan::<f64>::forward(n);
+        let x = tone_mix(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(
+            BenchmarkId::new(plan.engine_name(), n),
+            &n,
+            |b, _| {
+                let mut buf = x.clone();
+                b.iter(|| plan.execute(&mut buf));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_batch(c: &mut Criterion) {
+    // The I ⊗ F_P pattern at SOI-realistic P.
+    let mut g = c.benchmark_group("batch_fp");
+    for p in [16usize, 32, 64] {
+        let rows = 4096;
+        let exec = soi_fft::batch::BatchFft::<f64>::new(p, soi_fft::Direction::Forward, 1);
+        let x = tone_mix(rows * p);
+        g.throughput(Throughput::Elements((rows * p) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            let mut buf = x.clone();
+            b.iter(|| exec.execute(&mut buf));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pow2, bench_engines, bench_batch
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation: window family (DESIGN.md §5.3, paper §8).
+//!
+//! "Had we used a simple one-parameter Gaussian function, one can show
+//! that the accuracy will be limited to 10 digits at best if β is kept at
+//! 1/4. Achieving full double-precision accuracy would require β be set
+//! to 1."
+
+use soi_bench::report::render_table;
+use soi_window::{design_gaussian, design_two_param};
+
+fn main() {
+    println!("Ablation: two-parameter (tau, sigma) window vs one-parameter Gaussian\n");
+    let mut rows = Vec::new();
+    for (beta_label, beta) in [("1/4", 0.25f64), ("1/2", 0.5), ("1", 1.0)] {
+        for digits in [8usize, 10, 12, 14] {
+            let target = 10f64.powi(-(digits as i32));
+            // The Gaussian gets a 100× more generous κ budget and still
+            // caps out — that asymmetry is the point of this ablation.
+            let two = design_two_param(beta, target, 1000.0);
+            let gauss = design_gaussian(beta, target, 1e5);
+            rows.push(vec![
+                beta_label.to_string(),
+                digits.to_string(),
+                match &two {
+                    Ok(d) => format!("B={} k={:.0}", d.b, d.kappa),
+                    Err(_) => "infeasible".into(),
+                },
+                match &gauss {
+                    Ok(d) => format!("B={} k={:.0}", d.b, d.kappa),
+                    Err(_) => "infeasible".into(),
+                },
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["beta", "digits", "two-param (tau,sigma)", "gaussian"],
+            &rows
+        )
+    );
+    println!("Expected pattern (paper §8): the Gaussian family cannot reach >~10 digits");
+    println!("at beta = 1/4 (alias and trunc decay fight each other through one knob);");
+    println!("at beta = 1 it recovers full accuracy. The two-parameter family reaches");
+    println!("full double precision at beta = 1/4 — the basis of every measured result.");
+}

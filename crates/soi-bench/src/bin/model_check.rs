@@ -1,0 +1,70 @@
+//! Model-validation harness: run the REAL simulated cluster (data
+//! actually moves, collectives actually synchronize) across node counts
+//! and print the analytic §7.4 model next to the simulated makespans.
+//!
+//! This is the evidence that the paper-scale figure series (Figs 5/6/8)
+//! rest on formulas that agree with an executed system, not just with
+//! themselves.
+
+use soi_bench::model::{baseline_phases, soi_phases, Scenario};
+use soi_bench::report::{fmt_secs, render_table};
+use soi_bench::simulate;
+use soi_dist::{ChargePolicy, ComputeRates, ExchangeVariant};
+use soi_simnet::Fabric;
+use soi_window::AccuracyPreset;
+
+fn main() {
+    let points = soi_bench::points_per_node_from_env().min(1 << 14);
+    let rates = ComputeRates::paper_node();
+    let preset = AccuracyPreset::Digits10;
+    let b = preset.design(0.25).expect("design").b;
+    let fabric = Fabric::gordon_torus();
+    println!(
+        "Model vs executed simulation (Gordon fabric, {points} points/node, B = {b}):\n"
+    );
+    let mut rows = Vec::new();
+    for nodes in [2usize, 4, 8] {
+        let scenario = Scenario {
+            points_per_node: points,
+            nodes,
+            mu: 5,
+            nu: 4,
+            b,
+            rates,
+            fabric: fabric.clone(),
+        };
+        let policy = ChargePolicy::Rates(rates);
+        let n = points * nodes;
+        let soi_sim = simulate::run_soi(n, nodes, preset, fabric.clone(), policy);
+        let base_sim =
+            simulate::run_baseline(n, nodes, fabric.clone(), policy, ExchangeVariant::Collective);
+        let soi_model = soi_phases(&scenario).total();
+        let base_model = baseline_phases(&scenario).total();
+        rows.push(vec![
+            nodes.to_string(),
+            fmt_secs(soi_model),
+            fmt_secs(soi_sim.makespan),
+            format!("{:+.1}%", 100.0 * (soi_sim.makespan - soi_model) / soi_model),
+            fmt_secs(base_model),
+            fmt_secs(base_sim.makespan),
+            format!("{:.2e}", soi_sim.error_vs_exact),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "nodes",
+                "SOI model",
+                "SOI simulated",
+                "gap",
+                "baseline model",
+                "baseline simulated",
+                "SOI err vs exact"
+            ],
+            &rows
+        )
+    );
+    println!("The gap column should stay within a few percent; the error column is the");
+    println!("real distributed output checked against an exact serial FFT.");
+}

@@ -1,0 +1,55 @@
+//! §7.2's accuracy claim, measured:
+//!
+//! "The signal-to-noise (SNR) ratio of our double-precision SOI is around
+//! 290 dB, which is 20 dB (one digit) lower than standard FFTs (Intel
+//! MKL, FFTW, etc.)" — MKL's typical SNR being ≈310 dB (§7.3).
+//!
+//! Both numbers sit at the f64 noise floor, so the reference spectrum is
+//! computed in double-double arithmetic (~31 digits) and rounded last.
+
+use soi_bench::report::render_table;
+use soi_bench::workload::{random_signal, tone_mix};
+use soi_core::{SoiFft, SoiParams};
+use soi_fft::ddfft::reference_spectrum;
+use soi_num::stats::{db_to_digits, snr_db_vs_pairs};
+use soi_window::AccuracyPreset;
+
+fn main() {
+    println!("SNR of full-accuracy SOI vs a standard f64 FFT (paper §7.2)\n");
+    let mut rows = Vec::new();
+    for (label, n, p) in [
+        ("tones  N=2^12", 1usize << 12, 4usize),
+        ("random N=2^12", 1 << 12, 4),
+        ("tones  N=2^14", 1 << 14, 4),
+        ("random N=2^14", 1 << 14, 4),
+        ("tones  N=2^16", 1 << 16, 8),
+    ] {
+        let x = if label.starts_with("random") {
+            random_signal(n, 7)
+        } else {
+            tone_mix(n)
+        };
+        let reference = reference_spectrum(&x);
+
+        let params = SoiParams::with_preset(n, p, AccuracyPreset::Full).expect("params");
+        let soi = SoiFft::new(&params).expect("plan");
+        let y_soi = soi.transform(&x).expect("transform");
+        let snr_soi = snr_db_vs_pairs(&y_soi, &reference);
+
+        let y_fft = soi_fft::fft_forward(&x);
+        let snr_fft = snr_db_vs_pairs(&y_fft, &reference);
+
+        rows.push(vec![
+            label.to_string(),
+            format!("{snr_soi:.0} dB ({:.1} digits)", db_to_digits(snr_soi)),
+            format!("{snr_fft:.0} dB ({:.1} digits)", db_to_digits(snr_fft)),
+            format!("{:.0} dB", snr_fft - snr_soi),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["workload", "SOI (full accuracy)", "standard FFT", "gap"], &rows)
+    );
+    println!("Paper: SOI ≈ 290 dB, standard FFTs ≈ 310 dB — a one-digit (20 dB) gap");
+    println!("attributed to the condition number kappa and the extra flops.");
+}

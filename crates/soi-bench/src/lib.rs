@@ -1,0 +1,37 @@
+//! Shared machinery for the figure/table reproduction harnesses.
+//!
+//! Two complementary evaluation paths (DESIGN.md §2):
+//!
+//! * [`simulate`] — run the *real* distributed algorithms on the
+//!   thread-backed simulated cluster at a feasible scale: data really
+//!   moves, results are checked against exact FFTs, and virtual time is
+//!   charged from the calibrated node model.
+//! * [`model`] — evaluate the same per-phase formulas analytically at the
+//!   paper's scale (2²⁸ points/node, up to thousands of nodes). This is
+//!   the paper's own §7.4 methodology; a consistency test pins the model
+//!   to the simulation at overlapping scales.
+//!
+//! Plus [`workload`] (seeded signal generators), [`report`] (aligned
+//! tables) and [`projection`] (the Fig 9 speedup projection).
+
+pub mod model;
+pub mod projection;
+pub mod report;
+pub mod simulate;
+pub mod workload;
+
+/// The paper's weak-scaling unit: 2²⁸ double-complex points per node.
+pub const PAPER_POINTS_PER_NODE: usize = 1 << 28;
+
+/// Default feasible per-node size for real simulated-cluster runs on this
+/// machine (overridable via the `SOI_POINTS_PER_NODE` environment
+/// variable in the harness binaries).
+pub const SIM_POINTS_PER_NODE: usize = 1 << 16;
+
+/// Read an environment override for per-node points, with default.
+pub fn points_per_node_from_env() -> usize {
+    std::env::var("SOI_POINTS_PER_NODE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SIM_POINTS_PER_NODE)
+}

@@ -1,0 +1,138 @@
+//! The Fig 9 speedup projection — the paper's §7.4 model verbatim.
+//!
+//! Hypothetical k-ary 3-D torus with concentration 16 (`n = 16k³`),
+//! switch-to-switch channels of three 4× QDR links (120 Gbit/s), node
+//! links of one (40 Gbit/s), *theoretical peak* bandwidths (the paper's
+//! stated assumption), bisection `4n/k` links in the footnote's units
+//! (`4k²` global channels):
+//!
+//! ```text
+//! T_fft(n)  ≈ α(log 2²⁸ + log n)        (α from T_fft(1))
+//! T_conv(n) ≈ c·T_conv                  (constant in weak scaling)
+//! T_mpi(n)  = max(per-node link bound, bisection bound)
+//! speedup(n) = (T_fft(n) + 3·T_mpi(n)) /
+//!              (T_fft((1+β)n) + c·T_conv + (1+β)·T_mpi(n))
+//! ```
+
+/// Parameters of the projection.
+#[derive(Debug, Clone, Copy)]
+pub struct Projection {
+    /// Points per node (2²⁸ in the paper).
+    pub points_per_node: usize,
+    /// Oversampling rate β.
+    pub beta: f64,
+    /// Measured/modeled single-node FFT time `T_fft(1)` in seconds.
+    pub t_fft_1: f64,
+    /// Measured/modeled convolution time `T_conv` in seconds.
+    pub t_conv: f64,
+    /// Convolution sensitivity factor `c ∈ [0.75, 1.25]`.
+    pub c: f64,
+}
+
+impl Projection {
+    /// The paper's setup, deriving `T_fft(1)` and `T_conv` from the
+    /// calibrated node model (33 Gflop/s nominal FFT, 132 Gflop/s conv).
+    pub fn paper_default(c: f64) -> Self {
+        let m = 1usize << 28;
+        let rates = soi_dist::ComputeRates::paper_node();
+        Self {
+            points_per_node: m,
+            beta: 0.25,
+            t_fft_1: soi_fft::flops::fft_flops(m) / rates.fft_flops_per_sec,
+            t_conv: soi_fft::flops::conv_flops(m / 4 * 5, 72) / rates.conv_flops_per_sec,
+            c,
+        }
+    }
+
+    /// `T_fft(n)`: weak-scaled local FFT time, `α(log 2^m + log n)`.
+    pub fn t_fft(&self, n: f64) -> f64 {
+        let lg_m = (self.points_per_node as f64).log2();
+        let alpha = self.t_fft_1 / lg_m;
+        alpha * (lg_m + n.log2())
+    }
+
+    /// `T_mpi(n)` on the full k-ary torus, peak bandwidths (`n = 16k³`).
+    pub fn t_mpi(&self, nodes: usize) -> f64 {
+        if nodes <= 1 {
+            return 0.0;
+        }
+        let gbit = 1e9 / 8.0;
+        let per_node_bytes = self.points_per_node as f64 * 16.0;
+        let local = per_node_bytes / (40.0 * gbit);
+        let k = soi_simnet::Fabric::torus_k(16, nodes);
+        // Footnote 7: bisection = 4n/k in switch-count units = 4k² global
+        // channels of 120 Gbit/s.
+        let bisect_bw = 4.0 * (k * k) as f64 * 120.0 * gbit;
+        let bisect = (nodes as f64 * per_node_bytes / 2.0) / bisect_bw;
+        local.max(bisect)
+    }
+
+    /// The projected speedup at `nodes = 16k³`.
+    pub fn speedup(&self, nodes: usize) -> f64 {
+        let n = nodes as f64;
+        let t_mpi = self.t_mpi(nodes);
+        let t_mkl = self.t_fft(n) + 3.0 * t_mpi;
+        let t_soi =
+            self.t_fft((1.0 + self.beta) * n) + self.c * self.t_conv + (1.0 + self.beta) * t_mpi;
+        t_mkl / t_soi
+    }
+
+    /// The Fig 9 x-axis: node counts `16k³` for `k = 1..=k_max`.
+    pub fn node_series(k_max: usize) -> Vec<usize> {
+        (1..=k_max).map(|k| 16 * k * k * k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_grows_with_node_count() {
+        // Fig 9's curves rise as the torus bisection tightens.
+        let p = Projection::paper_default(1.0);
+        let series = Projection::node_series(10);
+        let speedups: Vec<f64> = series.iter().map(|&n| p.speedup(n)).collect();
+        for w in speedups.windows(2) {
+            assert!(w[1] >= w[0] * 0.999, "not monotone: {speedups:?}");
+        }
+        // At Jaguar-like scale (~16K nodes, k=10) the projection exceeds
+        // its small-scale value substantially.
+        assert!(
+            speedups.last().unwrap() > &(speedups[0] * 1.2),
+            "{speedups:?}"
+        );
+    }
+
+    #[test]
+    fn c_band_orders_the_curves() {
+        // Lower c (faster convolution) → higher projected speedup.
+        let n = 16 * 6usize.pow(3);
+        let hi = Projection::paper_default(0.75).speedup(n);
+        let mid = Projection::paper_default(1.0).speedup(n);
+        let lo = Projection::paper_default(1.25).speedup(n);
+        assert!(hi > mid && mid > lo, "{hi} {mid} {lo}");
+    }
+
+    #[test]
+    fn speedups_land_in_fig9_range() {
+        // Fig 9 plots speedups roughly between 1 and 3.
+        let p = Projection::paper_default(1.0);
+        for &n in &Projection::node_series(10) {
+            let s = p.speedup(n);
+            assert!((0.8..3.5).contains(&s), "speedup {s} at {n} nodes");
+        }
+    }
+
+    #[test]
+    fn bisection_takes_over_at_large_k() {
+        // The crossover n = 24k² sits between 64 and 128 nodes at k = 2 —
+        // the paper's "bounded by the local channel bandwidths for
+        // n ≲ 128, or by the bisection bandwidth otherwise".
+        let p = Projection::paper_default(1.0);
+        let local = (p.points_per_node as f64 * 16.0) / (40.0 * 1.25e8);
+        assert!((p.t_mpi(64) - local).abs() < 1e-9, "64 nodes: local-bound");
+        assert!(p.t_mpi(128) > local, "128 nodes: bisection-bound");
+        assert!(p.t_mpi(16000) > 3.0 * local, "16K nodes: deep in bisection");
+    }
+}

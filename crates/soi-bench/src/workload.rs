@@ -1,0 +1,88 @@
+//! Deterministic workload generators for tests and harnesses.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use soi_num::Complex64;
+
+/// Uniform random complex signal in the unit square, seeded.
+pub fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+        .collect()
+}
+
+/// A deterministic smooth multi-tone signal (no RNG; reproducible across
+/// platforms bit-for-bit).
+pub fn tone_mix(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|j| {
+            let t = j as f64;
+            Complex64::new(
+                (t * 0.37).sin() + 0.5 * (t * 1.91).cos() + 0.25 * (t * 0.013).sin(),
+                (t * 0.11).cos() - 0.3 * (t * 2.71).sin(),
+            )
+        })
+        .collect()
+}
+
+/// A sparse spectrum: `tones` unit spikes at seeded random bins — the
+/// spectrum-analysis example workload.
+pub fn sparse_tones(n: usize, tones: usize, seed: u64) -> (Vec<Complex64>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bins: Vec<usize> = Vec::with_capacity(tones);
+    while bins.len() < tones {
+        let b = rng.gen_range(0..n);
+        if !bins.contains(&b) {
+            bins.push(b);
+        }
+    }
+    let mut x = vec![Complex64::ZERO; n];
+    for j in 0..n {
+        for &k in &bins {
+            x[j] += Complex64::cis(2.0 * std::f64::consts::PI * (k as f64) * (j as f64) / n as f64);
+        }
+    }
+    bins.sort_unstable();
+    (x, bins)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_signal_is_seeded_and_bounded() {
+        let a = random_signal(64, 42);
+        let b = random_signal(64, 42);
+        let c = random_signal(64, 43);
+        assert_eq!(
+            a.iter().map(|v| (v.re, v.im)).collect::<Vec<_>>(),
+            b.iter().map(|v| (v.re, v.im)).collect::<Vec<_>>()
+        );
+        assert!(a.iter().zip(&c).any(|(x, y)| x != y));
+        assert!(a.iter().all(|v| v.re.abs() <= 1.0 && v.im.abs() <= 1.0));
+    }
+
+    #[test]
+    fn sparse_tones_spike_where_promised() {
+        let n = 256;
+        let (x, bins) = sparse_tones(n, 3, 7);
+        let y = soi_fft::fft_forward(&x);
+        for &k in &bins {
+            assert!((y[k].abs() - n as f64).abs() < 1e-6, "bin {k}");
+        }
+        let off: f64 = y
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| !bins.contains(k))
+            .map(|(_, v)| v.abs())
+            .fold(0.0, f64::max);
+        assert!(off < 1e-7 * n as f64, "leakage {off}");
+    }
+
+    #[test]
+    fn tone_mix_deterministic() {
+        assert_eq!(tone_mix(16), tone_mix(16));
+    }
+}

@@ -1,0 +1,191 @@
+//! A small dependency-free argument parser for the `soi` binary.
+//!
+//! Grammar: `soi <subcommand> [--key value | --flag]...`. Values parse on
+//! demand with typed accessors; unknown keys are rejected up front so
+//! typos fail loudly rather than silently using defaults.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// First positional token.
+    pub command: String,
+    options: BTreeMap<String, String>,
+}
+
+/// Errors produced while parsing or accessing arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// `--key` without a value.
+    MissingValue(String),
+    /// A token that is neither the subcommand nor a `--key`.
+    UnexpectedToken(String),
+    /// `--key` not in the allowed set for this subcommand.
+    UnknownOption(String),
+    /// Value failed to parse as the requested type.
+    BadValue {
+        /// Offending option.
+        key: String,
+        /// Raw value.
+        value: String,
+        /// Target type name.
+        wanted: &'static str,
+    },
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no subcommand given (try `soi help`)"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} needs a value"),
+            ArgError::UnexpectedToken(t) => write!(f, "unexpected argument `{t}`"),
+            ArgError::UnknownOption(k) => write!(f, "unknown option --{k}"),
+            ArgError::BadValue { key, value, wanted } => {
+                write!(f, "--{key} {value}: expected {wanted}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse raw tokens (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
+        let mut it = tokens.into_iter().peekable();
+        let command = it.next().ok_or(ArgError::MissingCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::UnexpectedToken(command));
+        }
+        let mut options = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError::UnexpectedToken(tok.clone()))?
+                .to_string();
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap(),
+                _ => return Err(ArgError::MissingValue(key)),
+            };
+            options.insert(key, value);
+        }
+        Ok(Args { command, options })
+    }
+
+    /// Reject any option not in `allowed`.
+    pub fn restrict(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.options.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError::UnknownOption(k.clone()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Raw string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Typed option with default.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+        wanted: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_string(),
+                value: v.clone(),
+                wanted,
+            }),
+        }
+    }
+
+    /// usize option.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, ArgError> {
+        self.get_parsed(key, default, "an integer")
+    }
+
+    /// f64 option.
+    pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, ArgError> {
+        self.get_parsed(key, default, "a number")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_options() {
+        let a = Args::parse(toks("transform --n 1024 --p 8")).unwrap();
+        assert_eq!(a.command, "transform");
+        assert_eq!(a.get_usize("n", 0).unwrap(), 1024);
+        assert_eq!(a.get_usize("p", 0).unwrap(), 8);
+        assert_eq!(a.get_usize("missing", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_missing_command() {
+        assert_eq!(Args::parse(toks("")), Err(ArgError::MissingCommand));
+        assert!(matches!(
+            Args::parse(toks("--n 4")),
+            Err(ArgError::UnexpectedToken(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_dangling_key() {
+        assert_eq!(
+            Args::parse(toks("design --beta")),
+            Err(ArgError::MissingValue("beta".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_positional_garbage() {
+        assert!(matches!(
+            Args::parse(toks("transform 1024")),
+            Err(ArgError::UnexpectedToken(_))
+        ));
+    }
+
+    #[test]
+    fn restrict_flags_unknown_options() {
+        let a = Args::parse(toks("design --beta 0.25 --digits 10")).unwrap();
+        assert!(a.restrict(&["beta", "digits"]).is_ok());
+        assert_eq!(
+            a.restrict(&["beta"]),
+            Err(ArgError::UnknownOption("digits".into()))
+        );
+    }
+
+    #[test]
+    fn typed_accessors_report_bad_values() {
+        let a = Args::parse(toks("x --n abc")).unwrap();
+        assert!(matches!(
+            a.get_usize("n", 0),
+            Err(ArgError::BadValue { .. })
+        ));
+        let a = Args::parse(toks("x --beta 0.25")).unwrap();
+        assert_eq!(a.get_f64("beta", 0.0).unwrap(), 0.25);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ArgError::MissingCommand.to_string().contains("subcommand"));
+        assert!(ArgError::UnknownOption("zap".into())
+            .to_string()
+            .contains("--zap"));
+    }
+}

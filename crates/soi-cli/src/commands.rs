@@ -1,0 +1,208 @@
+//! Subcommand implementations for the `soi` binary.
+
+use crate::args::Args;
+use soi_core::{SoiFft, SoiParams};
+use soi_dist::{BaselineFft, ChargePolicy, ComputeRates, DistSoiFft, ExchangeVariant};
+use soi_num::Complex64;
+use soi_simnet::{Cluster, Fabric};
+use soi_window::{design_compact, design_gaussian, design_two_param};
+use std::time::Instant;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+soi — low-communication 1-D FFT (Tang et al., SC 2012 reproduction)
+
+USAGE:
+  soi transform --n <size> --p <segments> [--digits <6..15>] [--band <k0>]
+      Run a SOI transform on a synthetic signal; checks against an exact
+      FFT and prints accuracy and timing. --band computes one M-bin zoom
+      band starting at bin k0 instead of the full spectrum.
+
+  soi design --beta <rate> --digits <d> [--family two-param|gaussian|compact]
+      Search window parameters (tau, sigma, B) for an accuracy target.
+
+  soi simulate --nodes <r> --points <per-node> [--fabric endeavor|gordon|ethernet]
+      Run SOI and the triple-all-to-all baseline on the simulated cluster
+      and print the speedup and phase breakdown.
+
+  soi info
+      Print version and configuration summary.
+";
+
+type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+fn synthetic(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|j| {
+            let t = j as f64;
+            Complex64::new((t * 0.37).sin() + 0.4 * (t * 1.7).cos(), (t * 0.11).cos())
+        })
+        .collect()
+}
+
+fn preset_for_digits(digits: usize) -> Result<soi_window::AccuracyPreset, String> {
+    use soi_window::AccuracyPreset::*;
+    Ok(match digits {
+        0..=10 => Digits10,
+        11 => Digits11,
+        12 => Digits12,
+        13 => Digits13,
+        _ => Full,
+    })
+}
+
+/// `soi transform`.
+pub fn transform(a: &Args) -> CmdResult {
+    a.restrict(&["n", "p", "digits", "band"])?;
+    let n = a.get_usize("n", 1 << 16)?;
+    let p = a.get_usize("p", 8)?;
+    let digits = a.get_usize("digits", 15)?;
+    let preset = preset_for_digits(digits)?;
+    let params = SoiParams::with_preset(n, p, preset)?;
+    let soi = SoiFft::new(&params)?;
+    let cfg = *soi.config();
+    println!(
+        "SOI: N = {n}, P = {p}, M' = {}, B = {}, kappa = {:.1}, predicted err ~ {:.1e}",
+        cfg.m_prime,
+        cfg.b,
+        cfg.kappa,
+        cfg.predicted_error()
+    );
+    let x = synthetic(n);
+    if let Some(k0s) = a.get("band") {
+        let k0: usize = k0s.parse().map_err(|_| "--band must be an integer")?;
+        let t0 = Instant::now();
+        let band = soi.transform_band(&x, k0)?;
+        let dt = t0.elapsed();
+        let (peak_bin, peak) = band
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, v.abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .unwrap();
+        println!(
+            "band [{k0}, {}) in {dt:?}; peak |Y| = {peak:.3} at bin {}",
+            k0 + cfg.m,
+            k0 + peak_bin
+        );
+        return Ok(());
+    }
+    let t0 = Instant::now();
+    let y = soi.transform(&x)?;
+    let soi_t = t0.elapsed();
+    let t0 = Instant::now();
+    let exact = soi_fft::fft_forward(&x);
+    let fft_t = t0.elapsed();
+    let err = soi_num::complex::rel_l2_error(&y, &exact);
+    println!("SOI transform: {soi_t:?}  |  plain FFT: {fft_t:?}");
+    println!("relative L2 error vs exact FFT: {err:.3e}");
+    Ok(())
+}
+
+/// `soi design`.
+pub fn design(a: &Args) -> CmdResult {
+    a.restrict(&["beta", "digits", "family", "kappa-max"])?;
+    let beta = a.get_f64("beta", 0.25)?;
+    let digits = a.get_usize("digits", 15)?;
+    let kappa_max = a.get_f64("kappa-max", 1000.0)?;
+    let target = 10f64.powi(-(digits as i32));
+    match a.get("family").unwrap_or("two-param") {
+        "two-param" => {
+            let d = design_two_param(beta, target, kappa_max)?;
+            println!(
+                "two-param: tau = {:.4}, sigma = {:.2}, B = {}, kappa = {:.1}",
+                d.window.tau, d.window.sigma, d.b, d.kappa
+            );
+            println!(
+                "alias = {:.2e}, trunc = {:.2e}, predicted error ~ {:.2e}",
+                d.alias,
+                d.trunc,
+                d.predicted_error()
+            );
+        }
+        "gaussian" => {
+            let d = design_gaussian(beta, target, kappa_max)?;
+            println!(
+                "gaussian: sigma = {:.2}, B = {}, kappa = {:.1}, alias = {:.2e}, trunc = {:.2e}",
+                d.window.sigma, d.b, d.kappa, d.alias, d.trunc
+            );
+        }
+        "compact" => {
+            let d = design_compact(beta, target, kappa_max)?;
+            println!(
+                "compact: tau = {:.4}, u_max = {:.3}, B = {}, kappa = {:.1}, alias = 0 (exact), trunc = {:.2e}",
+                d.window.tau, d.window.u_max, d.b, d.kappa, d.trunc
+            );
+        }
+        other => return Err(format!("unknown family `{other}`").into()),
+    }
+    Ok(())
+}
+
+/// `soi simulate`.
+pub fn simulate(a: &Args) -> CmdResult {
+    a.restrict(&["nodes", "points", "fabric", "digits"])?;
+    let nodes = a.get_usize("nodes", 4)?;
+    let points = a.get_usize("points", 1 << 14)?;
+    let digits = a.get_usize("digits", 15)?;
+    let fabric = match a.get("fabric").unwrap_or("endeavor") {
+        "endeavor" => Fabric::endeavor_fat_tree(),
+        "gordon" => Fabric::gordon_torus(),
+        "ethernet" => Fabric::ethernet_10g(),
+        "ideal" => Fabric::Ideal,
+        other => return Err(format!("unknown fabric `{other}`").into()),
+    };
+    let n = nodes * points;
+    let preset = preset_for_digits(digits)?;
+    let params = SoiParams::with_preset(n, nodes, preset)?;
+    let dist = DistSoiFft::new(&params)?;
+    let base = BaselineFft::new(n, nodes, ExchangeVariant::Collective);
+    let x = synthetic(n);
+    let policy = ChargePolicy::Rates(ComputeRates::paper_node());
+    let exact = soi_fft::fft_forward(&x);
+
+    let (xr, dr) = (&x, &dist);
+    let m = points;
+    let soi_out = Cluster::new(nodes, fabric.clone()).run(move |comm| {
+        let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
+        dr.run(comm, local, policy)
+    });
+    let soi_y: Vec<Complex64> = soi_out.iter().flat_map(|((y, _), _)| y.clone()).collect();
+    let soi_make = soi_out.iter().map(|(_, r)| r.sim_time).fold(0.0, f64::max);
+    let t = &soi_out[0].0 .1;
+    println!(
+        "SOI      : {:.4} virtual s (conv {:.4}, F_P {:.4}, exchange {:.4}, F_M' {:.4}); err {:.1e}; {} all-to-all",
+        soi_make,
+        t.conv,
+        t.fft_small,
+        t.exchange,
+        t.fft_large,
+        soi_num::complex::rel_l2_error(&soi_y, &exact),
+        soi_out[0].1.stats.all_to_alls,
+    );
+
+    let br = &base;
+    let base_out = Cluster::new(nodes, fabric).run(move |comm| {
+        let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
+        br.run(comm, local, policy)
+    });
+    let base_y: Vec<Complex64> = base_out.iter().flat_map(|((y, _), _)| y.clone()).collect();
+    let base_make = base_out.iter().map(|(_, r)| r.sim_time).fold(0.0, f64::max);
+    println!(
+        "baseline : {:.4} virtual s; err {:.1e}; {} all-to-alls",
+        base_make,
+        soi_num::complex::rel_l2_error(&base_y, &exact),
+        base_out[0].1.stats.all_to_alls,
+    );
+    println!("speedup  : {:.2}x", base_make / soi_make);
+    Ok(())
+}
+
+/// `soi info`.
+pub fn info(a: &Args) -> CmdResult {
+    a.restrict(&[])?;
+    println!("soi {} — low-communication 1-D FFT", env!("CARGO_PKG_VERSION"));
+    println!("reproduction of Tang, Park, Kim, Petrov — SC 2012 best paper");
+    println!("crates: soi-num, soi-fft, soi-window, soi-simnet, soi-core, soi-dist");
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! `soi` — command-line front end to the low-communication FFT workspace.
+//!
+//! ```text
+//! soi transform --n 65536 --p 8 [--digits 15] [--band 12345]
+//! soi design    --beta 0.25 --digits 12 [--family two-param|gaussian|compact]
+//! soi simulate  --nodes 8 --points 16384 [--fabric endeavor|gordon|ethernet]
+//! soi info
+//! soi help
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let code = run(tokens);
+    std::process::exit(code);
+}
+
+fn run(tokens: Vec<String>) -> i32 {
+    let parsed = match Args::parse(tokens) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", commands::USAGE);
+            return 2;
+        }
+    };
+    let result = match parsed.command.as_str() {
+        "transform" => commands::transform(&parsed),
+        "design" => commands::design(&parsed),
+        "simulate" => commands::simulate(&parsed),
+        "info" => commands::info(&parsed),
+        "help" | "--help" | "-h" => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        other => {
+            eprintln!("error: unknown subcommand `{other}`");
+            eprintln!("{}", commands::USAGE);
+            return 2;
+        }
+    };
+    match result {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert_eq!(run(toks("help")), 0);
+    }
+
+    #[test]
+    fn unknown_subcommand_fails_cleanly() {
+        assert_eq!(run(toks("frobnicate")), 2);
+    }
+
+    #[test]
+    fn empty_args_fail_cleanly() {
+        assert_eq!(run(vec![]), 2);
+    }
+
+    #[test]
+    fn info_runs() {
+        assert_eq!(run(toks("info")), 0);
+    }
+
+    #[test]
+    fn small_transform_runs_end_to_end() {
+        assert_eq!(run(toks("transform --n 4096 --p 4 --digits 10")), 0);
+    }
+
+    #[test]
+    fn transform_rejects_bad_shape() {
+        assert_eq!(run(toks("transform --n 1000 --p 3")), 1);
+    }
+
+    #[test]
+    fn design_runs() {
+        assert_eq!(run(toks("design --beta 0.25 --digits 10")), 0);
+        assert_eq!(run(toks("design --beta 0.25 --digits 10 --family gaussian")), 1);
+        assert_eq!(
+            run(toks("design --beta 0.25 --digits 6 --family compact")),
+            0
+        );
+    }
+
+    #[test]
+    fn simulate_runs_small() {
+        assert_eq!(
+            run(toks("simulate --nodes 2 --points 2048 --fabric ethernet")),
+            0
+        );
+    }
+
+    #[test]
+    fn unknown_option_is_rejected() {
+        // restrict() runs inside the subcommand, so this surfaces as a
+        // runtime error (1), not a parse error (2).
+        assert_eq!(run(toks("design --beta 0.25 --bogus 1")), 1);
+    }
+}

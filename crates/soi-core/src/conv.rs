@@ -1,0 +1,254 @@
+//! The convolution kernel `v = W·x` — SOI's "extra" arithmetic (§6b).
+//!
+//! Per Fig 4, the per-node matrix has `M'` rows over `M + halo` columns,
+//! structured as chunks of `μ` row-groups that share one window of `B`
+//! input blocks; every scalar row is a length-`B` inner product with
+//! stride-`P` taps, and lanes `s = 0..P` of a row-group read *contiguous*
+//! input, which is what makes the kernel vectorizable.
+//!
+//! Two implementations:
+//!
+//! * [`convolve`] — the optimized kernel: chunked μ-row coefficient reuse,
+//!   lane-contiguous inner loop (auto-vectorizes), FMA accumulation. This
+//!   mirrors the paper's loop-interchange + unroll-and-jam treatment that
+//!   reached ~40% of machine peak (§7.4).
+//! * [`convolve_naive`] — the textbook 4-deep loop nest in the paper's
+//!   pseudo-code order (lane-strided inner products, no reuse), kept as
+//!   the ablation baseline for the `conv_kernel` bench.
+
+use crate::coeff::ConvCoefficients;
+use soi_num::Complex64;
+
+/// Parameters the kernels need (a small copy-friendly subset of
+/// `SoiConfig`, so the kernels stay testable in isolation).
+#[derive(Debug, Clone, Copy)]
+pub struct ConvShape {
+    /// Oversampling numerator μ.
+    pub mu: usize,
+    /// Oversampling denominator ν.
+    pub nu: usize,
+    /// Support blocks B.
+    pub b: usize,
+    /// Lanes per block P.
+    pub p: usize,
+}
+
+impl ConvShape {
+    /// Input elements required to produce `rows` output rows:
+    /// `rows·(ν/μ)·P + (taps−1)·P` (local data + halo; taps = B+1).
+    pub fn required_input(&self, rows: usize) -> usize {
+        assert!(rows % self.mu == 0, "rows must be a multiple of mu");
+        (rows / self.mu * self.nu + self.b - 1) * self.p
+    }
+
+    /// First input block read by output row `j` (rank-relative):
+    /// `k₀(j) = ⌊jν/μ⌋`.
+    #[inline]
+    pub fn k0(&self, j: usize) -> usize {
+        j * self.nu / self.mu
+    }
+}
+
+/// Optimized convolution: fills `out` (`rows·P` values, row-major in
+/// `(j, s)`) from `xext` (local input followed by the halo).
+///
+/// The kernel register-tiles four lanes at a time so the four complex
+/// accumulators live in registers across the whole B-tap reduction
+/// (instead of a load/modify/store of `out` per tap) — the §6b
+/// "keep partial sums of inner products in registers while exploiting
+/// SIMD parallelism" treatment, expressed in safe Rust.
+pub fn convolve(shape: ConvShape, coeffs: &ConvCoefficients, xext: &[Complex64], out: &mut [Complex64]) {
+    let ConvShape { mu, nu, b, p } = shape;
+    let rows = out.len() / p;
+    assert_eq!(out.len(), rows * p, "out must be whole rows");
+    assert!(rows % mu == 0, "rows {rows} must be a multiple of mu {mu}");
+    assert!(
+        xext.len() >= shape.required_input(rows),
+        "xext too short: {} < {}",
+        xext.len(),
+        shape.required_input(rows)
+    );
+    let chunks = rows / mu;
+    for c in 0..chunks {
+        for r in 0..mu {
+            let j = c * mu + r;
+            let k0 = c * nu + r * nu / mu;
+            let out_row = &mut out[j * p..(j + 1) * p];
+            let taps = &coeffs.coef[r * b * p..(r + 1) * b * p];
+            let xin = &xext[k0 * p..];
+            // Four-lane register tile.
+            let mut s = 0;
+            while s + 4 <= p {
+                let (mut a0, mut a1, mut a2, mut a3) = (
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                );
+                for blk in 0..b {
+                    let ci = blk * p + s;
+                    let t = &taps[ci..ci + 4];
+                    let x = &xin[ci..ci + 4];
+                    a0 = t[0].mul_add(x[0], a0);
+                    a1 = t[1].mul_add(x[1], a1);
+                    a2 = t[2].mul_add(x[2], a2);
+                    a3 = t[3].mul_add(x[3], a3);
+                }
+                out_row[s] = a0;
+                out_row[s + 1] = a1;
+                out_row[s + 2] = a2;
+                out_row[s + 3] = a3;
+                s += 4;
+            }
+            // Remainder lanes.
+            while s < p {
+                let mut acc = Complex64::ZERO;
+                for blk in 0..b {
+                    acc = taps[blk * p + s].mul_add(xin[blk * p + s], acc);
+                }
+                out_row[s] = acc;
+                s += 1;
+            }
+        }
+    }
+}
+
+/// Naive reference kernel: the paper's pseudo-code loop order
+/// (`loop_a` chunks → `loop_b` μ rows → `loop_c` B blocks → `loop_d`
+/// P elements) evaluated one scalar inner product at a time, lane-major —
+/// strided memory access and no coefficient reuse.
+pub fn convolve_naive(
+    shape: ConvShape,
+    coeffs: &ConvCoefficients,
+    xext: &[Complex64],
+    out: &mut [Complex64],
+) {
+    let ConvShape { mu, nu, b, p } = shape;
+    let rows = out.len() / p;
+    assert!(rows % mu == 0, "rows {rows} must be a multiple of mu {mu}");
+    for j in 0..rows {
+        let r = j % mu;
+        let k0 = j * nu / mu;
+        for s in 0..p {
+            let mut acc = Complex64::ZERO;
+            for blk in 0..b {
+                acc += coeffs.lane_row(r, blk)[s] * xext[(k0 + blk) * p + s];
+            }
+            out[j * p + s] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coeff::{coefficient_direct, ConvCoefficients};
+    use crate::params::SoiParams;
+    use soi_num::{c64, complex::max_abs_diff};
+    use soi_window::AccuracyPreset;
+
+    fn setup() -> (crate::params::SoiConfig, ConvCoefficients, ConvShape) {
+        let cfg = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10)
+            .unwrap()
+            .resolve();
+        let coeffs = ConvCoefficients::new(&cfg);
+        let shape = ConvShape {
+            mu: cfg.mu,
+            nu: cfg.nu,
+            b: cfg.taps(),
+            p: cfg.p,
+        };
+        (cfg, coeffs, shape)
+    }
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| c64((i as f64 * 0.23).sin(), (i as f64 * 0.71).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn required_input_matches_halo_formula() {
+        let (cfg, _, shape) = setup();
+        // Per rank (Fig 4): M'/P rows need M local points + B·P halo.
+        let rows = cfg.rows_per_rank();
+        assert_eq!(
+            shape.required_input(rows),
+            cfg.m + cfg.halo_len(),
+            "per-rank input = M + halo"
+        );
+        // Whole problem on one process: N points + the same halo (wrap).
+        assert_eq!(
+            shape.required_input(cfg.m_prime),
+            cfg.n + cfg.halo_len(),
+            "single-process input = N + halo"
+        );
+    }
+
+    #[test]
+    fn optimized_matches_naive() {
+        let (cfg, coeffs, shape) = setup();
+        let rows = cfg.m_prime;
+        let xext = signal(shape.required_input(rows));
+        let mut a = vec![Complex64::ZERO; rows * cfg.p];
+        let mut b = vec![Complex64::ZERO; rows * cfg.p];
+        convolve(shape, &coeffs, &xext, &mut a);
+        convolve_naive(shape, &coeffs, &xext, &mut b);
+        assert!(max_abs_diff(&a, &b) < 1e-13);
+    }
+
+    #[test]
+    fn kernel_matches_matrix_definition() {
+        // v_j[s] must equal Σ_ℓ c_{j,ℓ}·x_ℓ over the support, with c from
+        // the direct Eq. (4) oracle.
+        let (cfg, coeffs, shape) = setup();
+        let rows = cfg.mu * 4; // a few chunks is enough (and fast)
+        let xext = signal(shape.required_input(rows));
+        let mut v = vec![Complex64::ZERO; rows * cfg.p];
+        convolve(shape, &coeffs, &xext, &mut v);
+        for j in [0usize, 1, cfg.mu, cfg.mu * 2 + 3] {
+            for s in [0usize, cfg.p - 1] {
+                let k0 = shape.k0(j);
+                let mut want = Complex64::ZERO;
+                for blk in 0..shape.b {
+                    let l = (k0 + blk) * cfg.p + s;
+                    want += coefficient_direct(&cfg, j, l) * xext[l];
+                }
+                let got = v[j * cfg.p + s];
+                assert!(
+                    (got - want).abs() < 1e-12 * (1.0 + want.abs()),
+                    "j={j} s={s}: {got:?} vs {want:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_is_linear() {
+        let (cfg, coeffs, shape) = setup();
+        let rows = cfg.mu * 8;
+        let len = shape.required_input(rows);
+        let x1 = signal(len);
+        let x2: Vec<Complex64> = signal(len).iter().map(|v| v.mul_i()).collect();
+        let sum: Vec<Complex64> = x1.iter().zip(&x2).map(|(&a, &b)| a + b).collect();
+        let mut v1 = vec![Complex64::ZERO; rows * cfg.p];
+        let mut v2 = v1.clone();
+        let mut vs = v1.clone();
+        convolve(shape, &coeffs, &x1, &mut v1);
+        convolve(shape, &coeffs, &x2, &mut v2);
+        convolve(shape, &coeffs, &sum, &mut vs);
+        for i in 0..vs.len() {
+            assert!((vs[i] - (v1[i] + v2[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "xext too short")]
+    fn rejects_short_input() {
+        let (cfg, coeffs, shape) = setup();
+        let rows = cfg.mu * 2;
+        let xext = signal(shape.required_input(rows) - 1);
+        let mut out = vec![Complex64::ZERO; rows * cfg.p];
+        convolve(shape, &coeffs, &xext, &mut out);
+    }
+}

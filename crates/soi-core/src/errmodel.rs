@@ -1,0 +1,147 @@
+//! A-priori error prediction for a SOI configuration — §4's error
+//! characterization made quantitative and queryable.
+//!
+//! The paper bounds the relative error by
+//! `O(κ·(ε_fft + ε_alias + ε_trunc))`. This module refines that to
+//! per-bin predictions:
+//!
+//! * **aliasing** at bin `k` is the periodization leak
+//!   `Σ_{p≠0} ŵ(k + pM') / ŵ(k)` — computable exactly from the window
+//!   (this is what `pipeline`'s impulse test verifies against
+//!   measurement);
+//! * **conditioning** at bin `k` is `|ŵ|_max / |ŵ(k)|`, largest at the
+//!   segment edges (`k = 0`, `k = M−1`).
+//!
+//! Uses: choosing a preset for a target SNR, flagging the bins of a
+//! result that carry the most error, and sanity-checking measured
+//! accuracy in tests and harnesses.
+
+use crate::coeff::w_hat;
+use crate::params::SoiConfig;
+
+/// Predicted relative aliasing error at output bin `k ∈ [0, M)` for a
+/// flat-spectrum (worst-case coherent) input.
+pub fn bin_alias_error(cfg: &SoiConfig, k: usize) -> f64 {
+    assert!(k < cfg.m, "bin {k} out of segment range");
+    let mut leak = 0.0;
+    for p in [-2i64, -1, 1, 2] {
+        leak += w_hat(cfg, k as f64 + p as f64 * cfg.m_prime as f64).abs();
+    }
+    leak / w_hat(cfg, k as f64).abs()
+}
+
+/// Demodulation amplification at bin `k`: `max_u |ŵ| / |ŵ(k)|` (≥ 1; the
+/// per-bin restriction of κ).
+pub fn bin_condition(cfg: &SoiConfig, k: usize) -> f64 {
+    assert!(k < cfg.m, "bin {k} out of segment range");
+    let peak = w_hat(cfg, cfg.m as f64 / 2.0).abs();
+    peak / w_hat(cfg, k as f64).abs()
+}
+
+/// Summary of the per-bin predictions over a whole segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorProfile {
+    /// Worst-bin aliasing leak.
+    pub max_alias: f64,
+    /// Median-bin aliasing leak (sampled).
+    pub median_alias: f64,
+    /// Worst-bin conditioning (attained at the segment edges).
+    pub max_condition: f64,
+    /// Predicted worst-bin relative error for a flat spectrum:
+    /// `max_k (alias_k + condition_k·ε_f64 + ε_trunc·condition_k)`.
+    pub worst_bin: f64,
+}
+
+/// Build the profile by sampling every `stride`-th bin plus the edges.
+pub fn error_profile(cfg: &SoiConfig, stride: usize) -> ErrorProfile {
+    let stride = stride.max(1);
+    let mut aliases: Vec<f64> = Vec::new();
+    let mut max_alias = 0.0f64;
+    let mut max_cond = 0.0f64;
+    let mut worst = 0.0f64;
+    let bins: Vec<usize> = (0..cfg.m)
+        .step_by(stride)
+        .chain([0, cfg.m - 1])
+        .collect();
+    for &k in &bins {
+        let a = bin_alias_error(cfg, k);
+        let c = bin_condition(cfg, k);
+        aliases.push(a);
+        max_alias = max_alias.max(a);
+        max_cond = max_cond.max(c);
+        worst = worst.max(a + c * (f64::EPSILON + cfg.trunc));
+    }
+    aliases.sort_by(f64::total_cmp);
+    ErrorProfile {
+        max_alias,
+        median_alias: aliases[aliases.len() / 2],
+        max_condition: max_cond,
+        worst_bin: worst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SoiParams;
+    use soi_window::AccuracyPreset;
+
+    fn cfg(preset: AccuracyPreset) -> SoiConfig {
+        SoiParams::with_preset(1 << 12, 4, preset).unwrap().resolve()
+    }
+
+    #[test]
+    fn alias_is_worst_at_segment_edges() {
+        let c = cfg(AccuracyPreset::Digits12);
+        let edge = bin_alias_error(&c, 0).max(bin_alias_error(&c, c.m - 1));
+        let center = bin_alias_error(&c, c.m / 2);
+        assert!(
+            edge > 10.0 * center,
+            "edge {edge:e} should dwarf center {center:e}"
+        );
+    }
+
+    #[test]
+    fn condition_bounded_by_design_kappa() {
+        let c = cfg(AccuracyPreset::Full);
+        for k in (0..c.m).step_by(127) {
+            let cond = bin_condition(&c, k);
+            assert!(cond >= 1.0 - 1e-12);
+            // Per-bin condition over the *designed* grid cannot exceed the
+            // window's continuum κ by much (sampling resolution).
+            assert!(cond <= c.kappa * 1.05, "bin {k}: {cond} vs kappa {}", c.kappa);
+        }
+    }
+
+    #[test]
+    fn profile_orders_presets() {
+        // Tighter presets must predict smaller worst-bin error.
+        let full = error_profile(&cfg(AccuracyPreset::Full), 37);
+        let ten = error_profile(&cfg(AccuracyPreset::Digits10), 37);
+        assert!(full.worst_bin < ten.worst_bin);
+        assert!(full.max_alias < ten.max_alias);
+        assert!(full.median_alias <= full.max_alias);
+    }
+
+    #[test]
+    fn worst_bin_prediction_is_consistent_with_integral_bound() {
+        // The pointwise worst bin can exceed the integral-criterion bound,
+        // but not by orders of magnitude beyond κ.
+        let c = cfg(AccuracyPreset::Digits11);
+        let p = error_profile(&c, 17);
+        let integral_bound = c.kappa * (c.alias + c.trunc);
+        assert!(
+            p.worst_bin < integral_bound * 1e3,
+            "worst bin {:e} vs integral bound {:e}",
+            p.worst_bin,
+            integral_bound
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of segment range")]
+    fn rejects_out_of_range_bin() {
+        let c = cfg(AccuracyPreset::Digits10);
+        let _ = bin_alias_error(&c, c.m);
+    }
+}

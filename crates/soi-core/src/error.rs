@@ -1,0 +1,68 @@
+//! Error types for SOI configuration and execution.
+
+use soi_window::design::DesignError;
+
+/// Everything that can go wrong building or running a SOI transform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SoiError {
+    /// Sizes violate the divisibility/support constraints.
+    BadSize(String),
+    /// The window designer could not meet the request.
+    Design(DesignError),
+    /// Input buffer has the wrong length.
+    BadInput {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SoiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SoiError::BadSize(msg) => write!(f, "invalid SOI sizes: {msg}"),
+            SoiError::Design(e) => write!(f, "window design failed: {e}"),
+            SoiError::BadInput { expected, got } => {
+                write!(f, "bad input length: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SoiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SoiError::Design(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DesignError> for SoiError {
+    fn from(e: DesignError) -> Self {
+        SoiError::Design(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = SoiError::BadSize("p must divide n".into());
+        assert!(e.to_string().contains("p must divide n"));
+        let e = SoiError::BadInput {
+            expected: 8,
+            got: 7,
+        };
+        assert!(e.to_string().contains("expected 8"));
+        let e: SoiError = DesignError::Infeasible {
+            target: 1e-30,
+            beta: 0.25,
+        }
+        .into();
+        assert!(e.to_string().contains("window design failed"));
+    }
+}

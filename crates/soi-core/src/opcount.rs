@@ -1,0 +1,104 @@
+//! Arithmetic-cost accounting for a SOI instance (§5's operation count and
+//! the §7.4 analysis numbers).
+
+use crate::params::SoiConfig;
+use soi_fft::flops::{conv_flops, fft_flops};
+
+/// Nominal real-arithmetic breakdown of one SOI transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpBreakdown {
+    /// Convolution `W·x`: `8·N'·B` real ops.
+    pub conv: f64,
+    /// The `I_{M'} ⊗ F_P` batch.
+    pub fft_p: f64,
+    /// The `I_P ⊗ F_{M'}` batch.
+    pub fft_m: f64,
+    /// Demodulation (one complex multiply per output bin).
+    pub demod: f64,
+    /// A standard FFT of the same logical size, for comparison.
+    pub standard_fft: f64,
+}
+
+impl OpBreakdown {
+    /// Compute the breakdown for a configuration.
+    pub fn of(cfg: &SoiConfig) -> Self {
+        OpBreakdown {
+            conv: conv_flops(cfg.n_prime, cfg.b),
+            fft_p: cfg.m_prime as f64 * fft_flops(cfg.p),
+            fft_m: cfg.p as f64 * fft_flops(cfg.m_prime),
+            demod: 6.0 * cfg.n as f64,
+            standard_fft: fft_flops(cfg.n),
+        }
+    }
+
+    /// Total SOI arithmetic.
+    pub fn total(&self) -> f64 {
+        self.conv + self.fft_p + self.fft_m + self.demod
+    }
+
+    /// Convolution cost relative to one standard FFT (§7.4: "almost
+    /// fourfold" at the paper's scale).
+    pub fn conv_ratio(&self) -> f64 {
+        self.conv / self.standard_fft
+    }
+
+    /// Total SOI arithmetic relative to one standard FFT (§7.4: "about
+    /// fivefold").
+    pub fn total_ratio(&self) -> f64 {
+        self.total() / self.standard_fft
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SoiParams;
+    use soi_window::AccuracyPreset;
+
+    #[test]
+    fn ratios_match_section_7_4_at_paper_scale() {
+        // The paper's numbers are quoted at 2^28/node × 32 nodes with
+        // B = 72. Build the breakdown straight from a synthetic config of
+        // that scale (no allocation happens here).
+        let cfg = SoiConfig {
+            n: 1 << 33,
+            p: 32,
+            m: 1 << 28,
+            m_prime: (1usize << 28) / 4 * 5,
+            n_prime: ((1usize << 28) / 4 * 5) * 32,
+            mu: 5,
+            nu: 4,
+            b: 72,
+            window: soi_window::TwoParamWindow::new(0.8, 300.0),
+            kappa: 10.0,
+            alias: 1e-16,
+            trunc: 1e-16,
+        };
+        let ops = OpBreakdown::of(&cfg);
+        assert!(
+            (3.0..5.0).contains(&ops.conv_ratio()),
+            "conv ratio {}",
+            ops.conv_ratio()
+        );
+        assert!(
+            (4.0..6.5).contains(&ops.total_ratio()),
+            "total ratio {}",
+            ops.total_ratio()
+        );
+        // The two FFT stages together cost ≈ (1+β) standard FFTs.
+        let fft_ratio = (ops.fft_p + ops.fft_m) / ops.standard_fft;
+        assert!((1.0..1.6).contains(&fft_ratio), "fft ratio {fft_ratio}");
+    }
+
+    #[test]
+    fn smaller_b_means_cheaper_convolution() {
+        let full = SoiParams::full_accuracy(1 << 14, 4).unwrap().resolve();
+        let ten = SoiParams::with_preset(1 << 14, 4, AccuracyPreset::Digits10)
+            .unwrap()
+            .resolve();
+        let of = OpBreakdown::of(&full);
+        let ot = OpBreakdown::of(&ten);
+        assert!(ot.conv < of.conv);
+        assert_eq!(ot.fft_m, of.fft_m, "FFT cost independent of B");
+    }
+}

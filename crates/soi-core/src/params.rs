@@ -1,0 +1,286 @@
+//! SOI parameter resolution and validation.
+//!
+//! An instance is `N = M·P` points split into `P` segments of `M`, with
+//! oversampling `1+β = μ/ν` giving segment FFT length `M' = M·μ/ν` and
+//! inflated total `N' = P·M'`, plus a designed window `(τ, σ)` with
+//! convolution support `B` blocks (§4–5 of the paper).
+//!
+//! Divisibility requirements (checked here once, assumed everywhere):
+//!
+//! * `P | N` — segments are equal (`M = N/P`);
+//! * `νP | M` — so each rank owns a whole number of size-P blocks *and* a
+//!   whole number of μ-row coefficient chunks (the Fig 4 structure);
+//! * `B·P ≤ M` — the convolution halo (see `SoiConfig::taps`) fits in one adjacent neighbor
+//!   (§2: "each node merely needs an insignificant amount of data from its
+//!   next-door neighbor").
+
+use crate::error::SoiError;
+use soi_window::{design_two_param, AccuracyPreset, TwoParamWindow, WindowDesign};
+
+/// User-facing parameter request for a SOI transform.
+#[derive(Debug, Clone)]
+pub struct SoiParams {
+    /// Total transform size `N`.
+    pub n: usize,
+    /// Segment (and rank) count `P`.
+    pub p: usize,
+    /// Oversampling numerator μ (`1+β = μ/ν`).
+    pub mu: usize,
+    /// Oversampling denominator ν.
+    pub nu: usize,
+    /// Window design (parameters + support B).
+    pub design: WindowDesign<TwoParamWindow>,
+}
+
+impl SoiParams {
+    /// The paper's headline operating point: β = 1/4 (μ/ν = 5/4), full
+    /// double-precision accuracy (B lands near the paper's 72).
+    pub fn full_accuracy(n: usize, p: usize) -> Result<SoiParams, SoiError> {
+        Self::with_preset(n, p, AccuracyPreset::Full)
+    }
+
+    /// β = 1/4 with a named accuracy preset (the Fig 7 sweep).
+    pub fn with_preset(n: usize, p: usize, preset: AccuracyPreset) -> Result<SoiParams, SoiError> {
+        let design = preset.design(0.25).map_err(SoiError::Design)?;
+        Self::custom(n, p, 5, 4, design)
+    }
+
+    /// Fully custom parameters (any μ/ν and any window design).
+    pub fn custom(
+        n: usize,
+        p: usize,
+        mu: usize,
+        nu: usize,
+        design: WindowDesign<TwoParamWindow>,
+    ) -> Result<SoiParams, SoiError> {
+        let params = SoiParams {
+            n,
+            p,
+            mu,
+            nu,
+            design,
+        };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// β = μ/ν with an explicit accuracy target.
+    pub fn with_beta(
+        n: usize,
+        p: usize,
+        mu: usize,
+        nu: usize,
+        target: f64,
+    ) -> Result<SoiParams, SoiError> {
+        if mu <= nu {
+            return Err(SoiError::BadSize(format!(
+                "oversampling mu/nu = {mu}/{nu} must exceed 1"
+            )));
+        }
+        let beta = mu as f64 / nu as f64 - 1.0;
+        let design = design_two_param(beta, target, 1000.0).map_err(SoiError::Design)?;
+        Self::custom(n, p, mu, nu, design)
+    }
+
+    fn validate(&self) -> Result<(), SoiError> {
+        let SoiParams { n, p, mu, nu, .. } = *self;
+        if n == 0 || p == 0 {
+            return Err(SoiError::BadSize("n and p must be positive".into()));
+        }
+        if mu <= nu || nu == 0 {
+            return Err(SoiError::BadSize(format!(
+                "oversampling mu/nu = {mu}/{nu} must exceed 1"
+            )));
+        }
+        if gcd(mu, nu) != 1 {
+            return Err(SoiError::BadSize(format!(
+                "mu/nu = {mu}/{nu} must be in lowest terms"
+            )));
+        }
+        if n % p != 0 {
+            return Err(SoiError::BadSize(format!("p = {p} must divide n = {n}")));
+        }
+        let m = n / p;
+        if m % (nu * p) != 0 {
+            return Err(SoiError::BadSize(format!(
+                "segment length m = {m} must be divisible by nu*p = {}",
+                nu * p
+            )));
+        }
+        let b = self.design.b;
+        // The kernel reads B+1 tap-blocks per row (see SoiConfig::taps),
+        // so the halo is B·P points and must fit in one neighbor.
+        if b * p > m {
+            return Err(SoiError::BadSize(format!(
+                "support B = {b} too large: halo B*P = {} exceeds segment m = {m}",
+                b * p
+            )));
+        }
+        Ok(())
+    }
+
+    /// Resolve into a fully-derived configuration.
+    pub fn resolve(&self) -> SoiConfig {
+        let m = self.n / self.p;
+        let m_prime = m / self.nu * self.mu;
+        SoiConfig {
+            n: self.n,
+            p: self.p,
+            m,
+            m_prime,
+            n_prime: m_prime * self.p,
+            mu: self.mu,
+            nu: self.nu,
+            b: self.design.b,
+            window: self.design.window,
+            kappa: self.design.kappa,
+            alias: self.design.alias,
+            trunc: self.design.trunc,
+        }
+    }
+}
+
+/// A resolved SOI configuration: every derived quantity the kernels need.
+#[derive(Debug, Clone, Copy)]
+pub struct SoiConfig {
+    /// Total size `N`.
+    pub n: usize,
+    /// Segment count `P`.
+    pub p: usize,
+    /// Segment length `M = N/P` (also points per rank).
+    pub m: usize,
+    /// Oversampled segment FFT length `M' = M·μ/ν`.
+    pub m_prime: usize,
+    /// Inflated total `N' = P·M'`.
+    pub n_prime: usize,
+    /// Oversampling numerator.
+    pub mu: usize,
+    /// Oversampling denominator.
+    pub nu: usize,
+    /// Convolution support in blocks of `P`.
+    pub b: usize,
+    /// The designed window.
+    pub window: TwoParamWindow,
+    /// Window condition number κ.
+    pub kappa: f64,
+    /// Window aliasing error ε^(alias).
+    pub alias: f64,
+    /// Window truncation error ε^(trunc).
+    pub trunc: f64,
+}
+
+impl SoiConfig {
+    /// Oversampling rate β = μ/ν − 1.
+    pub fn beta(&self) -> f64 {
+        self.mu as f64 / self.nu as f64 - 1.0
+    }
+
+    /// Rows (P-groups) of the convolution output per rank: `M'/P`.
+    pub fn rows_per_rank(&self) -> usize {
+        self.m_prime / self.p
+    }
+
+    /// Coefficient chunks per rank (`rows_per_rank / μ`).
+    pub fn chunks_per_rank(&self) -> usize {
+        self.rows_per_rank() / self.mu
+    }
+
+    /// Blocks of `P` input points owned by each rank (`M/P`).
+    pub fn blocks_per_rank(&self) -> usize {
+        self.m / self.p
+    }
+
+    /// Tap-blocks the convolution reads per output row: `B + 1`.
+    ///
+    /// The designed support `B` covers `θ ∈ [−B/2, B/2]`, but row `j`'s
+    /// taps sit at `θ = frac(jν/μ) + B/2 − b − s/P`; with `frac > 0`, `B`
+    /// blocks would leave a sliver of `[−B/2, −B/2+frac)` uncovered —
+    /// a small but measurable extra truncation error. One extra block
+    /// (<2% more coefficients and flops) covers the support exactly.
+    pub fn taps(&self) -> usize {
+        self.b + 1
+    }
+
+    /// Halo elements each rank needs from its right neighbor:
+    /// `(taps−1)·P = B·P` points.
+    pub fn halo_len(&self) -> usize {
+        self.b * self.p
+    }
+
+    /// A-priori relative error estimate `κ·(ε_alias + ε_trunc + ε_f64)`.
+    pub fn predicted_error(&self) -> f64 {
+        self.kappa * (self.alias + self.trunc + f64::EPSILON)
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_accuracy_resolves_standard_quantities() {
+        let p = SoiParams::full_accuracy(1 << 14, 4).unwrap();
+        let c = p.resolve();
+        assert_eq!(c.m, 4096);
+        assert_eq!(c.m_prime, 5120);
+        assert_eq!(c.n_prime, 20480);
+        assert!((c.beta() - 0.25).abs() < 1e-15);
+        assert_eq!(c.rows_per_rank(), 1280);
+        assert_eq!(c.chunks_per_rank(), 256);
+        assert_eq!(c.blocks_per_rank(), 1024);
+        assert!(c.b >= 40, "full accuracy needs a substantial B");
+        assert_eq!(c.taps(), c.b + 1);
+        assert_eq!(c.halo_len(), c.b * 4);
+    }
+
+    #[test]
+    fn rejects_bad_divisibility() {
+        // p does not divide n
+        assert!(SoiParams::full_accuracy(1000, 3).is_err());
+        // m not divisible by nu*p: n=64, p=4 → m=16, nu*p=16 OK but B halo
+        // will not fit → error either way.
+        assert!(SoiParams::full_accuracy(64, 4).is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_oversampling() {
+        let d = AccuracyPreset::Digits10.design(0.25).unwrap();
+        assert!(SoiParams::custom(1 << 12, 2, 4, 4, d.clone()).is_err());
+        assert!(SoiParams::custom(1 << 12, 2, 10, 8, d).is_err(), "not coprime");
+    }
+
+    #[test]
+    fn halo_must_fit_neighbor() {
+        // Tiny segments with a full-accuracy B must be rejected.
+        let d = AccuracyPreset::Full.design(0.25).unwrap();
+        let err = SoiParams::custom(512, 4, 5, 4, d);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn relaxed_preset_shrinks_b() {
+        let full = SoiParams::full_accuracy(1 << 14, 4).unwrap().resolve();
+        let ten = SoiParams::with_preset(1 << 14, 4, AccuracyPreset::Digits10)
+            .unwrap()
+            .resolve();
+        assert!(ten.b < full.b);
+        assert!(ten.predicted_error() > full.predicted_error());
+    }
+
+    #[test]
+    fn beta_half_config() {
+        // μ/ν = 3/2 → β = 0.5.
+        let p = SoiParams::with_beta(1 << 13, 4, 3, 2, 1e-12).unwrap();
+        let c = p.resolve();
+        assert!((c.beta() - 0.5).abs() < 1e-15);
+        assert_eq!(c.m_prime, c.m / 2 * 3);
+    }
+}

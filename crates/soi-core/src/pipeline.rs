@@ -1,0 +1,439 @@
+//! The complete SOI transform in a single address space.
+//!
+//! This is Eq. (6) executed end to end:
+//!
+//! ```text
+//! y ≈ (I_P ⊗ Ŵ⁻¹·P_proj·F_{M'}) · P_perm^{P,N'} · (I_{M'} ⊗ F_P) · W · x
+//! ```
+//!
+//! 1. `W·x` — the convolution ([`crate::conv`]), producing `M'` groups of
+//!    `P` values from `x` plus a circular halo;
+//! 2. `I_{M'} ⊗ F_P` — a batch of M' small FFTs over the groups;
+//! 3. `P_perm^{P,N'}` — the stride permutation (distributed: the single
+//!    all-to-all; here: a transpose);
+//! 4. per segment: `F_{M'}`, project to the first `M` bins, demodulate.
+//!
+//! The distributed version in `soi-dist` runs the same four stages with
+//! stage 3 as the one global exchange; this single-process form is the
+//! correctness core and the per-node compute kernel.
+
+use crate::coeff::ConvCoefficients;
+use crate::conv::{convolve, ConvShape};
+use crate::error::SoiError;
+use crate::params::{SoiConfig, SoiParams};
+use soi_fft::batch::BatchFft;
+use soi_fft::permute::stride_permute;
+use soi_fft::plan::{Direction, Plan};
+use soi_num::Complex64;
+
+/// A prepared single-process SOI FFT.
+#[derive(Debug)]
+pub struct SoiFft {
+    cfg: SoiConfig,
+    coeffs: ConvCoefficients,
+    batch_p: BatchFft<f64>,
+    plan_m: Plan<f64>,
+}
+
+impl SoiFft {
+    /// Build the transform: designs nothing (the window came with
+    /// `params`), precomputes coefficient and demodulation tables and the
+    /// two FFT plans.
+    pub fn new(params: &SoiParams) -> Result<Self, SoiError> {
+        let cfg = params.resolve();
+        let coeffs = ConvCoefficients::new(&cfg);
+        Ok(Self {
+            cfg,
+            coeffs,
+            batch_p: BatchFft::new(cfg.p, Direction::Forward, 1),
+            plan_m: Plan::forward(cfg.m_prime),
+        })
+    }
+
+    /// The resolved configuration.
+    pub fn config(&self) -> &SoiConfig {
+        &self.cfg
+    }
+
+    /// The coefficient tables (exposed for the distributed driver and the
+    /// benches).
+    pub fn coefficients(&self) -> &ConvCoefficients {
+        &self.coeffs
+    }
+
+    /// The prebuilt `F_{M'}` plan (shared with the distributed driver).
+    pub fn plan_m(&self) -> &Plan<f64> {
+        &self.plan_m
+    }
+
+    /// The prebuilt `I ⊗ F_P` batch executor.
+    pub fn batch_p(&self) -> &BatchFft<f64> {
+        &self.batch_p
+    }
+
+    /// Kernel shape for the convolution stage (`b` here is the *tap*
+    /// block count `B+1`, see `SoiConfig::taps`).
+    pub fn shape(&self) -> ConvShape {
+        ConvShape {
+            mu: self.cfg.mu,
+            nu: self.cfg.nu,
+            b: self.cfg.taps(),
+            p: self.cfg.p,
+        }
+    }
+
+    /// Full in-order forward DFT of `x` (length `N`), approximated to the
+    /// window design's accuracy.
+    pub fn transform(&self, x: &[Complex64]) -> Result<Vec<Complex64>, SoiError> {
+        let cfg = &self.cfg;
+        if x.len() != cfg.n {
+            return Err(SoiError::BadInput {
+                expected: cfg.n,
+                got: x.len(),
+            });
+        }
+        // Stage 1: convolution over x extended with the circular halo.
+        let mut xext = Vec::with_capacity(cfg.n + cfg.halo_len());
+        xext.extend_from_slice(x);
+        xext.extend_from_slice(&x[..cfg.halo_len()]);
+        let mut v = vec![Complex64::ZERO; cfg.n_prime];
+        convolve(self.shape(), &self.coeffs, &xext, &mut v);
+        // Stage 2: M' independent F_P over the contiguous groups.
+        self.batch_p.execute(&mut v);
+        // Stage 3: stride permutation — group-major (j,s) → segment-major
+        // (s,j). In the distributed algorithm this is the all-to-all.
+        let mut seg = vec![Complex64::ZERO; cfg.n_prime];
+        stride_permute(&v, &mut seg, cfg.m_prime);
+        // Stage 4: per segment, F_{M'} then project + demodulate.
+        let mut y = vec![Complex64::ZERO; cfg.n];
+        let mut scratch = vec![Complex64::ZERO; cfg.m_prime];
+        for s in 0..cfg.p {
+            let row = &mut seg[s * cfg.m_prime..(s + 1) * cfg.m_prime];
+            self.plan_m.execute_with_scratch(row, &mut scratch);
+            let out = &mut y[s * cfg.m..(s + 1) * cfg.m];
+            for k in 0..cfg.m {
+                out[k] = row[k] * self.coeffs.demod[k];
+            }
+        }
+        Ok(y)
+    }
+
+    /// Inverse transform: recover `x` from a spectrum `y` such that
+    /// `inverse(transform(x)) ≈ x`.
+    ///
+    /// Uses the conjugation identity `F_N⁻¹ y = conj(F_N conj(y))/N`, so
+    /// the inverse inherits the forward path's single-all-to-all
+    /// communication structure unchanged.
+    pub fn inverse(&self, y: &[Complex64]) -> Result<Vec<Complex64>, SoiError> {
+        let conj_y: Vec<Complex64> = y.iter().map(|v| v.conj()).collect();
+        let z = self.transform(&conj_y)?;
+        let scale = 1.0 / self.cfg.n as f64;
+        Ok(z.into_iter().map(|v| v.conj().scale(scale)).collect())
+    }
+
+    /// Compute only segment `s` of the spectrum —
+    /// `y_k for k ∈ [sM, (s+1)M)` — without touching the other segments.
+    ///
+    /// This is the Fig 1 story executed literally: phase-shift the input
+    /// (`Φ_s`, the DFT shift theorem of §5), convolve against the
+    /// *contiguous* `BP`-tap window, take one `M'`-point FFT, demodulate.
+    /// Cost: `O(M'·BP + M' log M')`.
+    pub fn transform_segment(&self, x: &[Complex64], s: usize) -> Result<Vec<Complex64>, SoiError> {
+        let cfg = &self.cfg;
+        if x.len() != cfg.n {
+            return Err(SoiError::BadInput {
+                expected: cfg.n,
+                got: x.len(),
+            });
+        }
+        assert!(s < cfg.p, "segment {s} out of range (P = {})", cfg.p);
+        // Φ_s x: modulation by ω^{s·l}, ω = e^{−2πi/P} (§5).
+        let mut xp: Vec<Complex64> = (0..cfg.n)
+            .map(|l| x[l] * Complex64::root_of_unity(s * (l % cfg.p), cfg.p))
+            .collect();
+        let halo: Vec<Complex64> = xp[..cfg.halo_len()].to_vec();
+        xp.extend_from_slice(&halo);
+        // Row j of C₀ is a contiguous BP-tap inner product starting at
+        // block k₀(j); the taps are exactly the coefficient table rows
+        // concatenated over blocks.
+        let shape = self.shape();
+        let bp = shape.b * cfg.p;
+        let mut xt = Vec::with_capacity(cfg.m_prime);
+        for j in 0..cfg.m_prime {
+            let r = j % cfg.mu;
+            let base = shape.k0(j) * cfg.p;
+            let taps = &self.coeffs.coef[r * bp..(r + 1) * bp];
+            let data = &xp[base..base + bp];
+            let mut acc = Complex64::ZERO;
+            for (t, d) in taps.iter().zip(data) {
+                acc = t.mul_add(*d, acc);
+            }
+            xt.push(acc);
+        }
+        self.plan_m.execute(&mut xt);
+        Ok((0..cfg.m).map(|k| xt[k] * self.coeffs.demod[k]).collect())
+    }
+
+    /// Compute an *arbitrary* length-`M` band of the spectrum:
+    /// `y_k for k ∈ [k0, k0+M)`, any `k0 < N` — a "zoom FFT" built from
+    /// the same machinery.
+    ///
+    /// [`Self::transform_segment`] handles the aligned case `k0 = sM` via
+    /// the shift diagonal `Φ_s` (§5), whose entries are P-periodic. For
+    /// general `k0` the modulation `x_j·e^{−2πi·k0·j/N}` is not periodic,
+    /// but the segment-0 extraction never needed that: it just convolves
+    /// whatever time series it is given. Cost: `O(N + M'·BP + M' log M')`.
+    pub fn transform_band(&self, x: &[Complex64], k0: usize) -> Result<Vec<Complex64>, SoiError> {
+        let cfg = &self.cfg;
+        if x.len() != cfg.n {
+            return Err(SoiError::BadInput {
+                expected: cfg.n,
+                got: x.len(),
+            });
+        }
+        assert!(k0 < cfg.n, "band start {k0} out of range (N = {})", cfg.n);
+        // z_j = x_j·e^{−2πi·k0·j/N} shifts bin k0 to bin 0.
+        let mut z: Vec<Complex64> = (0..cfg.n)
+            .map(|j| x[j] * Complex64::root_of_unity(k0 * j % cfg.n, cfg.n))
+            .collect();
+        let halo: Vec<Complex64> = z[..cfg.halo_len()].to_vec();
+        z.extend_from_slice(&halo);
+        let shape = self.shape();
+        let bp = shape.b * cfg.p;
+        let mut xt = Vec::with_capacity(cfg.m_prime);
+        for j in 0..cfg.m_prime {
+            let r = j % cfg.mu;
+            let base = shape.k0(j) * cfg.p;
+            let taps = &self.coeffs.coef[r * bp..(r + 1) * bp];
+            let data = &z[base..base + bp];
+            let mut acc = Complex64::ZERO;
+            for (t, d) in taps.iter().zip(data) {
+                acc = t.mul_add(*d, acc);
+            }
+            xt.push(acc);
+        }
+        self.plan_m.execute(&mut xt);
+        Ok((0..cfg.m).map(|k| xt[k] * self.coeffs.demod[k]).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_fft::fft_forward;
+    use soi_num::complex::rel_l2_error;
+    use soi_num::stats::snr_db;
+    use soi_window::AccuracyPreset;
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| {
+                Complex64::new(
+                    (i as f64 * 0.37).sin() + 0.3 * (i as f64 * 1.9).cos(),
+                    (i as f64 * 0.11).cos() - 0.2,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_exact_fft_at_ten_digits() {
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let x = signal(1 << 12);
+        let y = soi.transform(&x).unwrap();
+        let exact = fft_forward(&x);
+        let err = rel_l2_error(&y, &exact);
+        // The paper's bound (§4): O(κ·(ε_fft + ε_alias + ε_trunc)).
+        let bound = soi.config().predicted_error();
+        assert!(err < bound * 10.0, "rel error {err:e} vs bound {bound:e}");
+        // And not absurdly better than designed (sanity that we measured
+        // something real).
+        assert!(err > 1e-16);
+    }
+
+    #[test]
+    fn matches_exact_fft_at_full_accuracy() {
+        let params = SoiParams::full_accuracy(1 << 14, 4).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let x = signal(1 << 14);
+        let y = soi.transform(&x).unwrap();
+        let exact = fft_forward(&x);
+        let snr = snr_db(&y, &exact);
+        // §7.2: full-accuracy SOI sits around 290 dB (≈ one digit below a
+        // standard FFT). Against an f64 reference we should comfortably
+        // clear 260 dB.
+        assert!(snr > 260.0, "snr = {snr} dB");
+    }
+
+    #[test]
+    fn non_power_of_two_p() {
+        // P = 5 exercises mixed-radix F_P and odd segment counts
+        // (N = 10000 keeps m divisible by ν·P = 20).
+        let params = SoiParams::with_preset(10_000, 5, AccuracyPreset::Digits10).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let x = signal(10_000);
+        let y = soi.transform(&x).unwrap();
+        let exact = fft_forward(&x);
+        let err = rel_l2_error(&y, &exact);
+        let bound = soi.config().predicted_error();
+        assert!(err < bound * 10.0, "rel error {err:e} vs bound {bound:e}");
+    }
+
+    #[test]
+    fn segment_api_agrees_with_full_transform() {
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits12).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let x = signal(1 << 12);
+        let full = soi.transform(&x).unwrap();
+        let m = soi.config().m;
+        for s in 0..4 {
+            let seg = soi.transform_segment(&x, s).unwrap();
+            let err = rel_l2_error(&seg, &full[s * m..(s + 1) * m]);
+            assert!(err < 1e-10, "segment {s}: {err:e}");
+        }
+    }
+
+    #[test]
+    fn segment_matches_exact_spectrum_slice() {
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits11).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let x = signal(1 << 12);
+        let exact = fft_forward(&x);
+        let m = soi.config().m;
+        let seg = soi.transform_segment(&x, 2).unwrap();
+        let err = rel_l2_error(&seg, &exact[2 * m..3 * m]);
+        let bound = soi.config().predicted_error();
+        assert!(err < bound * 10.0, "rel error {err:e} vs bound {bound:e}");
+    }
+
+    #[test]
+    fn linearity_of_whole_transform() {
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits12).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let a = signal(1 << 12);
+        let b: Vec<Complex64> = signal(1 << 12).iter().map(|v| v.mul_neg_i()).collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let ya = soi.transform(&a).unwrap();
+        let yb = soi.transform(&b).unwrap();
+        let ys = soi.transform(&sum).unwrap();
+        for k in 0..ys.len() {
+            assert!((ys[k] - (ya[k] + yb[k])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let x = signal(100);
+        assert!(matches!(
+            soi.transform(&x),
+            Err(SoiError::BadInput { expected, got: 100 }) if expected == 1 << 12
+        ));
+    }
+
+    #[test]
+    fn impulse_response_matches_aliasing_theory_per_bin() {
+        // DFT of δ₀ is all-ones — the worst case for periodization
+        // aliasing, since every alias image is coherent. The §3 theory
+        // predicts the *exact* per-bin error:
+        //   ỹ_k = Σ_p ŵ(k+pM')  ⇒  y_k − 1 = Σ_{p≠0} ŵ(k+pM')/ŵ(k).
+        // Verify measurement against that prediction bin by bin.
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits12).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let cfg = *soi.config();
+        let mut x = vec![Complex64::ZERO; 1 << 12];
+        x[0] = Complex64::ONE;
+        let y = soi.transform(&x).unwrap();
+        for k in (0..cfg.m).step_by(97).chain([0, 1, cfg.m - 1]) {
+            let mut predicted = Complex64::ZERO;
+            for p in [-2i64, -1, 1, 2] {
+                predicted += crate::coeff::w_hat(&cfg, k as f64 + p as f64 * cfg.m_prime as f64);
+            }
+            let predicted = predicted * soi.coefficients().demod[k];
+            // Each segment sees the same aliasing structure; check seg 0.
+            let measured = y[k] - Complex64::ONE;
+            let tol = 0.3 * predicted.abs() + 1e-12;
+            assert!(
+                (measured - predicted).abs() < tol,
+                "bin {k}: measured {measured:?}, theory {predicted:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn band_api_matches_exact_spectrum_at_unaligned_offsets() {
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits11).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let cfg = *soi.config();
+        let x = signal(1 << 12);
+        let exact = fft_forward(&x);
+        let bound = 10.0 * cfg.predicted_error();
+        for k0 in [0usize, 1, 777, cfg.m + 13, cfg.n - cfg.m / 2] {
+            let band = soi.transform_band(&x, k0).unwrap();
+            for (i, v) in band.iter().enumerate().step_by(113) {
+                let want = exact[(k0 + i) % cfg.n];
+                assert!(
+                    (*v - want).abs() < bound * (1.0 + want.abs()) * 20.0,
+                    "k0={k0} bin {i}: {v:?} vs {want:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn band_at_aligned_offset_equals_segment_api() {
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits12).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let x = signal(1 << 12);
+        let m = soi.config().m;
+        let a = soi.transform_band(&x, 2 * m).unwrap();
+        let b = soi.transform_segment(&x, 2).unwrap();
+        assert!(rel_l2_error(&a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits12).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let x = signal(1 << 12);
+        let y = soi.transform(&x).unwrap();
+        let back = soi.inverse(&y).unwrap();
+        let err = rel_l2_error(&back, &x);
+        let bound = soi.config().predicted_error();
+        assert!(err < bound * 20.0, "roundtrip err {err:e} vs bound {bound:e}");
+    }
+
+    #[test]
+    fn inverse_matches_exact_ifft() {
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits12).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let y = signal(1 << 12);
+        let got = soi.inverse(&y).unwrap();
+        let want = soi_fft::fft_inverse(&y);
+        let err = rel_l2_error(&got, &want);
+        let bound = soi.config().predicted_error();
+        assert!(err < bound * 10.0, "err {err:e} vs bound {bound:e}");
+    }
+
+    #[test]
+    fn pure_tone_lands_in_one_bin() {
+        let n = 1 << 12;
+        let params = SoiParams::with_preset(n, 4, AccuracyPreset::Digits12).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let f = 1234;
+        let x: Vec<Complex64> = (0..n)
+            .map(|j| Complex64::cis(2.0 * std::f64::consts::PI * (f * j % n) as f64 / n as f64))
+            .collect();
+        let y = soi.transform(&x).unwrap();
+        assert!((y[f] - Complex64::new(n as f64, 0.0)).abs() < 1e-6 * n as f64);
+        let leak: f64 = y
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| *k != f)
+            .map(|(_, v)| v.abs())
+            .fold(0.0, f64::max);
+        assert!(leak < 1e-7 * n as f64, "max leak {leak:e}");
+    }
+}

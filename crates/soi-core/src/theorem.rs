@@ -1,0 +1,192 @@
+//! The hybrid convolution theorem (Theorem 1) as executable operators.
+//!
+//! Definition 1 of the paper introduces five operations mixing finite
+//! vectors with functions; Theorem 1 states
+//!
+//! ```text
+//! F_M [ (1/M)·Samp(x ∗ w; 1/M) ] = Peri(y·ŵ; M),   y = F_N x.
+//! ```
+//!
+//! This module implements each operator literally (at `O(N)`-per-point
+//! cost) so the theorem can be *tested numerically* rather than trusted —
+//! it is the foundation the whole factorization stands on, and any sign or
+//! convention error anywhere in the workspace shows up here first.
+
+use crate::coeff::{w_hat, w_time};
+use crate::params::SoiConfig;
+use soi_fft::dft::dft_naive;
+use soi_num::kahan::KahanComplexSum;
+use soi_num::Complex64;
+
+/// Definition 1(2): `(x ∗ w)(t) = Σ_ℓ w(t − ℓ/N)·x_{ℓ mod N}`, with the
+/// sum taken over all shifts where `w` is non-negligible (its support is
+/// ±B/M around each point, so ℓ ranges over one period plus a guard).
+pub fn convolve_time(cfg: &SoiConfig, x: &[Complex64], t: f64) -> Complex64 {
+    assert_eq!(x.len(), cfg.n);
+    let n = cfg.n as i64;
+    let mut acc = KahanComplexSum::new();
+    // Periodized: ℓ runs over one extra period each side to capture the
+    // wrap-around of the window support.
+    for l in -n..(2 * n) {
+        let xl = x[l.rem_euclid(n) as usize];
+        let w = w_time(cfg, t - l as f64 / cfg.n as f64);
+        acc.add(xl * w);
+    }
+    acc.value()
+}
+
+/// Definition 1(3): `Samp(f; 1/M)` — the M-vector `f(j/M)`, here fused
+/// with the `1/M` scaling of Theorem 1.
+pub fn sample_scaled(cfg: &SoiConfig, x: &[Complex64], m: usize) -> Vec<Complex64> {
+    (0..m)
+        .map(|j| convolve_time(cfg, x, j as f64 / m as f64).scale(1.0 / m as f64))
+        .collect()
+}
+
+/// Definition 1(4)+(5): `Peri(y·ŵ; M)` — modulate the (periodically
+/// extended) spectrum by `ŵ`, then fold with period `M`. The shift sum is
+/// truncated where `ŵ` has decayed below any representable magnitude.
+pub fn periodize_modulated(cfg: &SoiConfig, y: &[Complex64], m: usize) -> Vec<Complex64> {
+    assert_eq!(y.len(), cfg.n);
+    let n = cfg.n as i64;
+    let mut out = Vec::with_capacity(m);
+    for k in 0..m as i64 {
+        let mut acc = KahanComplexSum::new();
+        // k + j·M over enough periods of the window's spectral support.
+        let span = 2 * n / m as i64 + 2;
+        for j in -span..=span {
+            let idx = k + j * m as i64;
+            let yv = y[idx.rem_euclid(n) as usize];
+            acc.add(yv * w_hat(cfg, idx as f64));
+        }
+        out.push(acc.value());
+    }
+    out
+}
+
+/// Both sides of Theorem 1 at period `m`: returns
+/// `(F_m[(1/m)Samp(x∗w;1/m)], Peri(y·ŵ; m))`.
+pub fn theorem1_sides(
+    cfg: &SoiConfig,
+    x: &[Complex64],
+    m: usize,
+) -> (Vec<Complex64>, Vec<Complex64>) {
+    let xt = sample_scaled(cfg, x, m);
+    let lhs = dft_naive(&xt);
+    let y = dft_naive(x);
+    let rhs = periodize_modulated(cfg, &y, m);
+    (lhs, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SoiParams;
+    use soi_num::complex::{max_abs_diff, rel_l2_error};
+    use soi_window::AccuracyPreset;
+
+    fn tiny_cfg() -> SoiConfig {
+        // Smallest size satisfying divisibility with a modest B: N = 512,
+        // P = 2 → M = 256, νP = 8 | 256 ✓; B ≤ M/P+1.
+        SoiParams::with_preset(512, 2, AccuracyPreset::Digits10)
+            .unwrap()
+            .resolve()
+    }
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 0.4).cos() * 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn hybrid_convolution_theorem_holds() {
+        // THE theorem: both sides agree to (window-design) accuracy at the
+        // oversampled period M'.
+        let cfg = tiny_cfg();
+        let x = signal(cfg.n);
+        let (lhs, rhs) = theorem1_sides(&cfg, &x, cfg.m_prime);
+        let err = rel_l2_error(&lhs, &rhs);
+        assert!(err < 1e-9, "Theorem 1 violated: rel err {err:e}");
+    }
+
+    #[test]
+    fn theorem_holds_at_other_periods_too() {
+        // Theorem 1 is stated for ANY M — check a period unrelated to the
+        // SOI configuration (the window still decays, just less sharply,
+        // so tolerance is looser).
+        let cfg = tiny_cfg();
+        let x = signal(cfg.n);
+        let (lhs, rhs) = theorem1_sides(&cfg, &x, 384);
+        let err = rel_l2_error(&lhs, &rhs);
+        assert!(err < 1e-8, "rel err {err:e}");
+    }
+
+    #[test]
+    fn periodized_spectrum_approximates_windowed_segment() {
+        // ỹ_k ≈ y_k·ŵ(k) for k in the segment of interest (§3) — aliasing
+        // contributes only ~ε_alias.
+        let cfg = tiny_cfg();
+        let x = signal(cfg.n);
+        let y = dft_naive(&x);
+        let yt = periodize_modulated(&cfg, &y, cfg.m_prime);
+        for k in [0usize, 1, cfg.m / 2, cfg.m - 1] {
+            let want = y[k] * w_hat(&cfg, k as f64);
+            assert!(
+                (yt[k] - want).abs() < 1e-8 * (1.0 + want.abs()),
+                "bin {k}: {:?} vs {want:?}",
+                yt[k]
+            );
+        }
+    }
+
+    #[test]
+    fn convolution_is_periodic_in_t() {
+        // x∗w is 1-periodic (x is N-periodic in index, t in units of the
+        // full record).
+        let cfg = tiny_cfg();
+        let x = signal(cfg.n);
+        let a = convolve_time(&cfg, &x, 0.125);
+        let b = convolve_time(&cfg, &x, 1.125);
+        assert!((a - b).abs() < 1e-10 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn sample_scaled_matches_pipeline_segment_zero_input() {
+        // The x̃ built by the production convolution kernel for segment 0
+        // must match the literal Definition-1 construction.
+        let cfg = tiny_cfg();
+        let x = signal(cfg.n);
+        let params = SoiParams::with_preset(512, 2, AccuracyPreset::Digits10).unwrap();
+        let soi = crate::pipeline::SoiFft::new(&params).unwrap();
+        // Definition-1 route:
+        let xt_direct = sample_scaled(&cfg, &x, cfg.m_prime);
+        // Production route: segment-0 x̃ is the pre-FFT vector inside
+        // transform_segment; recover it by inverse-transforming the
+        // demodulated output... simpler: compare final segment values.
+        let seg = soi.transform_segment(&x, 0).unwrap();
+        let mut yt = xt_direct;
+        soi_fft::Plan::forward(cfg.m_prime).execute(&mut yt);
+        // The production kernel truncates w to B taps; the Definition-1
+        // route does not — they differ by O(κ·ε_trunc).
+        let tol = (cfg.kappa * cfg.trunc * 100.0).max(1e-10);
+        for k in [0usize, 3, cfg.m - 1] {
+            let want = yt[k] * soi.coefficients().demod[k];
+            assert!(
+                (seg[k] - want).abs() < tol * (1.0 + want.abs()),
+                "bin {k}: {:?} vs {want:?}",
+                seg[k]
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_sides_have_expected_length() {
+        let cfg = tiny_cfg();
+        let x = signal(cfg.n);
+        let (lhs, rhs) = theorem1_sides(&cfg, &x, 64);
+        assert_eq!(lhs.len(), 64);
+        assert_eq!(rhs.len(), 64);
+        assert!(max_abs_diff(&lhs, &rhs).is_finite());
+    }
+}

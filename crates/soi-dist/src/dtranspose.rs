@@ -1,0 +1,128 @@
+//! Distributed matrix transpose — the paper's Fig 3 pattern: a node-local
+//! permutation that gathers same-destination data into contiguous memory,
+//! followed by one all-to-all.
+//!
+//! The matrix is `rows × cols`, row-major, block-distributed by rows
+//! (`rank s` owns rows `[s·rows/P, (s+1)·rows/P)`). The result is the
+//! `cols × rows` transpose, block-distributed by its rows (the original
+//! columns).
+
+use soi_num::Complex64;
+use soi_simnet::RankComm;
+
+/// Transpose a block-row-distributed matrix across ranks.
+///
+/// `local` holds this rank's `rows/P` rows of length `cols`; returns this
+/// rank's `cols/P` rows of length `rows` of the transpose.
+///
+/// Returns `(result, pack_bytes)` where `pack_bytes` is the local data
+/// volume reshuffled (for time charging by the caller).
+pub fn distributed_transpose(
+    comm: &mut RankComm,
+    local: &[Complex64],
+    rows: usize,
+    cols: usize,
+) -> (Vec<Complex64>, u64) {
+    let p = comm.size();
+    assert!(rows % p == 0, "rows {rows} must divide over {p} ranks");
+    assert!(cols % p == 0, "cols {cols} must divide over {p} ranks");
+    let rb = rows / p; // my row count
+    let cb = cols / p; // my column count after transpose
+    assert_eq!(local.len(), rb * cols, "local block shape mismatch");
+
+    // Local pack (Fig 3 "local permutation"): destination-major blocks;
+    // block for rank d is my rb×cb sub-panel, transposed to (c, r) order
+    // so the receiver can use it contiguously.
+    let mut send = vec![Complex64::ZERO; rb * cols];
+    for d in 0..p {
+        let base = d * (rb * cb);
+        for c in 0..cb {
+            for r in 0..rb {
+                send[base + c * rb + r] = local[r * cols + d * cb + c];
+            }
+        }
+    }
+    let mut recv = vec![Complex64::ZERO; rb * cols];
+    comm.all_to_all(&send, &mut recv);
+
+    // Unpack: block from rank `src` holds A[r][c] for r in src's rows and
+    // c in my columns, laid out (c, r); place into out[c][src·rb + r].
+    let mut out = vec![Complex64::ZERO; cb * rows];
+    for (src, block) in recv.chunks_exact(rb * cb).enumerate() {
+        for c in 0..cb {
+            for r in 0..rb {
+                out[c * rows + src * rb + r] = block[c * rb + r];
+            }
+        }
+    }
+    let pack_bytes = 2 * (local.len() * std::mem::size_of::<Complex64>()) as u64;
+    (out, pack_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_num::c64;
+    use soi_simnet::Cluster;
+
+    /// Gather the distributed blocks into one full matrix for checking.
+    fn run_transpose(p: usize, rows: usize, cols: usize) -> (Vec<Complex64>, Vec<Complex64>) {
+        // Full matrix A[r][c] = r + i·c.
+        let full: Vec<Complex64> = (0..rows * cols)
+            .map(|i| c64((i / cols) as f64, (i % cols) as f64))
+            .collect();
+        let fullr = &full;
+        let pieces = Cluster::ideal(p).run_collect(move |comm| {
+            let rb = rows / p;
+            let local = &fullr[comm.rank() * rb * cols..(comm.rank() + 1) * rb * cols];
+            let (t, _) = distributed_transpose(comm, local, rows, cols);
+            t
+        });
+        let gathered: Vec<Complex64> = pieces.into_iter().flatten().collect();
+        (full, gathered)
+    }
+
+    #[test]
+    fn transpose_matches_serial() {
+        for (p, rows, cols) in [(2usize, 4usize, 6usize), (3, 6, 9), (4, 8, 8), (4, 16, 4)] {
+            let (full, got) = run_transpose(p, rows, cols);
+            let mut want = vec![Complex64::ZERO; rows * cols];
+            soi_fft::permute::transpose(&full, &mut want, rows, cols);
+            assert_eq!(
+                got.iter().map(|v| (v.re, v.im)).collect::<Vec<_>>(),
+                want.iter().map(|v| (v.re, v.im)).collect::<Vec<_>>(),
+                "p={p} {rows}x{cols}"
+            );
+        }
+    }
+
+    #[test]
+    fn double_transpose_is_identity() {
+        let (p, rows, cols) = (4usize, 8usize, 12usize);
+        let full: Vec<Complex64> = (0..rows * cols).map(|i| c64(i as f64, -(i as f64))).collect();
+        let fullr = &full;
+        let pieces = Cluster::ideal(p).run_collect(move |comm| {
+            let rb = rows / p;
+            let local = &fullr[comm.rank() * rb * cols..(comm.rank() + 1) * rb * cols];
+            let (t, _) = distributed_transpose(comm, local, rows, cols);
+            let (back, _) = distributed_transpose(comm, &t, cols, rows);
+            back
+        });
+        let gathered: Vec<Complex64> = pieces.into_iter().flatten().collect();
+        assert_eq!(
+            gathered.iter().map(|v| v.re as i64).collect::<Vec<_>>(),
+            full.iter().map(|v| v.re as i64).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn single_rank_degenerates_to_local_transpose() {
+        let (full, got) = run_transpose(1, 6, 4);
+        let mut want = vec![Complex64::ZERO; 24];
+        soi_fft::permute::transpose(&full, &mut want, 6, 4);
+        assert_eq!(
+            got.iter().map(|v| (v.re, v.im)).collect::<Vec<_>>(),
+            want.iter().map(|v| (v.re, v.im)).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Distributed 2-D FFT over the simulated cluster.
+//!
+//! Context from the paper (§1): multidimensional FFTs admit
+//! low/no-communication algorithms [18, 24] precisely because the
+//! row–column decomposition already isolates whole 1-D transforms on
+//! local data — the classical distributed 2-D FFT needs only **one**
+//! transpose-style all-to-all (or two, if the caller wants the output
+//! back in row-distributed layout). That is why the paper's contribution
+//! targets the harder 1-D case, where the standard approach needs three.
+//!
+//! Layout: the `rows × cols` matrix is block-distributed by rows; rank
+//! `r` owns rows `[r·rows/R, (r+1)·rows/R)`.
+
+use crate::dtranspose::distributed_transpose;
+use crate::rates::{ChargePolicy, WorkKind};
+use crate::times::PhaseTimes;
+use soi_fft::batch::BatchFft;
+use soi_fft::flops::fft_flops;
+use soi_fft::plan::Direction;
+use soi_num::Complex64;
+use soi_simnet::RankComm;
+use std::time::Instant;
+
+/// A prepared distributed 2-D transform (shared read-only across ranks).
+#[derive(Debug)]
+pub struct Dist2dFft {
+    rows: usize,
+    cols: usize,
+    row_batch: BatchFft<f64>,
+    col_batch: BatchFft<f64>,
+    /// Transpose back after the column pass so the caller gets the
+    /// spectrum in the original row-distributed layout (costs a second
+    /// all-to-all); otherwise the result is left transposed.
+    restore_layout: bool,
+}
+
+impl Dist2dFft {
+    /// Plan a distributed `rows × cols` forward transform.
+    pub fn new(rows: usize, cols: usize, restore_layout: bool) -> Self {
+        assert!(rows > 0 && cols > 0);
+        Self {
+            rows,
+            cols,
+            row_batch: BatchFft::new(cols, Direction::Forward, 1),
+            col_batch: BatchFft::new(rows, Direction::Forward, 1),
+            restore_layout,
+        }
+    }
+
+    /// Matrix shape.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Execute on one rank. `local` holds this rank's `rows/R` rows.
+    ///
+    /// Returns the local block of the 2-D spectrum: row-distributed
+    /// `rows × cols` if `restore_layout`, else column-distributed
+    /// (`cols × rows` transposed layout — rank `r` owns spectrum columns
+    /// `[r·cols/R, (r+1)·cols/R)` as rows), plus phase times.
+    pub fn run(
+        &self,
+        comm: &mut RankComm,
+        local: &[Complex64],
+        policy: ChargePolicy,
+    ) -> (Vec<Complex64>, PhaseTimes) {
+        let ranks = comm.size();
+        assert!(self.rows % ranks == 0, "ranks must divide rows");
+        assert!(self.cols % ranks == 0, "ranks must divide cols");
+        let my_rows = self.rows / ranks;
+        assert_eq!(local.len(), my_rows * self.cols, "local block shape");
+        let mut times = PhaseTimes::default();
+
+        // Row FFTs on local data.
+        let t0 = Instant::now();
+        let mut a = local.to_vec();
+        self.row_batch.execute(&mut a);
+        let dt = policy.charge(
+            WorkKind::Fft,
+            my_rows as f64 * fft_flops(self.cols),
+            t0.elapsed().as_secs_f64(),
+        );
+        comm.charge_compute(dt);
+        times.fft_large += dt;
+
+        // THE transpose (single all-to-all).
+        let c0 = comm.clock().comm_time();
+        let t0 = Instant::now();
+        let (mut b, pack_bytes) = distributed_transpose(comm, &a, self.rows, self.cols);
+        let exch = comm.clock().comm_time() - c0;
+        times.exchange += exch;
+        let dt = policy.charge(
+            WorkKind::Mem,
+            pack_bytes as f64,
+            (t0.elapsed().as_secs_f64() - exch).max(0.0),
+        );
+        comm.charge_compute(dt);
+        times.pack += dt;
+
+        // Column FFTs (now local rows of length `rows`).
+        let t0 = Instant::now();
+        self.col_batch.execute(&mut b);
+        let dt = policy.charge(
+            WorkKind::Fft,
+            (self.cols / ranks) as f64 * fft_flops(self.rows),
+            t0.elapsed().as_secs_f64(),
+        );
+        comm.charge_compute(dt);
+        times.fft_small += dt;
+
+        if !self.restore_layout {
+            return (b, times);
+        }
+        // Optional second transpose to restore row distribution.
+        let c0 = comm.clock().comm_time();
+        let t0 = Instant::now();
+        let (out, pack_bytes) = distributed_transpose(comm, &b, self.cols, self.rows);
+        let exch = comm.clock().comm_time() - c0;
+        times.exchange += exch;
+        let dt = policy.charge(
+            WorkKind::Mem,
+            pack_bytes as f64,
+            (t0.elapsed().as_secs_f64() - exch).max(0.0),
+        );
+        comm.charge_compute(dt);
+        times.pack += dt;
+        (out, times)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_fft::fft2d::fft2d_forward;
+    use soi_num::complex::rel_l2_error;
+    use soi_simnet::{Cluster, Fabric};
+
+    fn signal(len: usize) -> Vec<Complex64> {
+        (0..len)
+            .map(|i| Complex64::new((i as f64 * 0.19).sin(), (i as f64 * 0.41).cos()))
+            .collect()
+    }
+
+    fn run_dist2d(rows: usize, cols: usize, ranks: usize, restore: bool) -> Vec<Complex64> {
+        let plan = Dist2dFft::new(rows, cols, restore);
+        let x = signal(rows * cols);
+        let rb = rows / ranks;
+        let (xr, pr) = (&x, &plan);
+        Cluster::ideal(ranks)
+            .run_collect(move |comm| {
+                let local = &xr[comm.rank() * rb * cols..(comm.rank() + 1) * rb * cols];
+                pr.run(comm, local, ChargePolicy::WallClock).0
+            })
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    #[test]
+    fn restored_layout_matches_serial_2d_fft() {
+        for (rows, cols, ranks) in [(8usize, 8usize, 2usize), (16, 12, 4), (12, 20, 4)] {
+            let got = run_dist2d(rows, cols, ranks, true);
+            let x = signal(rows * cols);
+            let want = fft2d_forward(&x, rows, cols);
+            let err = rel_l2_error(&got, &want);
+            assert!(err < 1e-12, "{rows}x{cols}/{ranks}: {err:e}");
+        }
+    }
+
+    #[test]
+    fn transposed_layout_matches_serial_transposed() {
+        let (rows, cols, ranks) = (8usize, 16usize, 4usize);
+        let got = run_dist2d(rows, cols, ranks, false);
+        let x = signal(rows * cols);
+        let spec = fft2d_forward(&x, rows, cols);
+        let mut want = vec![Complex64::ZERO; rows * cols];
+        soi_fft::permute::transpose(&spec, &mut want, rows, cols);
+        assert!(rel_l2_error(&got, &want) < 1e-12);
+    }
+
+    #[test]
+    fn exchange_counts_are_one_or_two() {
+        let (rows, cols, ranks) = (8usize, 8usize, 4usize);
+        for (restore, expect) in [(false, 1u64), (true, 2u64)] {
+            let plan = Dist2dFft::new(rows, cols, restore);
+            let x = signal(rows * cols);
+            let rb = rows / ranks;
+            let (xr, pr) = (&x, &plan);
+            let reports = Cluster::new(ranks, Fabric::ethernet_10g()).run(move |comm| {
+                let local = &xr[comm.rank() * rb * cols..(comm.rank() + 1) * rb * cols];
+                pr.run(comm, local, ChargePolicy::WallClock).0
+            });
+            for (_, rep) in &reports {
+                assert_eq!(
+                    rep.stats.all_to_alls, expect,
+                    "restore={restore}: the 2-D FFT needs exactly {expect} exchange(s)"
+                );
+            }
+        }
+    }
+}

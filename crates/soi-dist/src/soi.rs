@@ -1,0 +1,381 @@
+//! The distributed SOI FFT — Fig 2 of the paper, one phase at a time:
+//!
+//! 1. **halo** — fetch `B·P` points from the right neighbor (the only
+//!    point-to-point traffic; "negligible" per §2);
+//! 2. **convolution** — the local slice of `W·x` (`M'/R` groups of `P`);
+//! 3. **F_P batch** — `I ⊗ F_P` on the local groups;
+//! 4. **pack** — node-local permutation gathering same-destination data
+//!    (Fig 3);
+//! 5. **all-to-all** — the single global exchange (`P_perm^{P,N'}`);
+//! 6. **F_{M'}** — one oversampled FFT per owned segment;
+//! 7. **demodulate** — project to `M` bins and divide by `ŵ(k)`.
+//!
+//! The segment count `P` may be a multiple of the rank count `R` (§6a:
+//! "In general, P can be a multiple of number of processor nodes,
+//! increasing the granularity of parallelism" — the paper's own runs used
+//! 8 segments per process, Table 1). Each rank owns `c = P/R` consecutive
+//! segments; output stays in natural order: rank `r` ends with
+//! `y[r·cM..(r+1)·cM)`.
+
+use crate::rates::{ChargePolicy, WorkKind};
+use crate::times::PhaseTimes;
+use soi_core::{SoiError, SoiFft, SoiParams};
+use soi_fft::flops::{conv_flops, fft_flops};
+use soi_num::Complex64;
+use soi_simnet::RankComm;
+use std::time::Instant;
+
+/// A prepared distributed SOI transform (shared read-only across ranks).
+#[derive(Debug)]
+pub struct DistSoiFft {
+    soi: SoiFft,
+}
+
+impl DistSoiFft {
+    /// Build from parameters (`P` must equal the cluster size at run time).
+    pub fn new(params: &SoiParams) -> Result<Self, SoiError> {
+        Ok(Self {
+            soi: SoiFft::new(params)?,
+        })
+    }
+
+    /// The resolved configuration.
+    pub fn config(&self) -> &soi_core::SoiConfig {
+        self.soi.config()
+    }
+
+    /// The underlying single-node object (plans + coefficient tables).
+    pub fn local(&self) -> &SoiFft {
+        &self.soi
+    }
+
+    /// Segments each rank of an `r`-rank cluster would own (`P/R`).
+    ///
+    /// # Panics
+    /// Panics if `r` does not divide the configured segment count, or if
+    /// the per-rank row count would not align with the μ-row coefficient
+    /// chunks.
+    pub fn segments_per_rank(&self, ranks: usize) -> usize {
+        let cfg = self.soi.config();
+        assert!(
+            ranks >= 1 && cfg.p % ranks == 0,
+            "rank count {ranks} must divide segment count P = {}",
+            cfg.p
+        );
+        let rows = cfg.m_prime / ranks;
+        assert!(
+            rows % cfg.mu == 0,
+            "rows per rank {rows} must align with mu = {} chunks",
+            cfg.mu
+        );
+        cfg.p / ranks
+    }
+
+    /// Execute on one rank of an `R`-rank cluster, `R` dividing `P`.
+    ///
+    /// `x_local` is this rank's `c·M` input points (`c = P/R` segments);
+    /// returns this rank's `c·M` output points plus the phase breakdown.
+    pub fn run(
+        &self,
+        comm: &mut RankComm,
+        x_local: &[Complex64],
+        policy: ChargePolicy,
+    ) -> (Vec<Complex64>, PhaseTimes) {
+        let cfg = *self.soi.config();
+        let ranks = comm.size();
+        let c = self.segments_per_rank(ranks);
+        let local_pts = c * cfg.m;
+        assert_eq!(
+            x_local.len(),
+            local_pts,
+            "rank input must be c·M = {local_pts} points"
+        );
+        let rank = comm.rank();
+        let p = cfg.p;
+        let rows = cfg.m_prime / ranks; // P-groups computed on this rank
+        let mut times = PhaseTimes::default();
+
+        // 1. Halo exchange: my first halo_len points go to the LEFT
+        // neighbor (whose window overruns into my block); I receive the
+        // prefix of my RIGHT neighbor.
+        let c0 = comm.clock().comm_time();
+        let left = (rank + ranks - 1) % ranks;
+        let right = (rank + 1) % ranks;
+        let halo = comm.sendrecv(left, &x_local[..cfg.halo_len()], right);
+        times.halo = comm.clock().comm_time() - c0;
+
+        let mut xext = Vec::with_capacity(local_pts + cfg.halo_len());
+        xext.extend_from_slice(x_local);
+        xext.extend_from_slice(&halo);
+
+        // 2. Convolution over my row range (global rows r·rows..(r+1)·rows;
+        // the coefficient table is row-periodic with period μ | rows, so
+        // the kernel runs rank-relative unchanged).
+        let t0 = Instant::now();
+        let mut v = vec![Complex64::ZERO; rows * p];
+        soi_core::conv::convolve(self.soi.shape(), self.soi.coefficients(), &xext, &mut v);
+        let dt = policy.charge(
+            WorkKind::Conv,
+            conv_flops(rows * p, cfg.b),
+            t0.elapsed().as_secs_f64(),
+        );
+        comm.charge_compute(dt);
+        times.conv = dt;
+
+        // 3. I ⊗ F_P over the local groups.
+        let t0 = Instant::now();
+        self.soi.batch_p().execute(&mut v);
+        let dt = policy.charge(
+            WorkKind::Fft,
+            rows as f64 * fft_flops(p),
+            t0.elapsed().as_secs_f64(),
+        );
+        comm.charge_compute(dt);
+        times.fft_small = dt;
+
+        // 4. Pack (Fig 3's local permutation): destination-major, and
+        // within a destination segment-major — rank d gets, for each of
+        // its segments s, my rows' lane-s values in row order.
+        let t0 = Instant::now();
+        let mut send = vec![Complex64::ZERO; rows * p];
+        // v is (rows × p) row-major; transposing gives lane-major (p × rows),
+        // which concatenates lanes s = 0..P in order — and destination d's
+        // block is exactly lanes [d·c, (d+1)·c), already segment-major.
+        soi_fft::permute::transpose(&v, &mut send, rows, p);
+        let pack_bytes = 2.0 * (rows * p * std::mem::size_of::<Complex64>()) as f64;
+        let dt = policy.charge(WorkKind::Mem, pack_bytes, t0.elapsed().as_secs_f64());
+        comm.charge_compute(dt);
+        times.pack = dt;
+
+        // 5. THE all-to-all. From src I receive its rows for each of my c
+        // segments: recv[src·c·rows + si·rows + jl] = x̃^{(my seg si)}[src·rows + jl].
+        let c0 = comm.clock().comm_time();
+        let mut recv = vec![Complex64::ZERO; c * cfg.m_prime];
+        comm.all_to_all(&send, &mut recv);
+        times.exchange = comm.clock().comm_time() - c0;
+
+        // 5b. Unpack into per-segment x̃ vectors (a second local
+        // permutation; a no-op copy when c = 1 and R = P).
+        let t0 = Instant::now();
+        let mut xt = vec![Complex64::ZERO; c * cfg.m_prime];
+        for src in 0..ranks {
+            for si in 0..c {
+                let from = &recv[(src * c + si) * rows..(src * c + si + 1) * rows];
+                xt[si * cfg.m_prime + src * rows..si * cfg.m_prime + (src + 1) * rows]
+                    .copy_from_slice(from);
+            }
+        }
+        let dt = policy.charge(
+            WorkKind::Mem,
+            2.0 * (xt.len() * std::mem::size_of::<Complex64>()) as f64,
+            t0.elapsed().as_secs_f64(),
+        );
+        comm.charge_compute(dt);
+        times.pack += dt;
+
+        // 6. F_{M'} per owned segment.
+        let t0 = Instant::now();
+        let mut scratch = vec![Complex64::ZERO; cfg.m_prime];
+        for seg in xt.chunks_exact_mut(cfg.m_prime) {
+            self.soi.plan_m().execute_with_scratch(seg, &mut scratch);
+        }
+        let dt = policy.charge(
+            WorkKind::Fft,
+            c as f64 * fft_flops(cfg.m_prime),
+            t0.elapsed().as_secs_f64(),
+        );
+        comm.charge_compute(dt);
+        times.fft_large = dt;
+
+        // 7. Project + demodulate each segment.
+        let t0 = Instant::now();
+        let demod = &self.soi.coefficients().demod;
+        let mut y = Vec::with_capacity(local_pts);
+        for si in 0..c {
+            let seg = &xt[si * cfg.m_prime..(si + 1) * cfg.m_prime];
+            y.extend((0..cfg.m).map(|k| seg[k] * demod[k]));
+        }
+        let dt = policy.charge(
+            WorkKind::Mem,
+            2.0 * (local_pts * std::mem::size_of::<Complex64>()) as f64,
+            t0.elapsed().as_secs_f64(),
+        );
+        comm.charge_compute(dt);
+        times.scale = dt;
+
+        (y, times)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_num::complex::rel_l2_error;
+    use soi_simnet::{Cluster, Fabric};
+    use soi_window::AccuracyPreset;
+
+    fn signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect()
+    }
+
+    fn run_distributed(n: usize, p: usize, preset: AccuracyPreset) -> Vec<Complex64> {
+        let params = SoiParams::with_preset(n, p, preset).unwrap();
+        let dist = DistSoiFft::new(&params).unwrap();
+        let x = signal(n);
+        let xr = &x;
+        let distr = &dist;
+        let m = n / p;
+        let pieces = Cluster::ideal(p).run_collect(move |comm| {
+            let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
+            distr.run(comm, local, ChargePolicy::WallClock).0
+        });
+        pieces.into_iter().flatten().collect()
+    }
+
+    #[test]
+    fn distributed_matches_exact_fft() {
+        let n = 1 << 12;
+        let y = run_distributed(n, 4, AccuracyPreset::Digits10);
+        let exact = soi_fft::fft_forward(&signal(n));
+        let err = rel_l2_error(&y, &exact);
+        assert!(err < 2e-7, "err = {err:e}"); // Digits10 bound: κ·(ε_alias+ε_trunc) ≲ 2e-8
+    }
+
+    #[test]
+    fn distributed_matches_single_process_soi_exactly_in_structure() {
+        // Same window/params ⇒ distributed and single-process SOI should
+        // agree to near machine precision (identical math, different
+        // data motion).
+        let n = 1 << 12;
+        let p = 4;
+        let params = SoiParams::with_preset(n, p, AccuracyPreset::Digits12).unwrap();
+        let serial = SoiFft::new(&params).unwrap();
+        let want = serial.transform(&signal(n)).unwrap();
+        let got = run_distributed(n, p, AccuracyPreset::Digits12);
+        let err = rel_l2_error(&got, &want);
+        assert!(err < 1e-13, "distributed vs serial SOI: {err:e}");
+    }
+
+    #[test]
+    fn eight_ranks_work() {
+        let n = 1 << 14;
+        let y = run_distributed(n, 8, AccuracyPreset::Digits10);
+        let exact = soi_fft::fft_forward(&signal(n));
+        assert!(rel_l2_error(&y, &exact) < 2e-7); // κ-aware Digits10 bound
+    }
+
+    #[test]
+    fn exactly_one_all_to_all_happens() {
+        // The paper's headline property, asserted mechanically.
+        let n = 1 << 12;
+        let p = 4;
+        let params = SoiParams::with_preset(n, p, AccuracyPreset::Digits10).unwrap();
+        let dist = DistSoiFft::new(&params).unwrap();
+        let x = signal(n);
+        let (xr, distr, m) = (&x, &dist, n / p);
+        let reports = Cluster::new(p, Fabric::ethernet_10g()).run(move |comm| {
+            let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
+            distr.run(comm, local, ChargePolicy::WallClock).0
+        });
+        for (_, rep) in &reports {
+            assert_eq!(rep.stats.all_to_alls, 1, "SOI must use exactly one all-to-all");
+            // Plus exactly one halo p2p message.
+            assert_eq!(rep.stats.p2p_messages, 1);
+        }
+    }
+
+    #[test]
+    fn phase_times_are_populated() {
+        let n = 1 << 12;
+        let p = 4;
+        let params = SoiParams::with_preset(n, p, AccuracyPreset::Digits10).unwrap();
+        let dist = DistSoiFft::new(&params).unwrap();
+        let x = signal(n);
+        let (xr, distr, m) = (&x, &dist, n / p);
+        let rates = ChargePolicy::Rates(crate::rates::ComputeRates::paper_node());
+        let out = Cluster::new(p, Fabric::ethernet_10g()).run(move |comm| {
+            let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
+            distr.run(comm, local, rates).1
+        });
+        for (times, rep) in &out {
+            assert!(times.conv > 0.0);
+            assert!(times.fft_small > 0.0);
+            assert!(times.fft_large > 0.0);
+            assert!(times.exchange > 0.0);
+            assert!(times.pack > 0.0);
+            // Rank virtual clock ≈ phases total.
+            let total = times.total();
+            assert!(
+                (rep.sim_time - total).abs() < 0.2 * total + 1e-6,
+                "clock {} vs phases {}",
+                rep.sim_time,
+                total
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide segment count")]
+    fn non_dividing_cluster_size_panics() {
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10).unwrap();
+        let dist = DistSoiFft::new(&params).unwrap();
+        let _ = dist.segments_per_rank(3);
+    }
+
+    #[test]
+    fn multiple_segments_per_rank_match_exact_fft() {
+        // §6a / Table 1: the paper ran 8 segments per MPI process. Here:
+        // P = 8 segments on R = 2 ranks (c = 4 per rank).
+        let n = 1 << 13;
+        let p = 8;
+        let ranks = 2;
+        let params = SoiParams::with_preset(n, p, AccuracyPreset::Digits10).unwrap();
+        let dist = DistSoiFft::new(&params).unwrap();
+        assert_eq!(dist.segments_per_rank(ranks), 4);
+        let x = signal(n);
+        let per_rank = n / ranks;
+        let (xr, distr) = (&x, &dist);
+        let y: Vec<Complex64> = Cluster::ideal(ranks)
+            .run_collect(move |comm| {
+                let local = &xr[comm.rank() * per_rank..(comm.rank() + 1) * per_rank];
+                distr.run(comm, local, ChargePolicy::WallClock).0
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        let exact = soi_fft::fft_forward(&x);
+        let err = rel_l2_error(&y, &exact);
+        assert!(err < 2e-7, "multi-segment err = {err:e}");
+    }
+
+    #[test]
+    fn multi_segment_agrees_with_one_segment_per_rank_bitwise_shape() {
+        // Running P = 8 segments on 8, 4, 2 ranks must give the same
+        // answer to rounding level — only the data motion differs.
+        let n = 1 << 13;
+        let p = 8;
+        let params = SoiParams::with_preset(n, p, AccuracyPreset::Digits12).unwrap();
+        let dist = DistSoiFft::new(&params).unwrap();
+        let x = signal(n);
+        let (xr, distr) = (&x, &dist);
+        let mut outputs = Vec::new();
+        for ranks in [8usize, 4, 2, 1] {
+            let per_rank = n / ranks;
+            let y: Vec<Complex64> = Cluster::ideal(ranks)
+                .run_collect(move |comm| {
+                    let local = &xr[comm.rank() * per_rank..(comm.rank() + 1) * per_rank];
+                    distr.run(comm, local, ChargePolicy::WallClock).0
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+            outputs.push(y);
+        }
+        for pair in outputs.windows(2) {
+            let err = rel_l2_error(&pair[0], &pair[1]);
+            assert!(err < 1e-14, "rank layouts disagree: {err:e}");
+        }
+    }
+}

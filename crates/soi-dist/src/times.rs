@@ -1,0 +1,109 @@
+//! Per-phase time breakdowns for the distributed algorithms.
+
+/// Seconds charged to each phase of a distributed transform, on one rank.
+///
+/// `exchange` covers all global all-to-all time (one exchange for SOI,
+/// three for the baseline); `halo` is SOI's neighbor exchange (absent in
+/// the baseline).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Neighbor halo exchange (SOI only).
+    pub halo: f64,
+    /// Convolution `W·x` (SOI only).
+    pub conv: f64,
+    /// Small-FFT batch (`F_P` for SOI; length-`P` row FFTs for baseline).
+    pub fft_small: f64,
+    /// Large-FFT work (`F_{M'}` for SOI; length-`M` FFTs for baseline).
+    pub fft_large: f64,
+    /// Twiddle scaling (baseline) / demodulation (SOI).
+    pub scale: f64,
+    /// Local pack/unpack around exchanges.
+    pub pack: f64,
+    /// Global all-to-all exchange time (modeled wire + wait).
+    pub exchange: f64,
+}
+
+impl PhaseTimes {
+    /// Total compute-side seconds (everything but exchanges and halo).
+    pub fn compute(&self) -> f64 {
+        self.conv + self.fft_small + self.fft_large + self.scale + self.pack
+    }
+
+    /// Total communication-side seconds.
+    pub fn comm(&self) -> f64 {
+        self.exchange + self.halo
+    }
+
+    /// Grand total.
+    pub fn total(&self) -> f64 {
+        self.compute() + self.comm()
+    }
+
+    /// Communication fraction of the total (the paper's "50% to over 90%"
+    /// claim for triple-all-to-all FFTs, §1).
+    pub fn comm_fraction(&self) -> f64 {
+        if self.total() == 0.0 {
+            0.0
+        } else {
+            self.comm() / self.total()
+        }
+    }
+
+    /// Element-wise maximum across ranks — the critical path when every
+    /// rank runs the same phase schedule.
+    pub fn max_with(&self, other: &PhaseTimes) -> PhaseTimes {
+        PhaseTimes {
+            halo: self.halo.max(other.halo),
+            conv: self.conv.max(other.conv),
+            fft_small: self.fft_small.max(other.fft_small),
+            fft_large: self.fft_large.max(other.fft_large),
+            scale: self.scale.max(other.scale),
+            pack: self.pack.max(other.pack),
+            exchange: self.exchange.max(other.exchange),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let t = PhaseTimes {
+            halo: 0.1,
+            conv: 1.0,
+            fft_small: 0.5,
+            fft_large: 2.0,
+            scale: 0.2,
+            pack: 0.3,
+            exchange: 4.0,
+        };
+        assert!((t.compute() - 4.0).abs() < 1e-12);
+        assert!((t.comm() - 4.1).abs() < 1e-12);
+        assert!((t.total() - 8.1).abs() < 1e-12);
+        assert!((t.comm_fraction() - 4.1 / 8.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        assert_eq!(PhaseTimes::default().comm_fraction(), 0.0);
+    }
+
+    #[test]
+    fn max_with_is_elementwise() {
+        let a = PhaseTimes {
+            conv: 1.0,
+            exchange: 5.0,
+            ..Default::default()
+        };
+        let b = PhaseTimes {
+            conv: 2.0,
+            exchange: 3.0,
+            ..Default::default()
+        };
+        let m = a.max_with(&b);
+        assert_eq!(m.conv, 2.0);
+        assert_eq!(m.exchange, 5.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Bluestein's chirp-z algorithm: an `O(N log N)` DFT for arbitrary `N`,
+//! including large primes, via a cyclic convolution at a padded
+//! power-of-two size.
+//!
+//! `y_k = b̄_k · Σ_j x_j b̄_j · b_{k−j}` with chirp `b_j = exp(iπ j²/N)`
+//! (signs per direction). The convolution runs through the Stockham
+//! engine at `m = next_pow2(2N−1)`.
+
+use crate::stockham::StockhamFft;
+use crate::twiddle::Sign;
+use soi_num::{Complex, Real};
+
+/// A prepared arbitrary-size Bluestein transform.
+#[derive(Debug, Clone)]
+pub struct BluesteinFft<T> {
+    n: usize,
+    m: usize,
+    sign: Sign,
+    /// Chirp `b_j = exp(∓iπ j²/n)`, j < n.
+    chirp: Vec<Complex<T>>,
+    /// Forward FFT (size m) of the zero-padded conjugate-chirp filter.
+    filter_hat: Vec<Complex<T>>,
+    fwd: StockhamFft<T>,
+    inv: StockhamFft<T>,
+}
+
+impl<T: Real> BluesteinFft<T> {
+    /// Plan a transform of any positive size `n`.
+    pub fn new(n: usize, sign: Sign) -> Self {
+        assert!(n > 0);
+        let m = (2 * n - 1).next_power_of_two();
+        // b_j = exp(∓iπ j²/n) = ω_{2n}^{j²} with j² reduced mod 2n.
+        let two_n = 2 * n;
+        let chirp: Vec<Complex<T>> = (0..n)
+            .map(|j| {
+                let jj = ((j as u128 * j as u128) % two_n as u128) as usize;
+                sign.root(jj, two_n)
+            })
+            .collect();
+        let fwd = StockhamFft::new(m, Sign::Forward);
+        let inv = StockhamFft::new(m, Sign::Inverse);
+        // Filter h_j = conj(b_j) for |j| < n, wrapped cyclically at m.
+        let mut h = vec![Complex::ZERO; m];
+        for j in 0..n {
+            h[j] = chirp[j].conj();
+            if j != 0 {
+                h[m - j] = chirp[j].conj();
+            }
+        }
+        fwd.execute(&mut h);
+        Self {
+            n,
+            m,
+            sign,
+            chirp,
+            filter_hat: h,
+            fwd,
+            inv,
+        }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the empty transform.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Direction.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Padded convolution size (power of two ≥ 2n−1).
+    pub fn padded_len(&self) -> usize {
+        self.m
+    }
+
+    /// In-place execute.
+    pub fn execute(&self, data: &mut [Complex<T>]) {
+        assert_eq!(data.len(), self.n);
+        let inv_m = T::ONE / T::from_usize(self.m);
+        let mut a = vec![Complex::ZERO; self.m];
+        for j in 0..self.n {
+            a[j] = data[j] * self.chirp[j];
+        }
+        let mut scratch = vec![Complex::ZERO; self.m];
+        self.fwd.execute_with_scratch(&mut a, &mut scratch);
+        for (av, &hv) in a.iter_mut().zip(&self.filter_hat) {
+            *av = *av * hv;
+        }
+        self.inv.execute_with_scratch(&mut a, &mut scratch);
+        for k in 0..self.n {
+            data[k] = a[k].scale(inv_m) * self.chirp[k];
+        }
+    }
+
+    /// Out-of-place execute.
+    pub fn process(&self, src: &[Complex<T>], dst: &mut [Complex<T>]) {
+        dst.copy_from_slice(src);
+        self.execute(dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::{dft_naive, dft_naive_signed};
+    use soi_num::{c64, complex::max_abs_diff, Complex64};
+
+    fn test_signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| c64((i as f64 * 0.83).sin() + 0.2, (i as f64 * 0.29).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_on_primes() {
+        for n in [2usize, 3, 5, 7, 11, 13, 97, 101, 257, 997] {
+            let x = test_signal(n);
+            let want = dft_naive(&x);
+            let plan = BluesteinFft::new(n, Sign::Forward);
+            let mut got = x.clone();
+            plan.execute(&mut got);
+            let err = max_abs_diff(&got, &want);
+            assert!(err < 1e-8 * n as f64, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_composites_and_pow2() {
+        for n in [1usize, 4, 6, 12, 64, 100, 1000] {
+            let x = test_signal(n);
+            let want = dft_naive(&x);
+            let plan = BluesteinFft::new(n, Sign::Forward);
+            let mut got = x.clone();
+            plan.execute(&mut got);
+            assert!(max_abs_diff(&got, &want) < 1e-8 * n.max(4) as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inverse_direction() {
+        for n in [7usize, 31, 50] {
+            let x = test_signal(n);
+            let want = dft_naive_signed(&x, Sign::Inverse);
+            let plan = BluesteinFft::new(n, Sign::Inverse);
+            let mut got = x.clone();
+            plan.execute(&mut got);
+            assert!(max_abs_diff(&got, &want) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_prime() {
+        let n = 61;
+        let x = test_signal(n);
+        let fwd = BluesteinFft::new(n, Sign::Forward);
+        let inv = BluesteinFft::new(n, Sign::Inverse);
+        let mut buf = x.clone();
+        fwd.execute(&mut buf);
+        inv.execute(&mut buf);
+        let back: Vec<Complex64> = buf.iter().map(|&v| v / n as f64).collect();
+        assert!(max_abs_diff(&back, &x) < 1e-12);
+    }
+
+    #[test]
+    fn padded_length_is_sufficient_power_of_two() {
+        let plan = BluesteinFft::<f64>::new(1000, Sign::Forward);
+        assert!(plan.padded_len().is_power_of_two());
+        assert!(plan.padded_len() >= 1999);
+    }
+
+    #[test]
+    fn large_prime_chirp_indices_do_not_lose_precision() {
+        // j² overflows u64 ranges where naive f64 angle math degrades;
+        // the u128 modular reduction must keep the transform accurate.
+        let n = 4093; // prime
+        let x = test_signal(n);
+        let plan = BluesteinFft::new(n, Sign::Forward);
+        let mut got = x.clone();
+        plan.execute(&mut got);
+        // Spot-check a few bins against the naive single-bin DFT.
+        for k in [0usize, 1, 17, 2048, 4092] {
+            let want = crate::dft::dft_bin(&x, k);
+            assert!((got[k] - want).abs() < 1e-7, "bin {k}");
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Operation-count conventions from the paper's evaluation (§7).
+//!
+//! * "Performance is reported in GFLOPS, which is 5N·log₂N divided by
+//!   execution time" (§7.1) — the standard FFT nominal-flop convention.
+//! * SOI's extra arithmetic: the convolution `W·x` costs `8·B` real ops per
+//!   *output* point (a length-`B` complex inner product), over
+//!   `N' = N(1+β)` outputs (§5: `O(N'B)`), and its FFT stages run at the
+//!   inflated size `N'`.
+
+/// Nominal flop count of a length-`n` complex FFT: `5·n·log₂(n)`.
+pub fn fft_flops(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    5.0 * n as f64 * (n as f64).log2()
+}
+
+/// GFLOPS for a length-`n` FFT completed in `seconds` (paper §7.1).
+pub fn fft_gflops(n: usize, seconds: f64) -> f64 {
+    assert!(seconds > 0.0, "elapsed time must be positive");
+    fft_flops(n) / seconds / 1e9
+}
+
+/// Real-arithmetic cost of the SOI convolution `W·x`: each of the
+/// `n_prime` output points is a length-`b` complex-coefficient inner
+/// product (4 mul + 4 add real ops per tap).
+pub fn conv_flops(n_prime: usize, b: usize) -> f64 {
+    8.0 * n_prime as f64 * b as f64
+}
+
+/// Total nominal arithmetic of a SOI transform of logical size `n` with
+/// oversampling `1+β = (mu/nu)` and convolution support `b`, decomposed
+/// into (convolution, small FFTs `F_P`, segment FFTs `F_{M'}`).
+///
+/// Returns `(conv, fft_p, fft_m')` so harnesses can report the paper's
+/// "convolution is almost fourfold that of a regular FFT" analysis (§7.4).
+pub fn soi_flops_breakdown(n: usize, p: usize, mu: usize, nu: usize, b: usize) -> (f64, f64, f64) {
+    let n_prime = n / nu * mu;
+    let m_prime = n_prime / p;
+    let conv = conv_flops(n_prime, b);
+    // N'/P batches of F_P plus P batches of F_{M'}.
+    let fft_p = (n_prime / p) as f64 * fft_flops(p);
+    let fft_m = p as f64 * fft_flops(m_prime);
+    (conv, fft_p, fft_m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fft_flops_convention() {
+        assert_eq!(fft_flops(1), 0.0);
+        assert_eq!(fft_flops(2), 10.0);
+        assert_eq!(fft_flops(1024), 5.0 * 1024.0 * 10.0);
+    }
+
+    #[test]
+    fn gflops_scaling() {
+        let g = fft_gflops(1 << 20, 1.0);
+        assert!((g - 5.0 * (1 << 20) as f64 * 20.0 / 1e9).abs() < 1e-12);
+        // Twice as fast = twice the GFLOPS.
+        assert!((fft_gflops(1 << 20, 0.5) / g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn soi_breakdown_matches_paper_ratio() {
+        // Paper §7.4: at 2^28/node, 32 nodes, full accuracy (B = 72,
+        // β = 1/4), convolution arithmetic is "almost fourfold" a regular
+        // FFT's, making SOI "about fivefold" in total.
+        let n: usize = 1usize << 33; // 2^28 per node × 32 nodes
+        let (conv, fft_p, fft_m) = soi_flops_breakdown(n, 32, 5, 4, 72);
+        let regular = fft_flops(n);
+        let ratio_conv = conv / regular;
+        assert!(
+            (3.0..5.0).contains(&ratio_conv),
+            "conv/regular = {ratio_conv}"
+        );
+        let total_ratio = (conv + fft_p + fft_m) / regular;
+        assert!(
+            (4.0..6.5).contains(&total_ratio),
+            "total/regular = {total_ratio}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gflops_rejects_zero_time() {
+        let _ = fft_gflops(8, 0.0);
+    }
+}

@@ -1,0 +1,331 @@
+//! General mixed-radix Cooley–Tukey FFT.
+//!
+//! Handles any `N` whose prime factors are modest (the planner routes huge
+//! prime factors to Bluestein instead). The decomposition is the classical
+//! recursive decimation-in-time: split into `r` interleaved subsequences,
+//! transform each, then combine with an `r`-point butterfly per output
+//! group. Radices 2, 3 and 4 have hand-written codelets; any other radix
+//! uses a generic `O(r²)` butterfly with precomputed small-root tables.
+//!
+//! The SOI pipeline needs this generality: the batched `F_P` stage of
+//! Eq. (6) runs at `P` = node count, which is frequently non-power-of-two,
+//! and the `F_{M'}` stage runs at `M' = M·(1+β)` which for β = 1/4 carries
+//! a factor of 5.
+
+use crate::twiddle::Sign;
+use soi_num::{Complex, Real};
+
+/// Factor `n` into non-decreasing primes.
+pub fn factorize(mut n: usize) -> Vec<usize> {
+    assert!(n > 0, "cannot factor zero");
+    let mut out = Vec::new();
+    for p in [2usize, 3, 5, 7] {
+        while n % p == 0 {
+            out.push(p);
+            n /= p;
+        }
+    }
+    let mut p = 11;
+    while p * p <= n {
+        while n % p == 0 {
+            out.push(p);
+            n /= p;
+        }
+        p += 2;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Largest prime factor of `n` (1 for n = 1).
+pub fn largest_prime_factor(n: usize) -> usize {
+    factorize(n).last().copied().unwrap_or(1)
+}
+
+/// Per-recursion-depth precomputed data.
+#[derive(Debug, Clone)]
+struct Level<T> {
+    /// Radix used at this depth.
+    radix: usize,
+    /// Subproblem size *after* the split (`size/radix`).
+    m: usize,
+    /// Combination twiddles `ω_size^{q·k}` laid out as
+    /// `tw[k*(r-1) + (q-1)]` for `q in 1..r`, `k in 0..m`.
+    tw: Vec<Complex<T>>,
+    /// Dense roots of order `radix` (for the generic butterfly):
+    /// `roots[j] = ω_radix^j`.
+    roots: Vec<Complex<T>>,
+}
+
+/// A prepared mixed-radix transform of arbitrary smooth size.
+#[derive(Debug, Clone)]
+pub struct MixedRadixFft<T> {
+    n: usize,
+    sign: Sign,
+    levels: Vec<Level<T>>,
+    /// Upper bound on radix, sizing the per-execute butterfly scratch.
+    max_radix: usize,
+}
+
+impl<T: Real> MixedRadixFft<T> {
+    /// Plan a transform of size `n` (any positive integer; cost is
+    /// `O(N·Σrᵢ)`, so route large prime factors to Bluestein instead).
+    pub fn new(n: usize, sign: Sign) -> Self {
+        assert!(n > 0);
+        let factors = factorize(n);
+        // Process large radices first: DIT combine cost is r per element
+        // per level either way, but putting big radices at the top means
+        // their twiddle tables are built once for the largest size only.
+        let mut levels = Vec::with_capacity(factors.len());
+        let mut size = n;
+        let mut max_radix = 1;
+        for &r in factors.iter().rev() {
+            let m = size / r;
+            let mut tw = Vec::with_capacity(m * (r - 1));
+            for k in 0..m {
+                for q in 1..r {
+                    tw.push(sign.root(q * k, size));
+                }
+            }
+            let roots = (0..r).map(|j| sign.root(j, r)).collect();
+            levels.push(Level {
+                radix: r,
+                m,
+                tw,
+                roots,
+            });
+            max_radix = max_radix.max(r);
+            size = m;
+        }
+        Self {
+            n,
+            sign,
+            levels,
+            max_radix,
+        }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the empty (impossible) transform.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Direction.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Out-of-place execute: `dst` receives the DFT of `src`.
+    pub fn process(&self, src: &[Complex<T>], dst: &mut [Complex<T>]) {
+        assert_eq!(src.len(), self.n);
+        assert_eq!(dst.len(), self.n);
+        let mut scratch = vec![Complex::ZERO; 2 * self.max_radix];
+        self.rec(src, 1, dst, 0, &mut scratch);
+    }
+
+    /// In-place execute (internally out-of-place into scratch).
+    pub fn execute(&self, data: &mut [Complex<T>]) {
+        let src = data.to_vec();
+        self.process(&src, data);
+    }
+
+    /// Recursive DIT:
+    /// `input` is viewed with stride `stride`; `output[0..size]` receives
+    /// the transform, where `size = n / stride`… tracked via `depth`.
+    fn rec(
+        &self,
+        input: &[Complex<T>],
+        stride: usize,
+        output: &mut [Complex<T>],
+        depth: usize,
+        scratch: &mut [Complex<T>],
+    ) {
+        if depth == self.levels.len() {
+            debug_assert_eq!(output.len(), 1);
+            output[0] = input[0];
+            return;
+        }
+        let level = &self.levels[depth];
+        let r = level.radix;
+        let m = level.m;
+        // Transform the r decimated subsequences.
+        for q in 0..r {
+            self.rec(
+                &input[q * stride..],
+                stride * r,
+                &mut output[q * m..(q + 1) * m],
+                depth + 1,
+                scratch,
+            );
+        }
+        // Combine: for each k, an r-point DFT across the subsequence
+        // outputs, twiddled by ω_size^{qk}.
+        let (t, rest) = scratch.split_at_mut(self.max_radix);
+        match r {
+            2 => {
+                for k in 0..m {
+                    let w = level.tw[k];
+                    let a = output[k];
+                    let b = output[m + k] * w;
+                    output[k] = a + b;
+                    output[m + k] = a - b;
+                }
+            }
+            3 => {
+                // y0 = a+u; y1 = a − u/2 ∓ i·(√3/2)·v; y2 = a − u/2 ± i(√3/2)v
+                // with u = b+c, v = b−c. Sign from direction.
+                let s3 = {
+                    // Imaginary part of ω_3 for this direction.
+                    level.roots[1].im
+                };
+                for k in 0..m {
+                    let a = output[k];
+                    let b = output[m + k] * level.tw[2 * k];
+                    let c = output[2 * m + k] * level.tw[2 * k + 1];
+                    let u = b + c;
+                    let v = b - c;
+                    let half_u = u.scale(T::HALF);
+                    let iv = v.mul_i().scale(-s3); // ∓i·(√3/2)·v folded via root sign
+                    output[k] = a + u;
+                    output[m + k] = a - half_u - iv;
+                    output[2 * m + k] = a - half_u + iv;
+                }
+            }
+            4 => {
+                let forward = self.sign == Sign::Forward;
+                for k in 0..m {
+                    let a = output[k];
+                    let b = output[m + k] * level.tw[3 * k];
+                    let c = output[2 * m + k] * level.tw[3 * k + 1];
+                    let d = output[3 * m + k] * level.tw[3 * k + 2];
+                    let apc = a + c;
+                    let amc = a - c;
+                    let bpd = b + d;
+                    let jbmd = if forward {
+                        (b - d).mul_i()
+                    } else {
+                        (b - d).mul_neg_i()
+                    };
+                    output[k] = apc + bpd;
+                    output[m + k] = amc - jbmd;
+                    output[2 * m + k] = apc - bpd;
+                    output[3 * m + k] = amc + jbmd;
+                }
+            }
+            _ => {
+                // Generic O(r²) butterfly.
+                for k in 0..m {
+                    t[0] = output[k];
+                    for q in 1..r {
+                        t[q] = output[q * m + k] * level.tw[k * (r - 1) + (q - 1)];
+                    }
+                    for k2 in 0..r {
+                        let mut acc = t[0];
+                        for (q, &tq) in t.iter().enumerate().take(r).skip(1) {
+                            acc = tq.mul_add(level.roots[(q * k2) % r], acc);
+                        }
+                        output[k2 * m + k] = acc;
+                    }
+                }
+            }
+        }
+        let _ = rest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::{dft_naive, dft_naive_signed};
+    use soi_num::{c64, complex::max_abs_diff, Complex64};
+
+    fn test_signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| c64((i as f64 * 0.61).sin() - 0.3, (i as f64 * 1.9).cos() + 0.05))
+            .collect()
+    }
+
+    #[test]
+    fn factorization() {
+        assert_eq!(factorize(1), Vec::<usize>::new());
+        assert_eq!(factorize(2), vec![2]);
+        assert_eq!(factorize(12), vec![2, 2, 3]);
+        assert_eq!(factorize(360), vec![2, 2, 2, 3, 3, 5]);
+        assert_eq!(factorize(97), vec![97]);
+        assert_eq!(factorize(121), vec![11, 11]);
+        assert_eq!(largest_prime_factor(1), 1);
+        assert_eq!(largest_prime_factor(2 * 3 * 49), 7);
+    }
+
+    #[test]
+    fn matches_naive_dft_many_sizes() {
+        for n in [
+            1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 16, 18, 20, 21, 24, 25, 27, 30, 32, 36,
+            45, 49, 60, 64, 77, 81, 100, 105, 120, 128, 144, 180, 240, 343,
+        ] {
+            let x = test_signal(n);
+            let want = dft_naive(&x);
+            let plan = MixedRadixFft::new(n, Sign::Forward);
+            let mut got = x.clone();
+            plan.execute(&mut got);
+            let err = max_abs_diff(&got, &want);
+            assert!(err < 1e-9 * (n.max(4) as f64), "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn inverse_direction_matches_naive() {
+        for n in [6usize, 15, 20, 27, 35, 128] {
+            let x = test_signal(n);
+            let want = dft_naive_signed(&x, Sign::Inverse);
+            let plan = MixedRadixFft::new(n, Sign::Inverse);
+            let mut got = x.clone();
+            plan.execute(&mut got);
+            assert!(max_abs_diff(&got, &want) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn handles_moderate_prime_radix() {
+        // 13, 31: exercised through the generic butterfly.
+        for n in [13usize, 31, 13 * 4, 31 * 3] {
+            let x = test_signal(n);
+            let want = dft_naive(&x);
+            let plan = MixedRadixFft::new(n, Sign::Forward);
+            let mut got = x.clone();
+            plan.execute(&mut got);
+            assert!(max_abs_diff(&got, &want) < 1e-8 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn out_of_place_process() {
+        let n = 40;
+        let x = test_signal(n);
+        let plan = MixedRadixFft::new(n, Sign::Forward);
+        let mut dst = vec![Complex64::ZERO; n];
+        plan.process(&x, &mut dst);
+        let want = dft_naive(&x);
+        assert!(max_abs_diff(&dst, &want) < 1e-10 * n as f64);
+    }
+
+    #[test]
+    fn roundtrip_smooth_size() {
+        let n = 540; // 2^2·3^3·5
+        let x = test_signal(n);
+        let fwd = MixedRadixFft::new(n, Sign::Forward);
+        let inv = MixedRadixFft::new(n, Sign::Inverse);
+        let mut buf = x.clone();
+        fwd.execute(&mut buf);
+        inv.execute(&mut buf);
+        let back: Vec<Complex64> = buf.iter().map(|&v| v / n as f64).collect();
+        assert!(max_abs_diff(&back, &x) < 1e-11);
+    }
+}

@@ -1,0 +1,284 @@
+//! The planner: picks an engine per size and wraps direction /
+//! normalization, FFTW-style.
+
+use crate::bluestein::BluesteinFft;
+use crate::mixed::{largest_prime_factor, MixedRadixFft};
+use crate::stockham::StockhamFft;
+use crate::twiddle::Sign;
+use parking_lot::Mutex;
+use soi_num::{Complex, Real};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Transform direction with the normalization conventions of this crate:
+/// forward is unnormalized, inverse is scaled by `1/N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Unnormalized forward DFT (`e^{−2πi jk/N}`).
+    Forward,
+    /// `1/N`-normalized inverse DFT.
+    Inverse,
+}
+
+impl Direction {
+    fn sign(self) -> Sign {
+        match self {
+            Direction::Forward => Sign::Forward,
+            Direction::Inverse => Sign::Inverse,
+        }
+    }
+}
+
+/// Largest prime factor we still run through the mixed-radix generic
+/// butterfly; anything bigger goes to Bluestein (the `O(r²)` butterfly
+/// would dominate past this point).
+const MAX_DIRECT_PRIME: usize = 61;
+
+#[derive(Debug, Clone)]
+enum Engine<T> {
+    Stockham(StockhamFft<T>),
+    Mixed(MixedRadixFft<T>),
+    Bluestein(BluesteinFft<T>),
+}
+
+/// A prepared 1-D complex transform of a fixed size and direction.
+///
+/// Plans are immutable after construction and cheap to share (`Arc`
+/// inside [`Planner`]); `execute` allocates only scratch.
+///
+/// ```
+/// use soi_fft::Plan;
+/// use soi_num::Complex64;
+///
+/// let plan = Plan::<f64>::forward(8);
+/// let mut data = vec![Complex64::ONE; 8];
+/// plan.execute(&mut data);
+/// assert!((data[0].re - 8.0).abs() < 1e-12); // DC bin collects everything
+/// assert!(data[1].abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Plan<T> {
+    n: usize,
+    direction: Direction,
+    engine: Engine<T>,
+}
+
+impl<T: Real> Plan<T> {
+    /// Plan a transform of size `n` in the given direction.
+    pub fn new(n: usize, direction: Direction) -> Self {
+        assert!(n > 0, "cannot plan a zero-length FFT");
+        let sign = direction.sign();
+        let engine = if n.is_power_of_two() {
+            Engine::Stockham(StockhamFft::new(n, sign))
+        } else if largest_prime_factor(n) <= MAX_DIRECT_PRIME {
+            Engine::Mixed(MixedRadixFft::new(n, sign))
+        } else {
+            Engine::Bluestein(BluesteinFft::new(n, sign))
+        };
+        Self {
+            n,
+            direction,
+            engine,
+        }
+    }
+
+    /// Forward plan.
+    pub fn forward(n: usize) -> Self {
+        Self::new(n, Direction::Forward)
+    }
+
+    /// Inverse plan (`1/N`-normalized).
+    pub fn inverse(n: usize) -> Self {
+        Self::new(n, Direction::Inverse)
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for an (unconstructible) empty plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Direction of this plan.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Human-readable engine name (for logs and test assertions).
+    pub fn engine_name(&self) -> &'static str {
+        match &self.engine {
+            Engine::Stockham(_) => "stockham",
+            Engine::Mixed(_) => "mixed-radix",
+            Engine::Bluestein(_) => "bluestein",
+        }
+    }
+
+    /// Execute in place.
+    pub fn execute(&self, data: &mut [Complex<T>]) {
+        assert_eq!(data.len(), self.n, "plan length mismatch");
+        match &self.engine {
+            Engine::Stockham(e) => e.execute(data),
+            Engine::Mixed(e) => e.execute(data),
+            Engine::Bluestein(e) => e.execute(data),
+        }
+        if self.direction == Direction::Inverse {
+            let scale = T::ONE / T::from_usize(self.n);
+            for v in data.iter_mut() {
+                *v = v.scale(scale);
+            }
+        }
+    }
+
+    /// Execute in place reusing caller scratch (same length as the data)
+    /// where the engine supports it; falls back to internal allocation for
+    /// engines with other scratch shapes.
+    pub fn execute_with_scratch(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
+        assert_eq!(data.len(), self.n, "plan length mismatch");
+        match &self.engine {
+            Engine::Stockham(e) => {
+                e.execute_with_scratch(data, &mut scratch[..self.n]);
+                if self.direction == Direction::Inverse {
+                    let scale = T::ONE / T::from_usize(self.n);
+                    for v in data.iter_mut() {
+                        *v = v.scale(scale);
+                    }
+                }
+            }
+            _ => self.execute(data),
+        }
+    }
+
+    /// Out-of-place execute.
+    pub fn process(&self, src: &[Complex<T>], dst: &mut [Complex<T>]) {
+        dst.copy_from_slice(src);
+        self.execute(dst);
+    }
+}
+
+/// A caching planner: hands out shared plans, building each
+/// (size, direction) once. Thread-safe.
+#[derive(Debug, Default)]
+pub struct Planner<T> {
+    cache: Mutex<HashMap<(usize, Direction), Arc<Plan<T>>>>,
+}
+
+impl<T: Real> Planner<T> {
+    /// New empty planner.
+    pub fn new() -> Self {
+        Self {
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Get (or build and cache) a plan.
+    pub fn plan(&self, n: usize, direction: Direction) -> Arc<Plan<T>> {
+        let mut cache = self.cache.lock();
+        cache
+            .entry((n, direction))
+            .or_insert_with(|| Arc::new(Plan::new(n, direction)))
+            .clone()
+    }
+
+    /// Number of distinct plans built so far.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_naive;
+    use soi_num::{c64, complex::max_abs_diff, Complex64};
+
+    fn test_signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| c64((i as f64 * 0.41).sin(), (i as f64 * 2.3).cos() * 0.5))
+            .collect()
+    }
+
+    #[test]
+    fn engine_selection() {
+        assert_eq!(Plan::<f64>::forward(256).engine_name(), "stockham");
+        assert_eq!(Plan::<f64>::forward(360).engine_name(), "mixed-radix");
+        assert_eq!(Plan::<f64>::forward(61 * 4).engine_name(), "mixed-radix");
+        assert_eq!(Plan::<f64>::forward(997).engine_name(), "bluestein");
+        assert_eq!(Plan::<f64>::forward(2 * 67).engine_name(), "bluestein");
+    }
+
+    #[test]
+    fn all_engines_match_naive() {
+        for n in [64usize, 360, 997] {
+            let x = test_signal(n);
+            let want = dft_naive(&x);
+            let plan = Plan::forward(n);
+            let mut got = x.clone();
+            plan.execute(&mut got);
+            assert!(
+                max_abs_diff(&got, &want) < 1e-8 * n as f64,
+                "engine {} n={n}",
+                plan.engine_name()
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip_every_engine() {
+        for n in [128usize, 540, 499] {
+            let x = test_signal(n);
+            let mut buf = x.clone();
+            Plan::forward(n).execute(&mut buf);
+            Plan::inverse(n).execute(&mut buf);
+            assert!(max_abs_diff(&buf, &x) < 1e-11, "n={n}");
+        }
+    }
+
+    #[test]
+    fn planner_caches_and_shares() {
+        let planner: Planner<f64> = Planner::new();
+        let a = planner.plan(128, Direction::Forward);
+        let b = planner.plan(128, Direction::Forward);
+        assert!(Arc::ptr_eq(&a, &b));
+        let _ = planner.plan(128, Direction::Inverse);
+        let _ = planner.plan(64, Direction::Forward);
+        assert_eq!(planner.cached_plans(), 3);
+    }
+
+    #[test]
+    fn execute_with_scratch_matches_execute() {
+        let n = 1024;
+        let x = test_signal(n);
+        let plan = Plan::forward(n);
+        let mut a = x.clone();
+        let mut b = x.clone();
+        let mut scratch = vec![Complex64::ZERO; n];
+        plan.execute(&mut a);
+        plan.execute_with_scratch(&mut b, &mut scratch);
+        assert_eq!(
+            a.iter().map(|c| (c.re, c.im)).collect::<Vec<_>>(),
+            b.iter().map(|c| (c.re, c.im)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn shift_theorem() {
+        // DFT(x shifted by s) = DFT(x) modulated by ω^{ks}: the identity
+        // underlying the paper's segment recovery (§5, Φ_s).
+        let n = 96;
+        let x = test_signal(n);
+        let s = 17;
+        let shifted: Vec<Complex64> = (0..n).map(|j| x[(j + s) % n]).collect();
+        let plan = Plan::forward(n);
+        let mut y = x.clone();
+        plan.execute(&mut y);
+        let mut ys = shifted;
+        plan.execute(&mut ys);
+        for k in 0..n {
+            let w = Complex64::root_of_unity(k * s % n, n).conj();
+            assert!((ys[k] - y[k] * w).abs() < 1e-10, "bin {k}");
+        }
+    }
+}

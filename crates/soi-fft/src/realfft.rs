@@ -1,0 +1,198 @@
+//! Real-input FFT via the half-length complex transform.
+//!
+//! A length-`n` real signal (n even) is packed into `n/2` complex values,
+//! transformed once, and unpacked with the split identity into the `n/2+1`
+//! non-redundant Hermitian output bins. This halves both arithmetic and
+//! memory traffic versus a complex transform of padded data — the standard
+//! trick every production FFT library (and the paper's MKL building
+//! blocks) provides.
+
+use crate::plan::Plan;
+use soi_num::{Complex, Real};
+
+/// A prepared real-input forward FFT of even length `n`.
+#[derive(Debug, Clone)]
+pub struct RealFft<T> {
+    n: usize,
+    half_plan: Plan<T>,
+    /// Unpack twiddles `exp(−2πi k/n)`, k = 0..n/2.
+    tw: Vec<Complex<T>>,
+}
+
+impl<T: Real> RealFft<T> {
+    /// Plan a real FFT of even size `n ≥ 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n % 2 == 0, "real FFT requires even n ≥ 2, got {n}");
+        let half_plan = Plan::forward(n / 2);
+        let tw = (0..=n / 2).map(|k| Complex::root_of_unity(k, n)).collect();
+        Self { n, half_plan, tw }
+    }
+
+    /// Input length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the empty transform.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of output bins (`n/2 + 1`).
+    pub fn output_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Forward transform: real input → `n/2+1` Hermitian spectrum bins
+    /// `X_0 … X_{n/2}` (the rest follow from `X_{n−k} = conj(X_k)`).
+    pub fn forward(&self, input: &[T]) -> Vec<Complex<T>> {
+        assert_eq!(input.len(), self.n);
+        let h = self.n / 2;
+        // Pack even samples into re, odd into im.
+        let mut z: Vec<Complex<T>> = (0..h)
+            .map(|k| Complex::new(input[2 * k], input[2 * k + 1]))
+            .collect();
+        self.half_plan.execute(&mut z);
+        // Unpack: X_k = (Z_k + conj(Z_{h−k}))/2 − (i/2)·w^k·(Z_k − conj(Z_{h−k}))
+        let mut out = Vec::with_capacity(h + 1);
+        let half = T::HALF;
+        for k in 0..=h {
+            let zk = if k == h { z[0] } else { z[k] };
+            let zc = z[(h - k) % h].conj();
+            let even = (zk + zc).scale(half);
+            let odd = (zk - zc).scale(half);
+            let w = self.tw[k];
+            out.push(even + (odd * w).mul_neg_i());
+        }
+        out
+    }
+}
+
+/// A prepared inverse real FFT: Hermitian half-spectrum → real signal.
+#[derive(Debug, Clone)]
+pub struct RealIfft<T> {
+    n: usize,
+    half_plan: Plan<T>,
+    tw: Vec<Complex<T>>,
+}
+
+impl<T: Real> RealIfft<T> {
+    /// Plan an inverse real FFT producing even length `n ≥ 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n % 2 == 0, "real IFFT requires even n ≥ 2, got {n}");
+        // Inverse half-size complex plan, 1/(n/2)-normalized.
+        let half_plan = Plan::inverse(n / 2);
+        let tw = (0..=n / 2)
+            .map(|k| Complex::root_of_unity(k, n).conj())
+            .collect();
+        Self { n, half_plan, tw }
+    }
+
+    /// Output length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the empty transform.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Inverse transform from `n/2+1` Hermitian bins to `n` real samples.
+    pub fn inverse(&self, spectrum: &[Complex<T>]) -> Vec<T> {
+        let h = self.n / 2;
+        assert_eq!(spectrum.len(), h + 1, "expected n/2+1 spectrum bins");
+        // Repack: Z_k = E_k + i·w^{−k}·O_k with E/O the even/odd spectra.
+        let mut z: Vec<Complex<T>> = Vec::with_capacity(h);
+        for k in 0..h {
+            let xk = spectrum[k];
+            let xc = spectrum[h - k].conj();
+            let even = (xk + xc).scale(T::HALF);
+            let odd = (xk - xc).scale(T::HALF).mul_i() * self.tw[k];
+            z.push(even + odd);
+        }
+        self.half_plan.execute(&mut z);
+        let mut out = Vec::with_capacity(self.n);
+        for v in z {
+            out.push(v.re);
+            out.push(v.im);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft_naive;
+    use soi_num::{Complex64};
+
+    fn real_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() + 0.25 * (i as f64 * 1.7).cos() + 0.1)
+            .collect()
+    }
+
+    #[test]
+    fn matches_complex_dft() {
+        for n in [2usize, 4, 8, 16, 30, 64, 100, 256] {
+            let x = real_signal(n);
+            let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+            let want = dft_naive(&xc);
+            let plan = RealFft::new(n);
+            let got = plan.forward(&x);
+            assert_eq!(got.len(), n / 2 + 1);
+            for k in 0..=n / 2 {
+                assert!(
+                    (got[k] - want[k]).abs() < 1e-9 * n as f64,
+                    "n={n} bin={k}: {:?} vs {:?}",
+                    got[k],
+                    want[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_are_real() {
+        let n = 64;
+        let x = real_signal(n);
+        let got = RealFft::new(n).forward(&x);
+        assert!(got[0].im.abs() < 1e-12);
+        assert!(got[n / 2].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip() {
+        for n in [4usize, 16, 60, 128] {
+            let x = real_signal(n);
+            let spec = RealFft::new(n).forward(&x);
+            let back = RealIfft::new(n).inverse(&spec);
+            for (a, b) in x.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-11, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn rejects_odd_length() {
+        let _ = RealFft::<f64>::new(9);
+    }
+
+    #[test]
+    fn single_cosine_lands_in_one_bin() {
+        let n = 128;
+        let f = 5;
+        let x: Vec<f64> = (0..n)
+            .map(|j| (2.0 * std::f64::consts::PI * f as f64 * j as f64 / n as f64).cos())
+            .collect();
+        let spec = RealFft::new(n).forward(&x);
+        assert!((spec[f].re - n as f64 / 2.0).abs() < 1e-9);
+        for (k, v) in spec.iter().enumerate() {
+            if k != f {
+                assert!(v.abs() < 1e-9, "bin {k} leaked {v:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! FFT-based signal operations: cyclic convolution, linear convolution,
+//! and cross-correlation.
+//!
+//! §2 of the paper notes that out-of-order FFTs suffice "when FFT is used
+//! to compute a convolution" — these helpers are the workloads that
+//! motivate that remark, built on the planner. They double as end-to-end
+//! exercises of the convolution theorem for the test suite.
+
+use crate::plan::Plan;
+use soi_num::{Complex, Real};
+
+/// Cyclic (circular) convolution: `out_k = Σ_j a_j·b_{(k−j) mod n}`.
+///
+/// Computed as `IFFT(FFT(a)·FFT(b))`; `O(n log n)`.
+pub fn cyclic_convolution<T: Real>(a: &[Complex<T>], b: &[Complex<T>]) -> Vec<Complex<T>> {
+    assert_eq!(a.len(), b.len(), "cyclic convolution needs equal lengths");
+    let n = a.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let fwd = Plan::forward(n);
+    let inv = Plan::inverse(n);
+    let mut fa = a.to_vec();
+    let mut fb = b.to_vec();
+    fwd.execute(&mut fa);
+    fwd.execute(&mut fb);
+    for (x, &y) in fa.iter_mut().zip(&fb) {
+        *x = *x * y;
+    }
+    inv.execute(&mut fa);
+    fa
+}
+
+/// Linear convolution of arbitrary-length inputs (`len = a+b−1`), via
+/// zero-padding to the next fast size.
+pub fn linear_convolution<T: Real>(a: &[Complex<T>], b: &[Complex<T>]) -> Vec<Complex<T>> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let n = out_len.next_power_of_two();
+    let mut pa = vec![Complex::ZERO; n];
+    pa[..a.len()].copy_from_slice(a);
+    let mut pb = vec![Complex::ZERO; n];
+    pb[..b.len()].copy_from_slice(b);
+    let mut full = cyclic_convolution(&pa, &pb);
+    full.truncate(out_len);
+    full
+}
+
+/// Cyclic cross-correlation: `out_k = Σ_j conj(a_j)·b_{(j+k) mod n}`.
+///
+/// `out_0` is the inner product `⟨a, b⟩`; a peak at `k` means `b` looks
+/// like `a` delayed by `k`.
+pub fn cyclic_correlation<T: Real>(a: &[Complex<T>], b: &[Complex<T>]) -> Vec<Complex<T>> {
+    assert_eq!(a.len(), b.len(), "correlation needs equal lengths");
+    let n = a.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let fwd = Plan::forward(n);
+    let inv = Plan::inverse(n);
+    let mut fa = a.to_vec();
+    let mut fb = b.to_vec();
+    fwd.execute(&mut fa);
+    fwd.execute(&mut fb);
+    for (x, &y) in fa.iter_mut().zip(&fb) {
+        *x = x.conj() * y;
+    }
+    inv.execute(&mut fa);
+    fa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_num::{c64, Complex64};
+
+    fn naive_cyclic(a: &[Complex64], b: &[Complex64]) -> Vec<Complex64> {
+        let n = a.len();
+        (0..n)
+            .map(|k| {
+                (0..n)
+                    .map(|j| a[j] * b[(k + n - j % n) % n])
+                    .fold(Complex64::ZERO, |acc, v| acc + v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cyclic_matches_naive() {
+        for n in [4usize, 7, 12, 32] {
+            let a: Vec<Complex64> = (0..n).map(|i| c64(i as f64, -(i as f64) * 0.5)).collect();
+            let b: Vec<Complex64> = (0..n).map(|i| c64((i as f64).sin(), 0.2)).collect();
+            let got = cyclic_convolution(&a, &b);
+            let want = naive_cyclic(&a, &b);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((*g - *w).abs() < 1e-9 * n as f64, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn convolution_with_delta_is_identity() {
+        let n = 16;
+        let a: Vec<Complex64> = (0..n).map(|i| c64(i as f64, 1.0)).collect();
+        let mut delta = vec![Complex64::ZERO; n];
+        delta[0] = Complex64::ONE;
+        let got = cyclic_convolution(&a, &delta);
+        for (g, w) in got.iter().zip(&a) {
+            assert!((*g - *w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn convolution_with_shifted_delta_rotates() {
+        let n = 8;
+        let a: Vec<Complex64> = (0..n).map(|i| c64(i as f64, 0.0)).collect();
+        let mut d3 = vec![Complex64::ZERO; n];
+        d3[3] = Complex64::ONE;
+        let got = cyclic_convolution(&a, &d3);
+        for k in 0..n {
+            let want = a[(k + n - 3) % n];
+            assert!((got[k] - want).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn linear_convolution_polynomial_product() {
+        // (1 + 2x + 3x²)(4 + 5x) = 4 + 13x + 22x² + 15x³
+        let a = [c64(1.0, 0.0), c64(2.0, 0.0), c64(3.0, 0.0)];
+        let b = [c64(4.0, 0.0), c64(5.0, 0.0)];
+        let got = linear_convolution(&a, &b);
+        let want = [4.0, 13.0, 22.0, 15.0];
+        assert_eq!(got.len(), 4);
+        for (g, w) in got.iter().zip(want) {
+            assert!((g.re - w).abs() < 1e-10 && g.im.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn correlation_finds_a_delay() {
+        let n = 64;
+        let a: Vec<Complex64> = (0..n)
+            .map(|i| c64((i as f64 * 1.7).sin(), (i as f64 * 0.9).cos()))
+            .collect();
+        let delay = 11;
+        let b: Vec<Complex64> = (0..n).map(|i| a[(i + n - delay) % n]).collect();
+        let corr = cyclic_correlation(&b, &a);
+        let (peak, _) = corr
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, v.abs()))
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+            .unwrap();
+        // b is a delayed by `delay`; correlating b against a peaks there.
+        assert_eq!((n - peak) % n, delay, "corr peak at {peak}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let e: Vec<Complex64> = vec![];
+        assert!(cyclic_convolution(&e, &e).is_empty());
+        assert!(linear_convolution(&e, &e).is_empty());
+        assert!(cyclic_correlation(&e, &e).is_empty());
+    }
+}

@@ -1,0 +1,244 @@
+//! Self-sorting Stockham FFT for power-of-two sizes.
+//!
+//! Decimation-in-frequency with radix-4 stages (radix-2 cleanup when the
+//! exponent is odd). Stockham's autosort formulation needs no bit-reversal
+//! pass: each stage reads one buffer with stride `s` and writes the other
+//! with the outputs of a butterfly adjacent, so every pass is a unit-stride
+//! streaming pass — the property that makes it the engine of choice for the
+//! node-local FFTs in Fig 2 of the paper.
+
+use crate::twiddle::{Sign, StageTwiddles};
+use soi_num::{Complex, Real};
+
+/// A prepared power-of-two Stockham transform.
+#[derive(Debug, Clone)]
+pub struct StockhamFft<T> {
+    n: usize,
+    sign: Sign,
+    stages: Vec<StageTwiddles<T>>,
+}
+
+impl<T: Real> StockhamFft<T> {
+    /// Plan a transform of power-of-two size `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is not a power of two or is zero.
+    pub fn new(n: usize, sign: Sign) -> Self {
+        assert!(n.is_power_of_two() && n > 0, "Stockham requires a power of two, got {n}");
+        let mut stages = Vec::new();
+        let mut cur = n;
+        while cur > 1 {
+            let r = if cur % 4 == 0 { 4 } else { 2 };
+            stages.push(StageTwiddles::new(cur, r, sign));
+            cur /= r;
+        }
+        Self { n, sign, stages }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate size-1 transform.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Direction.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// Execute on `data` using caller-provided scratch of the same length.
+    ///
+    /// The result always ends up back in `data`; `scratch` contents are
+    /// clobbered.
+    pub fn execute_with_scratch(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
+        assert_eq!(data.len(), self.n, "data length mismatch");
+        assert_eq!(scratch.len(), self.n, "scratch length mismatch");
+        if self.n == 1 {
+            return;
+        }
+        let mut s = 1usize; // stream count (number of interleaved sub-vectors)
+        let mut in_data = true; // which buffer currently holds the live values
+        for st in &self.stages {
+            let (src, dst): (&mut [Complex<T>], &mut [Complex<T>]) = if in_data {
+                (data, &mut *scratch)
+            } else {
+                (scratch, &mut *data)
+            };
+            match st.radix {
+                2 => stage_radix2(src, dst, st, s),
+                4 => stage_radix4(src, dst, st, s, self.sign),
+                r => unreachable!("unsupported Stockham radix {r}"),
+            }
+            s *= st.radix;
+            in_data = !in_data;
+        }
+        if !in_data {
+            data.copy_from_slice(scratch);
+        }
+    }
+
+    /// Execute in place, allocating scratch internally.
+    pub fn execute(&self, data: &mut [Complex<T>]) {
+        let mut scratch = vec![Complex::ZERO; self.n];
+        self.execute_with_scratch(data, &mut scratch);
+    }
+}
+
+/// One radix-2 DIF Stockham stage: `n_cur = 2m` logical points in `s`
+/// interleaved streams.
+fn stage_radix2<T: Real>(
+    x: &[Complex<T>],
+    y: &mut [Complex<T>],
+    st: &StageTwiddles<T>,
+    s: usize,
+) {
+    let m = st.m;
+    for p in 0..m {
+        let wp = st.tw[p];
+        let xa = &x[s * p..s * p + s];
+        let xb = &x[s * (p + m)..s * (p + m) + s];
+        // Split dst into the two output runs for this p.
+        for q in 0..s {
+            let a = xa[q];
+            let b = xb[q];
+            y[q + s * (2 * p)] = a + b;
+            y[q + s * (2 * p + 1)] = (a - b) * wp;
+        }
+    }
+}
+
+/// One radix-4 DIF Stockham stage.
+fn stage_radix4<T: Real>(
+    x: &[Complex<T>],
+    y: &mut [Complex<T>],
+    st: &StageTwiddles<T>,
+    s: usize,
+    sign: Sign,
+) {
+    let m = st.m;
+    let forward = sign == Sign::Forward;
+    for p in 0..m {
+        let w1 = st.tw[p * 3];
+        let w2 = st.tw[p * 3 + 1];
+        let w3 = st.tw[p * 3 + 2];
+        for q in 0..s {
+            let a = x[q + s * p];
+            let b = x[q + s * (p + m)];
+            let c = x[q + s * (p + 2 * m)];
+            let d = x[q + s * (p + 3 * m)];
+            let apc = a + c;
+            let amc = a - c;
+            let bpd = b + d;
+            // ω_4 = −i forward, +i inverse; jbmd = ω_4·(b−d) up to sign
+            // convention folded into the +/− below (OTFFT layout).
+            let jbmd = if forward {
+                (b - d).mul_i()
+            } else {
+                (b - d).mul_neg_i()
+            };
+            y[q + s * (4 * p)] = apc + bpd;
+            y[q + s * (4 * p + 1)] = (amc - jbmd) * w1;
+            y[q + s * (4 * p + 2)] = (apc - bpd) * w2;
+            y[q + s * (4 * p + 3)] = (amc + jbmd) * w3;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::{dft_naive, dft_naive_signed};
+    use soi_num::{c64, complex::max_abs_diff, Complex64};
+
+    fn test_signal(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| c64((i as f64 * 0.7).sin() + 0.1, (i as f64 * 1.3).cos() - 0.2))
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_all_pow2_sizes() {
+        for lg in 0..=10 {
+            let n = 1usize << lg;
+            let x = test_signal(n);
+            let want = dft_naive(&x);
+            let plan = StockhamFft::new(n, Sign::Forward);
+            let mut got = x.clone();
+            plan.execute(&mut got);
+            let err = max_abs_diff(&got, &want);
+            assert!(err < 1e-9 * (n as f64), "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive() {
+        for lg in [1, 3, 5, 8] {
+            let n = 1usize << lg;
+            let x = test_signal(n);
+            let want = dft_naive_signed(&x, Sign::Inverse);
+            let plan = StockhamFft::new(n, Sign::Inverse);
+            let mut got = x.clone();
+            plan.execute(&mut got);
+            assert!(max_abs_diff(&got, &want) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_is_identity_scaled() {
+        let n = 256;
+        let x = test_signal(n);
+        let fwd = StockhamFft::new(n, Sign::Forward);
+        let inv = StockhamFft::new(n, Sign::Inverse);
+        let mut buf = x.clone();
+        fwd.execute(&mut buf);
+        inv.execute(&mut buf);
+        let scaled: Vec<Complex64> = buf.iter().map(|&v| v / n as f64).collect();
+        assert!(max_abs_diff(&scaled, &x) < 1e-12);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let plan = StockhamFft::new(1, Sign::Forward);
+        let mut data = vec![c64(2.5, -1.5)];
+        plan.execute(&mut data);
+        assert_eq!(data[0], c64(2.5, -1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2() {
+        let _ = StockhamFft::<f64>::new(12, Sign::Forward);
+    }
+
+    #[test]
+    fn f32_transform_works() {
+        let n = 64;
+        let x: Vec<Complex<f32>> = (0..n)
+            .map(|i| Complex::new((i as f32 * 0.7).sin(), (i as f32 * 1.3).cos()))
+            .collect();
+        let x64: Vec<Complex64> = x.iter().map(|c| c.to_c64()).collect();
+        let want = dft_naive(&x64);
+        let plan = StockhamFft::<f32>::new(n, Sign::Forward);
+        let mut got = x;
+        plan.execute(&mut got);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.to_c64() - *w).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn parseval_large() {
+        let n = 4096;
+        let x = test_signal(n);
+        let plan = StockhamFft::new(n, Sign::Forward);
+        let mut y = x.clone();
+        plan.execute(&mut y);
+        let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum();
+        assert!((ey - n as f64 * ex).abs() < 1e-9 * ey);
+    }
+}

@@ -1,0 +1,159 @@
+//! Twiddle-factor tables.
+//!
+//! All engines in this crate share the convention that the *forward*
+//! transform uses `ω_N = exp(−2πi/N)` (the paper's convention in §3) and
+//! the inverse uses the conjugate. Tables are computed once per plan with
+//! per-element `sin_cos` so no error accumulates across the table (no
+//! repeated multiplication recurrences).
+
+use soi_num::{Complex, Real};
+
+/// Transform direction. Determines the sign of the twiddle exponent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// `exp(−2πi/N)` — the forward DFT.
+    Forward,
+    /// `exp(+2πi/N)` — the inverse DFT (unnormalized).
+    Inverse,
+}
+
+impl Sign {
+    /// The twiddle `exp(∓2πi·k/n)` for this direction.
+    #[inline]
+    pub fn root<T: Real>(self, k: usize, n: usize) -> Complex<T> {
+        let w = Complex::root_of_unity(k, n);
+        match self {
+            Sign::Forward => w,
+            Sign::Inverse => w.conj(),
+        }
+    }
+
+    /// Flip direction.
+    #[inline]
+    pub fn opposite(self) -> Sign {
+        match self {
+            Sign::Forward => Sign::Inverse,
+            Sign::Inverse => Sign::Forward,
+        }
+    }
+}
+
+/// A dense table of the first `len` powers of `exp(∓2πi/n)`.
+#[derive(Debug, Clone)]
+pub struct TwiddleTable<T> {
+    /// `w[k] = exp(∓2πi·k/n)` for `k < len`.
+    pub w: Vec<Complex<T>>,
+    /// The order `n` of the root.
+    pub n: usize,
+    /// Direction the table was built for.
+    pub sign: Sign,
+}
+
+impl<T: Real> TwiddleTable<T> {
+    /// Build a table of `len` twiddles of order `n`.
+    pub fn new(n: usize, len: usize, sign: Sign) -> Self {
+        assert!(n > 0, "twiddle order must be positive");
+        let w = (0..len).map(|k| sign.root(k, n)).collect();
+        Self { w, n, sign }
+    }
+
+    /// `exp(∓2πi·k/n)` for arbitrary `k` (reduced modulo `n`, falling back
+    /// to direct evaluation if the reduced index is outside the table).
+    #[inline]
+    pub fn get(&self, k: usize) -> Complex<T> {
+        let k = k % self.n;
+        if k < self.w.len() {
+            self.w[k]
+        } else {
+            self.sign.root(k, self.n)
+        }
+    }
+}
+
+/// Per-stage twiddles for the Stockham engines: stage `s` of a radix-`r`
+/// decimation-in-frequency pass over size `n` needs `ω_n^{p·c}` for
+/// `p < n/r`, `c < r`.
+#[derive(Debug, Clone)]
+pub struct StageTwiddles<T> {
+    /// `tw[p*(r-1) + (c-1)] = ω_n^{p·c}` for `c in 1..r`.
+    pub tw: Vec<Complex<T>>,
+    /// Sub-transform count for this stage (`n/r`).
+    pub m: usize,
+    /// Radix of the stage.
+    pub radix: usize,
+}
+
+impl<T: Real> StageTwiddles<T> {
+    /// Build the twiddles for one DIF stage of size `n`, radix `r`.
+    pub fn new(n: usize, r: usize, sign: Sign) -> Self {
+        assert!(n % r == 0, "stage size {n} not divisible by radix {r}");
+        let m = n / r;
+        let mut tw = Vec::with_capacity(m * (r - 1));
+        for p in 0..m {
+            for c in 1..r {
+                tw.push(sign.root(p * c, n));
+            }
+        }
+        Self { tw, m, radix: r }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_num::Complex64;
+
+    #[test]
+    fn forward_table_matches_direct_roots() {
+        let t: TwiddleTable<f64> = TwiddleTable::new(16, 16, Sign::Forward);
+        for k in 0..16 {
+            let want = Complex64::root_of_unity(k, 16);
+            assert!((t.get(k) - want).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn inverse_is_conjugate_of_forward() {
+        let f: TwiddleTable<f64> = TwiddleTable::new(12, 12, Sign::Forward);
+        let i: TwiddleTable<f64> = TwiddleTable::new(12, 12, Sign::Inverse);
+        for k in 0..12 {
+            assert!((f.get(k).conj() - i.get(k)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn get_reduces_modulo_n() {
+        let t: TwiddleTable<f64> = TwiddleTable::new(8, 8, Sign::Forward);
+        assert!((t.get(3) - t.get(3 + 8 * 5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn get_beyond_table_length_falls_back() {
+        let t: TwiddleTable<f64> = TwiddleTable::new(64, 4, Sign::Forward);
+        let want = Complex64::root_of_unity(17, 64);
+        assert!((t.get(17) - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stage_twiddles_layout() {
+        let s: StageTwiddles<f64> = StageTwiddles::new(8, 2, Sign::Forward);
+        assert_eq!(s.m, 4);
+        assert_eq!(s.tw.len(), 4);
+        for p in 0..4 {
+            let want = Complex64::root_of_unity(p, 8);
+            assert!((s.tw[p] - want).abs() < 1e-15);
+        }
+        let s4: StageTwiddles<f64> = StageTwiddles::new(16, 4, Sign::Forward);
+        assert_eq!(s4.m, 4);
+        assert_eq!(s4.tw.len(), 12);
+        // Entry (p=2, c=3) sits at 2*3 + 2 and equals ω_16^6.
+        let want = Complex64::root_of_unity(6, 16);
+        assert!((s4.tw[2 * 3 + 2] - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sign_opposite() {
+        assert_eq!(Sign::Forward.opposite(), Sign::Inverse);
+        assert_eq!(Sign::Inverse.opposite(), Sign::Forward);
+    }
+}

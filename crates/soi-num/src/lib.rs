@@ -1,0 +1,29 @@
+//! Numeric substrate for the SOI FFT reproduction.
+//!
+//! This crate provides everything numerical the rest of the workspace needs
+//! without pulling in external math crates:
+//!
+//! * [`Complex`] — a minimal, `#[repr(C)]`, cache-friendly complex type
+//!   generic over [`Real`] (`f32`/`f64`).
+//! * [`special`] — `erf`/`erfc`, `sinc`, and the Gaussian, used by the
+//!   window-function machinery of the paper's §4.
+//! * [`kahan`] — compensated (Neumaier) summation for accurate reductions.
+//! * [`quad`] — adaptive Simpson quadrature, used to evaluate the paper's
+//!   aliasing/truncation error integrals (ε^(alias), ε^(trunc)).
+//! * [`dd`] — double-double (~106-bit mantissa) arithmetic, used to build a
+//!   reference FFT accurate enough to certify the paper's 290 dB SNR claim.
+//! * [`stats`] — mean / standard deviation / normal-theory confidence
+//!   intervals (Fig 6 uses a 90% CI) and the dB / SNR helpers of §7.2.
+
+pub mod complex;
+pub mod dd;
+pub mod kahan;
+pub mod quad;
+pub mod real;
+pub mod special;
+pub mod stats;
+
+pub use complex::{c32, c64, Complex, Complex32, Complex64};
+pub use dd::Dd;
+pub use kahan::KahanSum;
+pub use real::Real;

@@ -1,0 +1,211 @@
+//! A small floating-point abstraction so the FFT library can be generic
+//! over `f32` and `f64` without an external num-traits dependency.
+
+use core::fmt::{Debug, Display};
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point scalar usable as the real/imaginary component of a
+/// [`crate::Complex`] number.
+///
+/// Implemented for `f32` and `f64`. The trait exposes only what the
+/// workspace actually uses; it is not a general-purpose numeric tower.
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// One half.
+    const HALF: Self;
+    /// Two.
+    const TWO: Self;
+    /// The circle constant π.
+    const PI: Self;
+    /// Machine epsilon (distance from 1.0 to the next representable value).
+    const EPSILON: Self;
+
+    /// Lossless widening to `f64` (identity for `f64`).
+    fn to_f64(self) -> f64;
+    /// Possibly-lossy narrowing from `f64`.
+    fn from_f64(v: f64) -> Self;
+    /// Conversion from a `usize` (used for twiddle angles; exact for the
+    /// index ranges that occur in practice).
+    fn from_usize(v: usize) -> Self;
+
+    fn sin(self) -> Self;
+    fn cos(self) -> Self;
+    /// Simultaneous sine and cosine.
+    fn sin_cos(self) -> (Self, Self);
+    fn exp(self) -> Self;
+    fn sqrt(self) -> Self;
+    fn abs(self) -> Self;
+    fn ln(self) -> Self;
+    fn log2(self) -> Self;
+    fn log10(self) -> Self;
+    fn powi(self, n: i32) -> Self;
+    fn floor(self) -> Self;
+    fn ceil(self) -> Self;
+    fn round(self) -> Self;
+    fn is_finite(self) -> bool;
+    fn max_val(self, other: Self) -> Self;
+    fn min_val(self, other: Self) -> Self;
+    /// Fused multiply-add `self * a + b` (hardware FMA where available).
+    fn mul_add(self, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_real {
+    ($t:ty, $pi:expr, $eps:expr) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const HALF: Self = 0.5;
+            const TWO: Self = 2.0;
+            const PI: Self = $pi;
+            const EPSILON: Self = $eps;
+
+            #[inline(always)]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline(always)]
+            fn from_f64(v: f64) -> Self {
+                v as Self
+            }
+            #[inline(always)]
+            fn from_usize(v: usize) -> Self {
+                v as Self
+            }
+            #[inline(always)]
+            fn sin(self) -> Self {
+                self.sin()
+            }
+            #[inline(always)]
+            fn cos(self) -> Self {
+                self.cos()
+            }
+            #[inline(always)]
+            fn sin_cos(self) -> (Self, Self) {
+                self.sin_cos()
+            }
+            #[inline(always)]
+            fn exp(self) -> Self {
+                self.exp()
+            }
+            #[inline(always)]
+            fn sqrt(self) -> Self {
+                self.sqrt()
+            }
+            #[inline(always)]
+            fn abs(self) -> Self {
+                self.abs()
+            }
+            #[inline(always)]
+            fn ln(self) -> Self {
+                self.ln()
+            }
+            #[inline(always)]
+            fn log2(self) -> Self {
+                self.log2()
+            }
+            #[inline(always)]
+            fn log10(self) -> Self {
+                self.log10()
+            }
+            #[inline(always)]
+            fn powi(self, n: i32) -> Self {
+                self.powi(n)
+            }
+            #[inline(always)]
+            fn floor(self) -> Self {
+                self.floor()
+            }
+            #[inline(always)]
+            fn ceil(self) -> Self {
+                self.ceil()
+            }
+            #[inline(always)]
+            fn round(self) -> Self {
+                self.round()
+            }
+            #[inline(always)]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline(always)]
+            fn max_val(self, other: Self) -> Self {
+                self.max(other)
+            }
+            #[inline(always)]
+            fn min_val(self, other: Self) -> Self {
+                self.min(other)
+            }
+            #[inline(always)]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+        }
+    };
+}
+
+impl_real!(f32, core::f32::consts::PI, f32::EPSILON);
+impl_real!(f64, core::f64::consts::PI, f64::EPSILON);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_smoke<T: Real>() {
+        let x = T::from_f64(0.5);
+        let (s, c) = x.sin_cos();
+        assert!((s.to_f64() - 0.5f64.sin()).abs() < 1e-6);
+        assert!((c.to_f64() - 0.5f64.cos()).abs() < 1e-6);
+        assert_eq!(T::ZERO + T::ONE, T::ONE);
+        assert_eq!(T::HALF + T::HALF, T::ONE);
+        assert_eq!(T::TWO, T::ONE + T::ONE);
+        assert!((T::PI.to_f64() - std::f64::consts::PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smoke_f32() {
+        generic_smoke::<f32>();
+    }
+
+    #[test]
+    fn smoke_f64() {
+        generic_smoke::<f64>();
+    }
+
+    #[test]
+    fn from_usize_exact_for_small_indices() {
+        for v in [0usize, 1, 2, 1024, 1 << 20] {
+            assert_eq!(<f64 as Real>::from_usize(v), v as f64);
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops_roughly() {
+        let r = <f64 as Real>::mul_add(3.0, 4.0, 5.0);
+        assert_eq!(r, 17.0);
+    }
+}

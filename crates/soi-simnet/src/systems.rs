@@ -1,0 +1,144 @@
+//! The Table 1 machine presets.
+//!
+//! Table 1 of the paper tabulates the Endeavor and Gordon configurations;
+//! the `table1` harness prints this structure side by side with the
+//! simulated substitutes used in this reproduction.
+
+use crate::netmodel::Fabric;
+
+/// Compute-node description (Table 1, "Compute node" block).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeConfig {
+    /// Sockets × cores × SMT, e.g. (2, 8, 2).
+    pub sockets_cores_smt: (usize, usize, usize),
+    /// SIMD lanes (single precision, double precision).
+    pub simd_width: (usize, usize),
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Microarchitecture name.
+    pub microarchitecture: &'static str,
+    /// Peak double-precision GFLOPS per node.
+    pub dp_gflops: f64,
+    /// L1/L2/L3 in KB.
+    pub cache_kb: (usize, usize, usize),
+    /// DRAM per node in GB.
+    pub dram_gb: usize,
+}
+
+impl NodeConfig {
+    /// The Xeon E5-2670 node both clusters in Table 1 use.
+    pub fn xeon_e5_2670() -> Self {
+        Self {
+            sockets_cores_smt: (2, 8, 2),
+            simd_width: (8, 4),
+            clock_ghz: 2.60,
+            microarchitecture: "Intel Xeon E5-2670 (Sandy Bridge)",
+            dp_gflops: 330.0,
+            cache_kb: (64, 256, 20480),
+            dram_gb: 64,
+        }
+    }
+}
+
+/// A full system configuration (node + interconnect), i.e. one column of
+/// Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// System name.
+    pub name: &'static str,
+    /// Per-node hardware.
+    pub node: NodeConfig,
+    /// Interconnect model.
+    pub fabric: Fabric,
+    /// Table 1 "Topology" row text.
+    pub topology: &'static str,
+}
+
+impl SystemConfig {
+    /// Endeavor: QDR InfiniBand, two-level 14-ary fat tree.
+    pub fn endeavor() -> Self {
+        Self {
+            name: "Endeavor",
+            node: NodeConfig::xeon_e5_2670(),
+            fabric: Fabric::endeavor_fat_tree(),
+            topology: "Two-level 14-ary fat tree (QDR InfiniBand 4x)",
+        }
+    }
+
+    /// Gordon: QDR InfiniBand, 4-ary 3-D torus, concentration 16.
+    pub fn gordon() -> Self {
+        Self {
+            name: "Gordon",
+            node: NodeConfig::xeon_e5_2670(),
+            fabric: Fabric::gordon_torus(),
+            topology: "4-ary 3-D torus, concentration factor 16 (QDR InfiniBand 4x)",
+        }
+    }
+
+    /// Endeavor nodes on 10 Gigabit Ethernet (the Fig 8 configuration).
+    pub fn endeavor_10gbe() -> Self {
+        Self {
+            name: "Endeavor (10GbE)",
+            node: NodeConfig::xeon_e5_2670(),
+            fabric: Fabric::ethernet_10g(),
+            topology: "10 Gigabit Ethernet",
+        }
+    }
+
+    /// Render this configuration as Table 1-style rows.
+    pub fn table_rows(&self) -> Vec<(String, String)> {
+        let n = &self.node;
+        vec![
+            ("System".into(), self.name.into()),
+            (
+                "Sock. x core x SMT".into(),
+                format!(
+                    "{} x {} x {}",
+                    n.sockets_cores_smt.0, n.sockets_cores_smt.1, n.sockets_cores_smt.2
+                ),
+            ),
+            (
+                "SIMD width".into(),
+                format!("{} (SP), {} (DP)", n.simd_width.0, n.simd_width.1),
+            ),
+            ("Clock (GHz)".into(), format!("{:.2}", n.clock_ghz)),
+            ("Micro-architecture".into(), n.microarchitecture.into()),
+            ("DP GFLOPS".into(), format!("{:.0}", n.dp_gflops)),
+            (
+                "L1/L2/L3 Cache (KB)".into(),
+                format!("{}/{}/{}", n.cache_kb.0, n.cache_kb.1, n.cache_kb.2),
+            ),
+            ("DRAM (GB)".into(), format!("{}", n.dram_gb)),
+            ("Topology".into(), self.topology.into()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table1() {
+        let e = SystemConfig::endeavor();
+        assert_eq!(e.node.sockets_cores_smt, (2, 8, 2));
+        assert_eq!(e.node.simd_width, (8, 4));
+        assert_eq!(e.node.dp_gflops, 330.0);
+        assert_eq!(e.node.dram_gb, 64);
+        assert_eq!(e.fabric.name(), "fat-tree");
+
+        let g = SystemConfig::gordon();
+        assert_eq!(g.fabric.name(), "3d-torus");
+        assert_eq!(g.node, e.node, "both clusters use the same node");
+
+        assert_eq!(SystemConfig::endeavor_10gbe().fabric.name(), "ethernet");
+    }
+
+    #[test]
+    fn table_rows_render() {
+        let rows = SystemConfig::endeavor().table_rows();
+        assert_eq!(rows.len(), 9);
+        assert!(rows.iter().any(|(k, v)| k == "Clock (GHz)" && v == "2.60"));
+        assert!(rows.iter().any(|(k, v)| k == "DP GFLOPS" && v == "330"));
+    }
+}

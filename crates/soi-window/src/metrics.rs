@@ -1,0 +1,166 @@
+//! Window quality metrics: κ, ε^(alias), ε^(trunc) — the three quantities
+//! the paper's error bound is built from (§4).
+
+use crate::family::Window;
+use soi_num::quad::{composite_simpson, integrate_decaying_tail};
+
+/// Condition number `κ = max|Ĥ(u)| / min|Ĥ(u)|` over `u ∈ [−1/2, 1/2]`
+/// (§4 condition (b): should be "moderate (for example, less than 10³)").
+///
+/// Evaluated by dense sampling plus the endpoints; our window families are
+/// even and unimodal, so this is exact to sampling resolution. Returns
+/// `+∞` when `|Ĥ|` underflows inside the passband (such a window is
+/// unusable — demodulation would divide by zero — and the design search
+/// rejects it through the κ cap).
+pub fn kappa(w: &dyn Window) -> f64 {
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    let samples = 2048;
+    for i in 0..=samples {
+        let u = -0.5 + i as f64 / samples as f64;
+        let v = w.h_hat(u).abs();
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if lo <= 0.0 {
+        return f64::INFINITY;
+    }
+    hi / lo
+}
+
+/// Aliasing error (§4 condition (c)):
+/// `ε^(alias) = ∫_{|u| ≥ 1/2+β} |Ĥ(u)| du / ∫_{−1/2}^{1/2} |Ĥ(u)| du`.
+pub fn alias_error(w: &dyn Window, beta: f64) -> f64 {
+    assert!(beta >= 0.0, "oversampling rate must be non-negative");
+    let denom = composite_simpson(|u| w.h_hat(u).abs(), -0.5, 0.5, 512);
+    debug_assert!(denom > 0.0);
+    // Even window: tail mass = 2 × the positive-side tail.
+    let tail = integrate_decaying_tail(|u| w.h_hat(u).abs(), 0.5 + beta, 0.25, 1e-25).value;
+    2.0 * tail / denom
+}
+
+/// Truncation error for support length `B` (§4):
+/// `∫_{|t| ≥ B/2} |H(t)| dt / ∫_{−∞}^{∞} |H(t)| dt`.
+pub fn trunc_error(w: &dyn Window, b: usize) -> f64 {
+    assert!(b >= 2, "support must be at least 2 taps");
+    let half = b as f64 / 2.0;
+    // |H| oscillates with ~unit period (the sinc); 16 points per unit
+    // resolves it fully for composite Simpson.
+    let head = composite_simpson(|t| w.h_time(t).abs(), 0.0, half, (b * 16).max(256));
+    let tail = integrate_decaying_tail(|t| w.h_time(t).abs(), half, 1.0, 1e-25).value;
+    tail / (head + tail)
+}
+
+/// Smallest even `B` whose truncation error is ≤ `eps` (paper: "determine
+/// a corresponding integer B"), capped at `max_b`.
+pub fn min_b_for(w: &dyn Window, eps: f64, max_b: usize) -> Option<usize> {
+    let mut b = 4;
+    while b <= max_b {
+        if trunc_error(w, b) <= eps {
+            return Some(b);
+        }
+        b += 2;
+    }
+    None
+}
+
+/// All three metrics at once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowQuality {
+    /// Condition number over the passband.
+    pub kappa: f64,
+    /// Relative spectral leakage beyond `1/2 + β`.
+    pub alias: f64,
+    /// Relative time-domain mass beyond `B/2`.
+    pub trunc: f64,
+}
+
+/// Evaluate κ, ε^(alias), ε^(trunc) for a window at `(β, B)`.
+pub fn quality(w: &dyn Window, beta: f64, b: usize) -> WindowQuality {
+    WindowQuality {
+        kappa: kappa(w),
+        alias: alias_error(w, beta),
+        trunc: trunc_error(w, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::family::{GaussianWindow, TwoParamWindow};
+
+    #[test]
+    fn kappa_of_wide_plateau_is_small() {
+        // τ close to the full passband width + sharp Gaussian → κ near 1..20.
+        let w = TwoParamWindow::new(0.95, 2000.0);
+        let k = kappa(&w);
+        assert!(k < 50.0, "kappa = {k}");
+        assert!(k >= 1.0);
+    }
+
+    #[test]
+    fn kappa_grows_as_plateau_narrows() {
+        let wide = TwoParamWindow::new(0.9, 400.0);
+        let narrow = TwoParamWindow::new(0.4, 400.0);
+        assert!(kappa(&narrow) > kappa(&wide));
+    }
+
+    #[test]
+    fn alias_error_decreases_with_beta() {
+        let w = TwoParamWindow::new(0.8, 300.0);
+        let e0 = alias_error(&w, 0.0);
+        let e1 = alias_error(&w, 0.25);
+        let e2 = alias_error(&w, 0.5);
+        assert!(e0 > e1 && e1 > e2, "{e0} {e1} {e2}");
+    }
+
+    #[test]
+    fn alias_error_small_for_sharp_window_at_quarter_oversampling() {
+        // A production-grade design point should reach near roundoff.
+        let w = TwoParamWindow::new(0.85, 350.0);
+        let e = alias_error(&w, 0.25);
+        assert!(e < 1e-10, "alias = {e:e}");
+    }
+
+    #[test]
+    fn trunc_error_decreases_with_b() {
+        let w = TwoParamWindow::new(0.85, 350.0);
+        let e8 = trunc_error(&w, 8);
+        let e24 = trunc_error(&w, 24);
+        let e72 = trunc_error(&w, 72);
+        assert!(e8 > e24 && e24 > e72, "{e8:e} {e24:e} {e72:e}");
+        assert!(e72 < 1e-14, "B=72 should be near roundoff, got {e72:e}");
+    }
+
+    #[test]
+    fn min_b_matches_direct_scan() {
+        let w = TwoParamWindow::new(0.85, 350.0);
+        let b = min_b_for(&w, 1e-12, 200).expect("feasible");
+        assert!(trunc_error(&w, b) <= 1e-12);
+        assert!(b == 4 || trunc_error(&w, b - 2) > 1e-12);
+    }
+
+    #[test]
+    fn min_b_returns_none_when_infeasible() {
+        // A very slow-decaying window cannot reach 1e-30 with B ≤ 8.
+        let w = TwoParamWindow::new(0.85, 5000.0);
+        assert!(min_b_for(&w, 1e-30, 8).is_none());
+    }
+
+    #[test]
+    fn gaussian_window_metrics_behave() {
+        let w = GaussianWindow::new(60.0);
+        assert!(kappa(&w) > 1.0);
+        assert!(alias_error(&w, 0.25) < alias_error(&w, 0.0));
+        assert!(trunc_error(&w, 40) < trunc_error(&w, 10));
+    }
+
+    #[test]
+    fn quality_bundles_consistently() {
+        let w = TwoParamWindow::new(0.85, 350.0);
+        let q = quality(&w, 0.25, 72);
+        assert_eq!(q.kappa, kappa(&w));
+        assert_eq!(q.alias, alias_error(&w, 0.25));
+        assert_eq!(q.trunc, trunc_error(&w, 72));
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: a full-accuracy SOI FFT on one process, checked against an
+//! exact FFT.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use soi::core::{SoiFft, SoiParams};
+use soi::num::complex::rel_l2_error;
+use soi::num::Complex64;
+
+fn main() {
+    // 2^16 points split into 8 segments, 25% oversampling, full accuracy.
+    let n = 1 << 16;
+    let p = 8;
+    let params = SoiParams::full_accuracy(n, p).expect("valid parameters");
+    let soi = SoiFft::new(&params).expect("plan");
+    let cfg = soi.config();
+    println!("SOI FFT: N = {n}, P = {p} segments of M = {}", cfg.m);
+    println!(
+        "  oversampling mu/nu = {}/{} (beta = {:.2}) -> M' = {}, N' = {}",
+        cfg.mu,
+        cfg.nu,
+        cfg.beta(),
+        cfg.m_prime,
+        cfg.n_prime
+    );
+    println!(
+        "  window: tau = {:.3}, sigma = {:.1}, support B = {} blocks, kappa = {:.1}",
+        cfg.window.tau, cfg.window.sigma, cfg.b, cfg.kappa
+    );
+    println!(
+        "  predicted relative error ~ {:.1e}\n",
+        cfg.predicted_error()
+    );
+
+    // A smooth multi-tone test signal.
+    let x: Vec<Complex64> = (0..n)
+        .map(|j| {
+            let t = j as f64;
+            Complex64::new((t * 0.37).sin() + 0.5 * (t * 1.91).cos(), (t * 0.11).cos())
+        })
+        .collect();
+
+    let t0 = std::time::Instant::now();
+    let y = soi.transform(&x).expect("transform");
+    let soi_time = t0.elapsed();
+
+    let t0 = std::time::Instant::now();
+    let exact = soi::fft::fft_forward(&x);
+    let fft_time = t0.elapsed();
+
+    let err = rel_l2_error(&y, &exact);
+    println!("relative L2 error vs exact FFT: {err:.3e}");
+    println!("SOI transform: {soi_time:?}  |  plain FFT: {fft_time:?}");
+    println!(
+        "(Single-process SOI is pure overhead — its point is distributed: it trades\n\
+         extra local compute for 3x less global communication. On the paper's\n\
+         AVX node the extra compute is ~2x; on a scalar core it is larger.)"
+    );
+    assert!(err < 1e-12, "accuracy regression");
+    println!("\nOK — SOI output matches the exact spectrum to full accuracy.");
+}

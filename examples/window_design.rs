@@ -1,0 +1,64 @@
+//! Explore the window design space of §4/§8: how (τ, σ, B) move with the
+//! accuracy target and oversampling rate, and why the two-parameter
+//! family beats the plain Gaussian.
+//!
+//! ```sh
+//! cargo run --release --example window_design
+//! ```
+
+use soi::window::{design_gaussian, design_two_param, AccuracyPreset};
+
+fn main() {
+    println!("Accuracy presets (kappa capped at 100; used by all harnesses):");
+    println!("  preset                  B   kappa    alias       trunc     k*(a+t)");
+    for p in AccuracyPreset::ALL {
+        match p.design(0.25) {
+            Ok(d) => println!(
+                "  {:<20} {:>4} {:>7.1}  {:.1e}  {:.1e}  {:.1e}",
+                p.label(),
+                d.b,
+                d.kappa,
+                d.alias,
+                d.trunc,
+                d.kappa * (d.alias + d.trunc)
+            ),
+            Err(e) => println!("  {:<20} {e}", p.label()),
+        }
+    }
+    println!();
+    println!("Two-parameter (tau, sigma) designs at beta = 1/4:");
+    println!("  target      tau     sigma      B   kappa    alias       trunc");
+    for digits in [6u32, 8, 10, 12, 14, 15] {
+        let target = 10f64.powi(-(digits as i32));
+        match design_two_param(0.25, target, 1000.0) {
+            Ok(d) => println!(
+                "  1e-{digits:<6} {:>6.3} {:>9.1} {:>4} {:>7.1}  {:.1e}  {:.1e}",
+                d.window.tau, d.window.sigma, d.b, d.kappa, d.alias, d.trunc
+            ),
+            Err(e) => println!("  1e-{digits:<6} {e}"),
+        }
+    }
+
+    println!("\nOne-parameter Gaussian at beta = 1/4 (paper §8: caps near 10 digits):");
+    for digits in [6u32, 8, 10, 12] {
+        let target = 10f64.powi(-(digits as i32));
+        match design_gaussian(0.25, target, 1000.0) {
+            Ok(d) => println!(
+                "  1e-{digits:<3} sigma = {:>8.1}, B = {:>3}, kappa = {:.1}",
+                d.window.sigma, d.b, d.kappa
+            ),
+            Err(e) => println!("  1e-{digits:<3} {e}"),
+        }
+    }
+
+    println!("\nGaussian at beta = 1 (paper: full accuracy again possible):");
+    match design_gaussian(1.0, 1e-14, 1000.0) {
+        Ok(d) => println!(
+            "  1e-14 sigma = {:>8.1}, B = {:>3}, kappa = {:.1}",
+            d.window.sigma, d.b, d.kappa
+        ),
+        Err(e) => println!("  1e-14 {e}"),
+    }
+
+    println!("\nThe paper's headline point sits near B = 72, kappa < 1000, beta = 1/4.");
+}

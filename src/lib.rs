@@ -1,0 +1,48 @@
+//! # soi — low-communication 1-D FFT
+//!
+//! A from-scratch Rust reproduction of *“A framework for low-communication
+//! 1-D FFT”* (Tang, Park, Kim, Petrov — SC 2012 Best Paper; Scientific
+//! Programming 21 (2013) 181–195).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`num`] — complex arithmetic, special functions, double-double,
+//!   quadrature, statistics ([`soi_num`]).
+//! * [`fft`] — a complete sequential/batched FFT library ([`soi_fft`]).
+//! * [`window`] — the paper's window-function design machinery
+//!   ([`soi_window`]).
+//! * [`simnet`] — a simulated distributed-memory machine with network
+//!   performance models ([`soi_simnet`]).
+//! * [`core`] — the SOI (segment-of-interest) FFT algorithm itself
+//!   ([`soi_core`]).
+//! * [`dist`] — the distributed single-all-to-all SOI FFT and the
+//!   triple-all-to-all baseline ([`soi_dist`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use soi::core::{SoiFft, SoiParams};
+//! use soi::num::Complex64;
+//!
+//! // 1024-point FFT split into 4 segments, 25% oversampling, full accuracy.
+//! let params = SoiParams::full_accuracy(1024, 4).unwrap();
+//! let soi = SoiFft::new(&params).unwrap();
+//! let x: Vec<Complex64> = (0..1024)
+//!     .map(|j| Complex64::new((j as f64 * 0.37).sin(), (j as f64 * 0.11).cos()))
+//!     .collect();
+//! let y = soi.transform(&x).unwrap();
+//!
+//! // Matches an exact FFT to ~14 digits.
+//! let exact = soi::fft::fft_forward(&x);
+//! assert!(soi::num::complex::rel_l2_error(&y, &exact) < 1e-12);
+//! ```
+
+pub use soi_core as core;
+pub use soi_dist as dist;
+pub use soi_fft as fft;
+pub use soi_num as num;
+pub use soi_simnet as simnet;
+pub use soi_window as window;
+
+/// Workspace version string.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
