@@ -5,15 +5,18 @@
 //! peak vs ~10% for FFTs; the measurable claim here is the *ratio* of the
 //! optimized kernel over the pseudo-code loop nest, and conv throughput
 //! comfortably above FFT throughput per flop.
+//!
+//! Harness-free binary on the soi-testkit timer (see fft_kernels.rs for
+//! the env knobs).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use soi_bench::workload::tone_mix;
 use soi_core::conv::{convolve, convolve_naive};
 use soi_core::{SoiFft, SoiParams};
 use soi_num::Complex64;
+use soi_testkit::Bencher;
 use soi_window::AccuracyPreset;
 
-fn bench_conv(c: &mut Criterion) {
+fn bench_conv() {
     let n = 1usize << 16;
     let p = 8;
     let params = SoiParams::with_preset(n, p, AccuracyPreset::Full).expect("params");
@@ -23,41 +26,39 @@ fn bench_conv(c: &mut Criterion) {
     let mut out = vec![Complex64::ZERO; cfg.n_prime];
     let flops = soi_fft::flops::conv_flops(cfg.n_prime, cfg.b) as u64;
 
-    let mut g = c.benchmark_group("conv_kernel");
-    g.throughput(Throughput::Elements(flops));
-    g.bench_with_input(BenchmarkId::new("optimized", cfg.b), &cfg.b, |b, _| {
-        b.iter(|| convolve(soi.shape(), soi.coefficients(), &x, &mut out));
+    let mut g = Bencher::new("conv_kernel").samples(15);
+    g.throughput_elements(flops);
+    g.bench(&format!("optimized/B={}", cfg.b), || {
+        convolve(soi.shape(), soi.coefficients(), &x, &mut out)
     });
-    g.bench_with_input(BenchmarkId::new("naive", cfg.b), &cfg.b, |b, _| {
-        b.iter(|| convolve_naive(soi.shape(), soi.coefficients(), &x, &mut out));
+    g.bench(&format!("naive/B={}", cfg.b), || {
+        convolve_naive(soi.shape(), soi.coefficients(), &x, &mut out)
     });
-    g.finish();
 }
 
-fn bench_conv_vs_b(c: &mut Criterion) {
+fn bench_conv_vs_b() {
     // Fig 7's lever: smaller B → proportionally cheaper convolution.
     let n = 1usize << 16;
     let p = 8;
-    let mut g = c.benchmark_group("conv_vs_accuracy");
-    for preset in [AccuracyPreset::Full, AccuracyPreset::Digits12, AccuracyPreset::Digits10] {
+    let mut g = Bencher::new("conv_vs_accuracy").samples(15);
+    for preset in [
+        AccuracyPreset::Full,
+        AccuracyPreset::Digits12,
+        AccuracyPreset::Digits10,
+    ] {
         let params = SoiParams::with_preset(n, p, preset).expect("params");
         let soi = SoiFft::new(&params).expect("plan");
         let cfg = *soi.config();
         let x = tone_mix(n + cfg.halo_len());
         let mut out = vec![Complex64::ZERO; cfg.n_prime];
-        g.throughput(Throughput::Elements(cfg.n_prime as u64));
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("B={}", cfg.b)),
-            &cfg.b,
-            |b, _| b.iter(|| convolve(soi.shape(), soi.coefficients(), &x, &mut out)),
-        );
+        g.throughput_elements(cfg.n_prime as u64);
+        g.bench(&format!("B={}", cfg.b), || {
+            convolve(soi.shape(), soi.coefficients(), &x, &mut out)
+        });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_conv, bench_conv_vs_b
+fn main() {
+    bench_conv();
+    bench_conv_vs_b();
 }
-criterion_main!(benches);

@@ -2,46 +2,45 @@
 //! same size — §7.4's "about twice as much computation time" claim at the
 //! node level (SOI buys its communication savings with this extra local
 //! work).
+//!
+//! Harness-free binary on the soi-testkit timer (see fft_kernels.rs for
+//! the env knobs).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use soi_bench::workload::tone_mix;
 use soi_core::{SoiFft, SoiParams};
 use soi_fft::Plan;
+use soi_testkit::{black_box, Bencher};
 use soi_window::AccuracyPreset;
 
-fn bench_soi_vs_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("soi_vs_fft");
+fn bench_soi_vs_fft() {
+    let mut g = Bencher::new("soi_vs_fft").samples(10);
     for lg in [14usize, 16] {
         let n = 1usize << lg;
         let p = 8;
         let x = tone_mix(n);
-        g.throughput(Throughput::Elements(n as u64));
+        g.throughput_elements(n as u64);
 
         let params = SoiParams::with_preset(n, p, AccuracyPreset::Full).expect("params");
         let soi = SoiFft::new(&params).expect("plan");
-        g.bench_with_input(BenchmarkId::new("soi_full", n), &n, |b, _| {
-            b.iter(|| soi.transform(&x).unwrap());
+        g.bench(&format!("soi_full/{n}"), || {
+            black_box(soi.transform(&x).unwrap())
         });
 
         let params = SoiParams::with_preset(n, p, AccuracyPreset::Digits10).expect("params");
         let soi10 = SoiFft::new(&params).expect("plan");
-        g.bench_with_input(BenchmarkId::new("soi_10digit", n), &n, |b, _| {
-            b.iter(|| soi10.transform(&x).unwrap());
+        g.bench(&format!("soi_10digit/{n}"), || {
+            black_box(soi10.transform(&x).unwrap())
         });
 
         let plan = Plan::<f64>::forward(n);
-        g.bench_with_input(BenchmarkId::new("plain_fft", n), &n, |b, _| {
-            let mut buf = x.clone();
-            let mut scratch = buf.clone();
-            b.iter(|| plan.execute_with_scratch(&mut buf, &mut scratch));
+        let mut buf = x.clone();
+        let mut scratch = buf.clone();
+        g.bench(&format!("plain_fft/{n}"), || {
+            plan.execute_with_scratch(&mut buf, &mut scratch)
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_soi_vs_fft
+fn main() {
+    bench_soi_vs_fft();
 }
-criterion_main!(benches);

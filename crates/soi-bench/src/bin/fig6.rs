@@ -7,20 +7,19 @@
 //! bandwidth across repeated model evaluations with a seeded RNG, and the
 //! central series from the §7.4 model at 2²⁸ points/node.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use soi_bench::model::{baseline_phases, soi_phases, Scenario};
 use soi_bench::report::render_table;
 use soi_bench::{simulate, PAPER_POINTS_PER_NODE};
 use soi_dist::{ChargePolicy, ComputeRates, ExchangeVariant};
 use soi_num::stats::RunningStats;
 use soi_simnet::Fabric;
+use soi_testkit::TestRng;
 use soi_window::AccuracyPreset;
 
-fn perturbed_fabric(rng: &mut StdRng) -> Fabric {
+fn perturbed_fabric(rng: &mut TestRng) -> Fabric {
     // Shared-machine interference: effective collective efficiency varies
     // run to run (Gordon is a production XSEDE system).
-    let eff = 0.22 * rng.gen_range(0.75..1.15);
+    let eff = 0.22 * rng.f64_in(0.75..1.15);
     Fabric::Torus3D {
         concentration: 16,
         local_gbps: 40.0,
@@ -59,7 +58,7 @@ fn main() {
 
     println!("Fig 6: Gordon (3-D torus), weak scaling, 2^28 points/node, 90% CI over 12 runs\n");
     let mut rows = Vec::new();
-    let mut rng = StdRng::seed_from_u64(2012);
+    let mut rng = TestRng::seed_from_u64(2012);
     for nodes in [1usize, 2, 4, 8, 16, 32, 64] {
         let mut soi_stats = RunningStats::new();
         let mut mkl_stats = RunningStats::new();

@@ -1,15 +1,11 @@
 //! Deterministic workload generators for tests and harnesses.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use soi_num::Complex64;
+use soi_testkit::TestRng;
 
 /// Uniform random complex signal in the unit square, seeded.
 pub fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| Complex64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
-        .collect()
+    TestRng::seed_from_u64(seed).complex_vec(n)
 }
 
 /// A deterministic smooth multi-tone signal (no RNG; reproducible across
@@ -29,10 +25,10 @@ pub fn tone_mix(n: usize) -> Vec<Complex64> {
 /// A sparse spectrum: `tones` unit spikes at seeded random bins — the
 /// spectrum-analysis example workload.
 pub fn sparse_tones(n: usize, tones: usize, seed: u64) -> (Vec<Complex64>, Vec<usize>) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = TestRng::seed_from_u64(seed);
     let mut bins: Vec<usize> = Vec::with_capacity(tones);
     while bins.len() < tones {
-        let b = rng.gen_range(0..n);
+        let b = rng.usize_in(0..n);
         if !bins.contains(&b) {
             bins.push(b);
         }
@@ -84,5 +80,35 @@ mod tests {
     #[test]
     fn tone_mix_deterministic() {
         assert_eq!(tone_mix(16), tone_mix(16));
+    }
+
+    #[test]
+    fn random_signal_known_answer_values() {
+        // Run-to-run AND commit-to-commit pinning: figure/table harness
+        // inputs must not drift when the RNG or workload code is touched.
+        // Values are the exact f64s from TestRng seed 2012 (integer ops +
+        // power-of-two scaling — bit-exact on every platform).
+        let want = [
+            (-0.9899132032485365, 0.018521048996289924),
+            (-0.6549938247043099, 0.3572871223800984),
+            (0.31092009746023397, -0.5978242408455998),
+            (-0.7470281134756347, -0.22473260842676712),
+        ];
+        let got = random_signal(4, 2012);
+        assert_eq!(
+            got.iter().map(|c| (c.re, c.im)).collect::<Vec<_>>(),
+            want.to_vec()
+        );
+    }
+
+    #[test]
+    fn sparse_tones_deterministic_across_calls() {
+        let (xa, ba) = sparse_tones(128, 4, 7);
+        let (xb, bb) = sparse_tones(128, 4, 7);
+        assert_eq!(ba, bb);
+        assert_eq!(
+            xa.iter().map(|c| (c.re, c.im)).collect::<Vec<_>>(),
+            xb.iter().map(|c| (c.re, c.im)).collect::<Vec<_>>()
+        );
     }
 }

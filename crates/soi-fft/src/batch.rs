@@ -5,7 +5,7 @@
 //! applied independently on ℓ contiguous segments of stride-one data."
 //! This module is that operator: a batch of contiguous same-size FFTs,
 //! executed serially or across threads (the paper's OpenMP level maps to
-//! crossbeam scoped threads here).
+//! `std::thread::scope` here).
 
 use crate::plan::{Direction, Plan};
 use soi_num::{Complex, Real};
@@ -60,18 +60,18 @@ impl<T: Real> BatchFft<T> {
         }
         let workers = self.threads.min(rows);
         let rows_per = rows.div_ceil(workers);
-        crossbeam::thread::scope(|scope| {
+        // A worker panic propagates out of the scope when it joins.
+        std::thread::scope(|scope| {
             for chunk in data.chunks_mut(rows_per * m) {
                 let plan = &self.plan;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut scratch = vec![Complex::ZERO; m];
                     for row in chunk.chunks_exact_mut(m) {
                         plan.execute_with_scratch(row, &mut scratch);
                     }
                 });
             }
-        })
-        .expect("batch FFT worker panicked");
+        });
     }
 }
 

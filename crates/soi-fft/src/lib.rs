@@ -18,7 +18,7 @@
 //! * [`bluestein`] — arbitrary-length transforms via chirp-z convolution.
 //! * [`realfft`] — real-input FFT using the half-length complex trick.
 //! * [`batch`] — batched transforms (the `I ⊗ F` Kronecker pattern of §6a),
-//!   with optional multithreading via crossbeam scoped threads.
+//!   with optional multithreading via `std::thread::scope`.
 //! * [`permute`] — stride permutations `P_perm^{ℓ,n}` (Definition in §5)
 //!   and cache-blocked transposes.
 //! * [`ddfft`] — a double-double radix-2 FFT used as the high-precision

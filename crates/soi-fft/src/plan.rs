@@ -5,10 +5,9 @@ use crate::bluestein::BluesteinFft;
 use crate::mixed::{largest_prime_factor, MixedRadixFft};
 use crate::stockham::StockhamFft;
 use crate::twiddle::Sign;
-use parking_lot::Mutex;
 use soi_num::{Complex, Real};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Transform direction with the normalization conventions of this crate:
 /// forward is unnormalized, inverse is scaled by `1/N`.
@@ -175,7 +174,7 @@ impl<T: Real> Planner<T> {
 
     /// Get (or build and cache) a plan.
     pub fn plan(&self, n: usize, direction: Direction) -> Arc<Plan<T>> {
-        let mut cache = self.cache.lock();
+        let mut cache = self.cache.lock().expect("planner cache poisoned");
         cache
             .entry((n, direction))
             .or_insert_with(|| Arc::new(Plan::new(n, direction)))
@@ -184,7 +183,7 @@ impl<T: Real> Planner<T> {
 
     /// Number of distinct plans built so far.
     pub fn cached_plans(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.lock().expect("planner cache poisoned").len()
     }
 }
 

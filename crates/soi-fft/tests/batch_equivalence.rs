@@ -1,0 +1,77 @@
+//! Thread-count equivalence of the batched executor.
+//!
+//! The `I ⊗ F_P` stage of the SOI factorization (Eq. 6) is data-parallel
+//! over rows: the thread split is pure scheduling and must not change a
+//! single bit of the output. Each plan is executed per-row with its own
+//! scratch, so `threads = 1, 2, 4` (and an oversubscribed count) are
+//! required to agree **bitwise**, not just within tolerance.
+
+use soi_fft::batch::BatchFft;
+use soi_fft::Direction;
+use soi_num::{Complex64, Real};
+use soi_testkit::TestRng;
+
+fn bits(v: &[Complex64]) -> Vec<(u64, u64)> {
+    v.iter()
+        .map(|c| (c.re.to_bits(), c.im.to_bits()))
+        .collect()
+}
+
+#[test]
+fn thread_split_is_bitwise_invisible() {
+    // Rows/lengths chosen to exercise uneven chunking (rows not a
+    // multiple of the worker count) and both engine sizes.
+    for (rows, m) in [(64usize, 128usize), (33, 64), (7, 256)] {
+        let data = TestRng::seed_from_u64(0xBA7C4).complex_vec(rows * m);
+        let mut reference = data.clone();
+        BatchFft::new(m, Direction::Forward, 1).execute(&mut reference);
+        let want = bits(&reference);
+        for threads in [2usize, 4, 16] {
+            let mut buf = data.clone();
+            BatchFft::new(m, Direction::Forward, threads).execute(&mut buf);
+            assert_eq!(
+                bits(&buf),
+                want,
+                "threads={threads} rows={rows} m={m} drifted from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_split_is_bitwise_invisible_inverse() {
+    let (rows, m) = (24usize, 96usize);
+    let data = TestRng::seed_from_u64(0x1A7E).complex_vec(rows * m);
+    let mut reference = data.clone();
+    BatchFft::new(m, Direction::Inverse, 1).execute(&mut reference);
+    for threads in [2usize, 4] {
+        let mut buf = data.clone();
+        BatchFft::new(m, Direction::Inverse, threads).execute(&mut buf);
+        assert_eq!(bits(&buf), bits(&reference), "threads={threads}");
+    }
+}
+
+#[test]
+fn f32_batch_is_also_scheduling_independent() {
+    // The executor is generic over the real type; check the f32 path too.
+    let (rows, m) = (16usize, 32usize);
+    let mut rng = TestRng::seed_from_u64(99);
+    let data: Vec<soi_num::Complex<f32>> = (0..rows * m)
+        .map(|_| {
+            soi_num::Complex::new(
+                rng.f64_in(-1.0..1.0) as f32,
+                rng.f64_in(-1.0..1.0) as f32,
+            )
+        })
+        .collect();
+    let mut serial = data.clone();
+    BatchFft::<f32>::new(m, Direction::Forward, 1).execute(&mut serial);
+    let mut threaded = data;
+    BatchFft::<f32>::new(m, Direction::Forward, 4).execute(&mut threaded);
+    let as_bits = |v: &[soi_num::Complex<f32>]| {
+        v.iter()
+            .map(|c| (c.re.to_f64().to_bits(), c.im.to_f64().to_bits()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(as_bits(&serial), as_bits(&threaded));
+}

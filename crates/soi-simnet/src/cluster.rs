@@ -3,7 +3,7 @@
 
 use crate::comm::{CommStats, RankComm, Shared};
 use crate::netmodel::Fabric;
-use crossbeam::channel::unbounded;
+use std::sync::mpsc::channel;
 use std::sync::Arc;
 
 /// Final accounting for one rank after a run.
@@ -75,7 +75,7 @@ impl Cluster {
         let mut rxs: Vec<Vec<_>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
         for src in 0..p {
             for _dst in 0..p {
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 txs[src].push(tx);
                 rxs[src].push(rx);
             }
@@ -99,10 +99,11 @@ impl Cluster {
             .collect();
 
         let mut slots: Vec<Option<(R, RankReport)>> = (0..p).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
+        // A panicking rank propagates its payload when the scope joins.
+        std::thread::scope(|scope| {
             let f = &f;
             for (slot, comm) in slots.iter_mut().zip(comms.iter_mut()) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let result = f(comm);
                     let report = RankReport {
                         rank: comm.rank(),
@@ -114,8 +115,7 @@ impl Cluster {
                     *slot = Some((result, report));
                 });
             }
-        })
-        .expect("a rank panicked");
+        });
         slots
             .into_iter()
             .map(|s| s.expect("rank produced no result"))

@@ -8,8 +8,8 @@
 
 use crate::clock::VirtualClock;
 use crate::netmodel::Fabric;
-use crossbeam::channel::{Receiver, Sender};
 use std::any::Any;
+use std::sync::mpsc::{Receiver, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 
@@ -49,6 +49,12 @@ pub struct CommStats {
 }
 
 /// A rank's endpoint into the simulated machine.
+///
+/// Channels are `std::sync::mpsc` (one dedicated sender/receiver pair per
+/// ordered rank pair, so each link is effectively SPSC): sends are
+/// buffered and never block, receives block until the matching message
+/// arrives — blocking-MPI semantics, exactly what the single-all-to-all
+/// SOI exchange (Eq. 6) and the triple-exchange baseline assume.
 pub struct RankComm {
     rank: usize,
     shared: std::sync::Arc<Shared>,

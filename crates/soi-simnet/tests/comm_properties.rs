@@ -1,59 +1,79 @@
 //! Property tests on the simulated communicator: conservation and
 //! permutation invariants of the collectives under random payloads.
 
-use proptest::prelude::*;
 use soi_simnet::Cluster;
+use soi_testkit::{check, PropConfig};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn all_to_all_is_a_global_permutation(p in 2usize..6, block in 1usize..5, seed in any::<u64>()) {
-        // Every element sent appears exactly once somewhere; nothing is
-        // duplicated or lost.
-        let outputs = Cluster::ideal(p).run_collect(move |comm| {
-            let send: Vec<u64> = (0..p * block)
-                .map(|i| seed ^ ((comm.rank() * p * block + i) as u64))
+#[test]
+fn all_to_all_is_a_global_permutation() {
+    check(
+        "all_to_all_is_a_global_permutation",
+        PropConfig::cases(12),
+        |rng| {
+            // Every element sent appears exactly once somewhere; nothing is
+            // duplicated or lost.
+            let p = rng.usize_in(2..6);
+            let block = rng.usize_in(1..5);
+            let seed = rng.next_u64();
+            let outputs = Cluster::ideal(p).run_collect(move |comm| {
+                let send: Vec<u64> = (0..p * block)
+                    .map(|i| seed ^ ((comm.rank() * p * block + i) as u64))
+                    .collect();
+                let mut recv = vec![0u64; p * block];
+                comm.all_to_all(&send, &mut recv);
+                recv
+            });
+            let mut all: Vec<u64> = outputs.into_iter().flatten().collect();
+            let mut expect: Vec<u64> = (0..p)
+                .flat_map(|r| (0..p * block).map(move |i| seed ^ ((r * p * block + i) as u64)))
                 .collect();
-            let mut recv = vec![0u64; p * block];
-            comm.all_to_all(&send, &mut recv);
-            recv
-        });
-        let mut all: Vec<u64> = outputs.into_iter().flatten().collect();
-        let mut expect: Vec<u64> = (0..p)
-            .flat_map(|r| (0..p * block).map(move |i| seed ^ ((r * p * block + i) as u64)))
-            .collect();
-        all.sort_unstable();
-        expect.sort_unstable();
-        prop_assert_eq!(all, expect);
-    }
+            all.sort_unstable();
+            expect.sort_unstable();
+            assert_eq!(all, expect, "p={p} block={block}");
+        },
+    );
+}
 
-    #[test]
-    fn all_to_allv_conserves_elements(p in 2usize..5, seed in any::<u64>()) {
-        // Ragged counts derived from the seed; total payload conserved.
+#[test]
+fn all_to_allv_conserves_elements() {
+    check(
+        "all_to_allv_conserves_elements",
+        PropConfig::cases(12),
+        |rng| {
+            // Ragged counts derived from the seed; total payload conserved.
+            let p = rng.usize_in(2..5);
+            let seed = rng.next_u64();
+            let outputs = Cluster::ideal(p).run_collect(move |comm| {
+                let counts: Vec<usize> = (0..p)
+                    .map(|d| ((seed as usize).wrapping_add(comm.rank() * 7 + d * 3)) % 4)
+                    .collect();
+                let total: usize = counts.iter().sum();
+                let send: Vec<u32> = (0..total).map(|i| (comm.rank() * 1000 + i) as u32).collect();
+                comm.all_to_allv(&send, &counts)
+            });
+            let received: usize = outputs.iter().map(Vec::len).sum();
+            let sent: usize = (0..p)
+                .map(|r| {
+                    (0..p)
+                        .map(|d| ((seed as usize).wrapping_add(r * 7 + d * 3)) % 4)
+                        .sum::<usize>()
+                })
+                .sum();
+            assert_eq!(received, sent, "p={p}");
+        },
+    );
+}
+
+#[test]
+fn ring_halo_is_rotation() {
+    check("ring_halo_is_rotation", PropConfig::cases(12), |rng| {
+        let p = rng.usize_in(2..6);
+        let len = rng.usize_in(1..8);
+        let seed = rng.next_u64();
         let outputs = Cluster::ideal(p).run_collect(move |comm| {
-            let counts: Vec<usize> = (0..p)
-                .map(|d| ((seed as usize).wrapping_add(comm.rank() * 7 + d * 3)) % 4)
+            let mine: Vec<u64> = (0..len)
+                .map(|i| seed ^ ((comm.rank() * len + i) as u64))
                 .collect();
-            let total: usize = counts.iter().sum();
-            let send: Vec<u32> = (0..total).map(|i| (comm.rank() * 1000 + i) as u32).collect();
-            comm.all_to_allv(&send, &counts)
-        });
-        let received: usize = outputs.iter().map(Vec::len).sum();
-        let sent: usize = (0..p)
-            .map(|r| {
-                (0..p)
-                    .map(|d| ((seed as usize).wrapping_add(r * 7 + d * 3)) % 4)
-                    .sum::<usize>()
-            })
-            .sum();
-        prop_assert_eq!(received, sent);
-    }
-
-    #[test]
-    fn ring_halo_is_rotation(p in 2usize..6, len in 1usize..8, seed in any::<u64>()) {
-        let outputs = Cluster::ideal(p).run_collect(move |comm| {
-            let mine: Vec<u64> = (0..len).map(|i| seed ^ ((comm.rank() * len + i) as u64)).collect();
             let left = (comm.rank() + p - 1) % p;
             let right = (comm.rank() + 1) % p;
             comm.sendrecv(left, &mine, right)
@@ -61,23 +81,31 @@ proptest! {
         for (rank, got) in outputs.iter().enumerate() {
             let src = (rank + 1) % p;
             let want: Vec<u64> = (0..len).map(|i| seed ^ ((src * len + i) as u64)).collect();
-            prop_assert_eq!(got, &want);
+            assert_eq!(got, &want, "p={p} len={len} rank={rank}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn allreduce_matches_local_reduction(p in 2usize..6, vals in prop::collection::vec(-100.0f64..100.0, 6)) {
-        let vals_for_ranks: Vec<f64> = (0..p).map(|r| vals[r % vals.len()]).collect();
-        let expect_sum: f64 = vals_for_ranks.iter().sum();
-        let expect_max = vals_for_ranks.iter().copied().fold(f64::MIN, f64::max);
-        let vr = &vals_for_ranks;
-        let outputs = Cluster::ideal(p).run_collect(move |comm| {
-            let v = vr[comm.rank()];
-            (comm.allreduce_sum(v), comm.allreduce_max(v))
-        });
-        for (s, m) in outputs {
-            prop_assert!((s - expect_sum).abs() < 1e-9);
-            prop_assert_eq!(m, expect_max);
-        }
-    }
+#[test]
+fn allreduce_matches_local_reduction() {
+    check(
+        "allreduce_matches_local_reduction",
+        PropConfig::cases(12),
+        |rng| {
+            let p = rng.usize_in(2..6);
+            let vals = rng.f64_vec(6, -100.0..100.0);
+            let vals_for_ranks: Vec<f64> = (0..p).map(|r| vals[r % vals.len()]).collect();
+            let expect_sum: f64 = vals_for_ranks.iter().sum();
+            let expect_max = vals_for_ranks.iter().copied().fold(f64::MIN, f64::max);
+            let vr = &vals_for_ranks;
+            let outputs = Cluster::ideal(p).run_collect(move |comm| {
+                let v = vr[comm.rank()];
+                (comm.allreduce_sum(v), comm.allreduce_max(v))
+            });
+            for (s, m) in outputs {
+                assert!((s - expect_sum).abs() < 1e-9, "p={p}");
+                assert_eq!(m, expect_max, "p={p}");
+            }
+        },
+    );
 }

@@ -1,0 +1,221 @@
+//! Lightweight bench runner: warmup + calibration + median-of-K timing.
+//!
+//! Each measurement prints one human-readable line and one JSON line
+//! (prefixed `BENCH_JSON `) so harnesses and CI can scrape results
+//! without a parser dependency. Not a statistics engine — medians over a
+//! modest sample count are robust enough for the kernel-level ratios the
+//! benches assert (optimized-vs-naive convolution, SOI-vs-plain FFT).
+//!
+//! Environment knobs for quick smoke runs:
+//!
+//! * `SOI_BENCH_SAMPLES` — samples per measurement (default 15).
+//! * `SOI_BENCH_WARMUP_MS` — warmup wall time per measurement (default 60).
+//! * `SOI_BENCH_TARGET_MS` — target wall time per sample (default 20).
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Summary statistics for one measurement, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchStats {
+    /// `group/id` label.
+    pub name: String,
+    /// Median ns per iteration (the headline number).
+    pub median_ns: f64,
+    /// Mean ns per iteration.
+    pub mean_ns: f64,
+    /// Fastest sample's ns per iteration.
+    pub min_ns: f64,
+    /// Slowest sample's ns per iteration.
+    pub max_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Iterations folded into each sample.
+    pub iters_per_sample: u64,
+    /// Optional element-throughput denominator.
+    pub elements: Option<u64>,
+}
+
+impl BenchStats {
+    /// Elements per second at the median time, if a throughput was set.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        self.elements
+            .map(|e| e as f64 / (self.median_ns * 1e-9))
+    }
+}
+
+/// A bench group: shared configuration + a name prefix, criterion-style.
+#[derive(Debug, Clone)]
+pub struct Bencher {
+    group: String,
+    samples: usize,
+    warmup: Duration,
+    target_sample: Duration,
+    elements: Option<u64>,
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+impl Bencher {
+    /// New group with default (or env-overridden) timing budgets.
+    pub fn new(group: &str) -> Self {
+        Self {
+            group: group.to_string(),
+            samples: env_u64("SOI_BENCH_SAMPLES").unwrap_or(15) as usize,
+            warmup: Duration::from_millis(env_u64("SOI_BENCH_WARMUP_MS").unwrap_or(60)),
+            target_sample: Duration::from_millis(env_u64("SOI_BENCH_TARGET_MS").unwrap_or(20)),
+            elements: None,
+        }
+    }
+
+    /// Set the sample count (env override still wins).
+    pub fn samples(mut self, k: usize) -> Self {
+        if env_u64("SOI_BENCH_SAMPLES").is_none() {
+            self.samples = k.max(3);
+        }
+        self
+    }
+
+    /// Declare the element count processed per iteration; subsequent
+    /// measurements report elements/second at the median.
+    pub fn throughput_elements(&mut self, elements: u64) -> &mut Self {
+        self.elements = Some(elements);
+        self
+    }
+
+    /// Measure `f`: warm up for the configured wall time, calibrate the
+    /// iterations per sample, take K samples, report the median.
+    pub fn bench<R>(&self, id: &str, mut f: impl FnMut() -> R) -> BenchStats {
+        // Warmup + single-iteration estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter_est = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let iters_per_sample =
+            ((self.target_sample.as_nanos() as f64 / per_iter_est).ceil() as u64).max(1);
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            per_iter_ns.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = if per_iter_ns.len() % 2 == 1 {
+            per_iter_ns[per_iter_ns.len() / 2]
+        } else {
+            0.5 * (per_iter_ns[per_iter_ns.len() / 2 - 1] + per_iter_ns[per_iter_ns.len() / 2])
+        };
+        let stats = BenchStats {
+            name: format!("{}/{}", self.group, id),
+            median_ns,
+            mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+            min_ns: per_iter_ns[0],
+            max_ns: *per_iter_ns.last().unwrap(),
+            samples: per_iter_ns.len(),
+            iters_per_sample,
+            elements: self.elements,
+        };
+        self.report(&stats);
+        stats
+    }
+
+    fn report(&self, s: &BenchStats) {
+        match s.elements_per_sec() {
+            Some(eps) => println!(
+                "{:<40} median {:>12} min {:>12} ({:.3e} elem/s, {} samples x {} iters)",
+                s.name,
+                fmt_ns(s.median_ns),
+                fmt_ns(s.min_ns),
+                eps,
+                s.samples,
+                s.iters_per_sample
+            ),
+            None => println!(
+                "{:<40} median {:>12} min {:>12} ({} samples x {} iters)",
+                s.name,
+                fmt_ns(s.median_ns),
+                fmt_ns(s.min_ns),
+                s.samples,
+                s.iters_per_sample
+            ),
+        }
+        let throughput = s
+            .elements_per_sec()
+            .map(|e| format!(",\"elements_per_sec\":{e:.3}"))
+            .unwrap_or_default();
+        println!(
+            "BENCH_JSON {{\"name\":\"{}\",\"median_ns\":{:.3},\"mean_ns\":{:.3},\"min_ns\":{:.3},\"max_ns\":{:.3},\"samples\":{},\"iters_per_sample\":{}{}}}",
+            s.name, s.median_ns, s.mean_ns, s.min_ns, s.max_ns, s.samples, s.iters_per_sample, throughput
+        );
+    }
+}
+
+/// Human-scale duration formatting for ns-per-iteration figures.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Bencher {
+        let mut b = Bencher {
+            group: "test".into(),
+            samples: 5,
+            warmup: Duration::from_millis(1),
+            target_sample: Duration::from_millis(1),
+            elements: None,
+        };
+        b.elements = None;
+        b
+    }
+
+    #[test]
+    fn bench_reports_positive_times() {
+        let stats = quick().bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert!(stats.median_ns > 0.0);
+        assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
+        assert_eq!(stats.samples, 5);
+        assert_eq!(stats.name, "test/spin");
+    }
+
+    #[test]
+    fn throughput_uses_median() {
+        let mut b = quick();
+        b.throughput_elements(1_000);
+        let stats = b.bench("spin", || black_box(3u64).wrapping_mul(7));
+        let eps = stats.elements_per_sec().unwrap();
+        assert!((eps - 1_000.0 / (stats.median_ns * 1e-9)).abs() < 1.0);
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_500.0).ends_with("µs"));
+        assert!(fmt_ns(12_500_000.0).ends_with("ms"));
+        assert!(fmt_ns(2.5e9).ends_with('s'));
+    }
+}

@@ -1,0 +1,257 @@
+//! Minimal property-test harness on top of [`TestRng`](crate::TestRng).
+//!
+//! Two entry points:
+//!
+//! * [`check`] — run a closure against `cases` independent RNG streams.
+//!   Assertions panic as usual; on failure the harness prints the exact
+//!   per-case seed and a one-line replay recipe, then re-raises.
+//! * [`forall`] — value-based variant with optional input shrinking: a
+//!   generator draws a case from the RNG, the property returns
+//!   `Result<(), String>`, and on failure the harness greedily walks the
+//!   user-supplied shrink candidates to a locally minimal failing input.
+//!
+//! Determinism contract: the default base seed is a fixed constant, so
+//! two consecutive test runs exercise identical RNG streams. Environment
+//! overrides:
+//!
+//! * `SOI_TESTKIT_SEED` — replace the base seed (decimal or `0x…` hex).
+//! * `SOI_TESTKIT_CASES` — replace the per-property case count.
+//! * `SOI_TESTKIT_REPLAY` — run exactly ONE case whose RNG is seeded with
+//!   this value (this is the per-case seed printed on failure).
+
+use crate::rng::{splitmix64, TestRng};
+use std::fmt::Debug;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Fixed default base seed ("SOI" on a phone keypad, year of the paper).
+pub const DEFAULT_SEED: u64 = 0x5012_2012_764C_0FF7;
+
+/// Per-property configuration: case count + base seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PropConfig {
+    /// Number of generated cases per property.
+    pub cases: u64,
+    /// Base seed; each case derives its own stream seed from it.
+    pub seed: u64,
+}
+
+impl PropConfig {
+    /// `cases` cases from the fixed default seed, honoring the
+    /// `SOI_TESTKIT_SEED` / `SOI_TESTKIT_CASES` environment overrides.
+    pub fn cases(cases: u64) -> Self {
+        Self {
+            cases: env_u64("SOI_TESTKIT_CASES").unwrap_or(cases),
+            seed: env_u64("SOI_TESTKIT_SEED").unwrap_or(DEFAULT_SEED),
+        }
+    }
+
+    /// Seed for case number `case`: one SplitMix64 step over a
+    /// case-indexed state, so neighboring cases get unrelated streams.
+    pub fn case_seed(&self, case: u64) -> u64 {
+        let mut s = self.seed ^ case.wrapping_mul(0xA076_1D64_78BD_642F);
+        splitmix64(&mut s)
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("could not parse {name}={raw:?} as u64 (decimal or 0x-hex)"),
+    }
+}
+
+/// Run `body` against `config.cases` independent RNG streams; on a panic
+/// inside `body`, report the failing case's seed and replay recipe, then
+/// re-raise the original panic.
+pub fn check<F>(name: &str, config: PropConfig, body: F)
+where
+    F: Fn(&mut TestRng),
+{
+    if let Some(replay) = env_u64("SOI_TESTKIT_REPLAY") {
+        let mut rng = TestRng::seed_from_u64(replay);
+        eprintln!("[soi-testkit] {name}: replaying single case with seed {replay:#018x}");
+        body(&mut rng);
+        return;
+    }
+    for case in 0..config.cases {
+        let case_seed = config.case_seed(case);
+        let mut rng = TestRng::seed_from_u64(case_seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&mut rng))) {
+            eprintln!(
+                "[soi-testkit] property '{name}' failed at case {case}/{total} \
+                 (case seed {case_seed:#018x}, base seed {base:#018x}).\n\
+                 [soi-testkit] replay just this case with: \
+                 SOI_TESTKIT_REPLAY={case_seed:#x} cargo test {name}",
+                total = config.cases,
+                base = config.seed,
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Value-based property with optional shrinking.
+///
+/// `gen` draws a case, `shrink` proposes strictly "smaller" candidates
+/// (return an empty `Vec` for no shrinking), and `test` returns `Err`
+/// with a message on violation. On failure the harness greedily descends
+/// through failing shrink candidates (bounded budget) and panics with the
+/// minimal input found plus the seed/replay line.
+pub fn forall<V, G, S, T>(name: &str, config: PropConfig, gen: G, shrink: S, test: T)
+where
+    V: Debug + Clone,
+    G: Fn(&mut TestRng) -> V,
+    S: Fn(&V) -> Vec<V>,
+    T: Fn(&V) -> Result<(), String>,
+{
+    let run_case = |case_seed: u64, case_label: &str| {
+        let mut rng = TestRng::seed_from_u64(case_seed);
+        let value = gen(&mut rng);
+        if let Err(first_msg) = test(&value) {
+            let (minimal, msg, steps) = shrink_to_minimal(&shrink, &test, value, first_msg);
+            panic!(
+                "[soi-testkit] property '{name}' failed at {case_label} \
+                 (case seed {case_seed:#018x}; replay with SOI_TESTKIT_REPLAY={case_seed:#x}).\n\
+                 minimal failing input (after {steps} shrink steps): {minimal:?}\n\
+                 {msg}"
+            );
+        }
+    };
+    if let Some(replay) = env_u64("SOI_TESTKIT_REPLAY") {
+        eprintln!("[soi-testkit] {name}: replaying single case with seed {replay:#018x}");
+        run_case(replay, "replay");
+        return;
+    }
+    for case in 0..config.cases {
+        run_case(config.case_seed(case), &format!("case {case}/{}", config.cases));
+    }
+}
+
+/// Greedy shrink: repeatedly move to the first failing candidate until no
+/// candidate fails or the budget runs out.
+fn shrink_to_minimal<V, S, T>(shrink: &S, test: &T, mut value: V, mut msg: String) -> (V, String, u32)
+where
+    V: Clone,
+    S: Fn(&V) -> Vec<V>,
+    T: Fn(&V) -> Result<(), String>,
+{
+    const BUDGET: u32 = 1_000;
+    let mut attempts = 0u32;
+    let mut steps = 0u32;
+    'descend: loop {
+        for candidate in shrink(&value) {
+            attempts += 1;
+            if attempts > BUDGET {
+                break 'descend;
+            }
+            if let Err(m) = test(&candidate) {
+                value = candidate;
+                msg = m;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    (value, msg, steps)
+}
+
+/// A no-op shrinker for [`forall`] when minimization is not useful.
+pub fn no_shrink<V>(_: &V) -> Vec<V> {
+    Vec::new()
+}
+
+/// Shrink a `usize` toward `floor`: halving steps plus decrement.
+pub fn shrink_usize_toward(floor: usize) -> impl Fn(&usize) -> Vec<usize> {
+    move |&v: &usize| {
+        let mut out = Vec::new();
+        if v > floor {
+            let mid = floor + (v - floor) / 2;
+            if mid != v {
+                out.push(mid);
+            }
+            out.push(v - 1);
+        }
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut ran = 0u64;
+        let counter = std::cell::Cell::new(0u64);
+        check("always_true", PropConfig { cases: 25, seed: 1 }, |rng| {
+            let _ = rng.next_u64();
+            counter.set(counter.get() + 1);
+        });
+        ran += counter.get();
+        assert_eq!(ran, 25);
+    }
+
+    #[test]
+    fn case_seeds_are_distinct_and_deterministic() {
+        let cfg = PropConfig { cases: 100, seed: 42 };
+        let seeds: Vec<u64> = (0..100).map(|c| cfg.case_seed(c)).collect();
+        let again: Vec<u64> = (0..100).map(|c| cfg.case_seed(c)).collect();
+        assert_eq!(seeds, again);
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "case seed collision");
+    }
+
+    #[test]
+    fn failing_property_reports_and_panics() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            check("fails_eventually", PropConfig { cases: 50, seed: 9 }, |rng| {
+                // Fails as soon as a draw has its low bit set: quickly.
+                assert_eq!(rng.next_u64() & 1, 0, "low bit set");
+            });
+        }));
+        assert!(result.is_err(), "property should have failed");
+    }
+
+    #[test]
+    fn forall_shrinks_to_minimal_counterexample() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            forall(
+                "no_large_values",
+                PropConfig { cases: 10, seed: 7 },
+                |rng| rng.usize_in(0..1_000),
+                shrink_usize_toward(0),
+                |&v| {
+                    if v >= 10 {
+                        Err(format!("{v} >= 10"))
+                    } else {
+                        Ok(())
+                    }
+                },
+            );
+        }));
+        let payload = result.expect_err("property should have failed");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        // Greedy shrink must land exactly on the boundary value 10.
+        assert!(msg.contains("minimal failing input"), "{msg}");
+        assert!(msg.contains(": 10\n"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn no_shrink_returns_nothing() {
+        assert!(no_shrink(&123u32).is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Deterministic seedable PRNG: SplitMix64 seeding + xoshiro256**.
+//!
+//! The generator is Blackman & Vigna's xoshiro256** (public domain),
+//! seeded through SplitMix64 so that *any* 64-bit seed — including 0 —
+//! yields a well-mixed 256-bit state. Not cryptographic; built for
+//! reproducible test cases, workload signals, and perturbation models.
+
+use soi_num::Complex64;
+use std::ops::Range;
+
+/// Advance a SplitMix64 state and return the next output.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable xoshiro256** generator.
+///
+/// ```
+/// use soi_testkit::TestRng;
+///
+/// let mut a = TestRng::seed_from_u64(7);
+/// let mut b = TestRng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed the full 256-bit state from one u64 via SplitMix64.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { s }
+    }
+
+    /// Next 64 uniformly random bits (xoshiro256** scrambler).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32 uniformly random bits (upper half of a 64-bit draw).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn f64_in(&mut self, range: Range<f64>) -> f64 {
+        debug_assert!(range.start < range.end, "empty f64 range");
+        range.start + self.next_f64() * (range.end - range.start)
+    }
+
+    /// Uniform `u64` in `[0, bound)` via the widening-multiply bound map
+    /// (bias ≤ bound/2⁶⁴ — immaterial for test-case generation).
+    #[inline]
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "u64_below(0)");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[range.start, range.end)`.
+    #[inline]
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        debug_assert!(range.start < range.end, "empty usize range");
+        range.start + self.u64_below((range.end - range.start) as u64) as usize
+    }
+
+    /// Random boolean with probability `p` of `true`.
+    #[inline]
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// One uniformly random complex point in the square `[-1,1) × [-1,1)`.
+    #[inline]
+    pub fn complex_unit_square(&mut self) -> Complex64 {
+        Complex64::new(self.f64_in(-1.0..1.0), self.f64_in(-1.0..1.0))
+    }
+
+    /// A length-`n` complex vector drawn from the unit square — the
+    /// standard random-signal workload of the property suite.
+    pub fn complex_vec(&mut self, n: usize) -> Vec<Complex64> {
+        (0..n).map(|_| self.complex_unit_square()).collect()
+    }
+
+    /// A length-`n` real vector uniform in `[lo, hi)`.
+    pub fn f64_vec(&mut self, n: usize, range: Range<f64>) -> Vec<f64> {
+        (0..n).map(|_| self.f64_in(range.start..range.end)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Known-answer values for SplitMix64 from seed 0 (the published
+        // reference sequence: 0xE220A8397B1DCDAF, ...).
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(splitmix64(&mut s), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn xoshiro_known_answer_values() {
+        // Known-answer regression pins for the full seed→output path.
+        // Seed 0 matches the published xoshiro256** reference sequence
+        // (SplitMix64-expanded state), the same vector the `rand` crate
+        // tests `Xoshiro256StarStar::seed_from_u64(0)` against.
+        let expect: [(u64, [u64; 4]); 4] = [
+            (0x0, [0x99EC5F36CB75F2B4, 0xBF6E1F784956452A, 0x1A5F849D4933E6E0, 0x6AA594F1262D2D2C]),
+            (0x1, [0xB3F2AF6D0FC710C5, 0x853B559647364CEA, 0x92F89756082A4514, 0x642E1C7BC266A3A7]),
+            (0x7DC, [0x014A862F159FAD09, 0x825EE5D1DD03D4B7, 0x2C29298FE81176B5, 0xADBB959CF3C5C034]),
+            (0xDEADBEEF, [0xC5555444A74D7E83, 0x65C30D37B4B16E38, 0x54F773200A4EFA23, 0x429AED75FB958AF7]),
+        ];
+        for (seed, want) in expect {
+            let mut rng = TestRng::seed_from_u64(seed);
+            let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+            assert_eq!(got, want, "seed {seed:#x}");
+        }
+    }
+
+    #[test]
+    fn f64_known_answer_values() {
+        // Pins the u64→f64 mapping (shift by 11, scale by 2⁻⁵³).
+        let mut rng = TestRng::seed_from_u64(2012);
+        let got: Vec<f64> = (0..4).map(|_| rng.next_f64()).collect();
+        let want = [
+            0.005043398375731756,
+            0.509260524498145,
+            0.17250308764784505,
+            0.6786435611900492,
+        ];
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TestRng::seed_from_u64(0xDEAD_BEEF);
+        let mut b = TestRng::seed_from_u64(0xDEAD_BEEF);
+        for _ in 0..256 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = TestRng::seed_from_u64(1);
+        let mut b = TestRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = TestRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let u = rng.usize_in(3..17);
+            assert!((3..17).contains(&u));
+            let f = rng.f64_in(-2.5..0.5);
+            assert!((-2.5..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn usize_in_covers_every_value() {
+        let mut rng = TestRng::seed_from_u64(5);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.usize_in(0..8)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn complex_vec_is_deterministic_and_bounded() {
+        let a = TestRng::seed_from_u64(6).complex_vec(128);
+        let b = TestRng::seed_from_u64(6).complex_vec(128);
+        assert_eq!(
+            a.iter().map(|c| (c.re, c.im)).collect::<Vec<_>>(),
+            b.iter().map(|c| (c.re, c.im)).collect::<Vec<_>>()
+        );
+        assert!(a.iter().all(|c| c.re.abs() <= 1.0 && c.im.abs() <= 1.0));
+    }
+}

@@ -110,18 +110,24 @@ pub fn design_two_param(
 ) -> Result<WindowDesign<TwoParamWindow>, DesignError> {
     // The searches are deterministic in their inputs and invoked all over
     // the test suite and harnesses — memoize globally.
-    use parking_lot::Mutex;
+    use std::sync::Mutex;
     use std::collections::HashMap;
     type Key = (u64, u64, u64);
     type CacheVal = Result<WindowDesign<TwoParamWindow>, DesignError>;
     static CACHE: Mutex<Option<HashMap<Key, CacheVal>>> = Mutex::new(None);
     let key = (beta.to_bits(), target.to_bits(), kappa_max.to_bits());
-    if let Some(hit) = CACHE.lock().get_or_insert_with(HashMap::new).get(&key) {
+    if let Some(hit) = CACHE
+        .lock()
+        .expect("design cache poisoned")
+        .get_or_insert_with(HashMap::new)
+        .get(&key)
+    {
         return hit.clone();
     }
     let result = design_two_param_uncached(beta, target, kappa_max);
     CACHE
         .lock()
+        .expect("design cache poisoned")
         .get_or_insert_with(HashMap::new)
         .insert(key, result.clone());
     result
@@ -214,18 +220,24 @@ pub fn design_gaussian(
     target: f64,
     kappa_max: f64,
 ) -> Result<WindowDesign<GaussianWindow>, DesignError> {
-    use parking_lot::Mutex;
+    use std::sync::Mutex;
     use std::collections::HashMap;
     type Key = (u64, u64, u64);
     type CacheVal = Result<WindowDesign<GaussianWindow>, DesignError>;
     static CACHE: Mutex<Option<HashMap<Key, CacheVal>>> = Mutex::new(None);
     let key = (beta.to_bits(), target.to_bits(), kappa_max.to_bits());
-    if let Some(hit) = CACHE.lock().get_or_insert_with(HashMap::new).get(&key) {
+    if let Some(hit) = CACHE
+        .lock()
+        .expect("design cache poisoned")
+        .get_or_insert_with(HashMap::new)
+        .get(&key)
+    {
         return hit.clone();
     }
     let result = design_gaussian_uncached(beta, target, kappa_max);
     CACHE
         .lock()
+        .expect("design cache poisoned")
         .get_or_insert_with(HashMap::new)
         .insert(key, result.clone());
     result
@@ -302,18 +314,24 @@ pub fn design_compact(
     kappa_max: f64,
 ) -> Result<WindowDesign<crate::family::CompactBumpWindow>, DesignError> {
     use crate::family::CompactBumpWindow;
-    use parking_lot::Mutex;
+    use std::sync::Mutex;
     use std::collections::HashMap;
     type Key = (u64, u64, u64);
     type CacheVal = Result<WindowDesign<CompactBumpWindow>, DesignError>;
     static CACHE: Mutex<Option<HashMap<Key, CacheVal>>> = Mutex::new(None);
     let key = (beta.to_bits(), target.to_bits(), kappa_max.to_bits());
-    if let Some(hit) = CACHE.lock().get_or_insert_with(HashMap::new).get(&key) {
+    if let Some(hit) = CACHE
+        .lock()
+        .expect("design cache poisoned")
+        .get_or_insert_with(HashMap::new)
+        .get(&key)
+    {
         return hit.clone();
     }
     let result = design_compact_uncached(beta, target, kappa_max);
     CACHE
         .lock()
+        .expect("design cache poisoned")
         .get_or_insert_with(HashMap::new)
         .insert(key, result.clone());
     result

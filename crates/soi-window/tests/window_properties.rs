@@ -1,73 +1,106 @@
 //! Property tests on the window families and their quality metrics.
 
-use proptest::prelude::*;
+use soi_testkit::{check, PropConfig};
 use soi_window::family::{CompactBumpWindow, GaussianWindow, TwoParamWindow, Window};
 use soi_window::metrics::{alias_error, kappa, trunc_error};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+#[test]
+fn two_param_h_hat_is_even_and_positive() {
+    check(
+        "two_param_h_hat_is_even_and_positive",
+        PropConfig::cases(24),
+        |rng| {
+            let tau = rng.f64_in(0.2..1.0);
+            let sigma = rng.f64_in(20.0..800.0);
+            let u = rng.f64_in(-2.0..2.0);
+            let w = TwoParamWindow::new(tau, sigma);
+            assert!((w.h_hat(u) - w.h_hat(-u)).abs() <= 1e-14 * (1.0 + w.h_hat(u).abs()));
+            assert!(
+                w.h_hat(u) >= 0.0,
+                "Ĥ must be non-negative (it is an integral of a Gaussian)"
+            );
+        },
+    );
+}
 
-    #[test]
-    fn two_param_h_hat_is_even_and_positive(
-        tau in 0.2f64..1.0,
-        sigma in 20.0f64..800.0,
-        u in -2.0f64..2.0,
-    ) {
+#[test]
+fn two_param_h_time_peaks_at_origin() {
+    check(
+        "two_param_h_time_peaks_at_origin",
+        PropConfig::cases(24),
+        |rng| {
+            let tau = rng.f64_in(0.2..1.0);
+            let sigma = rng.f64_in(20.0..800.0);
+            let t = rng.f64_in(0.05..30.0);
+            let w = TwoParamWindow::new(tau, sigma);
+            assert!(w.h_time(0.0).abs() >= w.h_time(t).abs());
+        },
+    );
+}
+
+#[test]
+fn kappa_at_least_one() {
+    check("kappa_at_least_one", PropConfig::cases(24), |rng| {
+        let tau = rng.f64_in(0.3..1.0);
+        let sigma = rng.f64_in(30.0..500.0);
         let w = TwoParamWindow::new(tau, sigma);
-        prop_assert!((w.h_hat(u) - w.h_hat(-u)).abs() <= 1e-14 * (1.0 + w.h_hat(u).abs()));
-        prop_assert!(w.h_hat(u) >= 0.0, "Ĥ must be non-negative (it is an integral of a Gaussian)");
-    }
+        assert!(kappa(&w) >= 1.0);
+    });
+}
 
-    #[test]
-    fn two_param_h_time_peaks_at_origin(
-        tau in 0.2f64..1.0,
-        sigma in 20.0f64..800.0,
-        t in 0.05f64..30.0,
-    ) {
-        let w = TwoParamWindow::new(tau, sigma);
-        prop_assert!(w.h_time(0.0).abs() >= w.h_time(t).abs());
-    }
-
-    #[test]
-    fn kappa_at_least_one(tau in 0.3f64..1.0, sigma in 30.0f64..500.0) {
-        let w = TwoParamWindow::new(tau, sigma);
-        prop_assert!(kappa(&w) >= 1.0);
-    }
-
-    #[test]
-    fn alias_monotone_in_beta(tau in 0.3f64..0.9, sigma in 40.0f64..400.0) {
+#[test]
+fn alias_monotone_in_beta() {
+    check("alias_monotone_in_beta", PropConfig::cases(24), |rng| {
+        let tau = rng.f64_in(0.3..0.9);
+        let sigma = rng.f64_in(40.0..400.0);
         let w = TwoParamWindow::new(tau, sigma);
         let e1 = alias_error(&w, 0.1);
         let e2 = alias_error(&w, 0.3);
         let e3 = alias_error(&w, 0.6);
-        prop_assert!(e1 >= e2 && e2 >= e3, "{e1:e} {e2:e} {e3:e}");
-    }
+        assert!(e1 >= e2 && e2 >= e3, "{e1:e} {e2:e} {e3:e}");
+    });
+}
 
-    #[test]
-    fn trunc_monotone_in_b(tau in 0.3f64..0.9, sigma in 40.0f64..400.0) {
+#[test]
+fn trunc_monotone_in_b() {
+    check("trunc_monotone_in_b", PropConfig::cases(24), |rng| {
+        let tau = rng.f64_in(0.3..0.9);
+        let sigma = rng.f64_in(40.0..400.0);
         let w = TwoParamWindow::new(tau, sigma);
         let t1 = trunc_error(&w, 8);
         let t2 = trunc_error(&w, 24);
         let t3 = trunc_error(&w, 48);
-        prop_assert!(t1 >= t2 && t2 >= t3, "{t1:e} {t2:e} {t3:e}");
-    }
+        assert!(t1 >= t2 && t2 >= t3, "{t1:e} {t2:e} {t3:e}");
+    });
+}
 
-    #[test]
-    fn gaussian_kappa_is_exp_quarter_sigma(sigma in 5.0f64..100.0) {
-        // For Ĥ = e^{−σu²}: κ = Ĥ(0)/Ĥ(1/2) = e^{σ/4}, exactly.
-        let w = GaussianWindow::new(sigma);
-        let k = kappa(&w);
-        let want = (sigma / 4.0).exp();
-        prop_assert!((k - want).abs() <= 1e-6 * want, "{k} vs {want}");
-    }
+#[test]
+fn gaussian_kappa_is_exp_quarter_sigma() {
+    check(
+        "gaussian_kappa_is_exp_quarter_sigma",
+        PropConfig::cases(24),
+        |rng| {
+            // For Ĥ = e^{−σu²}: κ = Ĥ(0)/Ĥ(1/2) = e^{σ/4}, exactly.
+            let sigma = rng.f64_in(5.0..100.0);
+            let w = GaussianWindow::new(sigma);
+            let k = kappa(&w);
+            let want = (sigma / 4.0).exp();
+            assert!((k - want).abs() <= 1e-6 * want, "{k} vs {want}");
+        },
+    );
+}
 
-    #[test]
-    fn compact_support_is_hard_zero(tau_frac in 0.1f64..0.8, beta in 0.1f64..0.8, off in 0.0f64..3.0) {
+#[test]
+fn compact_support_is_hard_zero() {
+    check("compact_support_is_hard_zero", PropConfig::cases(24), |rng| {
+        let tau_frac = rng.f64_in(0.1..0.8);
+        let beta = rng.f64_in(0.1..0.8);
+        let off = rng.f64_in(0.0..3.0);
         let u_max = 0.5 + beta;
         let w = CompactBumpWindow::new(tau_frac * 2.0 * u_max * 0.9, u_max);
-        prop_assert_eq!(w.h_hat(u_max + off), 0.0);
-        prop_assert_eq!(alias_error(&w, beta), 0.0);
-    }
+        assert_eq!(w.h_hat(u_max + off), 0.0);
+        assert_eq!(alias_error(&w, beta), 0.0);
+    });
 }
 
 #[test]

@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Tier-1 verification, hermetic: build + test the whole workspace with no
+# registry access. Any dependency leak outside the tree fails here first.
+#
+# Usage: scripts/verify.sh [--with-benches]
+#
+# Knobs:
+#   SOI_TESTKIT_SEED=0x...   re-seed every property suite (default fixed)
+#   SOI_TESTKIT_CASES=N      override per-property case counts
+#   SOI_TESTKIT_REPLAY=0x... replay exactly one reported failing case
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> guard: [workspace.dependencies] must contain only path dependencies"
+leaks="$(sed -n '/^\[workspace\.dependencies\]/,/^\[/p' Cargo.toml | grep -E '"[0-9]' || true)"
+if [ -n "$leaks" ]; then
+    echo "ERROR: registry dependency found in [workspace.dependencies]:" >&2
+    echo "$leaks" >&2
+    exit 1
+fi
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline (root package: tier-1)"
+cargo test -q --offline
+
+echo "==> cargo test -q --offline --workspace (every crate)"
+cargo test -q --offline --workspace
+
+echo "==> determinism: two property-suite runs must exercise identical streams"
+run_props() {
+    cargo test -q --offline --test properties 2>&1 \
+        | grep -E "^test result" | sed 's/; finished in.*//' || true
+}
+a="$(run_props)"
+b="$(run_props)"
+if [ "$a" != "$b" ]; then
+    echo "ERROR: property suite results differ between consecutive runs" >&2
+    echo "run 1: $a" >&2
+    echo "run 2: $b" >&2
+    exit 1
+fi
+
+if [ "${1:-}" = "--with-benches" ]; then
+    echo "==> smoke-run the harness-free benches (quick settings)"
+    SOI_BENCH_SAMPLES=3 SOI_BENCH_WARMUP_MS=2 SOI_BENCH_TARGET_MS=2 \
+        cargo bench --offline -p soi-bench
+fi
+
+echo "==> verify OK"

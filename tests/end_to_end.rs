@@ -6,7 +6,7 @@
 //! and the double-double reference (soi-num/soi-fft::ddfft).
 
 use soi::core::{SoiFft, SoiParams};
-use soi::dist::{BaselineFft, ChargePolicy, ComputeRates, DistSoiFft, ExchangeVariant};
+use soi::dist::{BaselineFft, ChargePolicy, DistSoiFft, ExchangeVariant};
 use soi::num::complex::rel_l2_error;
 use soi::num::stats::snr_db_vs_pairs;
 use soi::num::Complex64;

@@ -1,0 +1,140 @@
+//! Golden-vector regression tests for the FFT kernels.
+//!
+//! The committed spectra below were computed once by the double-double
+//! reference transform (`soi-fft::ddfft::reference_spectrum`, ~31 digits,
+//! rounded to f64 at the very end) over bit-exact inputs drawn from the
+//! testkit PRNG (`TestRng::seed_from_u64(2012).complex_vec(n)` — integer
+//! arithmetic plus scaling by powers of two, so identical on every
+//! platform). Kernel refactors that silently drift the forward or
+//! inverse transforms fail here even if self-consistency tests
+//! (roundtrip, Parseval) still pass.
+//!
+//! Sizes cover both planner paths the dd oracle distinguishes: 4/8/16
+//! (radix-2 Stockham) and 12 (mixed-radix via the naive dd DFT).
+//!
+//! Regenerate (only after an *intentional* convention change) by printing
+//! `reference_spectrum(&TestRng::seed_from_u64(2012).complex_vec(n))`
+//! with `{:.17e}`.
+
+use soi::fft::{fft_forward, fft_inverse};
+use soi::num::Complex64;
+use soi_testkit::TestRng;
+
+const GOLDEN_4: [(f64, f64); 4] = [
+    (-2.08101504396824710e0, -4.46748677895978608e-1),
+    (-7.18813569901904925e-1, 5.24311001070564942e-1),
+    (7.23028832391642062e-1, -7.11857705802641183e-1),
+    (-1.88285303151563599e0, 7.08379578613214544e-1),
+];
+
+const GOLDEN_8: [(f64, f64); 8] = [
+    (-2.90212488279185798e0, -1.13259363328093166e-1),
+    (-1.86791653771508259e0, 2.22312716121845533e0),
+    (-2.28936952351443956e0, -6.68946743694789348e-1),
+    (2.55840848979181504e-3, 9.11263309330358484e-2),
+    (1.80760629331826217e0, -1.73641589690754783e0),
+    (-1.37117435453094383e0, -1.51877828087294362e-2),
+    (-2.35034967264594030e0, -6.91248533913789931e-1),
+    (1.05146464340191859e0, 1.05897322047177789e0),
+];
+
+const GOLDEN_12: [(f64, f64); 12] = [
+    (-1.02972656904091520e0, -5.08059323983630851e-1),
+    (-2.23273243672745147e0, 1.94779643491369581e0),
+    (-1.02139048446312011e-1, 9.71705216627527846e-1),
+    (-2.14722268191050780e-1, -1.31597204180748339e0),
+    (1.49164249118457981e0, 4.14924154874602991e0),
+    (-2.36773411663179756e0, 2.48480249792309094e0),
+    (7.60550855767792688e-1, -2.21080170036328827e0),
+    (-2.81545809373836597e0, -9.77916690137564437e-1),
+    (-1.86035950266065098e0, -1.11297075815122870e0),
+    (-2.49009445363714610e0, -1.47607397396637485e0),
+    (-1.74716712102694127e0, 1.67473678223533629e0),
+    (7.28981824165820913e-1, -3.40423540408063063e0),
+];
+
+const GOLDEN_16: [(f64, f64); 16] = [
+    (-2.23349793118110762e-1, 9.52182864143690688e-1),
+    (-3.42046050602725282e0, 2.96597202390653303e0),
+    (-2.19437923777872568e0, 3.10114404070765959e0),
+    (-1.95581901780272882e0, 5.38345864806599739e-1),
+    (-7.25567759954720781e-1, -2.43352442157874282e0),
+    (-1.70639334478646587e0, 3.92713942524041215e0),
+    (8.03818891634793586e-1, -1.00695355031982614e0),
+    (-9.71068614397736618e-1, 4.49628889974601442e0),
+    (-1.59783616629941227e0, -3.51837371825555323e0),
+    (-2.21488927125874646e0, -4.99939600720523636e0),
+    (7.02618098548515868e-1, -1.28841889582136271e0),
+    (-1.15916881357293833e0, -2.08182005572596307e-1),
+    (-2.41831794138001532e0, -2.02518146816602274e0),
+    (-1.14812007154786677e0, 2.64911003308898052e-1),
+    (3.25419898342469649e0, 1.76522053670736256e0),
+    (-8.63876687659869136e-1, -2.23483780770719065e0),
+];
+
+/// The bit-exact golden input for size `n`.
+fn golden_input(n: usize) -> Vec<Complex64> {
+    TestRng::seed_from_u64(2012).complex_vec(n)
+}
+
+fn golden_spectrum(n: usize) -> Vec<Complex64> {
+    let table: &[(f64, f64)] = match n {
+        4 => &GOLDEN_4,
+        8 => &GOLDEN_8,
+        12 => &GOLDEN_12,
+        16 => &GOLDEN_16,
+        _ => panic!("no golden table for n={n}"),
+    };
+    table.iter().map(|&(re, im)| Complex64::new(re, im)).collect()
+}
+
+const SIZES: [usize; 4] = [4, 8, 12, 16];
+
+#[test]
+fn forward_matches_dd_reference_golden() {
+    for n in SIZES {
+        let y = fft_forward(&golden_input(n));
+        let want = golden_spectrum(n);
+        for k in 0..n {
+            let err = (y[k] - want[k]).abs();
+            assert!(
+                err < 1e-13 * n as f64,
+                "n={n} bin {k}: got {:?}, want {:?} (err {err:e})",
+                y[k],
+                want[k]
+            );
+        }
+    }
+}
+
+#[test]
+fn inverse_recovers_input_from_golden_spectrum() {
+    for n in SIZES {
+        let x = golden_input(n);
+        let back = fft_inverse(&golden_spectrum(n));
+        for j in 0..n {
+            let err = (back[j] - x[j]).abs();
+            assert!(
+                err < 1e-13 * n as f64,
+                "n={n} sample {j}: got {:?}, want {:?} (err {err:e})",
+                back[j],
+                x[j]
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_tables_are_not_self_consistent_noise() {
+    // Sanity on the tables themselves: Parseval ties the committed
+    // spectrum to the committed input, catching a corrupted constant.
+    for n in SIZES {
+        let ex: f64 = golden_input(n).iter().map(|v| v.norm_sqr()).sum();
+        let ey: f64 = golden_spectrum(n).iter().map(|v| v.norm_sqr()).sum();
+        assert!(
+            (ey - n as f64 * ex).abs() < 1e-12 * (1.0 + ey),
+            "n={n}: {ey} vs {}",
+            n as f64 * ex
+        );
+    }
+}
