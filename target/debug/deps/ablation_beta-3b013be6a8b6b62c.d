@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_beta-3b013be6a8b6b62c.d: crates/soi-bench/src/bin/ablation_beta.rs
+
+/root/repo/target/debug/deps/ablation_beta-3b013be6a8b6b62c: crates/soi-bench/src/bin/ablation_beta.rs
+
+crates/soi-bench/src/bin/ablation_beta.rs:

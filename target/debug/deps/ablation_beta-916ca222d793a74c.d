@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_beta-916ca222d793a74c.d: crates/soi-bench/src/bin/ablation_beta.rs
+
+/root/repo/target/debug/deps/ablation_beta-916ca222d793a74c: crates/soi-bench/src/bin/ablation_beta.rs
+
+crates/soi-bench/src/bin/ablation_beta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_window-13ca725b136e4cf5.d: crates/soi-bench/src/bin/ablation_window.rs
+
+/root/repo/target/debug/deps/ablation_window-13ca725b136e4cf5: crates/soi-bench/src/bin/ablation_window.rs
+
+crates/soi-bench/src/bin/ablation_window.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_window-de6533de8d5d0f0d.d: crates/soi-bench/src/bin/ablation_window.rs
+
+/root/repo/target/debug/deps/ablation_window-de6533de8d5d0f0d: crates/soi-bench/src/bin/ablation_window.rs
+
+crates/soi-bench/src/bin/ablation_window.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_74-46b2d4d5b897959a.d: crates/soi-bench/src/bin/analysis_74.rs
+
+/root/repo/target/debug/deps/analysis_74-46b2d4d5b897959a: crates/soi-bench/src/bin/analysis_74.rs
+
+crates/soi-bench/src/bin/analysis_74.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/analysis_74-6175ec3b8836c4f2.d: crates/soi-bench/src/bin/analysis_74.rs
+
+/root/repo/target/debug/deps/analysis_74-6175ec3b8836c4f2: crates/soi-bench/src/bin/analysis_74.rs
+
+crates/soi-bench/src/bin/analysis_74.rs:

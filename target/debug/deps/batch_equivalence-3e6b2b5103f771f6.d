@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_equivalence-3e6b2b5103f771f6.d: crates/soi-fft/tests/batch_equivalence.rs
+
+/root/repo/target/debug/deps/batch_equivalence-3e6b2b5103f771f6: crates/soi-fft/tests/batch_equivalence.rs
+
+crates/soi-fft/tests/batch_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/comm_properties-3d13af3341d79d37.d: crates/soi-simnet/tests/comm_properties.rs
+
+/root/repo/target/debug/deps/comm_properties-3d13af3341d79d37: crates/soi-simnet/tests/comm_properties.rs
+
+crates/soi-simnet/tests/comm_properties.rs:

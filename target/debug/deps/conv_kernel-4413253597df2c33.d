@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/conv_kernel-4413253597df2c33.d: crates/soi-bench/benches/conv_kernel.rs
+
+/root/repo/target/debug/deps/conv_kernel-4413253597df2c33: crates/soi-bench/benches/conv_kernel.rs
+
+crates/soi-bench/benches/conv_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_engine-bb3b0bdb7e80f4f8.d: tests/cross_engine.rs
+
+/root/repo/target/debug/deps/cross_engine-bb3b0bdb7e80f4f8: tests/cross_engine.rs
+
+tests/cross_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a749b0a2c6028a93.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a749b0a2c6028a93: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fft_kernels-afc581fc3532ee45.d: crates/soi-bench/benches/fft_kernels.rs
+
+/root/repo/target/debug/deps/fft_kernels-afc581fc3532ee45: crates/soi-bench/benches/fft_kernels.rs
+
+crates/soi-bench/benches/fft_kernels.rs:

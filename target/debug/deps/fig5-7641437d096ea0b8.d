@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-7641437d096ea0b8.d: crates/soi-bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-7641437d096ea0b8: crates/soi-bench/src/bin/fig5.rs
+
+crates/soi-bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-c8cb67b6de68308e.d: crates/soi-bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-c8cb67b6de68308e: crates/soi-bench/src/bin/fig5.rs
+
+crates/soi-bench/src/bin/fig5.rs:

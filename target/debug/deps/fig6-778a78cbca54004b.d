@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-778a78cbca54004b.d: crates/soi-bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-778a78cbca54004b: crates/soi-bench/src/bin/fig6.rs
+
+crates/soi-bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-7f2de8b617d7ade1.d: crates/soi-bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-7f2de8b617d7ade1: crates/soi-bench/src/bin/fig6.rs
+
+crates/soi-bench/src/bin/fig6.rs:

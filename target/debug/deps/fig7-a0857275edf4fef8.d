@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-a0857275edf4fef8.d: crates/soi-bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-a0857275edf4fef8: crates/soi-bench/src/bin/fig7.rs
+
+crates/soi-bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-fedc080f8db1f4fa.d: crates/soi-bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-fedc080f8db1f4fa: crates/soi-bench/src/bin/fig7.rs
+
+crates/soi-bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-b91d55ec97fd97ed.d: crates/soi-bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-b91d55ec97fd97ed: crates/soi-bench/src/bin/fig8.rs
+
+crates/soi-bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-c52a030c489cc082.d: crates/soi-bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-c52a030c489cc082: crates/soi-bench/src/bin/fig8.rs
+
+crates/soi-bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-0e0a0b650760ff07.d: crates/soi-bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-0e0a0b650760ff07: crates/soi-bench/src/bin/fig9.rs
+
+crates/soi-bench/src/bin/fig9.rs:

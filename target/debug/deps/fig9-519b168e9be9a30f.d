@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-519b168e9be9a30f.d: crates/soi-bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-519b168e9be9a30f: crates/soi-bench/src/bin/fig9.rs
+
+crates/soi-bench/src/bin/fig9.rs:

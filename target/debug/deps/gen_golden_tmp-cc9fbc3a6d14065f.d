@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_golden_tmp-cc9fbc3a6d14065f.d: tests/gen_golden_tmp.rs
+
+/root/repo/target/debug/deps/gen_golden_tmp-cc9fbc3a6d14065f: tests/gen_golden_tmp.rs
+
+tests/gen_golden_tmp.rs:

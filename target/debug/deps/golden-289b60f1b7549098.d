@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-289b60f1b7549098.d: tests/golden.rs
+
+/root/repo/target/debug/deps/golden-289b60f1b7549098: tests/golden.rs
+
+tests/golden.rs:

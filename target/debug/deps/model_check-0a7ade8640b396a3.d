@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_check-0a7ade8640b396a3.d: crates/soi-bench/src/bin/model_check.rs
+
+/root/repo/target/debug/deps/model_check-0a7ade8640b396a3: crates/soi-bench/src/bin/model_check.rs
+
+crates/soi-bench/src/bin/model_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_check-d9f1ad1c6ebfea87.d: crates/soi-bench/src/bin/model_check.rs
+
+/root/repo/target/debug/deps/model_check-d9f1ad1c6ebfea87: crates/soi-bench/src/bin/model_check.rs
+
+crates/soi-bench/src/bin/model_check.rs:

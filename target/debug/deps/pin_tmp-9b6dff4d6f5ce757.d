@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pin_tmp-9b6dff4d6f5ce757.d: crates/soi-bench/tests/pin_tmp.rs
+
+/root/repo/target/debug/deps/pin_tmp-9b6dff4d6f5ce757: crates/soi-bench/tests/pin_tmp.rs
+
+crates/soi-bench/tests/pin_tmp.rs:

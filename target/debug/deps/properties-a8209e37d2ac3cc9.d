@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a8209e37d2ac3cc9.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a8209e37d2ac3cc9: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snr_table-8808fc783798be14.d: crates/soi-bench/src/bin/snr_table.rs
+
+/root/repo/target/debug/deps/snr_table-8808fc783798be14: crates/soi-bench/src/bin/snr_table.rs
+
+crates/soi-bench/src/bin/snr_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/snr_table-ba4f921cd826c690.d: crates/soi-bench/src/bin/snr_table.rs
+
+/root/repo/target/debug/deps/snr_table-ba4f921cd826c690: crates/soi-bench/src/bin/snr_table.rs
+
+crates/soi-bench/src/bin/snr_table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soi-850b602dc319c2bf.d: crates/soi-cli/src/main.rs crates/soi-cli/src/args.rs crates/soi-cli/src/commands.rs
+
+/root/repo/target/debug/deps/soi-850b602dc319c2bf: crates/soi-cli/src/main.rs crates/soi-cli/src/args.rs crates/soi-cli/src/commands.rs
+
+crates/soi-cli/src/main.rs:
+crates/soi-cli/src/args.rs:
+crates/soi-cli/src/commands.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

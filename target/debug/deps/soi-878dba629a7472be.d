@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/soi-878dba629a7472be.d: src/lib.rs
+
+/root/repo/target/debug/deps/soi-878dba629a7472be: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

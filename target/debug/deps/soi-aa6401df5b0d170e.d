@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soi-aa6401df5b0d170e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsoi-aa6401df5b0d170e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsoi-aa6401df5b0d170e.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/soi_bench-34821c1cc43be0c8.d: crates/soi-bench/src/lib.rs crates/soi-bench/src/model.rs crates/soi-bench/src/projection.rs crates/soi-bench/src/report.rs crates/soi-bench/src/simulate.rs crates/soi-bench/src/workload.rs
+
+/root/repo/target/debug/deps/libsoi_bench-34821c1cc43be0c8.rlib: crates/soi-bench/src/lib.rs crates/soi-bench/src/model.rs crates/soi-bench/src/projection.rs crates/soi-bench/src/report.rs crates/soi-bench/src/simulate.rs crates/soi-bench/src/workload.rs
+
+/root/repo/target/debug/deps/libsoi_bench-34821c1cc43be0c8.rmeta: crates/soi-bench/src/lib.rs crates/soi-bench/src/model.rs crates/soi-bench/src/projection.rs crates/soi-bench/src/report.rs crates/soi-bench/src/simulate.rs crates/soi-bench/src/workload.rs
+
+crates/soi-bench/src/lib.rs:
+crates/soi-bench/src/model.rs:
+crates/soi-bench/src/projection.rs:
+crates/soi-bench/src/report.rs:
+crates/soi-bench/src/simulate.rs:
+crates/soi-bench/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/soi_bench-9f5b3a003b767bf3.d: crates/soi-bench/src/lib.rs crates/soi-bench/src/model.rs crates/soi-bench/src/projection.rs crates/soi-bench/src/report.rs crates/soi-bench/src/simulate.rs crates/soi-bench/src/workload.rs
+
+/root/repo/target/debug/deps/soi_bench-9f5b3a003b767bf3: crates/soi-bench/src/lib.rs crates/soi-bench/src/model.rs crates/soi-bench/src/projection.rs crates/soi-bench/src/report.rs crates/soi-bench/src/simulate.rs crates/soi-bench/src/workload.rs
+
+crates/soi-bench/src/lib.rs:
+crates/soi-bench/src/model.rs:
+crates/soi-bench/src/projection.rs:
+crates/soi-bench/src/report.rs:
+crates/soi-bench/src/simulate.rs:
+crates/soi-bench/src/workload.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/soi_core-0d1d3c0f138d6396.d: crates/soi-core/src/lib.rs crates/soi-core/src/coeff.rs crates/soi-core/src/conv.rs crates/soi-core/src/errmodel.rs crates/soi-core/src/error.rs crates/soi-core/src/exact.rs crates/soi-core/src/opcount.rs crates/soi-core/src/params.rs crates/soi-core/src/pipeline.rs crates/soi-core/src/theorem.rs
+
+/root/repo/target/debug/deps/soi_core-0d1d3c0f138d6396: crates/soi-core/src/lib.rs crates/soi-core/src/coeff.rs crates/soi-core/src/conv.rs crates/soi-core/src/errmodel.rs crates/soi-core/src/error.rs crates/soi-core/src/exact.rs crates/soi-core/src/opcount.rs crates/soi-core/src/params.rs crates/soi-core/src/pipeline.rs crates/soi-core/src/theorem.rs
+
+crates/soi-core/src/lib.rs:
+crates/soi-core/src/coeff.rs:
+crates/soi-core/src/conv.rs:
+crates/soi-core/src/errmodel.rs:
+crates/soi-core/src/error.rs:
+crates/soi-core/src/exact.rs:
+crates/soi-core/src/opcount.rs:
+crates/soi-core/src/params.rs:
+crates/soi-core/src/pipeline.rs:
+crates/soi-core/src/theorem.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/soi_core-4127717c1fee9062.d: crates/soi-core/src/lib.rs crates/soi-core/src/coeff.rs crates/soi-core/src/conv.rs crates/soi-core/src/errmodel.rs crates/soi-core/src/error.rs crates/soi-core/src/exact.rs crates/soi-core/src/opcount.rs crates/soi-core/src/params.rs crates/soi-core/src/pipeline.rs crates/soi-core/src/theorem.rs
+
+/root/repo/target/debug/deps/libsoi_core-4127717c1fee9062.rlib: crates/soi-core/src/lib.rs crates/soi-core/src/coeff.rs crates/soi-core/src/conv.rs crates/soi-core/src/errmodel.rs crates/soi-core/src/error.rs crates/soi-core/src/exact.rs crates/soi-core/src/opcount.rs crates/soi-core/src/params.rs crates/soi-core/src/pipeline.rs crates/soi-core/src/theorem.rs
+
+/root/repo/target/debug/deps/libsoi_core-4127717c1fee9062.rmeta: crates/soi-core/src/lib.rs crates/soi-core/src/coeff.rs crates/soi-core/src/conv.rs crates/soi-core/src/errmodel.rs crates/soi-core/src/error.rs crates/soi-core/src/exact.rs crates/soi-core/src/opcount.rs crates/soi-core/src/params.rs crates/soi-core/src/pipeline.rs crates/soi-core/src/theorem.rs
+
+crates/soi-core/src/lib.rs:
+crates/soi-core/src/coeff.rs:
+crates/soi-core/src/conv.rs:
+crates/soi-core/src/errmodel.rs:
+crates/soi-core/src/error.rs:
+crates/soi-core/src/exact.rs:
+crates/soi-core/src/opcount.rs:
+crates/soi-core/src/params.rs:
+crates/soi-core/src/pipeline.rs:
+crates/soi-core/src/theorem.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/soi_dist-5ae69227542efacf.d: crates/soi-dist/src/lib.rs crates/soi-dist/src/baseline.rs crates/soi-dist/src/dtranspose.rs crates/soi-dist/src/fft2d.rs crates/soi-dist/src/rates.rs crates/soi-dist/src/soi.rs crates/soi-dist/src/times.rs
+
+/root/repo/target/debug/deps/libsoi_dist-5ae69227542efacf.rlib: crates/soi-dist/src/lib.rs crates/soi-dist/src/baseline.rs crates/soi-dist/src/dtranspose.rs crates/soi-dist/src/fft2d.rs crates/soi-dist/src/rates.rs crates/soi-dist/src/soi.rs crates/soi-dist/src/times.rs
+
+/root/repo/target/debug/deps/libsoi_dist-5ae69227542efacf.rmeta: crates/soi-dist/src/lib.rs crates/soi-dist/src/baseline.rs crates/soi-dist/src/dtranspose.rs crates/soi-dist/src/fft2d.rs crates/soi-dist/src/rates.rs crates/soi-dist/src/soi.rs crates/soi-dist/src/times.rs
+
+crates/soi-dist/src/lib.rs:
+crates/soi-dist/src/baseline.rs:
+crates/soi-dist/src/dtranspose.rs:
+crates/soi-dist/src/fft2d.rs:
+crates/soi-dist/src/rates.rs:
+crates/soi-dist/src/soi.rs:
+crates/soi-dist/src/times.rs:

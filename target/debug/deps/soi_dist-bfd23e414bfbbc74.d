@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/soi_dist-bfd23e414bfbbc74.d: crates/soi-dist/src/lib.rs crates/soi-dist/src/baseline.rs crates/soi-dist/src/dtranspose.rs crates/soi-dist/src/fft2d.rs crates/soi-dist/src/rates.rs crates/soi-dist/src/soi.rs crates/soi-dist/src/times.rs
+
+/root/repo/target/debug/deps/soi_dist-bfd23e414bfbbc74: crates/soi-dist/src/lib.rs crates/soi-dist/src/baseline.rs crates/soi-dist/src/dtranspose.rs crates/soi-dist/src/fft2d.rs crates/soi-dist/src/rates.rs crates/soi-dist/src/soi.rs crates/soi-dist/src/times.rs
+
+crates/soi-dist/src/lib.rs:
+crates/soi-dist/src/baseline.rs:
+crates/soi-dist/src/dtranspose.rs:
+crates/soi-dist/src/fft2d.rs:
+crates/soi-dist/src/rates.rs:
+crates/soi-dist/src/soi.rs:
+crates/soi-dist/src/times.rs:

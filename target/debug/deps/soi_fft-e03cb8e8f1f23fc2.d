@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/soi_fft-e03cb8e8f1f23fc2.d: crates/soi-fft/src/lib.rs crates/soi-fft/src/batch.rs crates/soi-fft/src/bluestein.rs crates/soi-fft/src/ddfft.rs crates/soi-fft/src/dft.rs crates/soi-fft/src/fft2d.rs crates/soi-fft/src/flops.rs crates/soi-fft/src/mixed.rs crates/soi-fft/src/permute.rs crates/soi-fft/src/plan.rs crates/soi-fft/src/realfft.rs crates/soi-fft/src/signal.rs crates/soi-fft/src/splitradix.rs crates/soi-fft/src/stockham.rs crates/soi-fft/src/twiddle.rs
+
+/root/repo/target/debug/deps/libsoi_fft-e03cb8e8f1f23fc2.rlib: crates/soi-fft/src/lib.rs crates/soi-fft/src/batch.rs crates/soi-fft/src/bluestein.rs crates/soi-fft/src/ddfft.rs crates/soi-fft/src/dft.rs crates/soi-fft/src/fft2d.rs crates/soi-fft/src/flops.rs crates/soi-fft/src/mixed.rs crates/soi-fft/src/permute.rs crates/soi-fft/src/plan.rs crates/soi-fft/src/realfft.rs crates/soi-fft/src/signal.rs crates/soi-fft/src/splitradix.rs crates/soi-fft/src/stockham.rs crates/soi-fft/src/twiddle.rs
+
+/root/repo/target/debug/deps/libsoi_fft-e03cb8e8f1f23fc2.rmeta: crates/soi-fft/src/lib.rs crates/soi-fft/src/batch.rs crates/soi-fft/src/bluestein.rs crates/soi-fft/src/ddfft.rs crates/soi-fft/src/dft.rs crates/soi-fft/src/fft2d.rs crates/soi-fft/src/flops.rs crates/soi-fft/src/mixed.rs crates/soi-fft/src/permute.rs crates/soi-fft/src/plan.rs crates/soi-fft/src/realfft.rs crates/soi-fft/src/signal.rs crates/soi-fft/src/splitradix.rs crates/soi-fft/src/stockham.rs crates/soi-fft/src/twiddle.rs
+
+crates/soi-fft/src/lib.rs:
+crates/soi-fft/src/batch.rs:
+crates/soi-fft/src/bluestein.rs:
+crates/soi-fft/src/ddfft.rs:
+crates/soi-fft/src/dft.rs:
+crates/soi-fft/src/fft2d.rs:
+crates/soi-fft/src/flops.rs:
+crates/soi-fft/src/mixed.rs:
+crates/soi-fft/src/permute.rs:
+crates/soi-fft/src/plan.rs:
+crates/soi-fft/src/realfft.rs:
+crates/soi-fft/src/signal.rs:
+crates/soi-fft/src/splitradix.rs:
+crates/soi-fft/src/stockham.rs:
+crates/soi-fft/src/twiddle.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/soi_num-582e9dc73feef0e3.d: crates/soi-num/src/lib.rs crates/soi-num/src/complex.rs crates/soi-num/src/dd.rs crates/soi-num/src/kahan.rs crates/soi-num/src/quad.rs crates/soi-num/src/real.rs crates/soi-num/src/special.rs crates/soi-num/src/stats.rs
+
+/root/repo/target/debug/deps/libsoi_num-582e9dc73feef0e3.rlib: crates/soi-num/src/lib.rs crates/soi-num/src/complex.rs crates/soi-num/src/dd.rs crates/soi-num/src/kahan.rs crates/soi-num/src/quad.rs crates/soi-num/src/real.rs crates/soi-num/src/special.rs crates/soi-num/src/stats.rs
+
+/root/repo/target/debug/deps/libsoi_num-582e9dc73feef0e3.rmeta: crates/soi-num/src/lib.rs crates/soi-num/src/complex.rs crates/soi-num/src/dd.rs crates/soi-num/src/kahan.rs crates/soi-num/src/quad.rs crates/soi-num/src/real.rs crates/soi-num/src/special.rs crates/soi-num/src/stats.rs
+
+crates/soi-num/src/lib.rs:
+crates/soi-num/src/complex.rs:
+crates/soi-num/src/dd.rs:
+crates/soi-num/src/kahan.rs:
+crates/soi-num/src/quad.rs:
+crates/soi-num/src/real.rs:
+crates/soi-num/src/special.rs:
+crates/soi-num/src/stats.rs:

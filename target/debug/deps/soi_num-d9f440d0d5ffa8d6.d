@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/soi_num-d9f440d0d5ffa8d6.d: crates/soi-num/src/lib.rs crates/soi-num/src/complex.rs crates/soi-num/src/dd.rs crates/soi-num/src/kahan.rs crates/soi-num/src/quad.rs crates/soi-num/src/real.rs crates/soi-num/src/special.rs crates/soi-num/src/stats.rs
+
+/root/repo/target/debug/deps/soi_num-d9f440d0d5ffa8d6: crates/soi-num/src/lib.rs crates/soi-num/src/complex.rs crates/soi-num/src/dd.rs crates/soi-num/src/kahan.rs crates/soi-num/src/quad.rs crates/soi-num/src/real.rs crates/soi-num/src/special.rs crates/soi-num/src/stats.rs
+
+crates/soi-num/src/lib.rs:
+crates/soi-num/src/complex.rs:
+crates/soi-num/src/dd.rs:
+crates/soi-num/src/kahan.rs:
+crates/soi-num/src/quad.rs:
+crates/soi-num/src/real.rs:
+crates/soi-num/src/special.rs:
+crates/soi-num/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/soi_pipeline-8a1ef28d25a58323.d: crates/soi-bench/benches/soi_pipeline.rs
+
+/root/repo/target/debug/deps/soi_pipeline-8a1ef28d25a58323: crates/soi-bench/benches/soi_pipeline.rs
+
+crates/soi-bench/benches/soi_pipeline.rs:

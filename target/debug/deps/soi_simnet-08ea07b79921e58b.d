@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/soi_simnet-08ea07b79921e58b.d: crates/soi-simnet/src/lib.rs crates/soi-simnet/src/clock.rs crates/soi-simnet/src/cluster.rs crates/soi-simnet/src/comm.rs crates/soi-simnet/src/netmodel.rs crates/soi-simnet/src/systems.rs
+
+/root/repo/target/debug/deps/libsoi_simnet-08ea07b79921e58b.rlib: crates/soi-simnet/src/lib.rs crates/soi-simnet/src/clock.rs crates/soi-simnet/src/cluster.rs crates/soi-simnet/src/comm.rs crates/soi-simnet/src/netmodel.rs crates/soi-simnet/src/systems.rs
+
+/root/repo/target/debug/deps/libsoi_simnet-08ea07b79921e58b.rmeta: crates/soi-simnet/src/lib.rs crates/soi-simnet/src/clock.rs crates/soi-simnet/src/cluster.rs crates/soi-simnet/src/comm.rs crates/soi-simnet/src/netmodel.rs crates/soi-simnet/src/systems.rs
+
+crates/soi-simnet/src/lib.rs:
+crates/soi-simnet/src/clock.rs:
+crates/soi-simnet/src/cluster.rs:
+crates/soi-simnet/src/comm.rs:
+crates/soi-simnet/src/netmodel.rs:
+crates/soi-simnet/src/systems.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/soi_simnet-b295b3cccc079c3b.d: crates/soi-simnet/src/lib.rs crates/soi-simnet/src/clock.rs crates/soi-simnet/src/cluster.rs crates/soi-simnet/src/comm.rs crates/soi-simnet/src/netmodel.rs crates/soi-simnet/src/systems.rs
+
+/root/repo/target/debug/deps/soi_simnet-b295b3cccc079c3b: crates/soi-simnet/src/lib.rs crates/soi-simnet/src/clock.rs crates/soi-simnet/src/cluster.rs crates/soi-simnet/src/comm.rs crates/soi-simnet/src/netmodel.rs crates/soi-simnet/src/systems.rs
+
+crates/soi-simnet/src/lib.rs:
+crates/soi-simnet/src/clock.rs:
+crates/soi-simnet/src/cluster.rs:
+crates/soi-simnet/src/comm.rs:
+crates/soi-simnet/src/netmodel.rs:
+crates/soi-simnet/src/systems.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/soi_testkit-2d76214366005e10.d: crates/soi-testkit/src/lib.rs crates/soi-testkit/src/bench.rs crates/soi-testkit/src/prop.rs crates/soi-testkit/src/rng.rs
+
+/root/repo/target/debug/deps/libsoi_testkit-2d76214366005e10.rlib: crates/soi-testkit/src/lib.rs crates/soi-testkit/src/bench.rs crates/soi-testkit/src/prop.rs crates/soi-testkit/src/rng.rs
+
+/root/repo/target/debug/deps/libsoi_testkit-2d76214366005e10.rmeta: crates/soi-testkit/src/lib.rs crates/soi-testkit/src/bench.rs crates/soi-testkit/src/prop.rs crates/soi-testkit/src/rng.rs
+
+crates/soi-testkit/src/lib.rs:
+crates/soi-testkit/src/bench.rs:
+crates/soi-testkit/src/prop.rs:
+crates/soi-testkit/src/rng.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/soi_testkit-d7f2f8b70e48fa1d.d: crates/soi-testkit/src/lib.rs crates/soi-testkit/src/bench.rs crates/soi-testkit/src/prop.rs crates/soi-testkit/src/rng.rs
+
+/root/repo/target/debug/deps/soi_testkit-d7f2f8b70e48fa1d: crates/soi-testkit/src/lib.rs crates/soi-testkit/src/bench.rs crates/soi-testkit/src/prop.rs crates/soi-testkit/src/rng.rs
+
+crates/soi-testkit/src/lib.rs:
+crates/soi-testkit/src/bench.rs:
+crates/soi-testkit/src/prop.rs:
+crates/soi-testkit/src/rng.rs:

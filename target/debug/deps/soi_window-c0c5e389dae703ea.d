@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soi_window-c0c5e389dae703ea.d: crates/soi-window/src/lib.rs crates/soi-window/src/design.rs crates/soi-window/src/family.rs crates/soi-window/src/metrics.rs crates/soi-window/src/presets.rs
+
+/root/repo/target/debug/deps/soi_window-c0c5e389dae703ea: crates/soi-window/src/lib.rs crates/soi-window/src/design.rs crates/soi-window/src/family.rs crates/soi-window/src/metrics.rs crates/soi-window/src/presets.rs
+
+crates/soi-window/src/lib.rs:
+crates/soi-window/src/design.rs:
+crates/soi-window/src/family.rs:
+crates/soi-window/src/metrics.rs:
+crates/soi-window/src/presets.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/soi_window-d6cc52f083651ddc.d: crates/soi-window/src/lib.rs crates/soi-window/src/design.rs crates/soi-window/src/family.rs crates/soi-window/src/metrics.rs crates/soi-window/src/presets.rs
+
+/root/repo/target/debug/deps/libsoi_window-d6cc52f083651ddc.rlib: crates/soi-window/src/lib.rs crates/soi-window/src/design.rs crates/soi-window/src/family.rs crates/soi-window/src/metrics.rs crates/soi-window/src/presets.rs
+
+/root/repo/target/debug/deps/libsoi_window-d6cc52f083651ddc.rmeta: crates/soi-window/src/lib.rs crates/soi-window/src/design.rs crates/soi-window/src/family.rs crates/soi-window/src/metrics.rs crates/soi-window/src/presets.rs
+
+crates/soi-window/src/lib.rs:
+crates/soi-window/src/design.rs:
+crates/soi-window/src/family.rs:
+crates/soi-window/src/metrics.rs:
+crates/soi-window/src/presets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-18de5b504e98f9e6.d: crates/soi-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-18de5b504e98f9e6: crates/soi-bench/src/bin/table1.rs
+
+crates/soi-bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-58f816888761abff.d: crates/soi-bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-58f816888761abff: crates/soi-bench/src/bin/table1.rs
+
+crates/soi-bench/src/bin/table1.rs:

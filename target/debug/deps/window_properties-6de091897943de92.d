@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/window_properties-6de091897943de92.d: crates/soi-window/tests/window_properties.rs
+
+/root/repo/target/debug/deps/window_properties-6de091897943de92: crates/soi-window/tests/window_properties.rs
+
+crates/soi-window/tests/window_properties.rs:

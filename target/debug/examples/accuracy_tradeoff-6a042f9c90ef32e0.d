@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accuracy_tradeoff-6a042f9c90ef32e0.d: examples/accuracy_tradeoff.rs
+
+/root/repo/target/debug/examples/accuracy_tradeoff-6a042f9c90ef32e0: examples/accuracy_tradeoff.rs
+
+examples/accuracy_tradeoff.rs:

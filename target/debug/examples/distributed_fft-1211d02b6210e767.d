@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/distributed_fft-1211d02b6210e767.d: examples/distributed_fft.rs
+
+/root/repo/target/debug/examples/distributed_fft-1211d02b6210e767: examples/distributed_fft.rs
+
+examples/distributed_fft.rs:

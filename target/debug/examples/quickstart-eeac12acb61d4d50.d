@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-eeac12acb61d4d50.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-eeac12acb61d4d50: examples/quickstart.rs
+
+examples/quickstart.rs:

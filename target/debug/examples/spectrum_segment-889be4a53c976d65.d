@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spectrum_segment-889be4a53c976d65.d: examples/spectrum_segment.rs
+
+/root/repo/target/debug/examples/spectrum_segment-889be4a53c976d65: examples/spectrum_segment.rs
+
+examples/spectrum_segment.rs:

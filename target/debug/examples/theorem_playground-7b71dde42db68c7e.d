@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/theorem_playground-7b71dde42db68c7e.d: examples/theorem_playground.rs
+
+/root/repo/target/debug/examples/theorem_playground-7b71dde42db68c7e: examples/theorem_playground.rs
+
+examples/theorem_playground.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/window_design-7e17b7ed1612a6cf.d: examples/window_design.rs
+
+/root/repo/target/debug/examples/window_design-7e17b7ed1612a6cf: examples/window_design.rs
+
+examples/window_design.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/zoom_band-31dee55799b3b719.d: examples/zoom_band.rs
+
+/root/repo/target/debug/examples/zoom_band-31dee55799b3b719: examples/zoom_band.rs
+
+examples/zoom_band.rs:

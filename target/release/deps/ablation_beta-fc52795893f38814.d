@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_beta-fc52795893f38814.d: crates/soi-bench/src/bin/ablation_beta.rs
+
+/root/repo/target/release/deps/ablation_beta-fc52795893f38814: crates/soi-bench/src/bin/ablation_beta.rs
+
+crates/soi-bench/src/bin/ablation_beta.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_window-6492c41db10cb5a4.d: crates/soi-bench/src/bin/ablation_window.rs
+
+/root/repo/target/release/deps/ablation_window-6492c41db10cb5a4: crates/soi-bench/src/bin/ablation_window.rs
+
+crates/soi-bench/src/bin/ablation_window.rs:

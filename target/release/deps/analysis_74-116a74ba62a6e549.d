@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/analysis_74-116a74ba62a6e549.d: crates/soi-bench/src/bin/analysis_74.rs
+
+/root/repo/target/release/deps/analysis_74-116a74ba62a6e549: crates/soi-bench/src/bin/analysis_74.rs
+
+crates/soi-bench/src/bin/analysis_74.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/conv_kernel-6f763c6b552f5659.d: crates/soi-bench/benches/conv_kernel.rs
+
+/root/repo/target/release/deps/conv_kernel-6f763c6b552f5659: crates/soi-bench/benches/conv_kernel.rs
+
+crates/soi-bench/benches/conv_kernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fft_kernels-1493319602986b6b.d: crates/soi-bench/benches/fft_kernels.rs
+
+/root/repo/target/release/deps/fft_kernels-1493319602986b6b: crates/soi-bench/benches/fft_kernels.rs
+
+crates/soi-bench/benches/fft_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-f4b11e2bd8368ea8.d: crates/soi-bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-f4b11e2bd8368ea8: crates/soi-bench/src/bin/fig5.rs
+
+crates/soi-bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-37d6aaa1a1135799.d: crates/soi-bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-37d6aaa1a1135799: crates/soi-bench/src/bin/fig6.rs
+
+crates/soi-bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-c508655448dcb141.d: crates/soi-bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-c508655448dcb141: crates/soi-bench/src/bin/fig7.rs
+
+crates/soi-bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-b091d19aef16b7a1.d: crates/soi-bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-b091d19aef16b7a1: crates/soi-bench/src/bin/fig8.rs
+
+crates/soi-bench/src/bin/fig8.rs:

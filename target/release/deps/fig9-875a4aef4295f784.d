@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-875a4aef4295f784.d: crates/soi-bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-875a4aef4295f784: crates/soi-bench/src/bin/fig9.rs
+
+crates/soi-bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_check-be0f6dc4c94c68b4.d: crates/soi-bench/src/bin/model_check.rs
+
+/root/repo/target/release/deps/model_check-be0f6dc4c94c68b4: crates/soi-bench/src/bin/model_check.rs
+
+crates/soi-bench/src/bin/model_check.rs:

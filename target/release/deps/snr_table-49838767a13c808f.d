@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/snr_table-49838767a13c808f.d: crates/soi-bench/src/bin/snr_table.rs
+
+/root/repo/target/release/deps/snr_table-49838767a13c808f: crates/soi-bench/src/bin/snr_table.rs
+
+crates/soi-bench/src/bin/snr_table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/soi-49f1b11fd045decc.d: src/lib.rs
+
+/root/repo/target/release/deps/libsoi-49f1b11fd045decc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsoi-49f1b11fd045decc.rmeta: src/lib.rs
+
+src/lib.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

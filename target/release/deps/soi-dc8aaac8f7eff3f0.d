@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/soi-dc8aaac8f7eff3f0.d: crates/soi-cli/src/main.rs crates/soi-cli/src/args.rs crates/soi-cli/src/commands.rs
+
+/root/repo/target/release/deps/soi-dc8aaac8f7eff3f0: crates/soi-cli/src/main.rs crates/soi-cli/src/args.rs crates/soi-cli/src/commands.rs
+
+crates/soi-cli/src/main.rs:
+crates/soi-cli/src/args.rs:
+crates/soi-cli/src/commands.rs:
+
+# env-dep:CARGO_PKG_VERSION=0.1.0

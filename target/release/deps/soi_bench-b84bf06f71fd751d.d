@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/soi_bench-b84bf06f71fd751d.d: crates/soi-bench/src/lib.rs crates/soi-bench/src/model.rs crates/soi-bench/src/projection.rs crates/soi-bench/src/report.rs crates/soi-bench/src/simulate.rs crates/soi-bench/src/workload.rs
+
+/root/repo/target/release/deps/libsoi_bench-b84bf06f71fd751d.rlib: crates/soi-bench/src/lib.rs crates/soi-bench/src/model.rs crates/soi-bench/src/projection.rs crates/soi-bench/src/report.rs crates/soi-bench/src/simulate.rs crates/soi-bench/src/workload.rs
+
+/root/repo/target/release/deps/libsoi_bench-b84bf06f71fd751d.rmeta: crates/soi-bench/src/lib.rs crates/soi-bench/src/model.rs crates/soi-bench/src/projection.rs crates/soi-bench/src/report.rs crates/soi-bench/src/simulate.rs crates/soi-bench/src/workload.rs
+
+crates/soi-bench/src/lib.rs:
+crates/soi-bench/src/model.rs:
+crates/soi-bench/src/projection.rs:
+crates/soi-bench/src/report.rs:
+crates/soi-bench/src/simulate.rs:
+crates/soi-bench/src/workload.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/soi_dist-ba095e58fb02c837.d: crates/soi-dist/src/lib.rs crates/soi-dist/src/baseline.rs crates/soi-dist/src/dtranspose.rs crates/soi-dist/src/fft2d.rs crates/soi-dist/src/rates.rs crates/soi-dist/src/soi.rs crates/soi-dist/src/times.rs
+
+/root/repo/target/release/deps/libsoi_dist-ba095e58fb02c837.rlib: crates/soi-dist/src/lib.rs crates/soi-dist/src/baseline.rs crates/soi-dist/src/dtranspose.rs crates/soi-dist/src/fft2d.rs crates/soi-dist/src/rates.rs crates/soi-dist/src/soi.rs crates/soi-dist/src/times.rs
+
+/root/repo/target/release/deps/libsoi_dist-ba095e58fb02c837.rmeta: crates/soi-dist/src/lib.rs crates/soi-dist/src/baseline.rs crates/soi-dist/src/dtranspose.rs crates/soi-dist/src/fft2d.rs crates/soi-dist/src/rates.rs crates/soi-dist/src/soi.rs crates/soi-dist/src/times.rs
+
+crates/soi-dist/src/lib.rs:
+crates/soi-dist/src/baseline.rs:
+crates/soi-dist/src/dtranspose.rs:
+crates/soi-dist/src/fft2d.rs:
+crates/soi-dist/src/rates.rs:
+crates/soi-dist/src/soi.rs:
+crates/soi-dist/src/times.rs:

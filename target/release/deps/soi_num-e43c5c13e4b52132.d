@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/soi_num-e43c5c13e4b52132.d: crates/soi-num/src/lib.rs crates/soi-num/src/complex.rs crates/soi-num/src/dd.rs crates/soi-num/src/kahan.rs crates/soi-num/src/quad.rs crates/soi-num/src/real.rs crates/soi-num/src/special.rs crates/soi-num/src/stats.rs
+
+/root/repo/target/release/deps/libsoi_num-e43c5c13e4b52132.rlib: crates/soi-num/src/lib.rs crates/soi-num/src/complex.rs crates/soi-num/src/dd.rs crates/soi-num/src/kahan.rs crates/soi-num/src/quad.rs crates/soi-num/src/real.rs crates/soi-num/src/special.rs crates/soi-num/src/stats.rs
+
+/root/repo/target/release/deps/libsoi_num-e43c5c13e4b52132.rmeta: crates/soi-num/src/lib.rs crates/soi-num/src/complex.rs crates/soi-num/src/dd.rs crates/soi-num/src/kahan.rs crates/soi-num/src/quad.rs crates/soi-num/src/real.rs crates/soi-num/src/special.rs crates/soi-num/src/stats.rs
+
+crates/soi-num/src/lib.rs:
+crates/soi-num/src/complex.rs:
+crates/soi-num/src/dd.rs:
+crates/soi-num/src/kahan.rs:
+crates/soi-num/src/quad.rs:
+crates/soi-num/src/real.rs:
+crates/soi-num/src/special.rs:
+crates/soi-num/src/stats.rs:

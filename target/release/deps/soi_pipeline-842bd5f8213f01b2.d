@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/soi_pipeline-842bd5f8213f01b2.d: crates/soi-bench/benches/soi_pipeline.rs
+
+/root/repo/target/release/deps/soi_pipeline-842bd5f8213f01b2: crates/soi-bench/benches/soi_pipeline.rs
+
+crates/soi-bench/benches/soi_pipeline.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/soi_simnet-5aa3a953081473a7.d: crates/soi-simnet/src/lib.rs crates/soi-simnet/src/clock.rs crates/soi-simnet/src/cluster.rs crates/soi-simnet/src/comm.rs crates/soi-simnet/src/netmodel.rs crates/soi-simnet/src/systems.rs
+
+/root/repo/target/release/deps/libsoi_simnet-5aa3a953081473a7.rlib: crates/soi-simnet/src/lib.rs crates/soi-simnet/src/clock.rs crates/soi-simnet/src/cluster.rs crates/soi-simnet/src/comm.rs crates/soi-simnet/src/netmodel.rs crates/soi-simnet/src/systems.rs
+
+/root/repo/target/release/deps/libsoi_simnet-5aa3a953081473a7.rmeta: crates/soi-simnet/src/lib.rs crates/soi-simnet/src/clock.rs crates/soi-simnet/src/cluster.rs crates/soi-simnet/src/comm.rs crates/soi-simnet/src/netmodel.rs crates/soi-simnet/src/systems.rs
+
+crates/soi-simnet/src/lib.rs:
+crates/soi-simnet/src/clock.rs:
+crates/soi-simnet/src/cluster.rs:
+crates/soi-simnet/src/comm.rs:
+crates/soi-simnet/src/netmodel.rs:
+crates/soi-simnet/src/systems.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/soi_testkit-0822313be0524c81.d: crates/soi-testkit/src/lib.rs crates/soi-testkit/src/bench.rs crates/soi-testkit/src/prop.rs crates/soi-testkit/src/rng.rs
+
+/root/repo/target/release/deps/libsoi_testkit-0822313be0524c81.rlib: crates/soi-testkit/src/lib.rs crates/soi-testkit/src/bench.rs crates/soi-testkit/src/prop.rs crates/soi-testkit/src/rng.rs
+
+/root/repo/target/release/deps/libsoi_testkit-0822313be0524c81.rmeta: crates/soi-testkit/src/lib.rs crates/soi-testkit/src/bench.rs crates/soi-testkit/src/prop.rs crates/soi-testkit/src/rng.rs
+
+crates/soi-testkit/src/lib.rs:
+crates/soi-testkit/src/bench.rs:
+crates/soi-testkit/src/prop.rs:
+crates/soi-testkit/src/rng.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/soi_window-2ad90fc3f12fbea3.d: crates/soi-window/src/lib.rs crates/soi-window/src/design.rs crates/soi-window/src/family.rs crates/soi-window/src/metrics.rs crates/soi-window/src/presets.rs
+
+/root/repo/target/release/deps/libsoi_window-2ad90fc3f12fbea3.rlib: crates/soi-window/src/lib.rs crates/soi-window/src/design.rs crates/soi-window/src/family.rs crates/soi-window/src/metrics.rs crates/soi-window/src/presets.rs
+
+/root/repo/target/release/deps/libsoi_window-2ad90fc3f12fbea3.rmeta: crates/soi-window/src/lib.rs crates/soi-window/src/design.rs crates/soi-window/src/family.rs crates/soi-window/src/metrics.rs crates/soi-window/src/presets.rs
+
+crates/soi-window/src/lib.rs:
+crates/soi-window/src/design.rs:
+crates/soi-window/src/family.rs:
+crates/soi-window/src/metrics.rs:
+crates/soi-window/src/presets.rs:

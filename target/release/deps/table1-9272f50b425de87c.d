@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-9272f50b425de87c.d: crates/soi-bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-9272f50b425de87c: crates/soi-bench/src/bin/table1.rs
+
+crates/soi-bench/src/bin/table1.rs:
