@@ -1,15 +1,20 @@
 //! End-to-end single-process bench: SOI transform vs a plain FFT of the
 //! same size — §7.4's "about twice as much computation time" claim at the
 //! node level (SOI buys its communication savings with this extra local
-//! work).
+//! work) — plus the serial-vs-threaded scaling of the pooled
+//! `transform_into` path, recorded to `BENCH_pipeline.json` at the repo
+//! root so the perf baseline is versioned alongside the code.
 //!
 //! Harness-free binary on the soi-testkit timer (see fft_kernels.rs for
-//! the env knobs).
+//! the env knobs). Extra knob: `SOI_BENCH_PIPELINE_N` overrides the
+//! scaling bench's transform size (default 2^20; CI smoke runs set a
+//! small value).
 
 use soi_bench::workload::tone_mix;
-use soi_core::{SoiFft, SoiParams};
+use soi_core::{SoiFft, SoiParams, SoiWorkspace};
 use soi_fft::Plan;
-use soi_testkit::{black_box, Bencher};
+use soi_num::Complex64;
+use soi_testkit::{black_box, BenchStats, Bencher};
 use soi_window::AccuracyPreset;
 
 fn bench_soi_vs_fft() {
@@ -41,6 +46,61 @@ fn bench_soi_vs_fft() {
     }
 }
 
+/// Serial vs threaded `transform_into` on one reused workspace per worker
+/// count. Results (including the host's available parallelism, so a
+/// 1-core reading is not mistaken for a scaling failure) go to
+/// `BENCH_pipeline.json` at the repo root.
+fn bench_threaded_scaling() {
+    let n: usize = std::env::var("SOI_BENCH_PIPELINE_N")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1 << 20);
+    let p = 8;
+    let cores = std::thread::available_parallelism()
+        .map(|v| v.get())
+        .unwrap_or(1);
+    let params = SoiParams::with_preset(n, p, AccuracyPreset::Digits10).expect("params");
+    let soi = SoiFft::new(&params).expect("plan");
+    let x = tone_mix(n);
+    let mut y = vec![Complex64::ZERO; n];
+
+    let mut g = Bencher::new("soi_threaded").samples(10);
+    g.throughput_elements(n as u64);
+    let mut results: Vec<(usize, BenchStats)> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let mut ws = SoiWorkspace::new(&soi, workers);
+        let stats = g.bench(&format!("transform_into/{n}/w{workers}"), || {
+            soi.transform_into(&x, &mut y, &mut ws).unwrap();
+            black_box(y[0])
+        });
+        results.push((workers, stats));
+    }
+
+    let serial_ns = results[0].1.median_ns;
+    let rows: Vec<String> = results
+        .iter()
+        .map(|(workers, s)| {
+            format!(
+                "    {{\"workers\":{workers},\"median_ns\":{:.3},\"min_ns\":{:.3},\"speedup\":{:.3}}}",
+                s.median_ns,
+                s.min_ns,
+                serial_ns / s.median_ns
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"soi_pipeline_threaded\",\n  \"n\": {n},\n  \"p\": {p},\n  \
+         \"preset\": \"Digits10\",\n  \"available_parallelism\": {cores},\n  \
+         \"samples\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        results[0].1.samples,
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
+    std::fs::write(path, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {path} (available_parallelism = {cores})");
+}
+
 fn main() {
     bench_soi_vs_fft();
+    bench_threaded_scaling();
 }

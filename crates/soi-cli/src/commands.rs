@@ -1,7 +1,7 @@
 //! Subcommand implementations for the `soi` binary.
 
 use crate::args::Args;
-use soi_core::{SoiFft, SoiParams};
+use soi_core::{SoiFft, SoiParams, SoiWorkspace, ThreadPool};
 use soi_dist::{BaselineFft, ChargePolicy, ComputeRates, DistSoiFft, ExchangeVariant};
 use soi_num::Complex64;
 use soi_simnet::{Cluster, Fabric};
@@ -14,9 +14,12 @@ soi — low-communication 1-D FFT (Tang et al., SC 2012 reproduction)
 
 USAGE:
   soi transform --n <size> --p <segments> [--digits <6..15>] [--band <k0>]
+                [--threads <t>]
       Run a SOI transform on a synthetic signal; checks against an exact
       FFT and prints accuracy and timing. --band computes one M-bin zoom
-      band starting at bin k0 instead of the full spectrum.
+      band starting at bin k0 instead of the full spectrum. --threads
+      fans the compute stages across t workers (default 1 = serial); the
+      result is bitwise identical for every worker count.
 
   soi design --beta <rate> --digits <d> [--family two-param|gaussian|compact]
       Search window parameters (tau, sigma, B) for an accuracy target.
@@ -53,16 +56,20 @@ fn preset_for_digits(digits: usize) -> Result<soi_window::AccuracyPreset, String
 
 /// `soi transform`.
 pub fn transform(a: &Args) -> CmdResult {
-    a.restrict(&["n", "p", "digits", "band"])?;
+    a.restrict(&["n", "p", "digits", "band", "threads"])?;
     let n = a.get_usize("n", 1 << 16)?;
     let p = a.get_usize("p", 8)?;
     let digits = a.get_usize("digits", 15)?;
+    let threads = a.get_usize("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
     let preset = preset_for_digits(digits)?;
     let params = SoiParams::with_preset(n, p, preset)?;
     let soi = SoiFft::new(&params)?;
     let cfg = *soi.config();
     println!(
-        "SOI: N = {n}, P = {p}, M' = {}, B = {}, kappa = {:.1}, predicted err ~ {:.1e}",
+        "SOI: N = {n}, P = {p}, M' = {}, B = {}, kappa = {:.1}, predicted err ~ {:.1e}, threads = {threads}",
         cfg.m_prime,
         cfg.b,
         cfg.kappa,
@@ -71,8 +78,9 @@ pub fn transform(a: &Args) -> CmdResult {
     let x = synthetic(n);
     if let Some(k0s) = a.get("band") {
         let k0: usize = k0s.parse().map_err(|_| "--band must be an integer")?;
+        let pool = ThreadPool::new(threads);
         let t0 = Instant::now();
-        let band = soi.transform_band(&x, k0)?;
+        let band = soi.transform_band_pooled(&x, k0, &pool)?;
         let dt = t0.elapsed();
         let (peak_bin, peak) = band
             .iter()
@@ -87,8 +95,10 @@ pub fn transform(a: &Args) -> CmdResult {
         );
         return Ok(());
     }
+    let mut ws = SoiWorkspace::new(&soi, threads);
+    let mut y = vec![Complex64::ZERO; n];
     let t0 = Instant::now();
-    let y = soi.transform(&x)?;
+    soi.transform_into(&x, &mut y, &mut ws)?;
     let soi_t = t0.elapsed();
     let t0 = Instant::now();
     let exact = soi_fft::fft_forward(&x);

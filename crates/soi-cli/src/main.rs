@@ -1,7 +1,7 @@
 //! `soi` — command-line front end to the low-communication FFT workspace.
 //!
 //! ```text
-//! soi transform --n 65536 --p 8 [--digits 15] [--band 12345]
+//! soi transform --n 65536 --p 8 [--digits 15] [--band 12345] [--threads 4]
 //! soi design    --beta 0.25 --digits 12 [--family two-param|gaussian|compact]
 //! soi simulate  --nodes 8 --points 16384 [--fabric endeavor|gordon|ethernet]
 //! soi info
@@ -83,6 +83,16 @@ mod tests {
     #[test]
     fn small_transform_runs_end_to_end() {
         assert_eq!(run(toks("transform --n 4096 --p 4 --digits 10")), 0);
+    }
+
+    #[test]
+    fn threaded_transform_runs_end_to_end() {
+        assert_eq!(run(toks("transform --n 4096 --p 4 --digits 10 --threads 2")), 0);
+        assert_eq!(
+            run(toks("transform --n 4096 --p 4 --digits 10 --band 100 --threads 2")),
+            0
+        );
+        assert_eq!(run(toks("transform --n 4096 --p 4 --threads 0")), 1);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 use crate::coeff::ConvCoefficients;
 use soi_num::Complex64;
+use soi_pool::{part_range, SlicePtr, ThreadPool};
 
 /// Parameters the kernels need (a small copy-friendly subset of
 /// `SoiConfig`, so the kernels stay testable in isolation).
@@ -27,7 +28,9 @@ pub struct ConvShape {
     pub mu: usize,
     /// Oversampling denominator ν.
     pub nu: usize,
-    /// Support blocks B.
+    /// Tap blocks read per output row. This is the **tap count**
+    /// `B + 1`, one more than the designed support `B` (see
+    /// `SoiConfig::taps` for why), not `B` itself.
     pub b: usize,
     /// Lanes per block P.
     pub p: usize,
@@ -35,7 +38,9 @@ pub struct ConvShape {
 
 impl ConvShape {
     /// Input elements required to produce `rows` output rows:
-    /// `rows·(ν/μ)·P + (taps−1)·P` (local data + halo; taps = B+1).
+    /// `(rows·ν/μ + b − 1)·P` — the rows' own `rows·(ν/μ)·P` points plus
+    /// the `(b − 1)·P = B·P` halo, with `b` the tap count from the field
+    /// above.
     pub fn required_input(&self, rows: usize) -> usize {
         assert!(rows % self.mu == 0, "rows must be a multiple of mu");
         (rows / self.mu * self.nu + self.b - 1) * self.p
@@ -111,6 +116,45 @@ pub fn convolve(shape: ConvShape, coeffs: &ConvCoefficients, xext: &[Complex64],
             }
         }
     }
+}
+
+/// Row-parallel [`convolve`] on a [`ThreadPool`]: the μ-row coefficient
+/// chunks are split into balanced contiguous ranges, one per worker, and
+/// each range runs the untouched register-tiled kernel rank-relative
+/// (input offset `c₀·ν·P`, exactly like the per-rank call in `soi-dist`).
+/// Chunk boundaries sit at μ-row granularity, so per-row arithmetic is
+/// identical to serial and the output is bitwise equal for every worker
+/// count.
+pub fn convolve_pooled(
+    shape: ConvShape,
+    coeffs: &ConvCoefficients,
+    xext: &[Complex64],
+    out: &mut [Complex64],
+    pool: &ThreadPool,
+) {
+    let ConvShape { mu, nu, p, .. } = shape;
+    let rows = out.len() / p;
+    assert_eq!(out.len(), rows * p, "out must be whole rows");
+    assert!(rows % mu == 0, "rows {rows} must be a multiple of mu {mu}");
+    assert!(
+        xext.len() >= shape.required_input(rows),
+        "xext too short: {} < {}",
+        xext.len(),
+        shape.required_input(rows)
+    );
+    let chunks = rows / mu;
+    let parts = pool.threads().min(chunks).max(1);
+    if parts == 1 {
+        return convolve(shape, coeffs, xext, out);
+    }
+    let out_ptr = SlicePtr::new(out);
+    pool.run(parts, |t| {
+        let (c0, cl) = part_range(chunks, parts, t);
+        // SAFETY: chunk row-ranges are disjoint across tasks; the borrow
+        // ends at the `run` barrier.
+        let sub = unsafe { out_ptr.slice(c0 * mu * p, cl * mu * p) };
+        convolve(shape, coeffs, &xext[c0 * nu * p..], sub);
+    });
 }
 
 /// Naive reference kernel: the paper's pseudo-code loop order
@@ -239,6 +283,25 @@ mod tests {
         convolve(shape, &coeffs, &sum, &mut vs);
         for i in 0..vs.len() {
             assert!((vs[i] - (v1[i] + v2[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pooled_convolve_is_bitwise_equal_to_serial() {
+        let (cfg, coeffs, shape) = setup();
+        let rows = cfg.m_prime;
+        let xext = signal(shape.required_input(rows));
+        let mut serial = vec![Complex64::ZERO; rows * cfg.p];
+        convolve(shape, &coeffs, &xext, &mut serial);
+        for workers in [1usize, 2, 4, 7] {
+            let pool = ThreadPool::new(workers);
+            let mut pooled = vec![Complex64::ZERO; rows * cfg.p];
+            convolve_pooled(shape, &coeffs, &xext, &mut pooled, &pool);
+            let same = serial
+                .iter()
+                .zip(&pooled)
+                .all(|(a, b)| a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits());
+            assert!(same, "workers={workers} drifted from serial");
         }
     }
 

@@ -16,6 +16,9 @@ pub enum SoiError {
         /// Provided element count.
         got: usize,
     },
+    /// A reused [`SoiWorkspace`](crate::workspace::SoiWorkspace) was built
+    /// for a different configuration than the transform it was passed to.
+    WorkspaceMismatch(String),
 }
 
 impl std::fmt::Display for SoiError {
@@ -25,6 +28,9 @@ impl std::fmt::Display for SoiError {
             SoiError::Design(e) => write!(f, "window design failed: {e}"),
             SoiError::BadInput { expected, got } => {
                 write!(f, "bad input length: expected {expected}, got {got}")
+            }
+            SoiError::WorkspaceMismatch(msg) => {
+                write!(f, "workspace/transform mismatch: {msg}")
             }
         }
     }

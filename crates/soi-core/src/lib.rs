@@ -31,7 +31,10 @@ pub mod opcount;
 pub mod params;
 pub mod pipeline;
 pub mod theorem;
+pub mod workspace;
 
 pub use error::SoiError;
 pub use params::{SoiConfig, SoiParams};
 pub use pipeline::SoiFft;
+pub use soi_pool::ThreadPool;
+pub use workspace::SoiWorkspace;

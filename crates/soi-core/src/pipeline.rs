@@ -18,13 +18,15 @@
 //! correctness core and the per-node compute kernel.
 
 use crate::coeff::ConvCoefficients;
-use crate::conv::{convolve, ConvShape};
+use crate::conv::{convolve_pooled, ConvShape};
 use crate::error::SoiError;
 use crate::params::{SoiConfig, SoiParams};
+use crate::workspace::SoiWorkspace;
 use soi_fft::batch::BatchFft;
-use soi_fft::permute::stride_permute;
+use soi_fft::permute::stride_permute_pooled;
 use soi_fft::plan::{Direction, Plan};
 use soi_num::Complex64;
+use soi_pool::{part_range, SlicePtr, ThreadPool};
 
 /// A prepared single-process SOI FFT.
 #[derive(Debug)]
@@ -84,7 +86,32 @@ impl SoiFft {
 
     /// Full in-order forward DFT of `x` (length `N`), approximated to the
     /// window design's accuracy.
+    ///
+    /// Convenience wrapper: builds a one-shot serial [`SoiWorkspace`] and
+    /// delegates to [`Self::transform_into`]. For repeated transforms or
+    /// threaded execution, hold a workspace and call `transform_into`
+    /// directly.
     pub fn transform(&self, x: &[Complex64]) -> Result<Vec<Complex64>, SoiError> {
+        let mut ws = SoiWorkspace::new(self, 1);
+        let mut y = vec![Complex64::ZERO; self.cfg.n];
+        self.transform_into(x, &mut y, &mut ws)?;
+        Ok(y)
+    }
+
+    /// The four-stage transform into a caller buffer, reusing `ws` for
+    /// every intermediate: zero allocations in steady state, executed on
+    /// `ws`'s worker pool.
+    ///
+    /// Determinism: every parallel stage assigns each output element to
+    /// exactly one pure task with deterministic chunk boundaries
+    /// ([`soi_pool::part_range`]), so the result is **bitwise identical**
+    /// for every worker count, including fully serial.
+    pub fn transform_into(
+        &self,
+        x: &[Complex64],
+        y: &mut [Complex64],
+        ws: &mut SoiWorkspace,
+    ) -> Result<(), SoiError> {
         let cfg = &self.cfg;
         if x.len() != cfg.n {
             return Err(SoiError::BadInput {
@@ -92,30 +119,69 @@ impl SoiFft {
                 got: x.len(),
             });
         }
+        if y.len() != cfg.n {
+            return Err(SoiError::BadInput {
+                expected: cfg.n,
+                got: y.len(),
+            });
+        }
+        ws.check(self)?;
+        let SoiWorkspace {
+            pool,
+            xext,
+            v,
+            seg,
+            scratch,
+            stride,
+            ..
+        } = ws;
+        let pool: &ThreadPool = pool;
         // Stage 1: convolution over x extended with the circular halo.
-        let mut xext = Vec::with_capacity(cfg.n + cfg.halo_len());
-        xext.extend_from_slice(x);
-        xext.extend_from_slice(&x[..cfg.halo_len()]);
-        let mut v = vec![Complex64::ZERO; cfg.n_prime];
-        convolve(self.shape(), &self.coeffs, &xext, &mut v);
+        xext[..cfg.n].copy_from_slice(x);
+        let (head, halo) = xext.split_at_mut(cfg.n);
+        halo.copy_from_slice(&head[..cfg.halo_len()]);
+        convolve_pooled(self.shape(), &self.coeffs, xext, v, pool);
         // Stage 2: M' independent F_P over the contiguous groups.
-        self.batch_p.execute(&mut v);
+        self.batch_p.execute_pooled(v, pool, scratch);
         // Stage 3: stride permutation — group-major (j,s) → segment-major
         // (s,j). In the distributed algorithm this is the all-to-all.
-        let mut seg = vec![Complex64::ZERO; cfg.n_prime];
-        stride_permute(&v, &mut seg, cfg.m_prime);
-        // Stage 4: per segment, F_{M'} then project + demodulate.
-        let mut y = vec![Complex64::ZERO; cfg.n];
-        let mut scratch = vec![Complex64::ZERO; cfg.m_prime];
-        for s in 0..cfg.p {
-            let row = &mut seg[s * cfg.m_prime..(s + 1) * cfg.m_prime];
-            self.plan_m.execute_with_scratch(row, &mut scratch);
-            let out = &mut y[s * cfg.m..(s + 1) * cfg.m];
-            for k in 0..cfg.m {
-                out[k] = row[k] * self.coeffs.demod[k];
+        stride_permute_pooled(v, seg, cfg.m_prime, pool);
+        // Stage 4: per segment, F_{M'} then project + demodulate. Segments
+        // are independent, so fan them across the pool, one scratch stripe
+        // per worker.
+        let parts = pool.threads().min(cfg.p).max(1);
+        let scr_len = self.plan_m.scratch_len();
+        if parts == 1 {
+            for s in 0..cfg.p {
+                let row = &mut seg[s * cfg.m_prime..(s + 1) * cfg.m_prime];
+                self.plan_m.execute_with_scratch(row, &mut scratch[..scr_len]);
+                let out = &mut y[s * cfg.m..(s + 1) * cfg.m];
+                for k in 0..cfg.m {
+                    out[k] = row[k] * self.coeffs.demod[k];
+                }
             }
+        } else {
+            let seg_ptr = SlicePtr::new(seg);
+            let y_ptr = SlicePtr::new(y);
+            let scr_ptr = SlicePtr::new(scratch);
+            let stride = *stride;
+            pool.run(parts, |t| {
+                let (s0, sl) = part_range(cfg.p, parts, t);
+                // SAFETY: segment ranges are disjoint across tasks, each
+                // task owns scratch stripe `t`, and all borrows end at the
+                // `run` barrier.
+                let scr = unsafe { scr_ptr.slice(t * stride, scr_len) };
+                for s in s0..s0 + sl {
+                    let row = unsafe { seg_ptr.slice(s * cfg.m_prime, cfg.m_prime) };
+                    let out = unsafe { y_ptr.slice(s * cfg.m, cfg.m) };
+                    self.plan_m.execute_with_scratch(row, scr);
+                    for k in 0..cfg.m {
+                        out[k] = row[k] * self.coeffs.demod[k];
+                    }
+                }
+            });
         }
-        Ok(y)
+        Ok(())
     }
 
     /// Inverse transform: recover `x` from a spectrum `y` such that
@@ -139,6 +205,19 @@ impl SoiFft {
     /// *contiguous* `BP`-tap window, take one `M'`-point FFT, demodulate.
     /// Cost: `O(M'·BP + M' log M')`.
     pub fn transform_segment(&self, x: &[Complex64], s: usize) -> Result<Vec<Complex64>, SoiError> {
+        self.transform_segment_pooled(x, s, &ThreadPool::serial())
+    }
+
+    /// [`Self::transform_segment`] executed on a worker pool: the
+    /// modulation and the row convolutions fan out across workers with
+    /// deterministic chunking, so the result is bitwise identical to the
+    /// serial path.
+    pub fn transform_segment_pooled(
+        &self,
+        x: &[Complex64],
+        s: usize,
+        pool: &ThreadPool,
+    ) -> Result<Vec<Complex64>, SoiError> {
         let cfg = &self.cfg;
         if x.len() != cfg.n {
             return Err(SoiError::BadInput {
@@ -148,30 +227,10 @@ impl SoiFft {
         }
         assert!(s < cfg.p, "segment {s} out of range (P = {})", cfg.p);
         // Φ_s x: modulation by ω^{s·l}, ω = e^{−2πi/P} (§5).
-        let mut xp: Vec<Complex64> = (0..cfg.n)
-            .map(|l| x[l] * Complex64::root_of_unity(s * (l % cfg.p), cfg.p))
-            .collect();
-        let halo: Vec<Complex64> = xp[..cfg.halo_len()].to_vec();
-        xp.extend_from_slice(&halo);
-        // Row j of C₀ is a contiguous BP-tap inner product starting at
-        // block k₀(j); the taps are exactly the coefficient table rows
-        // concatenated over blocks.
-        let shape = self.shape();
-        let bp = shape.b * cfg.p;
-        let mut xt = Vec::with_capacity(cfg.m_prime);
-        for j in 0..cfg.m_prime {
-            let r = j % cfg.mu;
-            let base = shape.k0(j) * cfg.p;
-            let taps = &self.coeffs.coef[r * bp..(r + 1) * bp];
-            let data = &xp[base..base + bp];
-            let mut acc = Complex64::ZERO;
-            for (t, d) in taps.iter().zip(data) {
-                acc = t.mul_add(*d, acc);
-            }
-            xt.push(acc);
-        }
-        self.plan_m.execute(&mut xt);
-        Ok((0..cfg.m).map(|k| xt[k] * self.coeffs.demod[k]).collect())
+        let xp = self.modulate_ext(x, pool, |l| {
+            Complex64::root_of_unity(s * (l % cfg.p), cfg.p)
+        });
+        Ok(self.zoom_core(&xp, pool))
     }
 
     /// Compute an *arbitrary* length-`M` band of the spectrum:
@@ -184,6 +243,17 @@ impl SoiFft {
     /// but the segment-0 extraction never needed that: it just convolves
     /// whatever time series it is given. Cost: `O(N + M'·BP + M' log M')`.
     pub fn transform_band(&self, x: &[Complex64], k0: usize) -> Result<Vec<Complex64>, SoiError> {
+        self.transform_band_pooled(x, k0, &ThreadPool::serial())
+    }
+
+    /// [`Self::transform_band`] executed on a worker pool (same
+    /// determinism guarantee as [`Self::transform_segment_pooled`]).
+    pub fn transform_band_pooled(
+        &self,
+        x: &[Complex64],
+        k0: usize,
+        pool: &ThreadPool,
+    ) -> Result<Vec<Complex64>, SoiError> {
         let cfg = &self.cfg;
         if x.len() != cfg.n {
             return Err(SoiError::BadInput {
@@ -193,27 +263,82 @@ impl SoiFft {
         }
         assert!(k0 < cfg.n, "band start {k0} out of range (N = {})", cfg.n);
         // z_j = x_j·e^{−2πi·k0·j/N} shifts bin k0 to bin 0.
-        let mut z: Vec<Complex64> = (0..cfg.n)
-            .map(|j| x[j] * Complex64::root_of_unity(k0 * j % cfg.n, cfg.n))
-            .collect();
-        let halo: Vec<Complex64> = z[..cfg.halo_len()].to_vec();
-        z.extend_from_slice(&halo);
+        let xp = self.modulate_ext(x, pool, |j| {
+            Complex64::root_of_unity(k0 * j % cfg.n, cfg.n)
+        });
+        Ok(self.zoom_core(&xp, pool))
+    }
+
+    /// Modulate `x` pointwise by `phase` and append the circular halo:
+    /// `out[l] = x[l]·phase(l)` for `l < N`, then the first `halo_len`
+    /// modulated points again. The pointwise part fans out across the
+    /// pool; every element is written by exactly one pure task.
+    fn modulate_ext<F>(&self, x: &[Complex64], pool: &ThreadPool, phase: F) -> Vec<Complex64>
+    where
+        F: Fn(usize) -> Complex64 + Sync,
+    {
+        let cfg = &self.cfg;
+        let mut out = vec![Complex64::ZERO; cfg.n + cfg.halo_len()];
+        let parts = pool.threads().min(cfg.n).max(1);
+        if parts == 1 {
+            for (l, slot) in out[..cfg.n].iter_mut().enumerate() {
+                *slot = x[l] * phase(l);
+            }
+        } else {
+            let out_ptr = SlicePtr::new(&mut out);
+            pool.run(parts, |t| {
+                let (l0, ll) = part_range(cfg.n, parts, t);
+                // SAFETY: element ranges are disjoint across tasks.
+                let chunk = unsafe { out_ptr.slice(l0, ll) };
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = x[l0 + i] * phase(l0 + i);
+                }
+            });
+        }
+        let (head, halo) = out.split_at_mut(cfg.n);
+        halo.copy_from_slice(&head[..cfg.halo_len()]);
+        out
+    }
+
+    /// Shared tail of the segment/band extraction: row `j` of `C₀` is a
+    /// contiguous `BP`-tap inner product starting at block `k₀(j)` (the
+    /// taps are the coefficient table rows concatenated over blocks),
+    /// then one `F_{M'}` and the projection + demodulation. The row
+    /// convolutions fan out across the pool.
+    fn zoom_core(&self, xp: &[Complex64], pool: &ThreadPool) -> Vec<Complex64> {
+        let cfg = &self.cfg;
         let shape = self.shape();
         let bp = shape.b * cfg.p;
-        let mut xt = Vec::with_capacity(cfg.m_prime);
-        for j in 0..cfg.m_prime {
+        let row = |j: usize| -> Complex64 {
             let r = j % cfg.mu;
             let base = shape.k0(j) * cfg.p;
             let taps = &self.coeffs.coef[r * bp..(r + 1) * bp];
-            let data = &z[base..base + bp];
+            let data = &xp[base..base + bp];
             let mut acc = Complex64::ZERO;
             for (t, d) in taps.iter().zip(data) {
                 acc = t.mul_add(*d, acc);
             }
-            xt.push(acc);
+            acc
+        };
+        let mut xt = vec![Complex64::ZERO; cfg.m_prime];
+        let parts = pool.threads().min(cfg.m_prime).max(1);
+        if parts == 1 {
+            for (j, slot) in xt.iter_mut().enumerate() {
+                *slot = row(j);
+            }
+        } else {
+            let xt_ptr = SlicePtr::new(&mut xt);
+            pool.run(parts, |t| {
+                let (j0, jl) = part_range(cfg.m_prime, parts, t);
+                // SAFETY: row ranges are disjoint across tasks.
+                let chunk = unsafe { xt_ptr.slice(j0, jl) };
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = row(j0 + i);
+                }
+            });
         }
         self.plan_m.execute(&mut xt);
-        Ok((0..cfg.m).map(|k| xt[k] * self.coeffs.demod[k]).collect())
+        (0..cfg.m).map(|k| xt[k] * self.coeffs.demod[k]).collect()
     }
 }
 

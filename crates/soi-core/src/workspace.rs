@@ -1,0 +1,132 @@
+//! Reusable execution state for the SOI pipeline: one worker pool plus
+//! every intermediate buffer [`SoiFft::transform_into`] touches.
+//!
+//! The four-stage transform needs four `O(N')` buffers (extended input,
+//! convolution output, permuted segments, per-worker FFT scratch). The
+//! original `transform` heap-allocated all of them per call; a
+//! [`SoiWorkspace`] hoists them into an arena built once per
+//! configuration, so steady-state calls allocate nothing and the worker
+//! pool persists across calls (spawn once, park between jobs).
+//!
+//! **Reuse contract.** A workspace is bound to the exact configuration of
+//! the [`SoiFft`] it was built from (sizes *and* FFT engine scratch
+//! shapes). Passing it to a transform with a different configuration is
+//! reported as [`SoiError::WorkspaceMismatch`]; reusing it across calls
+//! of the same transform is the intended pattern and never requires
+//! re-zeroing — every buffer region that is read is written first.
+
+use crate::error::SoiError;
+use crate::pipeline::SoiFft;
+use soi_num::Complex64;
+use soi_pool::ThreadPool;
+use std::sync::Arc;
+
+/// Preallocated buffers + worker pool for allocation-free SOI execution.
+#[derive(Debug)]
+pub struct SoiWorkspace {
+    pub(crate) pool: Arc<ThreadPool>,
+    /// Extended input: `N` points followed by the circular halo.
+    pub(crate) xext: Vec<Complex64>,
+    /// Convolution output / `F_P` batch buffer (`N'`).
+    pub(crate) v: Vec<Complex64>,
+    /// Stride-permuted segment buffer (`N'`).
+    pub(crate) seg: Vec<Complex64>,
+    /// Per-worker FFT scratch arena: `threads` stripes of `stride`.
+    pub(crate) scratch: Vec<Complex64>,
+    /// Stripe width of `scratch` (max engine scratch length).
+    pub(crate) stride: usize,
+    /// Configuration fingerprint: `(n, p, m_prime, halo_len)`.
+    pub(crate) shape: (usize, usize, usize, usize),
+}
+
+impl SoiWorkspace {
+    /// Build a workspace for `soi` with a fresh pool of `threads` workers
+    /// (`1` = fully serial, spawns no threads).
+    pub fn new(soi: &SoiFft, threads: usize) -> Self {
+        Self::with_pool(soi, Arc::new(ThreadPool::new(threads)))
+    }
+
+    /// Build a workspace for `soi` on an existing (possibly shared) pool.
+    pub fn with_pool(soi: &SoiFft, pool: Arc<ThreadPool>) -> Self {
+        let cfg = soi.config();
+        let stride = soi
+            .batch_p()
+            .scratch_len()
+            .max(soi.plan_m().scratch_len());
+        Self {
+            xext: vec![Complex64::ZERO; cfg.n + cfg.halo_len()],
+            v: vec![Complex64::ZERO; cfg.n_prime],
+            seg: vec![Complex64::ZERO; cfg.n_prime],
+            scratch: vec![Complex64::ZERO; pool.threads() * stride],
+            stride,
+            shape: (cfg.n, cfg.p, cfg.m_prime, cfg.halo_len()),
+            pool,
+        }
+    }
+
+    /// The worker pool this workspace executes on.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Shared handle to the pool (for building sibling workspaces).
+    pub fn pool_arc(&self) -> Arc<ThreadPool> {
+        Arc::clone(&self.pool)
+    }
+
+    /// Worker count, caller included.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Verify this workspace was built for `soi`'s configuration.
+    pub(crate) fn check(&self, soi: &SoiFft) -> Result<(), SoiError> {
+        let cfg = soi.config();
+        let want = (cfg.n, cfg.p, cfg.m_prime, cfg.halo_len());
+        let stride = soi
+            .batch_p()
+            .scratch_len()
+            .max(soi.plan_m().scratch_len());
+        if self.shape != want || self.stride < stride {
+            return Err(SoiError::WorkspaceMismatch(format!(
+                "workspace built for (n, p, m', halo) = {:?} with scratch stride {}, \
+                 transform needs {:?} with stride {}",
+                self.shape, self.stride, want, stride
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SoiParams;
+    use soi_window::AccuracyPreset;
+
+    #[test]
+    fn workspace_rejects_foreign_transform() {
+        let a = SoiFft::new(&SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10).unwrap())
+            .unwrap();
+        let b = SoiFft::new(&SoiParams::with_preset(1 << 13, 4, AccuracyPreset::Digits10).unwrap())
+            .unwrap();
+        let mut ws = SoiWorkspace::new(&a, 2);
+        let x = vec![Complex64::ZERO; 1 << 13];
+        let mut y = vec![Complex64::ZERO; 1 << 13];
+        assert!(matches!(
+            b.transform_into(&x, &mut y, &mut ws),
+            Err(SoiError::WorkspaceMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn workspace_shares_pool() {
+        let soi =
+            SoiFft::new(&SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10).unwrap())
+                .unwrap();
+        let ws = SoiWorkspace::new(&soi, 3);
+        assert_eq!(ws.threads(), 3);
+        let sibling = SoiWorkspace::with_pool(&soi, ws.pool_arc());
+        assert_eq!(sibling.threads(), 3);
+    }
+}

@@ -22,6 +22,7 @@ use crate::times::PhaseTimes;
 use soi_core::{SoiError, SoiFft, SoiParams};
 use soi_fft::flops::{conv_flops, fft_flops};
 use soi_num::Complex64;
+use soi_pool::{part_range, SlicePtr, ThreadPool};
 use soi_simnet::RankComm;
 use std::time::Instant;
 
@@ -75,11 +76,28 @@ impl DistSoiFft {
     ///
     /// `x_local` is this rank's `c·M` input points (`c = P/R` segments);
     /// returns this rank's `c·M` output points plus the phase breakdown.
+    /// Serial per-rank compute; see [`Self::run_with`] for the threaded
+    /// (MPI+OpenMP-style) hybrid.
     pub fn run(
         &self,
         comm: &mut RankComm,
         x_local: &[Complex64],
         policy: ChargePolicy,
+    ) -> (Vec<Complex64>, PhaseTimes) {
+        self.run_with(comm, x_local, policy, &ThreadPool::serial())
+    }
+
+    /// [`Self::run`] with per-rank compute fanned across `pool` — the
+    /// paper's hybrid model (ranks for the all-to-all, threads for the
+    /// node-local convolution, batch F_P, pack, and F_{M'}). Chunk
+    /// boundaries are deterministic, so the output is bitwise identical
+    /// to the serial `run` for any worker count.
+    pub fn run_with(
+        &self,
+        comm: &mut RankComm,
+        x_local: &[Complex64],
+        policy: ChargePolicy,
+        pool: &ThreadPool,
     ) -> (Vec<Complex64>, PhaseTimes) {
         let cfg = *self.soi.config();
         let ranks = comm.size();
@@ -113,7 +131,13 @@ impl DistSoiFft {
         // the kernel runs rank-relative unchanged).
         let t0 = Instant::now();
         let mut v = vec![Complex64::ZERO; rows * p];
-        soi_core::conv::convolve(self.soi.shape(), self.soi.coefficients(), &xext, &mut v);
+        soi_core::conv::convolve_pooled(
+            self.soi.shape(),
+            self.soi.coefficients(),
+            &xext,
+            &mut v,
+            pool,
+        );
         let dt = policy.charge(
             WorkKind::Conv,
             conv_flops(rows * p, cfg.b),
@@ -124,7 +148,10 @@ impl DistSoiFft {
 
         // 3. I ⊗ F_P over the local groups.
         let t0 = Instant::now();
-        self.soi.batch_p().execute(&mut v);
+        let batch = self.soi.batch_p();
+        let mut batch_scratch =
+            vec![Complex64::ZERO; pool.threads().min(rows).max(1) * batch.scratch_len()];
+        batch.execute_pooled(&mut v, pool, &mut batch_scratch);
         let dt = policy.charge(
             WorkKind::Fft,
             rows as f64 * fft_flops(p),
@@ -141,7 +168,7 @@ impl DistSoiFft {
         // v is (rows × p) row-major; transposing gives lane-major (p × rows),
         // which concatenates lanes s = 0..P in order — and destination d's
         // block is exactly lanes [d·c, (d+1)·c), already segment-major.
-        soi_fft::permute::transpose(&v, &mut send, rows, p);
+        soi_fft::permute::transpose_pooled(&v, &mut send, rows, p, pool);
         let pack_bytes = 2.0 * (rows * p * std::mem::size_of::<Complex64>()) as f64;
         let dt = policy.charge(WorkKind::Mem, pack_bytes, t0.elapsed().as_secs_f64());
         comm.charge_compute(dt);
@@ -173,11 +200,28 @@ impl DistSoiFft {
         comm.charge_compute(dt);
         times.pack += dt;
 
-        // 6. F_{M'} per owned segment.
+        // 6. F_{M'} per owned segment, one scratch stripe per worker.
         let t0 = Instant::now();
-        let mut scratch = vec![Complex64::ZERO; cfg.m_prime];
-        for seg in xt.chunks_exact_mut(cfg.m_prime) {
-            self.soi.plan_m().execute_with_scratch(seg, &mut scratch);
+        let scr_len = self.soi.plan_m().scratch_len();
+        let parts = pool.threads().min(c).max(1);
+        let mut scratch = vec![Complex64::ZERO; parts * scr_len];
+        if parts == 1 {
+            for seg in xt.chunks_exact_mut(cfg.m_prime) {
+                self.soi.plan_m().execute_with_scratch(seg, &mut scratch);
+            }
+        } else {
+            let xt_ptr = SlicePtr::new(&mut xt);
+            let scr_ptr = SlicePtr::new(&mut scratch);
+            pool.run(parts, |t| {
+                let (s0, sl) = part_range(c, parts, t);
+                // SAFETY: segment ranges are disjoint across tasks and each
+                // task owns scratch stripe `t`; borrows end at the barrier.
+                let scr = unsafe { scr_ptr.slice(t * scr_len, scr_len) };
+                for si in s0..s0 + sl {
+                    let seg = unsafe { xt_ptr.slice(si * cfg.m_prime, cfg.m_prime) };
+                    self.soi.plan_m().execute_with_scratch(seg, scr);
+                }
+            });
         }
         let dt = policy.charge(
             WorkKind::Fft,
@@ -313,6 +357,42 @@ mod tests {
                 rep.sim_time,
                 total
             );
+        }
+    }
+
+    #[test]
+    fn threaded_rank_compute_matches_serial_bitwise() {
+        // MPI+OpenMP hybrid: each of 2 ranks runs its compute on 3
+        // workers; the output must not move by a single ulp.
+        let n = 1 << 13;
+        let p = 8;
+        let ranks = 2;
+        let params = SoiParams::with_preset(n, p, AccuracyPreset::Digits10).unwrap();
+        let dist = DistSoiFft::new(&params).unwrap();
+        let x = signal(n);
+        let per_rank = n / ranks;
+        let (xr, distr) = (&x, &dist);
+        let collect = |workers: usize| -> Vec<Complex64> {
+            Cluster::ideal(ranks)
+                .run_collect(move |comm| {
+                    let local = &xr[comm.rank() * per_rank..(comm.rank() + 1) * per_rank];
+                    let pool = soi_pool::ThreadPool::new(workers);
+                    distr
+                        .run_with(comm, local, ChargePolicy::WallClock, &pool)
+                        .0
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+        };
+        let serial = collect(1);
+        for workers in [2usize, 3, 4] {
+            let threaded = collect(workers);
+            let same = serial
+                .iter()
+                .zip(&threaded)
+                .all(|(a, b)| a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits());
+            assert!(same, "hybrid run with {workers} workers diverged from serial");
         }
     }
 

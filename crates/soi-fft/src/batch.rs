@@ -3,29 +3,39 @@
 //! §6(a) of the paper: "A Kronecker product of the form `I ⊗ A` expresses
 //! parallelism naturally. It says that ℓ copies of the matrix A are to be
 //! applied independently on ℓ contiguous segments of stride-one data."
-//! This module is that operator: a batch of contiguous same-size FFTs,
-//! executed serially or across threads (the paper's OpenMP level maps to
-//! `std::thread::scope` here).
+//! This module is that operator: a batch of contiguous same-size FFTs.
+//!
+//! Execution is row-parallel on a persistent [`ThreadPool`] (the paper's
+//! OpenMP level): a `BatchFft` built with `threads > 1` owns its own pool,
+//! spawned once at plan time and parked between calls, and
+//! [`BatchFft::execute_pooled`] runs on any external pool with
+//! caller-provided scratch — zero per-call allocation, zero per-call
+//! thread spawning. Rows are split into balanced contiguous ranges with
+//! deterministic boundaries, and every row is an independent transform,
+//! so the output is bitwise identical for every worker count (pinned by
+//! `tests/batch_equivalence.rs`).
 
 use crate::plan::{Direction, Plan};
 use soi_num::{Complex, Real};
+use soi_pool::{part_range, SlicePtr, ThreadPool};
 
 /// Executor for `I_count ⊗ F_len`: `count` independent FFTs over
 /// contiguous rows of length `len`.
 #[derive(Debug)]
 pub struct BatchFft<T> {
     plan: Plan<T>,
-    threads: usize,
+    pool: ThreadPool,
 }
 
 impl<T: Real> BatchFft<T> {
     /// Plan a batch of transforms of size `len` in `direction`, run on
-    /// `threads` threads (1 = serial).
+    /// `threads` workers (1 = serial, spawns nothing). The workers are
+    /// spawned once here and parked between `execute` calls.
     pub fn new(len: usize, direction: Direction, threads: usize) -> Self {
         assert!(threads >= 1, "need at least one thread");
         Self {
             plan: Plan::new(len, direction),
-            threads,
+            pool: ThreadPool::new(threads),
         }
     }
 
@@ -36,14 +46,68 @@ impl<T: Real> BatchFft<T> {
 
     /// Configured worker count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.pool.threads()
     }
 
-    /// Transform every contiguous `row_len`-sized row of `data` in place.
+    /// Per-worker scratch elements [`Self::execute_pooled`] and
+    /// [`Self::execute_with_scratch`] need (the row plan's scratch size).
+    pub fn scratch_len(&self) -> usize {
+        self.plan.scratch_len()
+    }
+
+    /// Transform every contiguous `row_len`-sized row of `data` in place,
+    /// on the internal pool. Convenience wrapper around
+    /// [`Self::execute_pooled`] that allocates the scratch arena.
     ///
     /// # Panics
     /// Panics if `data.len()` is not a multiple of the row length.
     pub fn execute(&self, data: &mut [Complex<T>]) {
+        let m = self.plan.len();
+        let rows = data.len() / m;
+        let parts = self.pool.threads().min(rows).max(1);
+        let mut scratch = vec![Complex::ZERO; parts * self.scratch_len()];
+        self.execute_pooled(data, &self.pool, &mut scratch);
+    }
+
+    /// Serial (calling-thread) execution reusing caller scratch of at
+    /// least [`Self::scratch_len`] elements; allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of the row length or the
+    /// scratch is too short.
+    pub fn execute_with_scratch(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
+        let m = self.plan.len();
+        assert!(
+            data.len() % m == 0,
+            "batch data length {} not a multiple of row length {m}",
+            data.len()
+        );
+        assert!(
+            scratch.len() >= self.scratch_len(),
+            "batch scratch too short: {} < {}",
+            scratch.len(),
+            self.scratch_len()
+        );
+        for row in data.chunks_exact_mut(m) {
+            self.plan.execute_with_scratch(row, scratch);
+        }
+    }
+
+    /// Row-parallel execution on an external pool, reusing a caller
+    /// scratch arena of at least `min(pool.threads(), rows) ·
+    /// scratch_len()` elements; allocation-free. Rows are assigned to
+    /// workers in balanced contiguous ranges with deterministic
+    /// boundaries, so the result is bitwise identical to serial.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of the row length or the
+    /// scratch arena is too short.
+    pub fn execute_pooled(
+        &self,
+        data: &mut [Complex<T>],
+        pool: &ThreadPool,
+        scratch: &mut [Complex<T>],
+    ) {
         let m = self.plan.len();
         assert!(
             data.len() % m == 0,
@@ -51,25 +115,30 @@ impl<T: Real> BatchFft<T> {
             data.len()
         );
         let rows = data.len() / m;
-        if self.threads <= 1 || rows <= 1 {
-            let mut scratch = vec![Complex::ZERO; m];
-            for row in data.chunks_exact_mut(m) {
-                self.plan.execute_with_scratch(row, &mut scratch);
-            }
+        if rows == 0 {
             return;
         }
-        let workers = self.threads.min(rows);
-        let rows_per = rows.div_ceil(workers);
-        // A worker panic propagates out of the scope when it joins.
-        std::thread::scope(|scope| {
-            for chunk in data.chunks_mut(rows_per * m) {
-                let plan = &self.plan;
-                scope.spawn(move || {
-                    let mut scratch = vec![Complex::ZERO; m];
-                    for row in chunk.chunks_exact_mut(m) {
-                        plan.execute_with_scratch(row, &mut scratch);
-                    }
-                });
+        let parts = pool.threads().min(rows);
+        let stride = self.scratch_len();
+        assert!(
+            scratch.len() >= parts * stride,
+            "batch scratch arena too short: {} < {parts}x{stride}",
+            scratch.len()
+        );
+        if parts == 1 {
+            return self.execute_with_scratch(data, scratch);
+        }
+        let data_ptr = SlicePtr::new(data);
+        let scratch_ptr = SlicePtr::new(scratch);
+        pool.run(parts, |t| {
+            let (r0, rl) = part_range(rows, parts, t);
+            // SAFETY: row ranges are disjoint across tasks and each task
+            // uses its own scratch stripe; both borrows end at the
+            // `run` barrier.
+            let chunk = unsafe { data_ptr.slice(r0 * m, rl * m) };
+            let scr = unsafe { scratch_ptr.slice(t * stride, stride) };
+            for row in chunk.chunks_exact_mut(m) {
+                self.plan.execute_with_scratch(row, scr);
             }
         });
     }
@@ -83,15 +152,35 @@ pub fn batch_fft_forward<T: Real>(data: &mut [Complex<T>], len: usize, threads: 
 /// Strided batch: apply `F_m` to `count` sub-vectors of `data`, where
 /// sub-vector `q` occupies indices `{q + i·count : i < m}` — the
 /// `F_m ⊗ I_count` pattern. Gathers into scratch, transforms, scatters.
+/// Convenience wrapper around [`strided_fft_with_scratch`] that allocates
+/// the workspace.
 pub fn strided_fft<T: Real>(data: &mut [Complex<T>], plan: &Plan<T>, count: usize) {
+    let mut work = vec![Complex::ZERO; plan.len() + plan.scratch_len()];
+    strided_fft_with_scratch(data, plan, count, &mut work);
+}
+
+/// [`strided_fft`] reusing a caller workspace of at least
+/// `plan.len() + plan.scratch_len()` elements (gather buffer + FFT
+/// scratch); allocation-free.
+pub fn strided_fft_with_scratch<T: Real>(
+    data: &mut [Complex<T>],
+    plan: &Plan<T>,
+    count: usize,
+    work: &mut [Complex<T>],
+) {
     let m = plan.len();
     assert_eq!(data.len(), m * count, "strided batch shape mismatch");
-    let mut gathered = vec![Complex::ZERO; m];
-    let mut scratch = vec![Complex::ZERO; m];
+    assert!(
+        work.len() >= m + plan.scratch_len(),
+        "strided workspace too short: {} < {}",
+        work.len(),
+        m + plan.scratch_len()
+    );
+    let (gathered, scratch) = work.split_at_mut(m);
     for q in 0..count {
-        crate::permute::gather_strided(data, &mut gathered, q, count);
-        plan.execute_with_scratch(&mut gathered, &mut scratch);
-        crate::permute::scatter_strided(&gathered, data, q, count);
+        crate::permute::gather_strided(data, gathered, q, count);
+        plan.execute_with_scratch(gathered, scratch);
+        crate::permute::scatter_strided(gathered, data, q, count);
     }
 }
 
@@ -164,6 +253,39 @@ mod tests {
     }
 
     #[test]
+    fn external_pool_with_reused_scratch_matches_serial() {
+        // Mixed-radix rows (m = 24) exercise the staging-copy scratch
+        // path; the arena is reused across calls without re-zeroing.
+        let (rows, m) = (13, 24);
+        let batch = BatchFft::new(m, Direction::Forward, 1);
+        let pool = ThreadPool::new(4);
+        let parts = pool.threads().min(rows);
+        let mut scratch = vec![Complex64::ZERO; parts * batch.scratch_len()];
+        for round in 0..3 {
+            let data = rows_signal(rows + round, m);
+            let mut want = data.clone();
+            batch.execute_with_scratch(&mut want, &mut vec![Complex64::ZERO; batch.scratch_len()]);
+            let mut got = data;
+            batch.execute_pooled(&mut got, &pool, &mut scratch);
+            assert_eq!(
+                got.iter().map(|c| (c.re.to_bits(), c.im.to_bits())).collect::<Vec<_>>(),
+                want.iter().map(|c| (c.re.to_bits(), c.im.to_bits())).collect::<Vec<_>>(),
+                "round {round}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch arena too short")]
+    fn pooled_execute_rejects_short_scratch() {
+        let batch = BatchFft::<f64>::new(8, Direction::Forward, 1);
+        let pool = ThreadPool::new(2);
+        let mut data = vec![Complex64::ZERO; 32];
+        let mut scratch = vec![Complex64::ZERO; 7];
+        batch.execute_pooled(&mut data, &pool, &mut scratch);
+    }
+
+    #[test]
     fn strided_fft_equals_transpose_batch_transpose() {
         // F_m ⊗ I_c  ==  P·(I_c ⊗ F_m)·P⁻¹
         let (m, c) = (16, 6);
@@ -182,5 +304,22 @@ mod tests {
         crate::permute::stride_unpermute(&reference, &mut back, m);
 
         assert!(max_abs_diff(&got, &back) < 1e-12);
+    }
+
+    #[test]
+    fn strided_fft_scratch_variant_matches_allocating() {
+        let (m, c) = (20, 5); // mixed-radix plan: scratch_len > m
+        let data = rows_signal(c, m);
+        let plan = Plan::forward(m);
+        let mut a = data.clone();
+        strided_fft(&mut a, &plan, c);
+        let mut b = data;
+        let mut work = vec![Complex64::ZERO; m + plan.scratch_len()];
+        strided_fft_with_scratch(&mut b, &plan, c, &mut work);
+        // Same arithmetic, same order — bitwise equal.
+        assert_eq!(
+            a.iter().map(|v| (v.re.to_bits(), v.im.to_bits())).collect::<Vec<_>>(),
+            b.iter().map(|v| (v.re.to_bits(), v.im.to_bits())).collect::<Vec<_>>()
+        );
     }
 }

@@ -81,18 +81,39 @@ impl<T: Real> BluesteinFft<T> {
 
     /// In-place execute.
     pub fn execute(&self, data: &mut [Complex<T>]) {
+        let mut scratch = vec![Complex::ZERO; self.scratch_len()];
+        self.execute_with_scratch(data, &mut scratch);
+    }
+
+    /// Scratch elements [`Self::execute_with_scratch`] needs: the padded
+    /// convolution buffer plus the Stockham ping-pong buffer, `2m` total.
+    pub fn scratch_len(&self) -> usize {
+        2 * self.m
+    }
+
+    /// In-place execute reusing caller scratch (`scratch.len()` must be at
+    /// least [`Self::scratch_len`]); allocation-free. The padding region
+    /// is re-zeroed on every call, so stale scratch contents are harmless.
+    pub fn execute_with_scratch(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
         assert_eq!(data.len(), self.n);
+        assert!(
+            scratch.len() >= self.scratch_len(),
+            "bluestein scratch too short: {} < {}",
+            scratch.len(),
+            self.scratch_len()
+        );
         let inv_m = T::ONE / T::from_usize(self.m);
-        let mut a = vec![Complex::ZERO; self.m];
+        let (a, rest) = scratch.split_at_mut(self.m);
+        let st = &mut rest[..self.m];
         for j in 0..self.n {
             a[j] = data[j] * self.chirp[j];
         }
-        let mut scratch = vec![Complex::ZERO; self.m];
-        self.fwd.execute_with_scratch(&mut a, &mut scratch);
+        a[self.n..].fill(Complex::ZERO);
+        self.fwd.execute_with_scratch(a, st);
         for (av, &hv) in a.iter_mut().zip(&self.filter_hat) {
             *av = *av * hv;
         }
-        self.inv.execute_with_scratch(&mut a, &mut scratch);
+        self.inv.execute_with_scratch(a, st);
         for k in 0..self.n {
             data[k] = a[k].scale(inv_m) * self.chirp[k];
         }

@@ -132,8 +132,30 @@ impl<T: Real> MixedRadixFft<T> {
 
     /// In-place execute (internally out-of-place into scratch).
     pub fn execute(&self, data: &mut [Complex<T>]) {
-        let src = data.to_vec();
-        self.process(&src, data);
+        let mut scratch = vec![Complex::ZERO; self.scratch_len()];
+        self.execute_with_scratch(data, &mut scratch);
+    }
+
+    /// Scratch elements [`Self::execute_with_scratch`] needs: a size-`n`
+    /// staging copy of the input plus the per-level combine workspace.
+    pub fn scratch_len(&self) -> usize {
+        self.n + 2 * self.max_radix
+    }
+
+    /// In-place execute reusing caller scratch (`scratch.len()` must be at
+    /// least [`Self::scratch_len`]); allocation-free. Stale scratch
+    /// contents are harmless — every element read is written first.
+    pub fn execute_with_scratch(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
+        assert_eq!(data.len(), self.n, "data length mismatch");
+        assert!(
+            scratch.len() >= self.scratch_len(),
+            "mixed-radix scratch too short: {} < {}",
+            scratch.len(),
+            self.scratch_len()
+        );
+        let (src, combine) = scratch.split_at_mut(self.n);
+        src.copy_from_slice(data);
+        self.rec(src, 1, data, 0, &mut combine[..2 * self.max_radix]);
     }
 
     /// Recursive DIT:

@@ -8,6 +8,7 @@
 //! that exchange (Fig 3) and the transposes of the baseline algorithm.
 
 use soi_num::{Complex, Real};
+use soi_pool::{part_range, SlicePtr, ThreadPool};
 
 /// Cache-block edge for the blocked transpose.
 const BLOCK: usize = 32;
@@ -30,6 +31,46 @@ pub fn transpose<T: Copy>(src: &[T], dst: &mut [T], rows: usize, cols: usize) {
     }
 }
 
+/// Parallel cache-blocked transpose on a [`ThreadPool`]: block-rows of
+/// `src` are split into balanced contiguous ranges, one per worker. Each
+/// source row lands in exactly one task, so writes are disjoint and the
+/// output is identical for every worker count.
+pub fn transpose_pooled<T: Copy + Send + Sync>(
+    src: &[T],
+    dst: &mut [T],
+    rows: usize,
+    cols: usize,
+    pool: &ThreadPool,
+) {
+    assert_eq!(src.len(), rows * cols, "src shape mismatch");
+    assert_eq!(dst.len(), rows * cols, "dst shape mismatch");
+    let blocks = rows.div_ceil(BLOCK);
+    let parts = pool.threads().min(blocks).max(1);
+    if parts == 1 {
+        return transpose(src, dst, rows, cols);
+    }
+    let dst_ptr = SlicePtr::new(dst);
+    pool.run(parts, |t| {
+        let (b0, bl) = part_range(blocks, parts, t);
+        let r_lo = b0 * BLOCK;
+        let r_hi = ((b0 + bl) * BLOCK).min(rows);
+        for r0 in (r_lo..r_hi).step_by(BLOCK) {
+            let r1 = (r0 + BLOCK).min(r_hi);
+            for c0 in (0..cols).step_by(BLOCK) {
+                let c1 = (c0 + BLOCK).min(cols);
+                for r in r0..r1 {
+                    for c in c0..c1 {
+                        // SAFETY: destination index `c·rows + r` is unique
+                        // to this task because each `r` belongs to exactly
+                        // one block-row range.
+                        unsafe { dst_ptr.write(c * rows + r, src[r * cols + c]) };
+                    }
+                }
+            }
+        }
+    });
+}
+
 /// The paper's stride permutation `w = P_perm^{ℓ,n}·v`:
 /// `w[j + k·ℓ] = v[k + j·(n/ℓ)]`.
 ///
@@ -41,6 +82,19 @@ pub fn stride_permute<T: Copy>(v: &[T], w: &mut [T], l: usize) {
     assert!(l > 0 && n % l == 0, "stride {l} must divide length {n}");
     // v viewed as ℓ×(n/ℓ) row-major, w as its transpose.
     transpose(v, w, l, n / l);
+}
+
+/// [`stride_permute`] executed block-row-parallel on a pool.
+pub fn stride_permute_pooled<T: Copy + Send + Sync>(
+    v: &[T],
+    w: &mut [T],
+    l: usize,
+    pool: &ThreadPool,
+) {
+    let n = v.len();
+    assert_eq!(w.len(), n);
+    assert!(l > 0 && n % l == 0, "stride {l} must divide length {n}");
+    transpose_pooled(v, w, l, n / l, pool);
 }
 
 /// Inverse stride permutation: `P_perm^{n/ℓ,n}` (the transpose back).
@@ -161,6 +215,33 @@ mod tests {
         let v = [0u8; 10];
         let mut w = [0u8; 10];
         stride_permute(&v, &mut w, 3);
+    }
+
+    #[test]
+    fn pooled_transpose_matches_serial_exactly() {
+        let pool = ThreadPool::new(4);
+        for (rows, cols) in [(128usize, 8usize), (37, 53), (200, 3), (5, 5), (1, 64)] {
+            let src: Vec<u64> = (0..(rows * cols) as u64).collect();
+            let mut serial = vec![0u64; src.len()];
+            let mut pooled = vec![0u64; src.len()];
+            transpose(&src, &mut serial, rows, cols);
+            transpose_pooled(&src, &mut pooled, rows, cols, &pool);
+            assert_eq!(serial, pooled, "rows={rows} cols={cols}");
+        }
+    }
+
+    #[test]
+    fn pooled_stride_permute_matches_serial() {
+        let pool = ThreadPool::new(3);
+        let n = 4096;
+        let v: Vec<u32> = (0..n as u32).collect();
+        for l in [2usize, 8, 64, 1024] {
+            let mut a = vec![0u32; n];
+            let mut b = vec![0u32; n];
+            stride_permute(&v, &mut a, l);
+            stride_permute_pooled(&v, &mut b, l, &pool);
+            assert_eq!(a, b, "l={l}");
+        }
     }
 
     #[test]

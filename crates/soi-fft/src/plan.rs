@@ -123,30 +123,46 @@ impl<T: Real> Plan<T> {
             Engine::Mixed(e) => e.execute(data),
             Engine::Bluestein(e) => e.execute(data),
         }
+        self.normalize(data);
+    }
+
+    /// Scratch elements an allocation-free [`Self::execute_with_scratch`]
+    /// call needs for this engine: `n` for Stockham, slightly more for
+    /// mixed-radix (staging copy + combine workspace), `2·padded_len` for
+    /// Bluestein.
+    pub fn scratch_len(&self) -> usize {
+        match &self.engine {
+            Engine::Stockham(_) => self.n,
+            Engine::Mixed(e) => e.scratch_len(),
+            Engine::Bluestein(e) => e.scratch_len(),
+        }
+    }
+
+    /// Execute in place reusing caller scratch. Allocation-free whenever
+    /// `scratch.len() >= self.scratch_len()` (every engine has a scratch
+    /// path); a shorter scratch falls back to internal allocation so
+    /// legacy callers that sized scratch as `n` keep working on every
+    /// engine.
+    pub fn execute_with_scratch(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
+        assert_eq!(data.len(), self.n, "plan length mismatch");
+        if scratch.len() < self.scratch_len() {
+            return self.execute(data);
+        }
+        match &self.engine {
+            Engine::Stockham(e) => e.execute_with_scratch(data, &mut scratch[..self.n]),
+            Engine::Mixed(e) => e.execute_with_scratch(data, scratch),
+            Engine::Bluestein(e) => e.execute_with_scratch(data, scratch),
+        }
+        self.normalize(data);
+    }
+
+    /// Apply the `1/N` inverse normalization when the plan is inverse.
+    fn normalize(&self, data: &mut [Complex<T>]) {
         if self.direction == Direction::Inverse {
             let scale = T::ONE / T::from_usize(self.n);
             for v in data.iter_mut() {
                 *v = v.scale(scale);
             }
-        }
-    }
-
-    /// Execute in place reusing caller scratch (same length as the data)
-    /// where the engine supports it; falls back to internal allocation for
-    /// engines with other scratch shapes.
-    pub fn execute_with_scratch(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
-        assert_eq!(data.len(), self.n, "plan length mismatch");
-        match &self.engine {
-            Engine::Stockham(e) => {
-                e.execute_with_scratch(data, &mut scratch[..self.n]);
-                if self.direction == Direction::Inverse {
-                    let scale = T::ONE / T::from_usize(self.n);
-                    for v in data.iter_mut() {
-                        *v = v.scale(scale);
-                    }
-                }
-            }
-            _ => self.execute(data),
         }
     }
 

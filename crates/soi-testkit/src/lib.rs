@@ -24,6 +24,6 @@ pub mod bench;
 pub mod prop;
 pub mod rng;
 
-pub use bench::{black_box, Bencher};
+pub use bench::{black_box, BenchStats, Bencher};
 pub use prop::{check, forall, PropConfig};
 pub use rng::TestRng;

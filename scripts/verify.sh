@@ -44,9 +44,15 @@ if [ "$a" != "$b" ]; then
     exit 1
 fi
 
+echo "==> cargo build --release --offline -p soi-bench --benches"
+cargo build --release --offline -p soi-bench --benches
+
 if [ "${1:-}" = "--with-benches" ]; then
-    echo "==> smoke-run the harness-free benches (quick settings)"
+    echo "==> smoke-run the harness-free benches (quick settings, small N)"
+    # SOI_BENCH_PIPELINE_N keeps the threaded-scaling bench tiny; it still
+    # regenerates BENCH_pipeline.json end to end.
     SOI_BENCH_SAMPLES=3 SOI_BENCH_WARMUP_MS=2 SOI_BENCH_TARGET_MS=2 \
+    SOI_BENCH_PIPELINE_N=16384 \
         cargo bench --offline -p soi-bench
 fi
 
