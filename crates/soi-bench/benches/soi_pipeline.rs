@@ -15,6 +15,7 @@ use soi_core::{SoiFft, SoiParams, SoiWorkspace};
 use soi_fft::Plan;
 use soi_num::Complex64;
 use soi_testkit::{black_box, BenchStats, Bencher};
+use soi_trace::{phase_totals, Trace};
 use soi_window::AccuracyPreset;
 
 fn bench_soi_vs_fft() {
@@ -76,6 +77,18 @@ fn bench_threaded_scaling() {
         results.push((workers, stats));
     }
 
+    // One traced serial pass for the per-phase breakdown: attach a
+    // recording handle, run once, and pair the stage spans by wall time.
+    // Tracing is off during the timed samples above, so the numbers they
+    // report are of the untraced hot path.
+    let mut ws = SoiWorkspace::new(&soi, 1);
+    ws.set_trace(Trace::recording(0));
+    soi.transform_into(&x, &mut y, &mut ws).unwrap();
+    let phase_rows: Vec<String> = phase_totals(&ws.trace().snapshot())
+        .iter()
+        .map(|(phase, ns)| format!("    {{\"phase\":\"{phase}\",\"total_ns\":{ns}}}"))
+        .collect();
+
     let serial_ns = results[0].1.median_ns;
     let rows: Vec<String> = results
         .iter()
@@ -91,9 +104,10 @@ fn bench_threaded_scaling() {
     let json = format!(
         "{{\n  \"bench\": \"soi_pipeline_threaded\",\n  \"n\": {n},\n  \"p\": {p},\n  \
          \"preset\": \"Digits10\",\n  \"available_parallelism\": {cores},\n  \
-         \"samples\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"samples\": {},\n  \"results\": [\n{}\n  ],\n  \"phases_ns\": [\n{}\n  ]\n}}\n",
         results[0].1.samples,
-        rows.join(",\n")
+        rows.join(",\n"),
+        phase_rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
     std::fs::write(path, &json).expect("write BENCH_pipeline.json");

@@ -61,9 +61,12 @@ pub fn soi_phases(s: &Scenario) -> PhaseTimes {
         conv: conv_flops(m_prime, s.b) / r.conv_flops_per_sec,
         fft_small: (m_prime / p) as f64 * fft_flops(p) / r.fft_flops_per_sec,
         pack: 2.0 * m_prime as f64 * CPX / r.mem_bytes_per_sec,
+        // Off-rank traffic only: each rank's self-block stays local, so
+        // the fabric carries (p-1)/p of the m' points per rank — exactly
+        // what `RankComm::all_to_all` charges.
         exchange: s
             .fabric
-            .all_to_all_time(p, (p * m_prime) as u64 * CPX as u64),
+            .all_to_all_time(p, ((p - 1) * m_prime) as u64 * CPX as u64),
         fft_large: fft_flops(m_prime) / r.fft_flops_per_sec,
         scale: 2.0 * m as f64 * CPX / r.mem_bytes_per_sec,
     }
@@ -82,7 +85,8 @@ pub fn baseline_phases(s: &Scenario) -> PhaseTimes {
         fft_large: fft_flops(m) / r.fft_flops_per_sec,
         scale: 2.0 * m as f64 * CPX / r.mem_bytes_per_sec,
         pack: 3.0 * 2.0 * m as f64 * CPX / r.mem_bytes_per_sec,
-        exchange: 3.0 * s.fabric.all_to_all_time(p, (p * m) as u64 * CPX as u64),
+        // Self-block excluded per exchange, as in the simulated collective.
+        exchange: 3.0 * s.fabric.all_to_all_time(p, ((p - 1) * m) as u64 * CPX as u64),
     }
 }
 

@@ -38,7 +38,7 @@ pub fn run_soi(
     let (xr, distr) = (&x, &dist);
     let out = Cluster::new(p, fabric).run(move |comm| {
         let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-        distr.run(comm, local, policy)
+        distr.run(comm, local, policy).expect("soi run")
     });
     finish(out, &x)
 }

@@ -4,8 +4,10 @@ use crate::args::Args;
 use soi_core::{SoiFft, SoiParams, SoiWorkspace, ThreadPool};
 use soi_dist::{BaselineFft, ChargePolicy, ComputeRates, DistSoiFft, ExchangeVariant};
 use soi_num::Complex64;
-use soi_simnet::{Cluster, Fabric};
+use soi_simnet::{Cluster, Fabric, RankComm};
+use soi_trace::TraceSet;
 use soi_window::{design_compact, design_gaussian, design_two_param};
+use std::path::Path;
 use std::time::Instant;
 
 /// Top-level usage text.
@@ -25,14 +27,32 @@ USAGE:
       Search window parameters (tau, sigma, B) for an accuracy target.
 
   soi simulate --nodes <r> --points <per-node> [--fabric endeavor|gordon|ethernet]
+               [--trace <file.jsonl>]
       Run SOI and the triple-all-to-all baseline on the simulated cluster
-      and print the speedup and phase breakdown.
+      and print the speedup and phase breakdown. --trace (or the
+      SOI_TRACE environment variable) records every phase span, message,
+      and collective of the SOI run as JSON lines, then validates the
+      trace for communication conservation before writing it.
+
+  soi trace-check --file <trace.jsonl>
+      Validate a recorded trace: per-link byte conservation, identical
+      collective sequences, clock monotonicity, barrier agreement, span
+      nesting. Prints a summary or the first violation.
 
   soi info
       Print version and configuration summary.
 ";
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
+
+/// A usize option that must be at least 1 (sizes, counts, rank totals).
+fn get_positive(a: &Args, key: &str, default: usize) -> Result<usize, Box<dyn std::error::Error>> {
+    let v = a.get_usize(key, default)?;
+    if v == 0 {
+        return Err(format!("--{key} must be at least 1").into());
+    }
+    Ok(v)
+}
 
 fn synthetic(n: usize) -> Vec<Complex64> {
     (0..n)
@@ -57,13 +77,10 @@ fn preset_for_digits(digits: usize) -> Result<soi_window::AccuracyPreset, String
 /// `soi transform`.
 pub fn transform(a: &Args) -> CmdResult {
     a.restrict(&["n", "p", "digits", "band", "threads"])?;
-    let n = a.get_usize("n", 1 << 16)?;
-    let p = a.get_usize("p", 8)?;
+    let n = get_positive(a, "n", 1 << 16)?;
+    let p = get_positive(a, "p", 8)?;
     let digits = a.get_usize("digits", 15)?;
-    let threads = a.get_usize("threads", 1)?;
-    if threads == 0 {
-        return Err("--threads must be at least 1".into());
-    }
+    let threads = get_positive(a, "threads", 1)?;
     let preset = preset_for_digits(digits)?;
     let params = SoiParams::with_preset(n, p, preset)?;
     let soi = SoiFft::new(&params)?;
@@ -151,10 +168,14 @@ pub fn design(a: &Args) -> CmdResult {
 
 /// `soi simulate`.
 pub fn simulate(a: &Args) -> CmdResult {
-    a.restrict(&["nodes", "points", "fabric", "digits"])?;
-    let nodes = a.get_usize("nodes", 4)?;
-    let points = a.get_usize("points", 1 << 14)?;
+    a.restrict(&["nodes", "points", "fabric", "digits", "trace"])?;
+    let nodes = get_positive(a, "nodes", 4)?;
+    let points = get_positive(a, "points", 1 << 14)?;
     let digits = a.get_usize("digits", 15)?;
+    let trace_path: Option<String> = a
+        .get("trace")
+        .map(String::from)
+        .or_else(soi_trace::path_from_env);
     let fabric = match a.get("fabric").unwrap_or("endeavor") {
         "endeavor" => Fabric::endeavor_fat_tree(),
         "gordon" => Fabric::gordon_torus(),
@@ -166,6 +187,9 @@ pub fn simulate(a: &Args) -> CmdResult {
     let preset = preset_for_digits(digits)?;
     let params = SoiParams::with_preset(n, nodes, preset)?;
     let dist = DistSoiFft::new(&params)?;
+    // Pre-flight the partition so a bad rank count surfaces as a usage
+    // error here, not inside every simulated rank.
+    dist.segments_per_rank(nodes)?;
     let base = BaselineFft::new(n, nodes, ExchangeVariant::Collective);
     let x = synthetic(n);
     let policy = ChargePolicy::Rates(ComputeRates::paper_node());
@@ -173,10 +197,22 @@ pub fn simulate(a: &Args) -> CmdResult {
 
     let (xr, dr) = (&x, &dist);
     let m = points;
-    let soi_out = Cluster::new(nodes, fabric.clone()).run(move |comm| {
+    let soi_job = move |comm: &mut RankComm| {
         let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-        dr.run(comm, local, policy)
-    });
+        dr.run(comm, local, policy).expect("partition pre-validated")
+    };
+    let soi_out = if let Some(path) = &trace_path {
+        let (out, traces) = Cluster::new(nodes, fabric.clone()).run_traced(&soi_job);
+        let summary = traces.validate()?;
+        traces.write_jsonl_file(Path::new(path))?;
+        println!(
+            "trace    : {} events / {} messages / {} bytes on {} ranks -> {path} (conservation OK)",
+            summary.events, summary.messages, summary.bytes, summary.ranks,
+        );
+        out
+    } else {
+        Cluster::new(nodes, fabric.clone()).run(&soi_job)
+    };
     let soi_y: Vec<Complex64> = soi_out.iter().flat_map(|((y, _), _)| y.clone()).collect();
     let soi_make = soi_out.iter().map(|(_, r)| r.sim_time).fold(0.0, f64::max);
     let t = &soi_out[0].0 .1;
@@ -205,6 +241,34 @@ pub fn simulate(a: &Args) -> CmdResult {
         base_out[0].1.stats.all_to_alls,
     );
     println!("speedup  : {:.2}x", base_make / soi_make);
+    Ok(())
+}
+
+/// `soi trace-check`.
+pub fn trace_check(a: &Args) -> CmdResult {
+    a.restrict(&["file"])?;
+    let path = a
+        .get("file")
+        .ok_or("trace-check needs --file <trace.jsonl>")?;
+    let traces = TraceSet::read_jsonl_file(Path::new(path))?;
+    let summary = traces.validate()?;
+    println!(
+        "{path}: OK — {} ranks, {} events, {} messages, {} bytes",
+        summary.ranks, summary.events, summary.messages, summary.bytes
+    );
+    println!(
+        "collectives: {} ({})",
+        summary.collectives.len(),
+        summary
+            .collectives
+            .iter()
+            .map(|c| c.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    if !summary.phases.is_empty() {
+        println!("phases: {}", summary.phases.join(", "));
+    }
     Ok(())
 }
 

@@ -4,6 +4,8 @@
 //! soi transform --n 65536 --p 8 [--digits 15] [--band 12345] [--threads 4]
 //! soi design    --beta 0.25 --digits 12 [--family two-param|gaussian|compact]
 //! soi simulate  --nodes 8 --points 16384 [--fabric endeavor|gordon|ethernet]
+//!               [--trace trace.jsonl]
+//! soi trace-check --file trace.jsonl
 //! soi info
 //! soi help
 //! ```
@@ -32,6 +34,7 @@ fn run(tokens: Vec<String>) -> i32 {
         "transform" => commands::transform(&parsed),
         "design" => commands::design(&parsed),
         "simulate" => commands::simulate(&parsed),
+        "trace-check" => commands::trace_check(&parsed),
         "info" => commands::info(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);
@@ -116,6 +119,48 @@ mod tests {
             run(toks("simulate --nodes 2 --points 2048 --fabric ethernet")),
             0
         );
+    }
+
+    #[test]
+    fn zero_sized_options_are_usage_errors() {
+        assert_eq!(run(toks("transform --n 0 --p 4")), 1);
+        assert_eq!(run(toks("transform --n 4096 --p 0")), 1);
+        assert_eq!(run(toks("simulate --nodes 0 --points 2048")), 1);
+        assert_eq!(run(toks("simulate --nodes 2 --points 0")), 1);
+    }
+
+    #[test]
+    fn traced_simulate_writes_a_trace_that_trace_check_accepts() {
+        let path = std::env::temp_dir().join(format!(
+            "soi-cli-trace-{}.jsonl",
+            std::process::id()
+        ));
+        let path_s = path.to_str().unwrap().to_string();
+        assert_eq!(
+            run(vec![
+                "simulate".into(),
+                "--nodes".into(),
+                "2".into(),
+                "--points".into(),
+                "2048".into(),
+                "--fabric".into(),
+                "ethernet".into(),
+                "--trace".into(),
+                path_s.clone(),
+            ]),
+            0
+        );
+        assert_eq!(
+            run(vec!["trace-check".into(), "--file".into(), path_s]),
+            0
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_check_requires_a_readable_file() {
+        assert_eq!(run(toks("trace-check")), 1);
+        assert_eq!(run(toks("trace-check --file /nonexistent/t.jsonl")), 1);
     }
 
     #[test]

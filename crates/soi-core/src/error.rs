@@ -19,6 +19,12 @@ pub enum SoiError {
     /// A reused [`SoiWorkspace`](crate::workspace::SoiWorkspace) was built
     /// for a different configuration than the transform it was passed to.
     WorkspaceMismatch(String),
+    /// A distributed run was asked to use a rank count incompatible with
+    /// the configured segment count.
+    BadRankCount(String),
+    /// A distributed partition would not align with the kernel's chunk
+    /// structure (μ-row coefficient blocks).
+    BadAlignment(String),
 }
 
 impl std::fmt::Display for SoiError {
@@ -32,6 +38,8 @@ impl std::fmt::Display for SoiError {
             SoiError::WorkspaceMismatch(msg) => {
                 write!(f, "workspace/transform mismatch: {msg}")
             }
+            SoiError::BadRankCount(msg) => write!(f, "bad rank count: {msg}"),
+            SoiError::BadAlignment(msg) => write!(f, "bad partition alignment: {msg}"),
         }
     }
 }

@@ -133,19 +133,30 @@ impl SoiFft {
             seg,
             scratch,
             stride,
+            trace,
             ..
         } = ws;
         let pool: &ThreadPool = pool;
+        let trace: &soi_trace::Trace = trace;
         // Stage 1: convolution over x extended with the circular halo.
+        trace.span_begin("halo", None);
         xext[..cfg.n].copy_from_slice(x);
         let (head, halo) = xext.split_at_mut(cfg.n);
         halo.copy_from_slice(&head[..cfg.halo_len()]);
+        trace.span_end("halo", None);
+        trace.span_begin("conv", None);
         convolve_pooled(self.shape(), &self.coeffs, xext, v, pool);
+        trace.span_end("conv", None);
         // Stage 2: M' independent F_P over the contiguous groups.
+        trace.span_begin("fft_p", None);
         self.batch_p.execute_pooled(v, pool, scratch);
+        trace.span_end("fft_p", None);
         // Stage 3: stride permutation — group-major (j,s) → segment-major
         // (s,j). In the distributed algorithm this is the all-to-all.
+        trace.span_begin("pack", None);
         stride_permute_pooled(v, seg, cfg.m_prime, pool);
+        trace.span_end("pack", None);
+        trace.span_begin("fft_m", None);
         // Stage 4: per segment, F_{M'} then project + demodulate. Segments
         // are independent, so fan them across the pool, one scratch stripe
         // per worker.
@@ -181,6 +192,7 @@ impl SoiFft {
                 }
             });
         }
+        trace.span_end("fft_m", None);
         Ok(())
     }
 
@@ -540,6 +552,33 @@ mod tests {
         let err = rel_l2_error(&got, &want);
         let bound = soi.config().predicted_error();
         assert!(err < bound * 10.0, "err {err:e} vs bound {bound:e}");
+    }
+
+    #[test]
+    fn tracing_is_transparent_and_emits_stage_spans() {
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let x = signal(1 << 12);
+        let mut ws_plain = SoiWorkspace::new(&soi, 2);
+        let mut y_plain = vec![Complex64::ZERO; 1 << 12];
+        soi.transform_into(&x, &mut y_plain, &mut ws_plain).unwrap();
+
+        let mut ws_traced = SoiWorkspace::new(&soi, 2);
+        ws_traced.set_trace(soi_trace::Trace::recording(0));
+        let mut y_traced = vec![Complex64::ZERO; 1 << 12];
+        soi.transform_into(&x, &mut y_traced, &mut ws_traced).unwrap();
+
+        // Tracing must not perturb the numerics: bitwise identity.
+        for (a, b) in y_plain.iter().zip(&y_traced) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        let events = ws_traced.trace().drain();
+        let totals = soi_trace::phase_totals(&events);
+        let names: Vec<&str> = totals.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["halo", "conv", "fft_p", "pack", "fft_m"]);
+        // The untraced workspace recorded nothing, and stays that way.
+        assert!(ws_plain.trace().is_empty());
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::error::SoiError;
 use crate::pipeline::SoiFft;
 use soi_num::Complex64;
 use soi_pool::ThreadPool;
+use soi_trace::Trace;
 use std::sync::Arc;
 
 /// Preallocated buffers + worker pool for allocation-free SOI execution.
@@ -37,6 +38,9 @@ pub struct SoiWorkspace {
     pub(crate) stride: usize,
     /// Configuration fingerprint: `(n, p, m_prime, halo_len)`.
     pub(crate) shape: (usize, usize, usize, usize),
+    /// Phase-span recorder for [`SoiFft::transform_into`] (disabled by
+    /// default — a null check per stage, no allocation).
+    pub(crate) trace: Trace,
 }
 
 impl SoiWorkspace {
@@ -60,8 +64,21 @@ impl SoiWorkspace {
             scratch: vec![Complex64::ZERO; pool.threads() * stride],
             stride,
             shape: (cfg.n, cfg.p, cfg.m_prime, cfg.halo_len()),
+            trace: Trace::disabled(),
             pool,
         }
+    }
+
+    /// Attach a trace handle: subsequent [`SoiFft::transform_into`] calls
+    /// on this workspace emit one span per pipeline stage ("halo", "conv",
+    /// "fft_p", "pack", "fft_m"). Pass [`Trace::disabled`] to detach.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    /// The currently attached trace handle.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// The worker pool this workspace executes on.

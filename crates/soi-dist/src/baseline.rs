@@ -303,7 +303,7 @@ mod tests {
         let (xr, distr) = (&x, &dist);
         let soi_reports = Cluster::ideal(p).run(move |comm| {
             let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-            distr.run(comm, local, ChargePolicy::WallClock).0
+            distr.run(comm, local, ChargePolicy::WallClock).expect("soi run").0
         });
         let soi_bytes: u64 = soi_reports.iter().map(|(_, r)| r.stats.bytes_sent).sum();
 

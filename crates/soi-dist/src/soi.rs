@@ -52,24 +52,27 @@ impl DistSoiFft {
 
     /// Segments each rank of an `r`-rank cluster would own (`P/R`).
     ///
-    /// # Panics
-    /// Panics if `r` does not divide the configured segment count, or if
-    /// the per-rank row count would not align with the μ-row coefficient
-    /// chunks.
-    pub fn segments_per_rank(&self, ranks: usize) -> usize {
+    /// # Errors
+    /// [`SoiError::BadRankCount`] if `r` does not divide the configured
+    /// segment count; [`SoiError::BadAlignment`] if the per-rank row count
+    /// would not align with the μ-row coefficient chunks. Call sites that
+    /// want the old abort-on-misconfiguration behaviour use `.expect()`.
+    pub fn segments_per_rank(&self, ranks: usize) -> Result<usize, SoiError> {
         let cfg = self.soi.config();
-        assert!(
-            ranks >= 1 && cfg.p % ranks == 0,
-            "rank count {ranks} must divide segment count P = {}",
-            cfg.p
-        );
+        if ranks < 1 || cfg.p % ranks != 0 {
+            return Err(SoiError::BadRankCount(format!(
+                "rank count {ranks} must divide segment count P = {}",
+                cfg.p
+            )));
+        }
         let rows = cfg.m_prime / ranks;
-        assert!(
-            rows % cfg.mu == 0,
-            "rows per rank {rows} must align with mu = {} chunks",
-            cfg.mu
-        );
-        cfg.p / ranks
+        if rows % cfg.mu != 0 {
+            return Err(SoiError::BadAlignment(format!(
+                "rows per rank {rows} must align with mu = {} chunks",
+                cfg.mu
+            )));
+        }
+        Ok(cfg.p / ranks)
     }
 
     /// Execute on one rank of an `R`-rank cluster, `R` dividing `P`.
@@ -83,7 +86,7 @@ impl DistSoiFft {
         comm: &mut RankComm,
         x_local: &[Complex64],
         policy: ChargePolicy,
-    ) -> (Vec<Complex64>, PhaseTimes) {
+    ) -> Result<(Vec<Complex64>, PhaseTimes), SoiError> {
         self.run_with(comm, x_local, policy, &ThreadPool::serial())
     }
 
@@ -98,29 +101,35 @@ impl DistSoiFft {
         x_local: &[Complex64],
         policy: ChargePolicy,
         pool: &ThreadPool,
-    ) -> (Vec<Complex64>, PhaseTimes) {
+    ) -> Result<(Vec<Complex64>, PhaseTimes), SoiError> {
         let cfg = *self.soi.config();
         let ranks = comm.size();
-        let c = self.segments_per_rank(ranks);
+        let c = self.segments_per_rank(ranks)?;
         let local_pts = c * cfg.m;
-        assert_eq!(
-            x_local.len(),
-            local_pts,
-            "rank input must be c·M = {local_pts} points"
-        );
+        if x_local.len() != local_pts {
+            return Err(SoiError::BadInput {
+                expected: local_pts,
+                got: x_local.len(),
+            });
+        }
         let rank = comm.rank();
         let p = cfg.p;
         let rows = cfg.m_prime / ranks; // P-groups computed on this rank
         let mut times = PhaseTimes::default();
+        // Cloned handle so phase spans interleave with `&mut comm` calls;
+        // clones share one buffer (disabled outside Cluster::run_traced).
+        let trace = comm.trace().clone();
 
         // 1. Halo exchange: my first halo_len points go to the LEFT
         // neighbor (whose window overruns into my block); I receive the
         // prefix of my RIGHT neighbor.
+        trace.span_begin("halo", Some(comm.clock().now()));
         let c0 = comm.clock().comm_time();
         let left = (rank + ranks - 1) % ranks;
         let right = (rank + 1) % ranks;
         let halo = comm.sendrecv(left, &x_local[..cfg.halo_len()], right);
         times.halo = comm.clock().comm_time() - c0;
+        trace.span_end("halo", Some(comm.clock().now()));
 
         let mut xext = Vec::with_capacity(local_pts + cfg.halo_len());
         xext.extend_from_slice(x_local);
@@ -129,6 +138,7 @@ impl DistSoiFft {
         // 2. Convolution over my row range (global rows r·rows..(r+1)·rows;
         // the coefficient table is row-periodic with period μ | rows, so
         // the kernel runs rank-relative unchanged).
+        trace.span_begin("conv", Some(comm.clock().now()));
         let t0 = Instant::now();
         let mut v = vec![Complex64::ZERO; rows * p];
         soi_core::conv::convolve_pooled(
@@ -145,8 +155,10 @@ impl DistSoiFft {
         );
         comm.charge_compute(dt);
         times.conv = dt;
+        trace.span_end("conv", Some(comm.clock().now()));
 
         // 3. I ⊗ F_P over the local groups.
+        trace.span_begin("fft_p", Some(comm.clock().now()));
         let t0 = Instant::now();
         let batch = self.soi.batch_p();
         let mut batch_scratch =
@@ -159,7 +171,9 @@ impl DistSoiFft {
         );
         comm.charge_compute(dt);
         times.fft_small = dt;
+        trace.span_end("fft_p", Some(comm.clock().now()));
 
+        trace.span_begin("pack", Some(comm.clock().now()));
         // 4. Pack (Fig 3's local permutation): destination-major, and
         // within a destination segment-major — rank d gets, for each of
         // its segments s, my rows' lane-s values in row order.
@@ -173,16 +187,20 @@ impl DistSoiFft {
         let dt = policy.charge(WorkKind::Mem, pack_bytes, t0.elapsed().as_secs_f64());
         comm.charge_compute(dt);
         times.pack = dt;
+        trace.span_end("pack", Some(comm.clock().now()));
 
         // 5. THE all-to-all. From src I receive its rows for each of my c
         // segments: recv[src·c·rows + si·rows + jl] = x̃^{(my seg si)}[src·rows + jl].
+        trace.span_begin("exchange", Some(comm.clock().now()));
         let c0 = comm.clock().comm_time();
         let mut recv = vec![Complex64::ZERO; c * cfg.m_prime];
         comm.all_to_all(&send, &mut recv);
         times.exchange = comm.clock().comm_time() - c0;
+        trace.span_end("exchange", Some(comm.clock().now()));
 
         // 5b. Unpack into per-segment x̃ vectors (a second local
         // permutation; a no-op copy when c = 1 and R = P).
+        trace.span_begin("pack", Some(comm.clock().now()));
         let t0 = Instant::now();
         let mut xt = vec![Complex64::ZERO; c * cfg.m_prime];
         for src in 0..ranks {
@@ -199,8 +217,10 @@ impl DistSoiFft {
         );
         comm.charge_compute(dt);
         times.pack += dt;
+        trace.span_end("pack", Some(comm.clock().now()));
 
         // 6. F_{M'} per owned segment, one scratch stripe per worker.
+        trace.span_begin("fft_m", Some(comm.clock().now()));
         let t0 = Instant::now();
         let scr_len = self.soi.plan_m().scratch_len();
         let parts = pool.threads().min(c).max(1);
@@ -230,8 +250,10 @@ impl DistSoiFft {
         );
         comm.charge_compute(dt);
         times.fft_large = dt;
+        trace.span_end("fft_m", Some(comm.clock().now()));
 
         // 7. Project + demodulate each segment.
+        trace.span_begin("demod", Some(comm.clock().now()));
         let t0 = Instant::now();
         let demod = &self.soi.coefficients().demod;
         let mut y = Vec::with_capacity(local_pts);
@@ -246,8 +268,9 @@ impl DistSoiFft {
         );
         comm.charge_compute(dt);
         times.scale = dt;
+        trace.span_end("demod", Some(comm.clock().now()));
 
-        (y, times)
+        Ok((y, times))
     }
 }
 
@@ -273,7 +296,7 @@ mod tests {
         let m = n / p;
         let pieces = Cluster::ideal(p).run_collect(move |comm| {
             let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-            distr.run(comm, local, ChargePolicy::WallClock).0
+            distr.run(comm, local, ChargePolicy::WallClock).expect("soi run").0
         });
         pieces.into_iter().flatten().collect()
     }
@@ -321,7 +344,7 @@ mod tests {
         let (xr, distr, m) = (&x, &dist, n / p);
         let reports = Cluster::new(p, Fabric::ethernet_10g()).run(move |comm| {
             let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-            distr.run(comm, local, ChargePolicy::WallClock).0
+            distr.run(comm, local, ChargePolicy::WallClock).expect("soi run").0
         });
         for (_, rep) in &reports {
             assert_eq!(rep.stats.all_to_alls, 1, "SOI must use exactly one all-to-all");
@@ -341,7 +364,7 @@ mod tests {
         let rates = ChargePolicy::Rates(crate::rates::ComputeRates::paper_node());
         let out = Cluster::new(p, Fabric::ethernet_10g()).run(move |comm| {
             let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-            distr.run(comm, local, rates).1
+            distr.run(comm, local, rates).expect("soi run").1
         });
         for (times, rep) in &out {
             assert!(times.conv > 0.0);
@@ -379,6 +402,7 @@ mod tests {
                     let pool = soi_pool::ThreadPool::new(workers);
                     distr
                         .run_with(comm, local, ChargePolicy::WallClock, &pool)
+                        .expect("soi run")
                         .0
                 })
                 .into_iter()
@@ -401,7 +425,9 @@ mod tests {
     fn non_dividing_cluster_size_panics() {
         let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10).unwrap();
         let dist = DistSoiFft::new(&params).unwrap();
-        let _ = dist.segments_per_rank(3);
+        // The raw-assert era panicked here; the Result API keeps the
+        // same observable contract through `.expect`.
+        let _ = dist.segments_per_rank(3).expect("cluster size");
     }
 
     #[test]
@@ -413,14 +439,14 @@ mod tests {
         let ranks = 2;
         let params = SoiParams::with_preset(n, p, AccuracyPreset::Digits10).unwrap();
         let dist = DistSoiFft::new(&params).unwrap();
-        assert_eq!(dist.segments_per_rank(ranks), 4);
+        assert_eq!(dist.segments_per_rank(ranks), Ok(4));
         let x = signal(n);
         let per_rank = n / ranks;
         let (xr, distr) = (&x, &dist);
         let y: Vec<Complex64> = Cluster::ideal(ranks)
             .run_collect(move |comm| {
                 let local = &xr[comm.rank() * per_rank..(comm.rank() + 1) * per_rank];
-                distr.run(comm, local, ChargePolicy::WallClock).0
+                distr.run(comm, local, ChargePolicy::WallClock).expect("soi run").0
             })
             .into_iter()
             .flatten()
@@ -446,7 +472,7 @@ mod tests {
             let y: Vec<Complex64> = Cluster::ideal(ranks)
                 .run_collect(move |comm| {
                     let local = &xr[comm.rank() * per_rank..(comm.rank() + 1) * per_rank];
-                    distr.run(comm, local, ChargePolicy::WallClock).0
+                    distr.run(comm, local, ChargePolicy::WallClock).expect("soi run").0
                 })
                 .into_iter()
                 .flatten()

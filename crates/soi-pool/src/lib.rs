@@ -21,6 +21,7 @@
 //! costs one enum discriminant, so serial call sites can use the same
 //! code path as threaded ones.
 
+use soi_trace::Trace;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -58,6 +59,7 @@ pub struct ThreadPool {
     shared: Option<Arc<Shared>>,
     handles: Vec<JoinHandle<()>>,
     threads: usize,
+    trace: Trace,
 }
 
 impl std::fmt::Debug for ThreadPool {
@@ -81,6 +83,7 @@ impl ThreadPool {
                 shared: None,
                 handles: Vec::new(),
                 threads: 1,
+                trace: Trace::disabled(),
             };
         }
         let shared = Arc::new(Shared {
@@ -107,6 +110,7 @@ impl ThreadPool {
             shared: Some(shared),
             handles,
             threads,
+            trace: Trace::disabled(),
         }
     }
 
@@ -118,6 +122,19 @@ impl ThreadPool {
     /// Total worker count, caller included.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Attach a trace handle: every task of every subsequent [`run`]
+    /// (`ThreadPool::run`) is recorded as a per-task timing event tagged
+    /// with its (deterministic) worker id `i % threads` — the raw material
+    /// for load-imbalance analysis. Pass [`Trace::disabled`] to detach.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    /// The currently attached trace handle.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
     }
 
     /// Execute `f(0), f(1), …, f(tasks − 1)` across the pool and block
@@ -135,6 +152,22 @@ impl ThreadPool {
     where
         F: Fn(usize) + Sync,
     {
+        if self.trace.is_enabled() {
+            // Timing wrapper only on the traced path: the untraced hot
+            // path dispatches the caller's closure untouched.
+            let threads = self.threads;
+            let trace = &self.trace;
+            self.dispatch(tasks, &|t: usize| {
+                let t0 = std::time::Instant::now();
+                f(t);
+                trace.task(t % threads, t, t0.elapsed().as_nanos() as u64);
+            });
+        } else {
+            self.dispatch(tasks, &f);
+        }
+    }
+
+    fn dispatch(&self, tasks: usize, f: &(dyn Fn(usize) + Sync)) {
         let threads = self.threads;
         let shared = match &self.shared {
             None => {
@@ -155,12 +188,12 @@ impl ThreadPool {
             let mut st = shared.state.lock().expect("pool state poisoned");
             assert!(st.job.is_none(), "nested ThreadPool::run on the same pool");
             // SAFETY: the reference is only reachable through `st.job`,
-            // which this call clears again before returning, and `run`
+            // which this call clears again before returning, and `dispatch`
             // blocks until `outstanding == 0`, i.e. until no worker can
             // still dereference it. `f` therefore strictly outlives every
             // use despite the erased lifetime.
             let erased: &'static (dyn Fn(usize) + Sync) = unsafe {
-                std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(&f)
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
             };
             st.job = Some(Job { f: erased, tasks });
             st.epoch = st.epoch.wrapping_add(1);
@@ -405,6 +438,32 @@ mod tests {
                 assert!(max - min <= 1, "balance units={units} parts={parts}");
             }
         }
+    }
+
+    #[test]
+    fn traced_pool_records_one_event_per_task_with_static_worker_ids() {
+        use soi_trace::EventKind;
+        let mut pool = ThreadPool::new(3);
+        pool.set_trace(Trace::recording(0));
+        pool.run(10, |_| {});
+        let events = pool.trace().drain();
+        assert_eq!(events.len(), 10);
+        let mut seen = vec![false; 10];
+        for ev in &events {
+            match ev.kind {
+                EventKind::Task { index, .. } => {
+                    // Determinism contract: task i runs on worker i % threads.
+                    assert_eq!(ev.worker, index % 3, "task {index}");
+                    seen[index as usize] = true;
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every task must be recorded");
+        // Detaching returns the pool to the null-check path.
+        pool.set_trace(Trace::disabled());
+        pool.run(4, |_| {});
+        assert!(pool.trace().is_empty());
     }
 
     #[test]

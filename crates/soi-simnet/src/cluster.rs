@@ -3,6 +3,7 @@
 
 use crate::comm::{CommStats, RankComm, Shared};
 use crate::netmodel::Fabric;
+use soi_trace::{Trace, TraceSet};
 use std::sync::mpsc::channel;
 use std::sync::Arc;
 
@@ -68,6 +69,30 @@ impl Cluster {
         R: Send,
         F: Fn(&mut RankComm) -> R + Send + Sync,
     {
+        let traces: Vec<Trace> = (0..self.size).map(|_| Trace::disabled()).collect();
+        self.run_with_traces(f, &traces)
+    }
+
+    /// Like [`Cluster::run`], but with per-rank event recording enabled:
+    /// every send/recv/collective (and any spans the per-rank closure
+    /// opens through [`RankComm::trace`]) lands in the returned
+    /// [`TraceSet`], ready for `validate()` or a JSON-lines sink.
+    pub fn run_traced<R, F>(&self, f: F) -> (Vec<(R, RankReport)>, TraceSet)
+    where
+        R: Send,
+        F: Fn(&mut RankComm) -> R + Send + Sync,
+    {
+        let traces: Vec<Trace> = (0..self.size).map(Trace::recording).collect();
+        let results = self.run_with_traces(f, &traces);
+        let set = TraceSet::from_streams(traces.iter().map(Trace::drain).collect());
+        (results, set)
+    }
+
+    fn run_with_traces<R, F>(&self, f: F, traces: &[Trace]) -> Vec<(R, RankReport)>
+    where
+        R: Send,
+        F: Fn(&mut RankComm) -> R + Send + Sync,
+    {
         let p = self.size;
         let shared = Arc::new(Shared::new(p, self.fabric.clone()));
         // Dense channel mesh: tx[src][dst] feeds rx[dst][src].
@@ -94,7 +119,7 @@ impl Cluster {
             .zip(inboxes)
             .enumerate()
             .map(|(rank, (senders, receivers))| {
-                RankComm::new(rank, shared.clone(), senders, receivers)
+                RankComm::new(rank, shared.clone(), senders, receivers, traces[rank].clone())
             })
             .collect();
 
@@ -283,7 +308,10 @@ mod tests {
             .into_iter()
             .map(|(_, rep)| rep)
             .collect();
-        let expect = Fabric::ethernet_10g().all_to_all_time(p, (1u64 << 20) * p as u64);
+        // Off-rank traffic only: each rank keeps its 256 KiB self-block
+        // local, so the fabric carries (1 MiB − 256 KiB) per rank.
+        let off_rank = (1u64 << 20) - (1u64 << 18);
+        let expect = Fabric::ethernet_10g().all_to_all_time(p, off_rank * p as u64);
         for r in &reports {
             assert!(
                 (r.comm_time - expect).abs() < 1e-9,
@@ -294,6 +322,73 @@ mod tests {
             );
             assert_eq!(r.stats.all_to_alls, 1);
         }
+    }
+
+    #[test]
+    fn even_all_to_allv_costs_exactly_what_all_to_all_costs() {
+        // Regression for the self-block accounting mismatch: both
+        // collectives must charge identical virtual time for identical
+        // (even) payloads.
+        let p = 4;
+        let block = 1usize << 16;
+        let cluster = Cluster::new(p, Fabric::ethernet_10g());
+        let fixed: Vec<RankReport> = cluster
+            .run(|c| {
+                let send = vec![0u8; p * block];
+                let mut recv = vec![0u8; p * block];
+                c.all_to_all(&send, &mut recv);
+            })
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        let varied: Vec<RankReport> = cluster
+            .run(|c| {
+                let send = vec![0u8; p * block];
+                let counts = vec![block; p];
+                let _ = c.all_to_allv(&send, &counts);
+            })
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        for (a, b) in fixed.iter().zip(&varied) {
+            assert!(
+                (a.comm_time - b.comm_time).abs() < 1e-12,
+                "rank {}: all_to_all {} vs all_to_allv {}",
+                a.rank,
+                a.comm_time,
+                b.comm_time
+            );
+        }
+    }
+
+    #[test]
+    fn traced_run_validates_and_reflects_traffic() {
+        let p = 3;
+        let (results, set) = Cluster::new(p, Fabric::ethernet_10g()).run_traced(|c| {
+            let send: Vec<u64> = (0..p).map(|d| (c.rank() * 10 + d) as u64).collect();
+            let mut recv = vec![0u64; p];
+            c.all_to_all(&send, &mut recv);
+            c.barrier();
+            c.allreduce_sum(1.0)
+        });
+        assert_eq!(set.ranks.len(), p);
+        let summary = set.validate().expect("trace must satisfy conservation");
+        // all_to_all: p(p-1) messages; all_gather (allreduce): p(p-1).
+        assert_eq!(summary.messages as usize, 2 * p * (p - 1));
+        let total_sent: u64 = results.iter().map(|(_, r)| r.stats.bytes_sent).sum();
+        let total_received: u64 = results.iter().map(|(_, r)| r.stats.bytes_received).sum();
+        assert_eq!(total_sent, total_received);
+        assert_eq!(summary.bytes, total_sent);
+    }
+
+    #[test]
+    fn untraced_run_records_nothing() {
+        let out = Cluster::ideal(2).run(|c| {
+            assert!(!c.trace().is_enabled());
+            c.barrier();
+            c.rank()
+        });
+        assert_eq!(out.len(), 2);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::clock::VirtualClock;
 use crate::netmodel::Fabric;
+use soi_trace::{CollectiveOp, Trace};
 use std::any::Any;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -40,6 +41,10 @@ impl Shared {
 pub struct CommStats {
     /// Payload bytes this rank pushed into the network.
     pub bytes_sent: u64,
+    /// Payload bytes this rank pulled off the network. Cluster-wide,
+    /// the sum over ranks must equal the sum of `bytes_sent` — the
+    /// conservation law the trace validator checks per link.
+    pub bytes_received: u64,
     /// Point-to-point messages sent.
     pub p2p_messages: u64,
     /// Number of all-to-all collectives participated in.
@@ -64,6 +69,7 @@ pub struct RankComm {
     receivers: Vec<Receiver<Msg>>,
     clock: VirtualClock,
     stats: CommStats,
+    trace: Trace,
 }
 
 impl RankComm {
@@ -72,6 +78,7 @@ impl RankComm {
         shared: std::sync::Arc<Shared>,
         senders: Vec<Sender<Msg>>,
         receivers: Vec<Receiver<Msg>>,
+        trace: Trace,
     ) -> Self {
         Self {
             rank,
@@ -80,6 +87,7 @@ impl RankComm {
             receivers,
             clock: VirtualClock::new(),
             stats: CommStats::default(),
+            trace,
         }
     }
 
@@ -108,6 +116,13 @@ impl RankComm {
         self.stats
     }
 
+    /// This rank's trace handle (disabled unless the cluster was run via
+    /// [`crate::Cluster::run_traced`]). Clone it to instrument phases that
+    /// interleave with `&mut self` communicator calls.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
     /// Charge `dt` seconds of local computation to this rank.
     pub fn charge_compute(&mut self, dt: f64) {
         self.clock.charge_compute(dt);
@@ -129,10 +144,13 @@ impl RankComm {
         let slots = &self.shared.clock_slots;
         slots[self.rank].store(self.clock.now().to_bits(), Ordering::SeqCst);
         self.shared.barrier.wait();
+        // Seed with -inf, not 0.0: a 0.0 seed would silently clamp the
+        // fold if clocks could ever read negative, turning "max of the
+        // ranks' clocks" into "max of the clocks and zero".
         let max = slots
             .iter()
             .map(|s| f64::from_bits(s.load(Ordering::SeqCst)))
-            .fold(0.0f64, f64::max);
+            .fold(f64::NEG_INFINITY, f64::max);
         self.shared.barrier.wait();
         self.clock.synchronize(max, op_cost);
     }
@@ -142,6 +160,10 @@ impl RankComm {
         let cost = self.shared.fabric.barrier_time(self.size());
         self.sync_clocks(cost);
         self.stats.other_collectives += 1;
+        // Recorded after synchronization: every rank's barrier event must
+        // carry the identical clock, which the trace validator asserts.
+        self.trace
+            .collective(CollectiveOp::Barrier, 0, Some(self.clock.now()));
     }
 
     /// Non-blocking buffered send of a typed payload to `dst`.
@@ -150,8 +172,10 @@ impl RankComm {
     /// and collectives charge the fabric cost. Raw sends are the building
     /// block and charge at the matching `recv`.
     pub fn send<T: Send + 'static>(&mut self, dst: usize, data: Vec<T>) {
-        self.stats.bytes_sent += (data.len() * std::mem::size_of::<T>()) as u64;
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        self.stats.bytes_sent += bytes;
         self.stats.p2p_messages += 1;
+        self.trace.send(dst, bytes, Some(self.clock.now()));
         self.senders[dst]
             .send(Box::new(data))
             .expect("peer rank hung up");
@@ -165,8 +189,10 @@ impl RankComm {
             .downcast::<Vec<T>>()
             .expect("type mismatch between send and recv");
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        self.stats.bytes_received += bytes;
         self.clock
             .charge_comm(self.shared.fabric.point_to_point_time(bytes));
+        self.trace.recv(src, bytes, Some(self.clock.now()));
         data
     }
 
@@ -180,8 +206,10 @@ impl RankComm {
         data: &[T],
         src: usize,
     ) -> Vec<T> {
-        self.stats.bytes_sent += (data.len() * std::mem::size_of::<T>()) as u64;
+        let sent_bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        self.stats.bytes_sent += sent_bytes;
         self.stats.p2p_messages += 1;
+        self.trace.send(dst, sent_bytes, Some(self.clock.now()));
         self.senders[dst]
             .send(Box::new(data.to_vec()))
             .expect("peer rank hung up");
@@ -190,8 +218,12 @@ impl RankComm {
             .downcast::<Vec<T>>()
             .expect("type mismatch between sendrecv peers");
         let bytes = (out.len() * std::mem::size_of::<T>()) as u64;
+        self.stats.bytes_received += bytes;
+        self.trace.recv(src, bytes, Some(self.clock.now()));
         // All ranks exchange concurrently; synchronize and charge one hop.
         self.sync_clocks(self.shared.fabric.point_to_point_time(bytes));
+        self.trace
+            .collective(CollectiveOp::SendRecv, bytes, Some(self.clock.now()));
         out
     }
 
@@ -213,7 +245,9 @@ impl RankComm {
                 continue;
             }
             let chunk = send[dst * block..(dst + 1) * block].to_vec();
-            self.stats.bytes_sent += (chunk.len() * std::mem::size_of::<T>()) as u64;
+            let chunk_bytes = (chunk.len() * std::mem::size_of::<T>()) as u64;
+            self.stats.bytes_sent += chunk_bytes;
+            self.trace.send(dst, chunk_bytes, Some(self.clock.now()));
             self.senders[dst]
                 .send(Box::new(chunk))
                 .expect("peer rank hung up");
@@ -229,12 +263,20 @@ impl RankComm {
                 .downcast::<Vec<T>>()
                 .expect("type mismatch in all_to_all");
             assert_eq!(data.len(), block, "ragged all_to_all block from {src}");
+            let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+            self.stats.bytes_received += bytes;
+            self.trace.recv(src, bytes, Some(self.clock.now()));
             recv[src * block..(src + 1) * block].clone_from_slice(&data);
         }
-        let total_bytes = (send.len() * std::mem::size_of::<T>()) as u64 * p as u64;
+        // Fabric-charged traffic excludes each rank's self-block (a local
+        // memcpy never touches the wire) — the same convention
+        // `all_to_allv` uses, so even payloads price identically on both.
+        let total_bytes = ((send.len() - block) * std::mem::size_of::<T>()) as u64 * p as u64;
         let cost = self.shared.fabric.all_to_all_time(p, total_bytes);
         self.sync_clocks(cost);
         self.stats.all_to_alls += 1;
+        self.trace
+            .collective(CollectiveOp::AllToAll, total_bytes, Some(self.clock.now()));
     }
 
     /// Variable-count all-to-all: `send` is partitioned by `send_counts`
@@ -260,7 +302,9 @@ impl RankComm {
             if dst == self.rank {
                 self_block = chunk.to_vec();
             } else {
-                self.stats.bytes_sent += (cnt * std::mem::size_of::<T>()) as u64;
+                let bytes = (cnt * std::mem::size_of::<T>()) as u64;
+                self.stats.bytes_sent += bytes;
+                self.trace.send(dst, bytes, Some(self.clock.now()));
                 self.senders[dst]
                     .send(Box::new(chunk.to_vec()))
                     .expect("peer rank hung up");
@@ -277,19 +321,22 @@ impl RankComm {
             let data = *msg
                 .downcast::<Vec<T>>()
                 .expect("type mismatch in all_to_allv");
-            total_recv_bytes += (data.len() * std::mem::size_of::<T>()) as u64;
+            let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+            total_recv_bytes += bytes;
+            self.stats.bytes_received += bytes;
+            self.trace.recv(src, bytes, Some(self.clock.now()));
             out.extend_from_slice(&data);
         }
         // Cost model: approximate the exchange as an even all-to-all of
         // the aggregate payload, estimated from this rank's received bytes
         // (exact per-link modeling is unnecessary at the granularity of
         // the paper's model, and the SOI/baseline payloads are balanced).
-        let cost = self
-            .shared
-            .fabric
-            .all_to_all_time(p, total_recv_bytes * p as u64);
+        let charged = total_recv_bytes * p as u64;
+        let cost = self.shared.fabric.all_to_all_time(p, charged);
         self.sync_clocks(cost);
         self.stats.all_to_alls += 1;
+        self.trace
+            .collective(CollectiveOp::AllToAllV, charged, Some(self.clock.now()));
         out
     }
 
@@ -297,9 +344,11 @@ impl RankComm {
     pub fn broadcast<T: Send + Clone + 'static>(&mut self, root: usize, data: Vec<T>) -> Vec<T> {
         let p = self.size();
         let out = if self.rank == root {
+            let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
             for dst in 0..p {
                 if dst != root {
-                    self.stats.bytes_sent += (data.len() * std::mem::size_of::<T>()) as u64;
+                    self.stats.bytes_sent += bytes;
+                    self.trace.send(dst, bytes, Some(self.clock.now()));
                     self.senders[dst]
                         .send(Box::new(data.clone()))
                         .expect("peer rank hung up");
@@ -308,14 +357,19 @@ impl RankComm {
             data
         } else {
             let msg = self.receivers[root].recv().expect("peer rank hung up");
-            *msg.downcast::<Vec<T>>()
-                .expect("type mismatch in broadcast")
+            let out = *msg.downcast::<Vec<T>>().expect("type mismatch in broadcast");
+            let bytes = (out.len() * std::mem::size_of::<T>()) as u64;
+            self.stats.bytes_received += bytes;
+            self.trace.recv(root, bytes, Some(self.clock.now()));
+            out
         };
         let bytes = (out.len() * std::mem::size_of::<T>()) as u64;
         let cost =
             self.shared.fabric.point_to_point_time(bytes) * (p as f64).log2().ceil().max(1.0);
         self.sync_clocks(cost);
         self.stats.other_collectives += 1;
+        self.trace
+            .collective(CollectiveOp::Broadcast, bytes, Some(self.clock.now()));
         out
     }
 
@@ -331,12 +385,17 @@ impl RankComm {
                 } else {
                     let msg = self.receivers[src].recv().expect("peer rank hung up");
                     let block = *msg.downcast::<Vec<T>>().expect("type mismatch in gather");
+                    let bytes = (block.len() * std::mem::size_of::<T>()) as u64;
+                    self.stats.bytes_received += bytes;
+                    self.trace.recv(src, bytes, Some(self.clock.now()));
                     out.extend_from_slice(&block);
                 }
             }
             Some(out)
         } else {
-            self.stats.bytes_sent += (data.len() * std::mem::size_of::<T>()) as u64;
+            let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+            self.stats.bytes_sent += bytes;
+            self.trace.send(root, bytes, Some(self.clock.now()));
             self.senders[root]
                 .send(Box::new(data.to_vec()))
                 .expect("peer rank hung up");
@@ -346,6 +405,8 @@ impl RankComm {
         let cost = self.shared.fabric.point_to_point_time(bytes) * (p as f64).log2().ceil().max(1.0);
         self.sync_clocks(cost);
         self.stats.other_collectives += 1;
+        self.trace
+            .collective(CollectiveOp::Gather, bytes, Some(self.clock.now()));
         result
     }
 
@@ -354,7 +415,9 @@ impl RankComm {
         let p = self.size();
         for dst in 0..p {
             if dst != self.rank {
-                self.stats.bytes_sent += (data.len() * std::mem::size_of::<T>()) as u64;
+                let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+                self.stats.bytes_sent += bytes;
+                self.trace.send(dst, bytes, Some(self.clock.now()));
                 self.senders[dst]
                     .send(Box::new(data.to_vec()))
                     .expect("peer rank hung up");
@@ -369,6 +432,9 @@ impl RankComm {
                 let block = *msg
                     .downcast::<Vec<T>>()
                     .expect("type mismatch in all_gather");
+                let bytes = (block.len() * std::mem::size_of::<T>()) as u64;
+                self.stats.bytes_received += bytes;
+                self.trace.recv(src, bytes, Some(self.clock.now()));
                 out.extend_from_slice(&block);
             }
         }
@@ -376,6 +442,8 @@ impl RankComm {
         let cost = self.shared.fabric.all_to_all_time(p, bytes);
         self.sync_clocks(cost);
         self.stats.other_collectives += 1;
+        self.trace
+            .collective(CollectiveOp::AllGather, bytes, Some(self.clock.now()));
         out
     }
 

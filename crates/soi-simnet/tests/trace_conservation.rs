@@ -1,0 +1,121 @@
+//! Property test for the comm-conservation validator: random sequences of
+//! collectives on random cluster sizes must always produce traces that
+//! validate, and the per-rank `CommStats` totals must balance cluster-wide
+//! (every byte sent is a byte received — nothing is minted or lost).
+
+use soi_simnet::{Cluster, Fabric};
+use soi_testkit::{check, PropConfig};
+
+/// One step of the random schedule; all ranks execute the same sequence
+/// (blocking-MPI contract) with seed-derived payload sizes and roots.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Barrier,
+    Broadcast { root: usize, len: usize },
+    Gather { root: usize, len: usize },
+    AllToAll { block: usize },
+    AllToAllV { base: usize },
+    AllGather { len: usize },
+    RingHalo { len: usize },
+}
+
+#[test]
+fn random_collective_sequences_conserve_bytes_and_validate() {
+    check(
+        "random_collective_sequences_conserve_bytes_and_validate",
+        PropConfig::cases(10),
+        |rng| {
+            let p = rng.usize_in(2..9);
+            let steps = rng.usize_in(3..9);
+            let ops: Vec<Op> = (0..steps)
+                .map(|_| match rng.usize_in(0..7) {
+                    0 => Op::Barrier,
+                    1 => Op::Broadcast {
+                        root: rng.usize_in(0..p),
+                        len: rng.usize_in(1..64),
+                    },
+                    2 => Op::Gather {
+                        root: rng.usize_in(0..p),
+                        len: rng.usize_in(1..64),
+                    },
+                    3 => Op::AllToAll {
+                        block: rng.usize_in(1..16),
+                    },
+                    4 => Op::AllToAllV {
+                        base: rng.usize_in(0..8),
+                    },
+                    5 => Op::AllGather {
+                        len: rng.usize_in(1..32),
+                    },
+                    _ => Op::RingHalo {
+                        len: rng.usize_in(1..32),
+                    },
+                })
+                .collect();
+
+            let ops_ref = &ops;
+            let (results, set) = Cluster::new(p, Fabric::ethernet_10g()).run_traced(move |c| {
+                for op in ops_ref {
+                    match *op {
+                        Op::Barrier => c.barrier(),
+                        Op::Broadcast { root, len } => {
+                            let data = if c.rank() == root {
+                                vec![root as u64; len]
+                            } else {
+                                Vec::new()
+                            };
+                            let got = c.broadcast(root, data);
+                            assert_eq!(got, vec![root as u64; len]);
+                        }
+                        Op::Gather { root, len } => {
+                            let mine = vec![c.rank() as u32; len];
+                            let got = c.gather(root, &mine);
+                            assert_eq!(got.is_some(), c.rank() == root);
+                        }
+                        Op::AllToAll { block } => {
+                            let send = vec![c.rank() as u8; p * block];
+                            let mut recv = vec![0u8; p * block];
+                            c.all_to_all(&send, &mut recv);
+                        }
+                        Op::AllToAllV { base } => {
+                            // Ragged: rank r sends base + (r+d) % 3 items to d.
+                            let counts: Vec<usize> =
+                                (0..p).map(|d| base + (c.rank() + d) % 3).collect();
+                            let total: usize = counts.iter().sum();
+                            let send = vec![c.rank() as u16; total];
+                            let _ = c.all_to_allv(&send, &counts);
+                        }
+                        Op::AllGather { len } => {
+                            let got = c.all_gather(&vec![c.rank() as u32; len]);
+                            assert_eq!(got.len(), p * len);
+                        }
+                        Op::RingHalo { len } => {
+                            let left = (c.rank() + p - 1) % p;
+                            let right = (c.rank() + 1) % p;
+                            let _ = c.sendrecv(left, &vec![c.rank() as u64; len], right);
+                        }
+                    }
+                }
+                c.stats()
+            });
+
+            let summary = set
+                .validate()
+                .unwrap_or_else(|e| panic!("p={p} ops={ops:?}: trace invalid: {e}"));
+            assert_eq!(summary.ranks, p);
+
+            // Cluster-wide conservation of the CommStats totals.
+            let sent: u64 = results.iter().map(|(s, _)| s.bytes_sent).sum();
+            let received: u64 = results.iter().map(|(s, _)| s.bytes_received).sum();
+            assert_eq!(sent, received, "p={p} ops={ops:?}");
+            assert_eq!(summary.bytes, sent, "trace bytes must match stats");
+
+            // Every rank executed the same number of collectives, and the
+            // validator saw exactly that shared sequence.
+            let colls = results[0].0.all_to_alls + results[0].0.other_collectives;
+            for (s, _) in &results {
+                assert_eq!(s.all_to_alls + s.other_collectives, colls);
+            }
+        },
+    );
+}

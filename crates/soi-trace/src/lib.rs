@@ -1,0 +1,41 @@
+//! Structured execution tracing for the SOI workspace.
+//!
+//! The paper's whole argument is a *phase breakdown* — communication is
+//! 50–90% of distributed FFT time and SOI removes two of three
+//! all-to-alls — so every execution layer of this repo can report what it
+//! did through one substrate:
+//!
+//! * [`Trace`] / [`recorder::Recorder`] — a cheap, clonable handle that
+//!   either records fixed-size [`Event`]s into a preallocated buffer or,
+//!   when disabled (the default), compiles every call down to a null
+//!   check. No strings are allocated on the hot path: phase and counter
+//!   names are `&'static str`, payloads are plain integers.
+//! * [`Event`] — spans (phase begin/end with monotonic *and* virtual-clock
+//!   timestamps), per-message send/recv records, collective participation
+//!   records, per-task pool timings, and free-form counters.
+//! * [`TraceSet`] — the merged per-rank event streams of one run, with a
+//!   JSON-lines sink ([`TraceSet::write_jsonl`] / [`TraceSet::read_jsonl`];
+//!   the `SOI_TRACE` env var or CLI `--trace` pick the path) and the
+//!   **conservation validator** ([`TraceSet::validate`]): bytes sent must
+//!   equal bytes received on every directed link, every rank must execute
+//!   the identical collective sequence, virtual clocks must agree at
+//!   barriers and never run backwards, and spans must nest. A dropped or
+//!   duplicated message event — i.e. a race or protocol bug in the
+//!   simulated network — fails validation mechanically.
+//!
+//! The crate is std-only and sits below every other crate in the
+//! workspace (even `soi-pool`), so any layer can emit events.
+
+pub mod event;
+pub mod recorder;
+pub mod validate;
+
+pub use event::{CollectiveOp, Event, EventKind};
+pub use recorder::{Recorder, Trace};
+pub use validate::{phase_totals, TraceError, TraceSet, TraceSummary};
+
+/// The trace output path configured via the `SOI_TRACE` environment
+/// variable, if any (empty values count as unset).
+pub fn path_from_env() -> Option<String> {
+    std::env::var("SOI_TRACE").ok().filter(|s| !s.is_empty())
+}

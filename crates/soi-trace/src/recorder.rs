@@ -1,0 +1,245 @@
+//! The recording side: a shared, thread-safe event buffer behind a
+//! null-checkable handle.
+//!
+//! [`Trace`] is the type instrumented code holds. Disabled (the default)
+//! it is a `None` — every recording method is a branch on a null pointer
+//! and touches nothing else, which is what keeps tracing out of the hot
+//! path when it is off. Enabled, it is an `Arc` onto a [`Recorder`] whose
+//! buffer is preallocated; recording an event is one short mutex-guarded
+//! push of a fixed-size struct (phase/counter names are `&'static str`,
+//! so no per-event heap allocation happens — the buffer itself grows
+//! geometrically like any `Vec` if a run outlives its preallocation).
+
+use crate::event::{CollectiveOp, Event, EventKind};
+use std::borrow::Cow;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default preallocated event capacity per recorder.
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// A per-rank (or per-process) event sink.
+#[derive(Debug)]
+pub struct Recorder {
+    rank: u32,
+    epoch: Instant,
+    events: Mutex<Vec<Event>>,
+}
+
+impl Recorder {
+    /// A recorder tagged with `rank`, preallocated for `capacity` events.
+    pub fn with_capacity(rank: usize, capacity: usize) -> Self {
+        Self {
+            rank: rank as u32,
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::with_capacity(capacity)),
+        }
+    }
+
+    fn record(&self, worker: u32, t_virt: Option<f64>, kind: EventKind) {
+        let t_mono_ns = self.epoch.elapsed().as_nanos() as u64;
+        self.events.lock().expect("trace buffer poisoned").push(Event {
+            rank: self.rank,
+            worker,
+            t_mono_ns,
+            t_virt,
+            kind,
+        });
+    }
+}
+
+/// Cheap, clonable handle onto a [`Recorder`] — or onto nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    inner: Option<Arc<Recorder>>,
+}
+
+impl Trace {
+    /// The no-op handle: every recording call is a null check.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A recording handle tagged with `rank`.
+    pub fn recording(rank: usize) -> Self {
+        Self {
+            inner: Some(Arc::new(Recorder::with_capacity(rank, DEFAULT_CAPACITY))),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The rank this handle records under (None when disabled).
+    pub fn rank(&self) -> Option<u32> {
+        self.inner.as_ref().map(|r| r.rank)
+    }
+
+    /// Open a phase span (on the rank's main thread, worker 0).
+    pub fn span_begin(&self, phase: &'static str, t_virt: Option<f64>) {
+        if let Some(r) = &self.inner {
+            r.record(
+                0,
+                t_virt,
+                EventKind::SpanBegin {
+                    phase: Cow::Borrowed(phase),
+                },
+            );
+        }
+    }
+
+    /// Close the innermost open span of `phase`.
+    pub fn span_end(&self, phase: &'static str, t_virt: Option<f64>) {
+        if let Some(r) = &self.inner {
+            r.record(
+                0,
+                t_virt,
+                EventKind::SpanEnd {
+                    phase: Cow::Borrowed(phase),
+                },
+            );
+        }
+    }
+
+    /// Record a payload handed to the network for rank `peer`.
+    pub fn send(&self, peer: usize, bytes: u64, t_virt: Option<f64>) {
+        if let Some(r) = &self.inner {
+            r.record(
+                0,
+                t_virt,
+                EventKind::Send {
+                    peer: peer as u32,
+                    bytes,
+                },
+            );
+        }
+    }
+
+    /// Record a payload received from rank `peer`.
+    pub fn recv(&self, peer: usize, bytes: u64, t_virt: Option<f64>) {
+        if let Some(r) = &self.inner {
+            r.record(
+                0,
+                t_virt,
+                EventKind::Recv {
+                    peer: peer as u32,
+                    bytes,
+                },
+            );
+        }
+    }
+
+    /// Record completion of a synchronizing collective; `t_virt` should be
+    /// the clock *after* synchronization (what barriers compare).
+    pub fn collective(&self, op: CollectiveOp, bytes: u64, t_virt: Option<f64>) {
+        if let Some(r) = &self.inner {
+            r.record(0, t_virt, EventKind::Collective { op, bytes });
+        }
+    }
+
+    /// Record one retired pool task (called from worker threads).
+    pub fn task(&self, worker: usize, index: usize, dur_ns: u64) {
+        if let Some(r) = &self.inner {
+            r.record(
+                worker as u32,
+                None,
+                EventKind::Task {
+                    index: index as u32,
+                    dur_ns,
+                },
+            );
+        }
+    }
+
+    /// Record a named quantity.
+    pub fn counter(&self, name: &'static str, value: f64) {
+        if let Some(r) = &self.inner {
+            r.record(0, None, EventKind::Counter { name: Cow::Borrowed(name), value });
+        }
+    }
+
+    /// Number of events recorded so far (0 when disabled).
+    pub fn len(&self) -> usize {
+        self.inner
+            .as_ref()
+            .map_or(0, |r| r.events.lock().expect("trace buffer poisoned").len())
+    }
+
+    /// True when no events have been recorded (or recording is off).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Take all recorded events out of the buffer (oldest first).
+    pub fn drain(&self) -> Vec<Event> {
+        self.inner.as_ref().map_or_else(Vec::new, |r| {
+            std::mem::take(&mut *r.events.lock().expect("trace buffer poisoned"))
+        })
+    }
+
+    /// Copy the recorded events without draining them.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |r| r.events.lock().expect("trace buffer poisoned").clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let t = Trace::disabled();
+        assert!(!t.is_enabled());
+        t.span_begin("conv", None);
+        t.send(1, 100, None);
+        t.task(2, 5, 1000);
+        assert!(t.is_empty());
+        assert!(t.drain().is_empty());
+    }
+
+    #[test]
+    fn events_come_back_in_order_with_monotonic_stamps() {
+        let t = Trace::recording(3);
+        t.span_begin("conv", Some(0.0));
+        t.send(0, 64, Some(0.5));
+        t.span_end("conv", Some(1.0));
+        let evs = t.drain();
+        assert_eq!(evs.len(), 3);
+        assert!(evs.windows(2).all(|w| w[0].t_mono_ns <= w[1].t_mono_ns));
+        assert!(evs.iter().all(|e| e.rank == 3));
+        assert!(matches!(evs[0].kind, EventKind::SpanBegin { .. }));
+        assert!(matches!(evs[2].kind, EventKind::SpanEnd { .. }));
+        assert!(t.is_empty(), "drain must empty the buffer");
+    }
+
+    #[test]
+    fn clones_share_one_buffer() {
+        let t = Trace::recording(0);
+        let u = t.clone();
+        t.counter("a", 1.0);
+        u.counter("b", 2.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(u.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn recording_is_thread_safe() {
+        let t = Trace::recording(0);
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let t = t.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        t.task(w, i, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 400);
+    }
+}

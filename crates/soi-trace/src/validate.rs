@@ -1,0 +1,562 @@
+//! The conservation validator: mechanical cross-rank checks on a run's
+//! merged traces.
+//!
+//! A [`TraceSet`] holds one event stream per rank. [`TraceSet::validate`]
+//! checks the invariants any correct message-passing run must satisfy:
+//!
+//! 1. every event in stream *r* is tagged with rank *r*;
+//! 2. each rank's virtual clock never runs backwards across its events;
+//! 3. spans nest LIFO and are balanced per rank;
+//! 4. all ranks execute the identical sequence of collectives (op by op);
+//! 5. on every directed link *a → b*, bytes and message counts sent by
+//!    *a* equal bytes and counts received by *b* (order-insensitive —
+//!    only the totals must conserve);
+//! 6. at every barrier, all ranks read the same virtual clock.
+//!
+//! A dropped or duplicated message event, a clock that regresses, or a
+//! rank that skipped a collective — i.e. a race or protocol bug in the
+//! simulated network — fails one of these checks with a descriptive
+//! [`TraceError`].
+
+use crate::event::{CollectiveOp, Event, EventKind};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Virtual clocks at a barrier must agree to this absolute tolerance
+/// (they are computed by the same max-fold on every rank, so in practice
+/// they agree exactly; the slack only absorbs serialization roundtrips).
+const BARRIER_CLOCK_TOL: f64 = 1e-9;
+
+/// The merged per-rank event streams of one run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSet {
+    /// `ranks[r]` is rank `r`'s event stream, in recording order.
+    pub ranks: Vec<Vec<Event>>,
+}
+
+/// What a validated trace contained — the run's shape at a glance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Total events across all ranks.
+    pub events: usize,
+    /// Point-to-point messages (send events) across all ranks.
+    pub messages: u64,
+    /// Point-to-point bytes across all ranks.
+    pub bytes: u64,
+    /// The collective sequence every rank executed.
+    pub collectives: Vec<CollectiveOp>,
+    /// Distinct phase names seen in spans, in order of first appearance.
+    pub phases: Vec<String>,
+}
+
+/// A conservation-check failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// Event stream `stream` contained an event tagged with a different rank.
+    RankMismatch {
+        /// Index of the stream in [`TraceSet::ranks`].
+        stream: usize,
+        /// The stray rank tag.
+        found: u32,
+    },
+    /// A rank's virtual clock regressed between consecutive events.
+    ClockRegression {
+        /// The rank.
+        rank: usize,
+        /// Clock before.
+        from: f64,
+        /// Clock after (smaller — the bug).
+        to: f64,
+    },
+    /// A span end with no matching open span, or streams ended with spans open.
+    UnbalancedSpans {
+        /// The rank.
+        rank: usize,
+        /// The phase name involved.
+        phase: String,
+    },
+    /// Two ranks executed different collective sequences.
+    CollectiveMismatch {
+        /// First divergent rank.
+        rank: usize,
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
+    /// Bytes or message counts did not conserve on a directed link.
+    LinkImbalance {
+        /// Sending rank.
+        from: usize,
+        /// Receiving rank.
+        to: usize,
+        /// (bytes, messages) recorded by the sender.
+        sent: (u64, u64),
+        /// (bytes, messages) recorded by the receiver.
+        received: (u64, u64),
+    },
+    /// Virtual clocks disagreed at a barrier.
+    BarrierSkew {
+        /// Which barrier (0-based within the collective sequence).
+        barrier: usize,
+        /// The clock readings per rank.
+        clocks: Vec<f64>,
+    },
+    /// A trace file could not be read or parsed.
+    Io(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::RankMismatch { stream, found } => write!(
+                f,
+                "stream {stream} contains an event tagged rank {found}"
+            ),
+            TraceError::ClockRegression { rank, from, to } => write!(
+                f,
+                "rank {rank}: virtual clock ran backwards, {from} -> {to}"
+            ),
+            TraceError::UnbalancedSpans { rank, phase } => write!(
+                f,
+                "rank {rank}: unbalanced span for phase `{phase}`"
+            ),
+            TraceError::CollectiveMismatch { rank, detail } => write!(
+                f,
+                "rank {rank} diverges from rank 0's collective sequence: {detail}"
+            ),
+            TraceError::LinkImbalance { from, to, sent, received } => write!(
+                f,
+                "link {from} -> {to}: sender recorded {} bytes / {} messages, \
+                 receiver recorded {} bytes / {} messages",
+                sent.0, sent.1, received.0, received.1
+            ),
+            TraceError::BarrierSkew { barrier, clocks } => write!(
+                f,
+                "barrier {barrier}: virtual clocks disagree across ranks: {clocks:?}"
+            ),
+            TraceError::Io(msg) => write!(f, "trace i/o: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl TraceSet {
+    /// A set with `ranks.len()` streams, one per rank.
+    pub fn from_streams(ranks: Vec<Vec<Event>>) -> Self {
+        Self { ranks }
+    }
+
+    /// Append every event as one JSON line to `w` (ranks interleaved in
+    /// rank order — readers regroup by the `rank` field).
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        for stream in &self.ranks {
+            for ev in stream {
+                writeln!(w, "{}", ev.to_json_line())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Write the whole set to the file at `path` (created/truncated).
+    pub fn write_jsonl_file(&self, path: &Path) -> std::io::Result<()> {
+        let f = std::fs::File::create(path)?;
+        let mut w = std::io::BufWriter::new(f);
+        self.write_jsonl(&mut w)?;
+        w.flush()
+    }
+
+    /// Parse a JSON-lines trace, regrouping events by their `rank` field.
+    /// Within a rank, file order is preserved (the writer emits each
+    /// rank's events in recording order, so this reconstructs streams).
+    pub fn read_jsonl<R: BufRead>(r: R) -> Result<Self, TraceError> {
+        let mut ranks: Vec<Vec<Event>> = Vec::new();
+        for (lineno, line) in r.lines().enumerate() {
+            let line = line.map_err(|e| TraceError::Io(e.to_string()))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ev = Event::from_json_line(&line)
+                .map_err(|e| TraceError::Io(format!("line {}: {e}", lineno + 1)))?;
+            let r = ev.rank as usize;
+            if ranks.len() <= r {
+                ranks.resize_with(r + 1, Vec::new);
+            }
+            ranks[r].push(ev);
+        }
+        Ok(Self { ranks })
+    }
+
+    /// Read a trace file written by [`TraceSet::write_jsonl_file`].
+    pub fn read_jsonl_file(path: &Path) -> Result<Self, TraceError> {
+        let f = std::fs::File::open(path)
+            .map_err(|e| TraceError::Io(format!("{}: {e}", path.display())))?;
+        Self::read_jsonl(std::io::BufReader::new(f))
+    }
+
+    /// Run every conservation check; see the module docs for the list.
+    pub fn validate(&self) -> Result<TraceSummary, TraceError> {
+        // 1. rank tags.
+        for (stream, evs) in self.ranks.iter().enumerate() {
+            if let Some(ev) = evs.iter().find(|e| e.rank as usize != stream) {
+                return Err(TraceError::RankMismatch { stream, found: ev.rank });
+            }
+        }
+
+        // 2. virtual-clock monotonicity per rank.
+        for (rank, evs) in self.ranks.iter().enumerate() {
+            let mut last: Option<f64> = None;
+            for ev in evs {
+                if let Some(t) = ev.t_virt {
+                    if let Some(prev) = last {
+                        if t < prev {
+                            return Err(TraceError::ClockRegression { rank, from: prev, to: t });
+                        }
+                    }
+                    last = Some(t);
+                }
+            }
+        }
+
+        // 3. LIFO span balance per rank.
+        let mut phases: Vec<String> = Vec::new();
+        for (rank, evs) in self.ranks.iter().enumerate() {
+            let mut stack: Vec<&str> = Vec::new();
+            for ev in evs {
+                match &ev.kind {
+                    EventKind::SpanBegin { phase } => {
+                        if !phases.iter().any(|p| p == phase.as_ref()) {
+                            phases.push(phase.to_string());
+                        }
+                        stack.push(phase.as_ref());
+                    }
+                    EventKind::SpanEnd { phase } => match stack.pop() {
+                        Some(open) if open == phase.as_ref() => {}
+                        _ => {
+                            return Err(TraceError::UnbalancedSpans {
+                                rank,
+                                phase: phase.to_string(),
+                            })
+                        }
+                    },
+                    _ => {}
+                }
+            }
+            if let Some(open) = stack.pop() {
+                return Err(TraceError::UnbalancedSpans { rank, phase: open.to_string() });
+            }
+        }
+
+        // 4. identical collective sequence across ranks (ops only; byte
+        //    totals may legitimately differ per rank for v-collectives).
+        let seq_of = |evs: &[Event]| -> Vec<CollectiveOp> {
+            evs.iter()
+                .filter_map(|e| match e.kind {
+                    EventKind::Collective { op, .. } => Some(op),
+                    _ => None,
+                })
+                .collect()
+        };
+        let reference = self.ranks.first().map(|evs| seq_of(evs)).unwrap_or_default();
+        for (rank, evs) in self.ranks.iter().enumerate().skip(1) {
+            let seq = seq_of(evs);
+            if seq != reference {
+                let detail = if seq.len() != reference.len() {
+                    format!("{} collectives vs {}", seq.len(), reference.len())
+                } else {
+                    let i = seq
+                        .iter()
+                        .zip(&reference)
+                        .position(|(a, b)| a != b)
+                        .unwrap_or(0);
+                    format!(
+                        "op {} is {} but rank 0 ran {}",
+                        i,
+                        seq[i].name(),
+                        reference[i].name()
+                    )
+                };
+                return Err(TraceError::CollectiveMismatch { rank, detail });
+            }
+        }
+
+        // 5. per-directed-link conservation of bytes and message counts.
+        let mut sent: BTreeMap<(usize, usize), (u64, u64)> = BTreeMap::new();
+        let mut received: BTreeMap<(usize, usize), (u64, u64)> = BTreeMap::new();
+        let mut messages = 0u64;
+        let mut bytes = 0u64;
+        for (rank, evs) in self.ranks.iter().enumerate() {
+            for ev in evs {
+                match ev.kind {
+                    EventKind::Send { peer, bytes: b } => {
+                        let e = sent.entry((rank, peer as usize)).or_insert((0, 0));
+                        e.0 += b;
+                        e.1 += 1;
+                        messages += 1;
+                        bytes += b;
+                    }
+                    EventKind::Recv { peer, bytes: b } => {
+                        let e = received.entry((peer as usize, rank)).or_insert((0, 0));
+                        e.0 += b;
+                        e.1 += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let links: Vec<(usize, usize)> =
+            sent.keys().chain(received.keys()).copied().collect();
+        for (from, to) in links {
+            let s = sent.get(&(from, to)).copied().unwrap_or((0, 0));
+            let r = received.get(&(from, to)).copied().unwrap_or((0, 0));
+            if s != r {
+                return Err(TraceError::LinkImbalance { from, to, sent: s, received: r });
+            }
+        }
+
+        // 6. clock agreement at barriers. The k-th barrier on each rank
+        //    is the k-th Barrier entry of its (already identical)
+        //    collective sequence, so positional pairing is sound.
+        let barrier_clocks = |evs: &[Event]| -> Vec<Option<f64>> {
+            evs.iter()
+                .filter_map(|e| match e.kind {
+                    EventKind::Collective { op: CollectiveOp::Barrier, .. } => Some(e.t_virt),
+                    _ => None,
+                })
+                .collect()
+        };
+        if self.ranks.len() > 1 {
+            let per_rank: Vec<Vec<Option<f64>>> =
+                self.ranks.iter().map(|evs| barrier_clocks(evs)).collect();
+            let n_barriers = per_rank.first().map_or(0, Vec::len);
+            for k in 0..n_barriers {
+                let clocks: Vec<f64> = per_rank
+                    .iter()
+                    .filter_map(|bs| bs.get(k).copied().flatten())
+                    .collect();
+                if clocks.len() < 2 {
+                    continue; // untimed traces carry no clock to compare
+                }
+                let lo = clocks.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = clocks.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                if hi - lo > BARRIER_CLOCK_TOL {
+                    return Err(TraceError::BarrierSkew { barrier: k, clocks });
+                }
+            }
+        }
+
+        Ok(TraceSummary {
+            ranks: self.ranks.len(),
+            events: self.ranks.iter().map(Vec::len).sum(),
+            messages,
+            bytes,
+            collectives: reference,
+            phases,
+        })
+    }
+}
+
+/// Total monotonic nanoseconds spent per phase in one rank's stream,
+/// pairing each `SpanEnd` with its matching (LIFO) `SpanBegin`. Phases
+/// appear in order of first completion; repeated spans accumulate.
+pub fn phase_totals(events: &[Event]) -> Vec<(String, u64)> {
+    let mut totals: Vec<(String, u64)> = Vec::new();
+    let mut stack: Vec<(&str, u64)> = Vec::new();
+    for ev in events {
+        match &ev.kind {
+            EventKind::SpanBegin { phase } => stack.push((phase.as_ref(), ev.t_mono_ns)),
+            EventKind::SpanEnd { phase } => {
+                if let Some((open, t0)) = stack.pop() {
+                    if open == phase.as_ref() {
+                        let dur = ev.t_mono_ns.saturating_sub(t0);
+                        match totals.iter_mut().find(|(p, _)| p == open) {
+                            Some((_, acc)) => *acc += dur,
+                            None => totals.push((open.to_string(), dur)),
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Trace;
+    use std::borrow::Cow;
+
+    /// Build a well-formed 2-rank trace: a barrier, one message 0 -> 1,
+    /// and a conv span on each rank.
+    fn good_set() -> TraceSet {
+        let streams = (0..2)
+            .map(|rank| {
+                let t = Trace::recording(rank);
+                t.span_begin("conv", Some(0.0));
+                if rank == 0 {
+                    t.send(1, 4096, Some(0.1));
+                } else {
+                    t.recv(0, 4096, Some(0.1));
+                }
+                t.collective(CollectiveOp::Barrier, 0, Some(0.5));
+                t.span_end("conv", Some(0.5));
+                t.drain()
+            })
+            .collect();
+        TraceSet::from_streams(streams)
+    }
+
+    #[test]
+    fn good_trace_validates_and_summarizes() {
+        let s = good_set().validate().expect("good trace must validate");
+        assert_eq!(s.ranks, 2);
+        assert_eq!(s.messages, 1);
+        assert_eq!(s.bytes, 4096);
+        assert_eq!(s.collectives, vec![CollectiveOp::Barrier]);
+        assert_eq!(s.phases, vec!["conv".to_string()]);
+    }
+
+    #[test]
+    fn dropped_recv_fails_link_conservation() {
+        let mut set = good_set();
+        set.ranks[1].retain(|e| !matches!(e.kind, EventKind::Recv { .. }));
+        match set.validate() {
+            Err(TraceError::LinkImbalance { from: 0, to: 1, .. }) => {}
+            other => panic!("expected LinkImbalance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicated_send_fails_link_conservation() {
+        let mut set = good_set();
+        let mut dup = set.ranks[0]
+            .iter()
+            .find(|e| matches!(e.kind, EventKind::Send { .. }))
+            .unwrap()
+            .clone();
+        dup.t_virt = None; // keep the stream clock-monotonic; only the link is wrong
+        set.ranks[0].push(dup);
+        assert!(matches!(set.validate(), Err(TraceError::LinkImbalance { .. })));
+    }
+
+    #[test]
+    fn clock_regression_is_caught() {
+        let mut set = good_set();
+        // Force the last event's clock backwards.
+        set.ranks[0].last_mut().unwrap().t_virt = Some(0.01);
+        assert!(matches!(set.validate(), Err(TraceError::ClockRegression { rank: 0, .. })));
+    }
+
+    #[test]
+    fn collective_sequence_mismatch_is_caught() {
+        let mut set = good_set();
+        let barrier_at = set.ranks[1]
+            .iter()
+            .position(|e| matches!(e.kind, EventKind::Collective { .. }))
+            .unwrap();
+        set.ranks[1][barrier_at].kind = EventKind::Collective {
+            op: CollectiveOp::AllToAll,
+            bytes: 0,
+        };
+        assert!(matches!(
+            set.validate(),
+            Err(TraceError::CollectiveMismatch { rank: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn barrier_skew_is_caught() {
+        let mut set = good_set();
+        for ev in set.ranks[1].iter_mut() {
+            if matches!(ev.kind, EventKind::Collective { op: CollectiveOp::Barrier, .. }) {
+                ev.t_virt = Some(0.75); // rank 0 reads 0.5
+            }
+            // keep rank 1's stream monotonic after the bump
+            if matches!(ev.kind, EventKind::SpanEnd { .. }) {
+                ev.t_virt = Some(0.75);
+            }
+        }
+        assert!(matches!(set.validate(), Err(TraceError::BarrierSkew { barrier: 0, .. })));
+    }
+
+    #[test]
+    fn unbalanced_spans_are_caught() {
+        let mut set = good_set();
+        set.ranks[0].retain(|e| !matches!(e.kind, EventKind::SpanEnd { .. }));
+        assert!(matches!(
+            set.validate(),
+            Err(TraceError::UnbalancedSpans { rank: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_memory() {
+        let set = good_set();
+        let mut buf = Vec::new();
+        set.write_jsonl(&mut buf).unwrap();
+        let back = TraceSet::read_jsonl(std::io::Cursor::new(buf)).unwrap();
+        assert_eq!(back.ranks.len(), set.ranks.len());
+        for (a, b) in back.ranks.iter().zip(&set.ranks) {
+            assert_eq!(a, b);
+        }
+        back.validate().expect("roundtripped trace must validate");
+    }
+
+    #[test]
+    fn jsonl_roundtrips_through_a_file() {
+        let set = good_set();
+        let path = std::env::temp_dir().join(format!(
+            "soi_trace_test_{}.jsonl",
+            std::process::id()
+        ));
+        set.write_jsonl_file(&path).unwrap();
+        let back = TraceSet::read_jsonl_file(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        back.validate().expect("file roundtrip must validate");
+        assert_eq!(back.ranks, set.ranks);
+    }
+
+    #[test]
+    fn phase_totals_pair_nested_spans() {
+        let evs = vec![
+            Event {
+                rank: 0,
+                worker: 0,
+                t_mono_ns: 0,
+                t_virt: None,
+                kind: EventKind::SpanBegin { phase: Cow::Borrowed("outer") },
+            },
+            Event {
+                rank: 0,
+                worker: 0,
+                t_mono_ns: 10,
+                t_virt: None,
+                kind: EventKind::SpanBegin { phase: Cow::Borrowed("inner") },
+            },
+            Event {
+                rank: 0,
+                worker: 0,
+                t_mono_ns: 30,
+                t_virt: None,
+                kind: EventKind::SpanEnd { phase: Cow::Borrowed("inner") },
+            },
+            Event {
+                rank: 0,
+                worker: 0,
+                t_mono_ns: 100,
+                t_virt: None,
+                kind: EventKind::SpanEnd { phase: Cow::Borrowed("outer") },
+            },
+        ];
+        let totals = phase_totals(&evs);
+        assert_eq!(
+            totals,
+            vec![("inner".to_string(), 20), ("outer".to_string(), 100)]
+        );
+    }
+}

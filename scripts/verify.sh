@@ -44,6 +44,14 @@ if [ "$a" != "$b" ]; then
     exit 1
 fi
 
+echo "==> traced pipeline smoke: simulate --trace, then the conservation validator"
+trace_file="${TMPDIR:-/tmp}/soi-verify-trace.$$.jsonl"
+cargo run --release --offline -q -p soi-cli --bin soi -- \
+    simulate --nodes 2 --points 2048 --fabric ethernet --trace "$trace_file"
+cargo run --release --offline -q -p soi-cli --bin soi -- \
+    trace-check --file "$trace_file"
+rm -f "$trace_file"
+
 echo "==> cargo build --release --offline -p soi-bench --benches"
 cargo build --release --offline -p soi-bench --benches
 

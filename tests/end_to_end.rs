@@ -28,7 +28,7 @@ fn scatter_run_soi(n: usize, p: usize, preset: AccuracyPreset, fabric: Fabric) -
     Cluster::new(p, fabric)
         .run_collect(move |comm| {
             let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-            dr.run(comm, local, ChargePolicy::WallClock).0
+            dr.run(comm, local, ChargePolicy::WallClock).expect("soi run").0
         })
         .into_iter()
         .flatten()
@@ -114,7 +114,7 @@ fn comm_volume_advantage_holds_end_to_end() {
     let soi_bytes: u64 = Cluster::ideal(p)
         .run(move |comm| {
             let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-            dr.run(comm, local, ChargePolicy::WallClock).0
+            dr.run(comm, local, ChargePolicy::WallClock).expect("soi run").0
         })
         .iter()
         .map(|(_, r)| r.stats.bytes_sent)
