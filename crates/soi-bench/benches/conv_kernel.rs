@@ -10,7 +10,7 @@
 //! the env knobs).
 
 use soi_bench::workload::tone_mix;
-use soi_core::conv::{convolve, convolve_naive};
+use soi_core::conv::{convolve, convolve_naive, convolve_portable, kernel_name};
 use soi_core::{SoiFft, SoiParams};
 use soi_num::Complex64;
 use soi_testkit::Bencher;
@@ -28,9 +28,14 @@ fn bench_conv() {
 
     let mut g = Bencher::new("conv_kernel").samples(15);
     g.throughput_elements(flops);
-    g.bench(&format!("optimized/B={}", cfg.b), || {
+    g.bench(&format!("optimized[{}]/B={}", kernel_name(), cfg.b), || {
         convolve(soi.shape(), soi.coefficients(), &x, &mut out)
     });
+    if kernel_name() != "portable" {
+        g.bench(&format!("optimized[portable]/B={}", cfg.b), || {
+            convolve_portable(soi.shape(), soi.coefficients(), &x, &mut out)
+        });
+    }
     g.bench(&format!("naive/B={}", cfg.b), || {
         convolve_naive(soi.shape(), soi.coefficients(), &x, &mut out)
     });

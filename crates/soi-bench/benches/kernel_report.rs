@@ -1,0 +1,204 @@
+//! Kernel microbench: per-engine ns/point and nominal-GFLOPS fraction of
+//! peak, recorded to `BENCH_kernels.json` at the repo root.
+//!
+//! One row per butterfly engine the planner can dispatch to (Stockham,
+//! mixed-radix, four-step, Bluestein) plus the SOI convolution kernel.
+//! GFLOPS use the paper's §7.1 nominal conventions from
+//! [`soi_fft::flops`] (`5N·log₂N` per FFT, `8B` real ops per convolution
+//! output point); the peak reference is either `SOI_PEAK_GFLOPS` (set it
+//! to the machine's true single-core SIMD FMA peak for honest fractions)
+//! or, by default, a measured scalar-FMA-chain proxy — a lower bound on
+//! peak, so default fractions are *optimistic* and labeled as such via
+//! `peak_source`.
+//!
+//! Env knobs: the soi-testkit timer set (`SOI_BENCH_SAMPLES`,
+//! `SOI_BENCH_WARMUP_MS`, `SOI_BENCH_TARGET_MS`), plus
+//! `SOI_BENCH_KERNELS_OUT` to redirect the JSON (smoke runs).
+
+use soi_bench::workload::tone_mix;
+use soi_core::coeff::ConvCoefficients;
+use soi_core::conv::{convolve, convolve_portable, kernel_name};
+use soi_core::{SoiFft, SoiParams};
+use soi_fft::flops::{conv_flops, fft_flops};
+use soi_fft::Plan;
+use soi_num::Complex64;
+use soi_testkit::{black_box, BenchStats, Bencher};
+use soi_window::AccuracyPreset;
+
+/// Peak-GFLOPS reference: `SOI_PEAK_GFLOPS` if set, else a measured
+/// proxy — eight independent vector-FMA chains when the CPU has
+/// AVX2+FMA (the same features the conv kernel dispatches on), else
+/// eight scalar multiply-add chains. Plain `a*b + c` in the scalar
+/// fallback, deliberately: `f64::mul_add` without the FMA target
+/// feature lowers to a software fma call and would *under*-measure
+/// peak, inflating every fraction. Either way a sustained lower bound
+/// for one core, not the datasheet number.
+fn peak_gflops() -> (f64, &'static str) {
+    if let Some(x) = std::env::var("SOI_PEAK_GFLOPS")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|&v| v > 0.0)
+    {
+        return (x, "env");
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: features just checked.
+        return (unsafe { avx2_fma_peak() }, "measured_avx2_fma_proxy");
+    }
+    let iters: u64 = 1 << 24;
+    let x = black_box(1.000000119_f64);
+    let y = black_box(1e-9_f64);
+    let mut acc = [0.0f64; 8];
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        for a in acc.iter_mut() {
+            *a = *a * x + y;
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    black_box(acc);
+    // 2 real ops (mul + add) per chain step, 8 chains per iteration.
+    ((iters * 8 * 2) as f64 / dt / 1e9, "measured_scalar_mac_proxy")
+}
+
+/// Eight independent 4-wide FMA chains: enough parallelism to saturate
+/// both FMA ports past the instruction latency, so the measurement
+/// approaches the core's true vector-FMA throughput.
+///
+/// SAFETY: caller must check avx2+fma.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn avx2_fma_peak() -> f64 {
+    use std::arch::x86_64::*;
+    let iters: u64 = 1 << 23;
+    let x = _mm256_set1_pd(black_box(1.000000119_f64));
+    let y = _mm256_set1_pd(black_box(1e-9_f64));
+    let mut acc = [_mm256_setzero_pd(); 8];
+    let t0 = std::time::Instant::now();
+    for _ in 0..iters {
+        for a in acc.iter_mut() {
+            *a = _mm256_fmadd_pd(*a, x, y);
+        }
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    let mut sink = [0.0f64; 4];
+    _mm256_storeu_pd(sink.as_mut_ptr(), acc[0]);
+    black_box(sink);
+    // 4 lanes × 2 real ops per FMA, 8 chains per iteration.
+    (iters * 8 * 4 * 2) as f64 / dt / 1e9
+}
+
+struct Row {
+    kernel: String,
+    n: usize,
+    stats: BenchStats,
+    flops: f64,
+}
+
+fn bench_fft_engines(g: &mut Bencher, rows: &mut Vec<Row>) {
+    // One size per planner dispatch path; the engine-name assert keeps
+    // the labels honest if thresholds ever move.
+    for (n, want_engine) in [
+        (16384usize, "stockham"),   // 2^14, below the four-step threshold
+        (20480, "mixed-radix"),     // 2^12·5: the radix-4/5 codelet path
+        (163840, "four-step"),      // 2^15·5 = 320×512: production M'
+        (4093, "bluestein"),        // prime
+    ] {
+        let plan = Plan::<f64>::forward(n);
+        assert_eq!(plan.engine_name(), want_engine, "size {n} dispatched away");
+        let x = tone_mix(n);
+        let mut buf = x.clone();
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        g.throughput_elements(n as u64);
+        let stats = g.bench(&format!("{want_engine}/{n}"), || {
+            buf.copy_from_slice(&x);
+            plan.execute_with_scratch(&mut buf, &mut scratch);
+            black_box(buf[0])
+        });
+        rows.push(Row {
+            kernel: want_engine.to_string(),
+            n,
+            stats,
+            flops: fft_flops(n),
+        });
+    }
+}
+
+fn bench_conv_kernel(g: &mut Bencher, rows: &mut Vec<Row>) {
+    let n = 1usize << 16;
+    let p = 8;
+    let params = SoiParams::with_preset(n, p, AccuracyPreset::Digits10).expect("params");
+    let soi = SoiFft::new(&params).expect("plan");
+    let cfg = *soi.config();
+    let shape = soi.shape();
+    let coeffs: &ConvCoefficients = soi.coefficients();
+    let x = tone_mix(n);
+    let mut xext = vec![Complex64::ZERO; cfg.n + cfg.halo_len()];
+    xext[..cfg.n].copy_from_slice(&x);
+    let halo = xext[..cfg.halo_len()].to_vec();
+    xext[cfg.n..].copy_from_slice(&halo);
+    let mut out = vec![Complex64::ZERO; cfg.n_prime];
+    g.throughput_elements(cfg.n_prime as u64);
+    let stats = g.bench(&format!("conv[{}]/{}", kernel_name(), cfg.n_prime), || {
+        convolve(shape, coeffs, &xext, &mut out);
+        black_box(out[0])
+    });
+    rows.push(Row {
+        kernel: format!("conv[{}]", kernel_name()),
+        n: cfg.n_prime,
+        stats,
+        flops: conv_flops(cfg.n_prime, cfg.taps()),
+    });
+    if kernel_name() != "portable" {
+        // SIMD ablation: the same tiling without the target-feature path.
+        let stats = g.bench(&format!("conv[portable]/{}", cfg.n_prime), || {
+            convolve_portable(shape, coeffs, &xext, &mut out);
+            black_box(out[0])
+        });
+        rows.push(Row {
+            kernel: "conv[portable]".to_string(),
+            n: cfg.n_prime,
+            stats,
+            flops: conv_flops(cfg.n_prime, cfg.taps()),
+        });
+    }
+}
+
+fn main() {
+    let (peak, peak_source) = peak_gflops();
+    let mut g = Bencher::new("kernel_report").samples(10);
+    let mut rows: Vec<Row> = Vec::new();
+    bench_fft_engines(&mut g, &mut rows);
+    bench_conv_kernel(&mut g, &mut rows);
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let secs = r.stats.median_ns / 1e9;
+            let gflops = r.flops / secs / 1e9;
+            format!(
+                "    {{\"kernel\":\"{}\",\"n\":{},\"ns_per_point\":{:.3},\
+                 \"gflops\":{:.3},\"fraction_of_peak\":{:.4}}}",
+                r.kernel,
+                r.n,
+                r.stats.median_ns / r.n as f64,
+                gflops,
+                gflops / peak
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"kernel_report\",\n  \"peak_gflops\": {peak:.3},\n  \
+         \"peak_source\": \"{peak_source}\",\n  \"conv_dispatch\": \"{}\",\n  \
+         \"samples\": {},\n  \"kernels\": [\n{}\n  ]\n}}\n",
+        kernel_name(),
+        rows[0].stats.samples,
+        json_rows.join(",\n")
+    );
+    let path = std::env::var("SOI_BENCH_KERNELS_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json").to_string()
+    });
+    std::fs::write(&path, &json).expect("write kernel bench json");
+    println!("wrote {path} (peak {peak:.1} GFLOPS, {peak_source})");
+}

@@ -6,9 +6,16 @@
 //! root so the perf baseline is versioned alongside the code.
 //!
 //! Harness-free binary on the soi-testkit timer (see fft_kernels.rs for
-//! the env knobs). Extra knob: `SOI_BENCH_PIPELINE_N` overrides the
-//! scaling bench's transform size (default 2^20; CI smoke runs set a
-//! small value).
+//! the env knobs). Extra knobs:
+//!
+//! * `SOI_BENCH_PIPELINE_N` — overrides the scaling bench's transform
+//!   size (default 2^20; CI smoke runs set a small value).
+//! * `SOI_BENCH_PIPELINE_OUT` — overrides the output path (default
+//!   `BENCH_pipeline.json` at the repo root). `scripts/perf_gate.sh`
+//!   points this at a scratch file so a fresh measurement never
+//!   clobbers the committed baseline it is compared against.
+//! * `SOI_BENCH_PIPELINE_ONLY=1` — skip the soi-vs-fft comparison and
+//!   run only the scaling/phase measurement (the part the gate needs).
 
 use soi_bench::workload::tone_mix;
 use soi_core::{SoiFft, SoiParams, SoiWorkspace};
@@ -109,12 +116,17 @@ fn bench_threaded_scaling() {
         rows.join(",\n"),
         phase_rows.join(",\n")
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json");
-    std::fs::write(path, &json).expect("write BENCH_pipeline.json");
+    let path = std::env::var("SOI_BENCH_PIPELINE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json").to_string()
+    });
+    std::fs::write(&path, &json).expect("write pipeline bench json");
     println!("wrote {path} (available_parallelism = {cores})");
 }
 
 fn main() {
-    bench_soi_vs_fft();
+    let gate_only = std::env::var("SOI_BENCH_PIPELINE_ONLY").map(|v| v == "1") == Ok(true);
+    if !gate_only {
+        bench_soi_vs_fft();
+    }
     bench_threaded_scaling();
 }

@@ -43,6 +43,14 @@ pub struct ConvCoefficients {
     /// Distinct convolution coefficients, laid out `[(r·B + b)·P + s]` for
     /// row-residue `r < μ`, block `b < B`, lane `s < P` (μPB entries).
     pub coef: Vec<Complex64>,
+    /// Real parts of `coef`, each duplicated in place (`[re_q, re_q]` at
+    /// `2q..2q+2`), same `(r, blk, s)` order. A 4-wide f64 load at `2q`
+    /// yields `[re_q, re_q, re_{q+1}, re_{q+1}]` — exactly the broadcast
+    /// pattern the SIMD convolution kernel needs for a pair of lanes,
+    /// without spending shuffle ports on it in the inner loop.
+    pub coef_re_dup: Vec<f64>,
+    /// Imaginary parts of `coef`, duplicated the same way.
+    pub coef_im_dup: Vec<f64>,
     /// Demodulation weights `1/ŵ(k)` for `k < M`.
     pub demod: Vec<Complex64>,
     mu: usize,
@@ -71,9 +79,19 @@ impl ConvCoefficients {
                 }
             }
         }
+        let mut coef_re_dup = Vec::with_capacity(2 * coef.len());
+        let mut coef_im_dup = Vec::with_capacity(2 * coef.len());
+        for c in &coef {
+            coef_re_dup.push(c.re);
+            coef_re_dup.push(c.re);
+            coef_im_dup.push(c.im);
+            coef_im_dup.push(c.im);
+        }
         let demod = (0..cfg.m).map(|k| w_hat(cfg, k as f64).inv()).collect();
         Self {
             coef,
+            coef_re_dup,
+            coef_im_dup,
             demod,
             mu,
             b: taps,
@@ -93,9 +111,11 @@ impl ConvCoefficients {
         self.coef.len()
     }
 
-    /// Total table memory in bytes (coefficients + demodulation).
+    /// Total table memory in bytes (coefficients, their SIMD split
+    /// copies, and demodulation).
     pub fn memory_bytes(&self) -> usize {
         (self.coef.len() + self.demod.len()) * std::mem::size_of::<Complex64>()
+            + (self.coef_re_dup.len() + self.coef_im_dup.len()) * std::mem::size_of::<f64>()
     }
 
     /// μ (row residues in the table).

@@ -22,7 +22,7 @@
 
 use soi_fft::batch::BatchFft;
 use soi_fft::permute::stride_permute;
-use soi_fft::plan::Direction;
+use soi_fft::plan::Planner;
 use soi_num::kahan::KahanComplexSum;
 use soi_num::Complex64;
 
@@ -69,13 +69,14 @@ pub fn exact_factorization_dft(x: &[Complex64], p: usize) -> Vec<Complex64> {
             v[j * p + s] = Complex64::from_c64(acc.value());
         }
     }
-    // I_M ⊗ F_P.
-    BatchFft::new(p, Direction::Forward, 1).execute(&mut v);
+    // I_M ⊗ F_P (plans from the shared process-wide cache).
+    let planner = Planner::global();
+    BatchFft::with_plan(planner.forward(p), 1).execute(&mut v);
     // P_perm^{P,N}: group-major (j, s) → segment-major (s, j).
     let mut seg = vec![Complex64::ZERO; n];
     stride_permute(&v, &mut seg, m);
     // I_P ⊗ F_M.
-    BatchFft::new(m, Direction::Forward, 1).execute(&mut seg);
+    BatchFft::with_plan(planner.forward(m), 1).execute(&mut seg);
     seg
 }
 

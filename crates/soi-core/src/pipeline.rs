@@ -24,9 +24,10 @@ use crate::params::{SoiConfig, SoiParams};
 use crate::workspace::SoiWorkspace;
 use soi_fft::batch::BatchFft;
 use soi_fft::permute::stride_permute_pooled;
-use soi_fft::plan::{Direction, Plan};
+use soi_fft::plan::{Direction, Plan, Planner};
 use soi_num::Complex64;
 use soi_pool::{part_range, SlicePtr, ThreadPool};
+use std::sync::Arc;
 
 /// A prepared single-process SOI FFT.
 #[derive(Debug)]
@@ -34,21 +35,24 @@ pub struct SoiFft {
     cfg: SoiConfig,
     coeffs: ConvCoefficients,
     batch_p: BatchFft<f64>,
-    plan_m: Plan<f64>,
+    plan_m: Arc<Plan<f64>>,
 }
 
 impl SoiFft {
     /// Build the transform: designs nothing (the window came with
     /// `params`), precomputes coefficient and demodulation tables and the
-    /// two FFT plans.
+    /// two FFT plans. Both plans come from the process-wide
+    /// [`Planner::global`] cache, so repeated constructions (and sibling
+    /// transforms sharing `P` or `M'`) reuse one twiddle build.
     pub fn new(params: &SoiParams) -> Result<Self, SoiError> {
         let cfg = params.resolve();
         let coeffs = ConvCoefficients::new(&cfg);
+        let planner = Planner::global();
         Ok(Self {
             cfg,
             coeffs,
-            batch_p: BatchFft::new(cfg.p, Direction::Forward, 1),
-            plan_m: Plan::forward(cfg.m_prime),
+            batch_p: BatchFft::with_plan(planner.plan(cfg.p, Direction::Forward), 1),
+            plan_m: planner.plan(cfg.m_prime, Direction::Forward),
         })
     }
 
@@ -157,19 +161,20 @@ impl SoiFft {
         stride_permute_pooled(v, seg, cfg.m_prime, pool);
         trace.span_end("pack", None);
         trace.span_begin("fft_m", None);
-        // Stage 4: per segment, F_{M'} then project + demodulate. Segments
-        // are independent, so fan them across the pool, one scratch stripe
-        // per worker.
+        // Stage 4: per segment, F_{M'} with the projection + Ŵ⁻¹
+        // demodulation fused into the FFT's final output pass
+        // (`execute_fused_into` — bitwise identical to transform-then-
+        // multiply, but skips one full sweep over the M' points per
+        // segment). Segments are independent, so fan them across the
+        // pool, one scratch stripe per worker.
         let parts = pool.threads().min(cfg.p).max(1);
         let scr_len = self.plan_m.scratch_len();
         if parts == 1 {
             for s in 0..cfg.p {
                 let row = &mut seg[s * cfg.m_prime..(s + 1) * cfg.m_prime];
-                self.plan_m.execute_with_scratch(row, &mut scratch[..scr_len]);
                 let out = &mut y[s * cfg.m..(s + 1) * cfg.m];
-                for k in 0..cfg.m {
-                    out[k] = row[k] * self.coeffs.demod[k];
-                }
+                self.plan_m
+                    .execute_fused_into(row, &mut scratch[..scr_len], out, &self.coeffs.demod);
             }
         } else {
             let seg_ptr = SlicePtr::new(seg);
@@ -185,10 +190,8 @@ impl SoiFft {
                 for s in s0..s0 + sl {
                     let row = unsafe { seg_ptr.slice(s * cfg.m_prime, cfg.m_prime) };
                     let out = unsafe { y_ptr.slice(s * cfg.m, cfg.m) };
-                    self.plan_m.execute_with_scratch(row, scr);
-                    for k in 0..cfg.m {
-                        out[k] = row[k] * self.coeffs.demod[k];
-                    }
+                    self.plan_m
+                        .execute_fused_into(row, scr, out, &self.coeffs.demod);
                 }
             });
         }
@@ -349,8 +352,11 @@ impl SoiFft {
                 }
             });
         }
-        self.plan_m.execute(&mut xt);
-        (0..cfg.m).map(|k| xt[k] * self.coeffs.demod[k]).collect()
+        let mut scratch = vec![Complex64::ZERO; self.plan_m.scratch_len()];
+        let mut out = vec![Complex64::ZERO; cfg.m];
+        self.plan_m
+            .execute_fused_into(&mut xt, &mut scratch, &mut out, &self.coeffs.demod);
+        out
     }
 }
 
@@ -579,6 +585,75 @@ mod tests {
         assert_eq!(names, ["halo", "conv", "fft_p", "pack", "fft_m"]);
         // The untraced workspace recorded nothing, and stays that way.
         assert!(ws_plain.trace().is_empty());
+    }
+
+    #[test]
+    fn fused_stage4_is_bitwise_identical_to_unfused_reference() {
+        // The production path fuses projection + demodulation into the
+        // final FFT pass; rebuild the same pipeline from the public
+        // pieces with the demodulation as a separate multiply loop and
+        // demand bitwise identity (a far stronger statement than the SNR
+        // bound, which it implies).
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let cfg = *soi.config();
+        let x = signal(1 << 12);
+        let y = soi.transform(&x).unwrap();
+
+        let mut xext = vec![Complex64::ZERO; cfg.n + cfg.halo_len()];
+        xext[..cfg.n].copy_from_slice(&x);
+        let (head, halo) = xext.split_at_mut(cfg.n);
+        halo.copy_from_slice(&head[..cfg.halo_len()]);
+        let mut v = vec![Complex64::ZERO; cfg.n_prime];
+        crate::conv::convolve(soi.shape(), soi.coefficients(), &xext, &mut v);
+        soi.batch_p().execute(&mut v);
+        let mut seg = vec![Complex64::ZERO; cfg.n_prime];
+        soi_fft::permute::stride_permute(&v, &mut seg, cfg.m_prime);
+        let mut want = vec![Complex64::ZERO; cfg.n];
+        let mut scratch = vec![Complex64::ZERO; soi.plan_m().scratch_len()];
+        for s in 0..cfg.p {
+            let row = &mut seg[s * cfg.m_prime..(s + 1) * cfg.m_prime];
+            soi.plan_m().execute_with_scratch(row, &mut scratch);
+            for k in 0..cfg.m {
+                want[s * cfg.m + k] = row[k] * soi.coefficients().demod[k];
+            }
+        }
+        for (k, (a, b)) in y.iter().zip(&want).enumerate() {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "bin {k}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn fused_stage4_on_four_step_engine_matches_exact_fft() {
+        // N = 2^16, P = 2 puts M' = 40960 above the four-step threshold,
+        // so this exercises the genuinely fused cache-blocked path end to
+        // end (the 2^12 tests run the mixed-radix fallback).
+        let params = SoiParams::with_preset(1 << 16, 2, AccuracyPreset::Digits10).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        assert_eq!(soi.plan_m().engine_name(), "four-step");
+        let x = signal(1 << 16);
+        let y = soi.transform(&x).unwrap();
+        let exact = fft_forward(&x);
+        let err = rel_l2_error(&y, &exact);
+        let bound = soi.config().predicted_error();
+        assert!(err < bound * 10.0, "rel error {err:e} vs bound {bound:e}");
+    }
+
+    #[test]
+    fn plan_m_dispatches_no_generic_butterfly() {
+        // M' always carries the oversampling factor 5 (μ/ν = 5/4); the
+        // paper's kernel story requires it to hit the hand-written
+        // radix-5 codelet, never the O(r²) generic butterfly.
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let cs = soi.plan_m().codelets();
+        assert!(
+            cs.contains(&soi_fft::codelet::Codelet::Radix5),
+            "M' = {} codelets: {cs:?}",
+            soi.config().m_prime
+        );
+        assert!(cs.iter().all(|c| !c.is_generic()), "{cs:?}");
     }
 
     #[test]

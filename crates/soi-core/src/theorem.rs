@@ -166,7 +166,9 @@ mod tests {
         // demodulated output... simpler: compare final segment values.
         let seg = soi.transform_segment(&x, 0).unwrap();
         let mut yt = xt_direct;
-        soi_fft::Plan::forward(cfg.m_prime).execute(&mut yt);
+        soi_fft::plan::Planner::global()
+            .forward(cfg.m_prime)
+            .execute(&mut yt);
         // The production kernel truncates w to B taps; the Definition-1
         // route does not — they differ by O(κ·ε_trunc).
         let tol = (cfg.kappa * cfg.trunc * 100.0).max(1e-10);

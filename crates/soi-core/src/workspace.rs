@@ -137,6 +137,26 @@ mod tests {
     }
 
     #[test]
+    fn scratch_stride_is_exactly_the_larger_engine_requirement() {
+        // The arena stripe must match the engines' exact scratch bounds —
+        // a stride below either engine's need would silently re-allocate
+        // per call (the fallback path), a stride above wastes arena.
+        let soi =
+            SoiFft::new(&SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10).unwrap())
+                .unwrap();
+        let ws = SoiWorkspace::new(&soi, 3);
+        let want = soi
+            .batch_p()
+            .scratch_len()
+            .max(soi.plan_m().scratch_len());
+        assert_eq!(ws.stride, want);
+        assert_eq!(ws.scratch.len(), 3 * want);
+        // The mixed-radix M' engine needs more than M' elements; the pin
+        // fails if Plan::scratch_len ever regresses to the flat `n`.
+        assert!(soi.plan_m().scratch_len() > soi.config().m_prime);
+    }
+
+    #[test]
     fn workspace_shares_pool() {
         let soi =
             SoiFft::new(&SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10).unwrap())

@@ -24,7 +24,7 @@ use crate::rates::{ChargePolicy, WorkKind};
 use crate::times::PhaseTimes;
 use soi_fft::batch::BatchFft;
 use soi_fft::flops::fft_flops;
-use soi_fft::plan::{Direction, Plan};
+use soi_fft::plan::{Direction, Plan, Planner};
 use soi_num::Complex64;
 use soi_simnet::RankComm;
 use std::time::Instant;
@@ -45,23 +45,26 @@ pub struct BaselineFft {
     n: usize,
     p: usize,
     m: usize,
-    plan_m: Plan<f64>,
+    plan_m: std::sync::Arc<Plan<f64>>,
     batch_p: BatchFft<f64>,
     variant: ExchangeVariant,
 }
 
 impl BaselineFft {
     /// Plan for `n` points over `p` ranks (requires `p | n` and `p | n/p`).
+    /// Plans come from the process-wide [`Planner::global`] cache, shared
+    /// with the SOI pipeline's own plans.
     pub fn new(n: usize, p: usize, variant: ExchangeVariant) -> Self {
         assert!(p >= 1 && n % p == 0, "p must divide n");
         let m = n / p;
         assert!(m % p == 0, "baseline needs P | M for balanced transposes");
+        let planner = Planner::global();
         Self {
             n,
             p,
             m,
-            plan_m: Plan::new(m, Direction::Forward),
-            batch_p: BatchFft::new(p, Direction::Forward, 1),
+            plan_m: planner.plan(m, Direction::Forward),
+            batch_p: BatchFft::with_plan(planner.plan(p, Direction::Forward), 1),
             variant,
         }
     }

@@ -16,7 +16,7 @@ use crate::rates::{ChargePolicy, WorkKind};
 use crate::times::PhaseTimes;
 use soi_fft::batch::BatchFft;
 use soi_fft::flops::fft_flops;
-use soi_fft::plan::Direction;
+use soi_fft::plan::{Direction, Planner};
 use soi_num::Complex64;
 use soi_simnet::RankComm;
 use std::time::Instant;
@@ -35,14 +35,17 @@ pub struct Dist2dFft {
 }
 
 impl Dist2dFft {
-    /// Plan a distributed `rows × cols` forward transform.
+    /// Plan a distributed `rows × cols` forward transform (row/column
+    /// plans from the process-wide [`Planner::global`] cache — a square
+    /// grid shares one plan between both passes).
     pub fn new(rows: usize, cols: usize, restore_layout: bool) -> Self {
         assert!(rows > 0 && cols > 0);
+        let planner = Planner::global();
         Self {
             rows,
             cols,
-            row_batch: BatchFft::new(cols, Direction::Forward, 1),
-            col_batch: BatchFft::new(rows, Direction::Forward, 1),
+            row_batch: BatchFft::with_plan(planner.plan(cols, Direction::Forward), 1),
+            col_batch: BatchFft::with_plan(planner.plan(rows, Direction::Forward), 1),
             restore_layout,
         }
     }

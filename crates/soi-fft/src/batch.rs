@@ -18,12 +18,13 @@
 use crate::plan::{Direction, Plan};
 use soi_num::{Complex, Real};
 use soi_pool::{part_range, SlicePtr, ThreadPool};
+use std::sync::Arc;
 
 /// Executor for `I_count ⊗ F_len`: `count` independent FFTs over
 /// contiguous rows of length `len`.
 #[derive(Debug)]
 pub struct BatchFft<T> {
-    plan: Plan<T>,
+    plan: Arc<Plan<T>>,
     pool: ThreadPool,
 }
 
@@ -32,11 +33,22 @@ impl<T: Real> BatchFft<T> {
     /// `threads` workers (1 = serial, spawns nothing). The workers are
     /// spawned once here and parked between `execute` calls.
     pub fn new(len: usize, direction: Direction, threads: usize) -> Self {
+        Self::with_plan(Arc::new(Plan::new(len, direction)), threads)
+    }
+
+    /// Build a batch executor around an existing shared plan (e.g. from a
+    /// [`crate::plan::Planner`] cache) instead of planning from scratch.
+    pub fn with_plan(plan: Arc<Plan<T>>, threads: usize) -> Self {
         assert!(threads >= 1, "need at least one thread");
         Self {
-            plan: Plan::new(len, direction),
+            plan,
             pool: ThreadPool::new(threads),
         }
+    }
+
+    /// The shared row plan.
+    pub fn plan(&self) -> &Plan<T> {
+        &self.plan
     }
 
     /// Row length.

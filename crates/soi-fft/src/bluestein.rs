@@ -6,9 +6,12 @@
 //! (signs per direction). The convolution runs through the Stockham
 //! engine at `m = next_pow2(2N−1)`.
 
-use crate::stockham::StockhamFft;
+use crate::codelet::{self, Codelet};
+use crate::fourstep::RawFft;
+use crate::plan::Planner;
 use crate::twiddle::Sign;
 use soi_num::{Complex, Real};
+use std::sync::Arc;
 
 /// A prepared arbitrary-size Bluestein transform.
 #[derive(Debug, Clone)]
@@ -20,13 +23,22 @@ pub struct BluesteinFft<T> {
     chirp: Vec<Complex<T>>,
     /// Forward FFT (size m) of the zero-padded conjugate-chirp filter.
     filter_hat: Vec<Complex<T>>,
-    fwd: StockhamFft<T>,
-    inv: StockhamFft<T>,
+    /// Size-`m` convolution engines (planner-cached Stockham plans; the
+    /// padded size is a power of two by construction).
+    fwd: Arc<RawFft<T>>,
+    inv: Arc<RawFft<T>>,
 }
 
 impl<T: Real> BluesteinFft<T> {
     /// Plan a transform of any positive size `n`.
     pub fn new(n: usize, sign: Sign) -> Self {
+        Self::new_in(n, sign, &Planner::new())
+    }
+
+    /// Plan inside a [`Planner`], pulling the two size-`m` convolution
+    /// engines from the planner's raw-engine cache — so many Bluestein
+    /// plans sharing a padded size build the Stockham twiddles once.
+    pub fn new_in(n: usize, sign: Sign, planner: &Planner<T>) -> Self {
         assert!(n > 0);
         let m = (2 * n - 1).next_power_of_two();
         // b_j = exp(∓iπ j²/n) = ω_{2n}^{j²} with j² reduced mod 2n.
@@ -37,8 +49,8 @@ impl<T: Real> BluesteinFft<T> {
                 sign.root(jj, two_n)
             })
             .collect();
-        let fwd = StockhamFft::new(m, Sign::Forward);
-        let inv = StockhamFft::new(m, Sign::Inverse);
+        let fwd = planner.raw(m, Sign::Forward);
+        let inv = planner.raw(m, Sign::Inverse);
         // Filter h_j = conj(b_j) for |j| < n, wrapped cyclically at m.
         let mut h = vec![Complex::ZERO; m];
         for j in 0..n {
@@ -57,6 +69,13 @@ impl<T: Real> BluesteinFft<T> {
             fwd,
             inv,
         }
+    }
+
+    /// The butterfly codelets the inner convolution engines dispatch to.
+    pub fn codelets(&self) -> Vec<Codelet> {
+        let mut v = self.fwd.codelets();
+        v.extend(self.inv.codelets());
+        codelet::dedup(v)
     }
 
     /// Transform size.

@@ -7,9 +7,16 @@
 //! Contents:
 //!
 //! * [`plan`] — FFTW-style planner. [`Plan`] picks, per size:
-//!   Stockham radix-4/radix-2 for powers of two, general mixed-radix
-//!   Cooley–Tukey for smooth sizes, and Bluestein's chirp-z for sizes with
-//!   large prime factors. Plans are reusable and cheap to execute.
+//!   Stockham radix-8/4/2 for powers of two, general mixed-radix
+//!   Cooley–Tukey for smooth sizes, a cache-blocked four-step (Bailey)
+//!   decomposition for smooth sizes above the L2 threshold, and
+//!   Bluestein's chirp-z for sizes with large prime factors. Plans are
+//!   reusable and cheap to execute; [`Planner`] caches plans *and* the
+//!   raw inner engines composite plans recurse into.
+//! * [`codelet`] — butterfly-kernel introspection ([`codelet::Codelet`]),
+//!   so tests can assert hot sizes never hit the generic `O(r²)` path.
+//! * [`fourstep`] — the cache-blocked `F_n = (F_a ⊗ I_b)·T·(I_a ⊗ F_b)`
+//!   engine and the [`fourstep::RawFft`] unnormalized engine wrapper.
 //! * [`dft`] — naive `O(N²)` DFT with compensated accumulation (the
 //!   correctness oracle for everything else).
 //! * [`stockham`] — self-sorting power-of-two engine (no bit-reversal).
@@ -28,10 +35,12 @@
 
 pub mod batch;
 pub mod bluestein;
+pub mod codelet;
 pub mod ddfft;
 pub mod dft;
 pub mod fft2d;
 pub mod flops;
+pub mod fourstep;
 pub mod mixed;
 pub mod permute;
 pub mod plan;

@@ -4,14 +4,19 @@
 //! prime factors to Bluestein instead). The decomposition is the classical
 //! recursive decimation-in-time: split into `r` interleaved subsequences,
 //! transform each, then combine with an `r`-point butterfly per output
-//! group. Radices 2, 3 and 4 have hand-written codelets; any other radix
-//! uses a generic `O(r²)` butterfly with precomputed small-root tables.
+//! group. Radices 2, 3, 4, 5 and 7 have hand-written codelets (pairs of 2s
+//! in the factorization are merged into radix-4 levels, halving the pass
+//! count for even sizes); any other radix uses a generic `O(r²)` butterfly
+//! with precomputed small-root tables. The 5/7 codelets exploit the
+//! real/imaginary symmetry of the roots (`ω^{r−q} = conj(ω^q)`) to halve
+//! the multiply count versus the dense butterfly.
 //!
 //! The SOI pipeline needs this generality: the batched `F_P` stage of
 //! Eq. (6) runs at `P` = node count, which is frequently non-power-of-two,
 //! and the `F_{M'}` stage runs at `M' = M·(1+β)` which for β = 1/4 carries
 //! a factor of 5.
 
+use crate::codelet::{self, Codelet};
 use crate::twiddle::Sign;
 use soi_num::{Complex, Real};
 
@@ -75,13 +80,22 @@ impl<T: Real> MixedRadixFft<T> {
     pub fn new(n: usize, sign: Sign) -> Self {
         assert!(n > 0);
         let factors = factorize(n);
+        // Merge pairs of 2s into radix-4 levels: one radix-4 combine does
+        // the work of two radix-2 passes in a single trip over the data.
+        let twos = factors.iter().filter(|&&p| p == 2).count();
+        let mut radices: Vec<usize> = factors.iter().copied().filter(|&p| p != 2).collect();
+        radices.extend(std::iter::repeat(4).take(twos / 2));
+        if twos % 2 == 1 {
+            radices.push(2);
+        }
+        radices.sort_unstable();
         // Process large radices first: DIT combine cost is r per element
         // per level either way, but putting big radices at the top means
         // their twiddle tables are built once for the largest size only.
-        let mut levels = Vec::with_capacity(factors.len());
+        let mut levels = Vec::with_capacity(radices.len());
         let mut size = n;
         let mut max_radix = 1;
-        for &r in factors.iter().rev() {
+        for &r in radices.iter().rev() {
             let m = size / r;
             let mut tw = Vec::with_capacity(m * (r - 1));
             for k in 0..m {
@@ -120,6 +134,17 @@ impl<T: Real> MixedRadixFft<T> {
     /// Direction.
     pub fn sign(&self) -> Sign {
         self.sign
+    }
+
+    /// The butterfly codelets this plan's levels dispatch to. Must mirror
+    /// the `match` in [`Self::rec`] (pinned by tests).
+    pub fn codelets(&self) -> Vec<Codelet> {
+        codelet::dedup(
+            self.levels
+                .iter()
+                .map(|l| Codelet::for_mixed_radix(l.radix))
+                .collect(),
+        )
     }
 
     /// Out-of-place execute: `dst` receives the DFT of `src`.
@@ -241,6 +266,76 @@ impl<T: Real> MixedRadixFft<T> {
                     output[3 * m + k] = amc + jbmd;
                 }
             }
+            5 => {
+                // Rader-style symmetric radix-5: fold the conjugate-pair
+                // symmetry ω^4 = conj(ω), ω^3 = conj(ω²) so each output
+                // pair shares one real (cos) and one imaginary (sin)
+                // combination. The direction sign is already folded into
+                // `roots` (sin terms flip with it), so this single code
+                // path serves both forward and inverse.
+                let c1 = level.roots[1].re;
+                let c2 = level.roots[2].re;
+                let s1 = level.roots[1].im;
+                let s2 = level.roots[2].im;
+                for k in 0..m {
+                    let a = output[k];
+                    let b = output[m + k] * level.tw[4 * k];
+                    let c = output[2 * m + k] * level.tw[4 * k + 1];
+                    let d = output[3 * m + k] * level.tw[4 * k + 2];
+                    let e = output[4 * m + k] * level.tw[4 * k + 3];
+                    let t1 = b + e;
+                    let t2 = c + d;
+                    let t3 = b - e;
+                    let t4 = c - d;
+                    let m1 = a + t1.scale(c1) + t2.scale(c2);
+                    let m2 = a + t1.scale(c2) + t2.scale(c1);
+                    let w1 = (t3.scale(s1) + t4.scale(s2)).mul_i();
+                    let w2 = (t3.scale(s2) - t4.scale(s1)).mul_i();
+                    output[k] = a + t1 + t2;
+                    output[m + k] = m1 + w1;
+                    output[2 * m + k] = m2 + w2;
+                    output[3 * m + k] = m2 - w2;
+                    output[4 * m + k] = m1 - w1;
+                }
+            }
+            7 => {
+                // Same conjugate-pair folding for radix 7: three cos/sin
+                // pairs (ω^6=conj ω, ω^5=conj ω², ω^4=conj ω³).
+                let c1 = level.roots[1].re;
+                let c2 = level.roots[2].re;
+                let c3 = level.roots[3].re;
+                let s1 = level.roots[1].im;
+                let s2 = level.roots[2].im;
+                let s3 = level.roots[3].im;
+                for k in 0..m {
+                    let a = output[k];
+                    let b = output[m + k] * level.tw[6 * k];
+                    let c = output[2 * m + k] * level.tw[6 * k + 1];
+                    let d = output[3 * m + k] * level.tw[6 * k + 2];
+                    let e = output[4 * m + k] * level.tw[6 * k + 3];
+                    let f = output[5 * m + k] * level.tw[6 * k + 4];
+                    let g = output[6 * m + k] * level.tw[6 * k + 5];
+                    let u1 = b + g;
+                    let v1 = b - g;
+                    let u2 = c + f;
+                    let v2 = c - f;
+                    let u3 = d + e;
+                    let v3 = d - e;
+                    let re1 = a + u1.scale(c1) + u2.scale(c2) + u3.scale(c3);
+                    let im1 = (v1.scale(s1) + v2.scale(s2) + v3.scale(s3)).mul_i();
+                    let re2 = a + u1.scale(c2) + u2.scale(c3) + u3.scale(c1);
+                    let im2 = (v1.scale(s2) - v2.scale(s3) - v3.scale(s1)).mul_i();
+                    let re3 = a + u1.scale(c3) + u2.scale(c1) + u3.scale(c2);
+                    let im3 = (v1.scale(s3) - v2.scale(s1) + v3.scale(s2)).mul_i();
+                    output[k] = a + u1 + u2 + u3;
+                    output[m + k] = re1 + im1;
+                    output[2 * m + k] = re2 + im2;
+                    output[3 * m + k] = re3 + im3;
+                    output[4 * m + k] = re3 - im3;
+                    output[5 * m + k] = re2 - im2;
+                    output[6 * m + k] = re1 - im1;
+                }
+            }
             _ => {
                 // Generic O(r²) butterfly.
                 for k in 0..m {
@@ -324,6 +419,38 @@ mod tests {
             let mut got = x.clone();
             plan.execute(&mut got);
             assert!(max_abs_diff(&got, &want) < 1e-8 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dedicated_codelets_for_radix_5_and_7() {
+        use crate::codelet::Codelet;
+        // 280 = 2³·5·7: the pair of 2s merges into a radix-4 level, the
+        // 5 and 7 run their hand-written butterflies — nothing generic.
+        let plan = MixedRadixFft::<f64>::new(280, Sign::Forward);
+        let cs = plan.codelets();
+        assert!(cs.contains(&Codelet::Radix4), "{cs:?}");
+        assert!(cs.contains(&Codelet::Radix5), "{cs:?}");
+        assert!(cs.contains(&Codelet::Radix7), "{cs:?}");
+        assert!(cs.iter().all(|c| !c.is_generic()), "{cs:?}");
+        // A leftover prime > 7 still reports the generic fallback.
+        let cs = MixedRadixFft::<f64>::new(11 * 4, Sign::Forward).codelets();
+        assert!(cs.contains(&Codelet::Generic(11)), "{cs:?}");
+    }
+
+    #[test]
+    fn radix5_and_radix7_match_naive_both_directions() {
+        // Pure and mixed powers of the hand-written odd radices.
+        for n in [5usize, 7, 25, 35, 49, 175, 245, 280] {
+            let x = test_signal(n);
+            for sign in [Sign::Forward, Sign::Inverse] {
+                let want = dft_naive_signed(&x, sign);
+                let plan = MixedRadixFft::new(n, sign);
+                let mut got = x.clone();
+                plan.execute(&mut got);
+                let err = max_abs_diff(&got, &want);
+                assert!(err < 1e-9 * n.max(4) as f64, "n={n} sign={sign:?} err={err}");
+            }
         }
     }
 

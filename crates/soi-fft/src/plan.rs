@@ -2,12 +2,14 @@
 //! normalization, FFTW-style.
 
 use crate::bluestein::BluesteinFft;
+use crate::codelet::Codelet;
+use crate::fourstep::{split, FourStepFft, RawFft};
 use crate::mixed::{largest_prime_factor, MixedRadixFft};
 use crate::stockham::StockhamFft;
 use crate::twiddle::Sign;
 use soi_num::{Complex, Real};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Transform direction with the normalization conventions of this crate:
 /// forward is unnormalized, inverse is scaled by `1/N`.
@@ -33,10 +35,32 @@ impl Direction {
 /// would dominate past this point).
 const MAX_DIRECT_PRIME: usize = 61;
 
+/// Assumed per-core L2 capacity when `SOI_FFT_L2_BYTES` is unset.
+const DEFAULT_L2_BYTES: usize = 1 << 20;
+
+/// Smallest size the planner hands to the four-step engine. Derived from
+/// the L2 capacity: a monolithic transform touches ~2 buffers of 16-byte
+/// elements per pass (32 B of working set per point), so beyond
+/// `L2/32` points the strided butterfly passes start missing L2 and the
+/// cache-blocked decomposition wins. Override the cache size with
+/// `SOI_FFT_L2_BYTES` (read once per process).
+pub fn four_step_min_len() -> usize {
+    static MIN: OnceLock<usize> = OnceLock::new();
+    *MIN.get_or_init(|| {
+        let l2 = std::env::var("SOI_FFT_L2_BYTES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(DEFAULT_L2_BYTES);
+        (l2 / 32).max(64)
+    })
+}
+
 #[derive(Debug, Clone)]
 enum Engine<T> {
     Stockham(StockhamFft<T>),
     Mixed(MixedRadixFft<T>),
+    FourStep(FourStepFft<T>),
     Bluestein(BluesteinFft<T>),
 }
 
@@ -65,14 +89,32 @@ pub struct Plan<T> {
 impl<T: Real> Plan<T> {
     /// Plan a transform of size `n` in the given direction.
     pub fn new(n: usize, direction: Direction) -> Self {
+        Self::new_in(n, direction, &Planner::new())
+    }
+
+    /// Plan inside a [`Planner`], so composite engines (four-step,
+    /// Bluestein) pull their inner raw engines from the planner's shared
+    /// cache instead of rebuilding twiddle tables per plan.
+    pub fn new_in(n: usize, direction: Direction, planner: &Planner<T>) -> Self {
         assert!(n > 0, "cannot plan a zero-length FFT");
         let sign = direction.sign();
-        let engine = if n.is_power_of_two() {
+        let smooth = n.is_power_of_two() || largest_prime_factor(n) <= MAX_DIRECT_PRIME;
+        let engine = if smooth && n >= four_step_min_len() && split(n) > 1 {
+            // Above the L2 working set, decompose into cache-resident
+            // row transforms instead of strided monolithic passes.
+            let a = split(n);
+            Engine::FourStep(FourStepFft::with_engines(
+                n,
+                sign,
+                planner.raw(a, sign),
+                planner.raw(n / a, sign),
+            ))
+        } else if n.is_power_of_two() {
             Engine::Stockham(StockhamFft::new(n, sign))
-        } else if largest_prime_factor(n) <= MAX_DIRECT_PRIME {
+        } else if smooth {
             Engine::Mixed(MixedRadixFft::new(n, sign))
         } else {
-            Engine::Bluestein(BluesteinFft::new(n, sign))
+            Engine::Bluestein(BluesteinFft::new_in(n, sign, planner))
         };
         Self {
             n,
@@ -111,7 +153,19 @@ impl<T: Real> Plan<T> {
         match &self.engine {
             Engine::Stockham(_) => "stockham",
             Engine::Mixed(_) => "mixed-radix",
+            Engine::FourStep(_) => "four-step",
             Engine::Bluestein(_) => "bluestein",
+        }
+    }
+
+    /// The butterfly codelets this plan's execution path dispatches to
+    /// (for composite engines, the union over inner engines).
+    pub fn codelets(&self) -> Vec<Codelet> {
+        match &self.engine {
+            Engine::Stockham(e) => e.codelets(),
+            Engine::Mixed(e) => e.codelets(),
+            Engine::FourStep(e) => e.codelets(),
+            Engine::Bluestein(e) => e.codelets(),
         }
     }
 
@@ -121,6 +175,7 @@ impl<T: Real> Plan<T> {
         match &self.engine {
             Engine::Stockham(e) => e.execute(data),
             Engine::Mixed(e) => e.execute(data),
+            Engine::FourStep(e) => e.execute(data),
             Engine::Bluestein(e) => e.execute(data),
         }
         self.normalize(data);
@@ -128,12 +183,15 @@ impl<T: Real> Plan<T> {
 
     /// Scratch elements an allocation-free [`Self::execute_with_scratch`]
     /// call needs for this engine: `n` for Stockham, slightly more for
-    /// mixed-radix (staging copy + combine workspace), `2·padded_len` for
-    /// Bluestein.
+    /// mixed-radix (staging copy + combine workspace) and four-step
+    /// (transpose buffer + inner row scratch), `2·padded_len` for
+    /// Bluestein. Exact: providing this much guarantees zero allocation,
+    /// and every engine's bound is pinned by tests.
     pub fn scratch_len(&self) -> usize {
         match &self.engine {
             Engine::Stockham(_) => self.n,
             Engine::Mixed(e) => e.scratch_len(),
+            Engine::FourStep(e) => e.scratch_len(),
             Engine::Bluestein(e) => e.scratch_len(),
         }
     }
@@ -151,9 +209,49 @@ impl<T: Real> Plan<T> {
         match &self.engine {
             Engine::Stockham(e) => e.execute_with_scratch(data, &mut scratch[..self.n]),
             Engine::Mixed(e) => e.execute_with_scratch(data, scratch),
+            Engine::FourStep(e) => e.execute_with_scratch(data, scratch),
             Engine::Bluestein(e) => e.execute_with_scratch(data, scratch),
         }
         self.normalize(data);
+    }
+
+    /// Transform `data` and write `out[k] = result[k]·weights[k]` for
+    /// `k < out.len()` — the SOI projection (`out.len() ≤ n` keeps only
+    /// the leading bins) fused with the `Ŵ⁻¹` demodulation weights.
+    ///
+    /// On the forward Stockham and four-step engines the weighted write
+    /// is folded into the engine's final output pass, eliminating one
+    /// full read-modify-write sweep over the transform; other engines
+    /// (and the inverse direction, whose `1/N` normalization must land
+    /// before the weights per the unfused reference order) fall back to
+    /// execute-then-multiply. Either way the result is **bitwise
+    /// identical** to [`Self::execute_with_scratch`] followed by the
+    /// multiply loop; `data` is clobbered on the fused paths.
+    pub fn execute_fused_into(
+        &self,
+        data: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+        out: &mut [Complex<T>],
+        weights: &[Complex<T>],
+    ) {
+        assert_eq!(data.len(), self.n, "plan length mismatch");
+        assert!(out.len() <= self.n, "fused output longer than transform");
+        assert!(weights.len() >= out.len(), "fused weights too short");
+        if self.direction == Direction::Forward && scratch.len() >= self.scratch_len() {
+            match &self.engine {
+                Engine::Stockham(e) => {
+                    return e.execute_fused_into(data, &mut scratch[..self.n], out, weights);
+                }
+                Engine::FourStep(e) => {
+                    return e.execute_fused_into(data, scratch, out, weights);
+                }
+                Engine::Mixed(_) | Engine::Bluestein(_) => {}
+            }
+        }
+        self.execute_with_scratch(data, scratch);
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = data[k] * weights[k];
+        }
     }
 
     /// Apply the `1/N` inverse normalization when the plan is inverse.
@@ -174,10 +272,15 @@ impl<T: Real> Plan<T> {
 }
 
 /// A caching planner: hands out shared plans, building each
-/// (size, direction) once. Thread-safe.
+/// (size, direction) once, plus a second cache of the raw inner engines
+/// composite plans (four-step, Bluestein) recurse into — so e.g. the
+/// Stockham twiddles of a Bluestein padding size, or a four-step row
+/// engine shared between two composite sizes, are built once per
+/// process-wide planner rather than once per plan. Thread-safe.
 #[derive(Debug, Default)]
 pub struct Planner<T> {
     cache: Mutex<HashMap<(usize, Direction), Arc<Plan<T>>>>,
+    raw: Mutex<HashMap<(usize, Sign), Arc<RawFft<T>>>>,
 }
 
 impl<T: Real> Planner<T> {
@@ -185,21 +288,83 @@ impl<T: Real> Planner<T> {
     pub fn new() -> Self {
         Self {
             cache: Mutex::new(HashMap::new()),
+            raw: Mutex::new(HashMap::new()),
         }
     }
 
     /// Get (or build and cache) a plan.
     pub fn plan(&self, n: usize, direction: Direction) -> Arc<Plan<T>> {
-        let mut cache = self.cache.lock().expect("planner cache poisoned");
-        cache
+        if let Some(p) = self
+            .cache
+            .lock()
+            .expect("planner cache poisoned")
+            .get(&(n, direction))
+        {
+            return p.clone();
+        }
+        // Build OUTSIDE the lock: composite engines recurse into
+        // `self.raw` during construction, and holding the plan lock
+        // across that would serialize all planning on one twiddle build
+        // (and deadlock if construction ever needs another plan).
+        let built = Arc::new(Plan::new_in(n, direction, self));
+        self.cache
+            .lock()
+            .expect("planner cache poisoned")
             .entry((n, direction))
-            .or_insert_with(|| Arc::new(Plan::new(n, direction)))
+            .or_insert(built)
+            .clone()
+    }
+
+    /// Get (or build and cache) a raw unnormalized inner engine.
+    pub fn raw(&self, n: usize, sign: Sign) -> Arc<RawFft<T>> {
+        if let Some(e) = self
+            .raw
+            .lock()
+            .expect("planner raw cache poisoned")
+            .get(&(n, sign))
+        {
+            return e.clone();
+        }
+        let built = Arc::new(RawFft::new(n, sign));
+        self.raw
+            .lock()
+            .expect("planner raw cache poisoned")
+            .entry((n, sign))
+            .or_insert(built)
             .clone()
     }
 
     /// Number of distinct plans built so far.
     pub fn cached_plans(&self) -> usize {
         self.cache.lock().expect("planner cache poisoned").len()
+    }
+
+    /// Forward-plan convenience on the shared cache.
+    pub fn forward(&self, n: usize) -> Arc<Plan<T>> {
+        self.plan(n, Direction::Forward)
+    }
+
+    /// Inverse-plan convenience on the shared cache.
+    pub fn inverse(&self, n: usize) -> Arc<Plan<T>> {
+        self.plan(n, Direction::Inverse)
+    }
+
+    /// Number of distinct raw inner engines built so far.
+    pub fn cached_raw_engines(&self) -> usize {
+        self.raw.lock().expect("planner raw cache poisoned").len()
+    }
+}
+
+impl Planner<f64> {
+    /// The process-wide shared `f64` planner. Every plan-construction
+    /// site in the workspace (pipeline `F_P`/`F_{M'}`, the exact
+    /// reference transforms, the distributed baselines, Bluestein inner
+    /// engines) routes through this cache, so twiddle tables for a given
+    /// (size, direction) are built once per process no matter how many
+    /// transform objects are alive.
+    pub fn global() -> &'static Planner<f64> {
+        static GLOBAL: OnceLock<Planner<f64>> = OnceLock::new();
+        GLOBAL.get_or_init(Planner::new)
     }
 }
 
@@ -276,6 +441,108 @@ mod tests {
             a.iter().map(|c| (c.re, c.im)).collect::<Vec<_>>(),
             b.iter().map(|c| (c.re, c.im)).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn hot_sizes_dispatch_radix5_never_generic() {
+        // M' = 163840 = 2^15·5: the N=2^20, P=8 production size. Above
+        // the four-step threshold it decomposes as 320×512 with a
+        // mixed-radix row engine carrying the factor of 5.
+        let plan = Plan::<f64>::forward(163840);
+        assert_eq!(plan.engine_name(), "four-step");
+        let cs = plan.codelets();
+        assert!(cs.contains(&Codelet::Radix5), "{cs:?}");
+        assert!(cs.iter().all(|c| !c.is_generic()), "{cs:?}");
+        // Below the threshold the monolithic mixed-radix engine must make
+        // the same promise (M' = 1280 is the N=2^12, P=4 test size).
+        let small = Plan::<f64>::forward(1280);
+        assert_eq!(small.engine_name(), "mixed-radix");
+        let cs = small.codelets();
+        assert!(cs.contains(&Codelet::Radix5), "{cs:?}");
+        assert!(cs.iter().all(|c| !c.is_generic()), "{cs:?}");
+    }
+
+    #[test]
+    fn scratch_len_is_exact_for_every_engine() {
+        // Providing exactly `scratch_len()` elements must take the
+        // allocation-free path on every engine and produce bitwise the
+        // same result as the allocating `execute`.
+        for n in [1024usize, 360, 997, 65536] {
+            let plan = Plan::forward(n);
+            let x = test_signal(n);
+            let mut a = x.clone();
+            plan.execute(&mut a);
+            let mut b = x.clone();
+            let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+            plan.execute_with_scratch(&mut b, &mut scratch);
+            for (k, (u, v)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(
+                    u.re.to_bits(),
+                    v.re.to_bits(),
+                    "engine {} n={n} bin {k}",
+                    plan.engine_name()
+                );
+                assert_eq!(u.im.to_bits(), v.im.to_bits(), "n={n} bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_projection_matches_unfused_on_every_engine_and_direction() {
+        // Covers the genuinely fused paths (forward Stockham, four-step)
+        // AND every fallback branch (mixed, Bluestein, all inverse
+        // directions): bitwise identity either way.
+        for n in [1024usize, 360, 997, 65536] {
+            for direction in [Direction::Forward, Direction::Inverse] {
+                let plan = Plan::new(n, direction);
+                let m = n / 2 + 1;
+                let x = test_signal(n);
+                let weights: Vec<Complex64> = (0..m)
+                    .map(|k| c64((k as f64 * 0.19).cos() + 1.2, (k as f64 * 0.07).sin()))
+                    .collect();
+                let mut d1 = x.clone();
+                let mut s1 = vec![Complex64::ZERO; plan.scratch_len()];
+                plan.execute_with_scratch(&mut d1, &mut s1);
+                let want: Vec<Complex64> = (0..m).map(|k| d1[k] * weights[k]).collect();
+                let mut d2 = x.clone();
+                let mut s2 = vec![Complex64::ZERO; plan.scratch_len()];
+                let mut out = vec![Complex64::ZERO; m];
+                plan.execute_fused_into(&mut d2, &mut s2, &mut out, &weights);
+                for (k, (a, b)) in out.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        a.re.to_bits(),
+                        b.re.to_bits(),
+                        "engine {} n={n} {direction:?} bin {k}",
+                        plan.engine_name()
+                    );
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "n={n} bin {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn planner_raw_cache_shared_across_composite_plans() {
+        let planner: Planner<f64> = Planner::new();
+        // 65536 = 256×256: one raw engine serves both four-step rows.
+        let _ = planner.plan(65536, Direction::Forward);
+        assert_eq!(planner.cached_raw_engines(), 1);
+        // 131072 = 256×512: reuses the 256 engine, adds only the 512.
+        let _ = planner.plan(131072, Direction::Forward);
+        assert_eq!(planner.cached_raw_engines(), 2);
+        // 997 is prime → Bluestein at padded size 2048 (fwd + inv).
+        let _ = planner.plan(997, Direction::Forward);
+        assert_eq!(planner.cached_raw_engines(), 4);
+        // 1019 is prime with the same padded size: both engines reused.
+        let _ = planner.plan(1019, Direction::Forward);
+        assert_eq!(planner.cached_raw_engines(), 4);
+    }
+
+    #[test]
+    fn global_planner_is_a_singleton() {
+        let a = Planner::global().plan(64, Direction::Forward);
+        let b = Planner::global().plan(64, Direction::Forward);
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

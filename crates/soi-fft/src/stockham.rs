@@ -1,12 +1,16 @@
 //! Self-sorting Stockham FFT for power-of-two sizes.
 //!
-//! Decimation-in-frequency with radix-4 stages (radix-2 cleanup when the
-//! exponent is odd). Stockham's autosort formulation needs no bit-reversal
+//! Decimation-in-frequency with radix-8 stages where the exponent allows
+//! (radix-4/radix-2 cleanup for the remainder), so large sizes run fewer,
+//! wider passes — each stage is a full streaming pass over the array, and
+//! a radix-8 stage does the work of three radix-2 passes in one trip
+//! through memory. Stockham's autosort formulation needs no bit-reversal
 //! pass: each stage reads one buffer with stride `s` and writes the other
 //! with the outputs of a butterfly adjacent, so every pass is a unit-stride
 //! streaming pass — the property that makes it the engine of choice for the
 //! node-local FFTs in Fig 2 of the paper.
 
+use crate::codelet::{self, Codelet};
 use crate::twiddle::{Sign, StageTwiddles};
 use soi_num::{Complex, Real};
 
@@ -28,11 +32,32 @@ impl<T: Real> StockhamFft<T> {
         let mut stages = Vec::new();
         let mut cur = n;
         while cur > 1 {
-            let r = if cur % 4 == 0 { 4 } else { 2 };
+            let r = if cur % 8 == 0 {
+                8
+            } else if cur % 4 == 0 {
+                4
+            } else {
+                2
+            };
             stages.push(StageTwiddles::new(cur, r, sign));
             cur /= r;
         }
         Self { n, sign, stages }
+    }
+
+    /// The butterfly codelets this plan's stages dispatch to.
+    pub fn codelets(&self) -> Vec<Codelet> {
+        codelet::dedup(
+            self.stages
+                .iter()
+                .map(|st| match st.radix {
+                    2 => Codelet::Radix2,
+                    4 => Codelet::Radix4,
+                    8 => Codelet::Radix8,
+                    r => Codelet::Generic(r),
+                })
+                .collect(),
+        )
     }
 
     /// Transform size.
@@ -55,10 +80,19 @@ impl<T: Real> StockhamFft<T> {
     /// The result always ends up back in `data`; `scratch` contents are
     /// clobbered.
     pub fn execute_with_scratch(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
+        if self.run_stages(data, scratch) {
+            return;
+        }
+        data.copy_from_slice(scratch);
+    }
+
+    /// Run every stage; returns `true` when the live result ended up in
+    /// `data`, `false` when it is in `scratch` (odd stage count).
+    fn run_stages(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) -> bool {
         assert_eq!(data.len(), self.n, "data length mismatch");
         assert_eq!(scratch.len(), self.n, "scratch length mismatch");
         if self.n == 1 {
-            return;
+            return true;
         }
         let mut s = 1usize; // stream count (number of interleaved sub-vectors)
         let mut in_data = true; // which buffer currently holds the live values
@@ -71,13 +105,39 @@ impl<T: Real> StockhamFft<T> {
             match st.radix {
                 2 => stage_radix2(src, dst, st, s),
                 4 => stage_radix4(src, dst, st, s, self.sign),
+                8 => stage_radix8(src, dst, st, s, self.sign),
                 r => unreachable!("unsupported Stockham radix {r}"),
             }
             s *= st.radix;
             in_data = !in_data;
         }
-        if !in_data {
-            data.copy_from_slice(scratch);
+        in_data
+    }
+
+    /// Transform `data` and write `out[k] = result[k]·weights[k]` for
+    /// `k < out.len()` — the projection + demodulation fusion of the SOI
+    /// pipeline. The weighted write reads the result straight out of
+    /// whichever ping-pong buffer the last stage produced, so the final
+    /// copy-back pass of [`Self::execute_with_scratch`] is skipped
+    /// entirely. `data` is clobbered (its contents after the call are one
+    /// of the intermediate stages).
+    ///
+    /// Per-element arithmetic is identical to `execute_with_scratch`
+    /// followed by the multiply, so the fused result is bitwise equal to
+    /// the unfused one.
+    pub fn execute_fused_into(
+        &self,
+        data: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+        out: &mut [Complex<T>],
+        weights: &[Complex<T>],
+    ) {
+        assert!(out.len() <= self.n, "fused output longer than transform");
+        assert!(weights.len() >= out.len(), "fused weights too short");
+        let res_in_data = self.run_stages(data, scratch);
+        let res: &[Complex<T>] = if res_in_data { data } else { scratch };
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = res[k] * weights[k];
         }
     }
 
@@ -144,6 +204,85 @@ fn stage_radix4<T: Real>(
             y[q + s * (4 * p + 1)] = (amc - jbmd) * w1;
             y[q + s * (4 * p + 2)] = (apc - bpd) * w2;
             y[q + s * (4 * p + 3)] = (amc + jbmd) * w3;
+        }
+    }
+}
+
+/// One radix-8 DIF Stockham stage: three radix-2 passes' worth of work in
+/// a single trip through memory. The split is the classical
+/// even/odd-of-4 DIF: sums `s_t = a_t + a_{t+4}` feed a radix-4 butterfly
+/// producing the even outputs, differences `d_t = a_t − a_{t+4}` are
+/// rotated by the fixed eighth roots `ω_8^t` (costing only two √2/2
+/// scalings and two axis flips) and feed a second radix-4 butterfly for
+/// the odd outputs.
+fn stage_radix8<T: Real>(
+    x: &[Complex<T>],
+    y: &mut [Complex<T>],
+    st: &StageTwiddles<T>,
+    s: usize,
+    sign: Sign,
+) {
+    let m = st.m;
+    let forward = sign == Sign::Forward;
+    // 1/√2 = cos(π/4): the real (and |imag|) part of ω_8.
+    let r = T::HALF.sqrt();
+    // Four-point DIF butterfly shared by the even and odd halves;
+    // mirrors stage_radix4's arithmetic exactly.
+    let dft4 = |a: Complex<T>, b: Complex<T>, c: Complex<T>, d: Complex<T>| {
+        let apc = a + c;
+        let amc = a - c;
+        let bpd = b + d;
+        let jbmd = if forward {
+            (b - d).mul_i()
+        } else {
+            (b - d).mul_neg_i()
+        };
+        (apc + bpd, amc - jbmd, apc - bpd, amc + jbmd)
+    };
+    for p in 0..m {
+        let tw = &st.tw[p * 7..p * 7 + 7];
+        for q in 0..s {
+            let a0 = x[q + s * p];
+            let a1 = x[q + s * (p + m)];
+            let a2 = x[q + s * (p + 2 * m)];
+            let a3 = x[q + s * (p + 3 * m)];
+            let a4 = x[q + s * (p + 4 * m)];
+            let a5 = x[q + s * (p + 5 * m)];
+            let a6 = x[q + s * (p + 6 * m)];
+            let a7 = x[q + s * (p + 7 * m)];
+            let s0 = a0 + a4;
+            let s1 = a1 + a5;
+            let s2 = a2 + a6;
+            let s3 = a3 + a7;
+            let d0 = a0 - a4;
+            let d1 = a1 - a5;
+            let d2 = a2 - a6;
+            let d3 = a3 - a7;
+            let (e0, e1, e2, e3) = dft4(s0, s1, s2, s3);
+            // Rotate the difference half by ω_8^t before its radix-4
+            // combine; forward ω_8 = (1−i)/√2, inverse conjugated.
+            let (t1, t2, t3) = if forward {
+                (
+                    (d1 + d1.mul_neg_i()).scale(r),
+                    d2.mul_neg_i(),
+                    (d3.mul_neg_i() - d3).scale(r),
+                )
+            } else {
+                (
+                    (d1 + d1.mul_i()).scale(r),
+                    d2.mul_i(),
+                    (d3.mul_i() - d3).scale(r),
+                )
+            };
+            let (o0, o1, o2, o3) = dft4(d0, t1, t2, t3);
+            y[q + s * (8 * p)] = e0;
+            y[q + s * (8 * p + 1)] = o0 * tw[0];
+            y[q + s * (8 * p + 2)] = e1 * tw[1];
+            y[q + s * (8 * p + 3)] = o1 * tw[2];
+            y[q + s * (8 * p + 4)] = e2 * tw[3];
+            y[q + s * (8 * p + 5)] = o2 * tw[4];
+            y[q + s * (8 * p + 6)] = e3 * tw[5];
+            y[q + s * (8 * p + 7)] = o3 * tw[6];
         }
     }
 }
@@ -227,6 +366,74 @@ mod tests {
         plan.execute(&mut got);
         for (g, w) in got.iter().zip(&want) {
             assert!((g.to_c64() - *w).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn stage_selection_prefers_radix8() {
+        use crate::codelet::Codelet;
+        // 512 = 8³: pure radix-8 ladder.
+        assert_eq!(
+            StockhamFft::<f64>::new(512, Sign::Forward).codelets(),
+            vec![Codelet::Radix8]
+        );
+        // 256 = 8·8·4 and 1024 = 8·8·8·2: radix-8 stages plus one closer.
+        assert_eq!(
+            StockhamFft::<f64>::new(256, Sign::Forward).codelets(),
+            vec![Codelet::Radix4, Codelet::Radix8]
+        );
+        assert_eq!(
+            StockhamFft::<f64>::new(1024, Sign::Forward).codelets(),
+            vec![Codelet::Radix2, Codelet::Radix8]
+        );
+        // Tiny sizes that never fit a radix-8 stage.
+        assert_eq!(
+            StockhamFft::<f64>::new(4, Sign::Forward).codelets(),
+            vec![Codelet::Radix4]
+        );
+        assert_eq!(
+            StockhamFft::<f64>::new(2, Sign::Forward).codelets(),
+            vec![Codelet::Radix2]
+        );
+    }
+
+    #[test]
+    fn radix8_sizes_match_naive_both_directions() {
+        // Sizes whose first stage is the radix-8 kernel, both signs
+        // (the all-pow2 sweep above covers forward only up to 1024).
+        for n in [8usize, 64, 512, 2048] {
+            let x = test_signal(n);
+            for sign in [Sign::Forward, Sign::Inverse] {
+                let want = dft_naive_signed(&x, sign);
+                let plan = StockhamFft::new(n, sign);
+                let mut got = x.clone();
+                plan.execute(&mut got);
+                let err = max_abs_diff(&got, &want);
+                assert!(err < 1e-9 * n as f64, "n={n} sign={sign:?} err={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_output_is_bitwise_equal_to_unfused_then_multiply() {
+        let n = 1024;
+        let m = 600; // projection keeps fewer bins than the transform
+        let x = test_signal(n);
+        let weights: Vec<Complex64> = (0..m)
+            .map(|k| c64((k as f64 * 0.13).cos() + 1.5, (k as f64 * 0.37).sin()))
+            .collect();
+        let plan = StockhamFft::new(n, Sign::Forward);
+        let mut d1 = x.clone();
+        let mut s1 = vec![Complex64::ZERO; n];
+        plan.execute_with_scratch(&mut d1, &mut s1);
+        let want: Vec<Complex64> = (0..m).map(|k| d1[k] * weights[k]).collect();
+        let mut d2 = x.clone();
+        let mut s2 = vec![Complex64::ZERO; n];
+        let mut out = vec![Complex64::ZERO; m];
+        plan.execute_fused_into(&mut d2, &mut s2, &mut out, &weights);
+        for (k, (a, b)) in out.iter().zip(&want).enumerate() {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "bin {k}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "bin {k}");
         }
     }
 

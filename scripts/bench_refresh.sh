@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Refresh the committed performance baselines at full quality:
+#   BENCH_pipeline.json  — threaded-scaling + per-phase breakdown
+#                          (consumed by scripts/perf_gate.sh)
+#   BENCH_kernels.json   — per-engine ns/point + fraction-of-peak
+#
+# Run on an idle machine and commit the updated JSON together with the
+# change that moved the numbers. Timer knobs (SOI_BENCH_SAMPLES etc.)
+# pass through; defaults are the benches' full-quality settings.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> soi_pipeline (writes BENCH_pipeline.json)"
+cargo bench --offline -p soi-bench --bench soi_pipeline
+
+echo "==> kernel_report (writes BENCH_kernels.json)"
+cargo bench --offline -p soi-bench --bench kernel_report
+
+echo "==> done; review and commit BENCH_pipeline.json + BENCH_kernels.json"

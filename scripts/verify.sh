@@ -55,12 +55,27 @@ rm -f "$trace_file"
 echo "==> cargo build --release --offline -p soi-bench --benches"
 cargo build --release --offline -p soi-bench --benches
 
+echo "==> per-phase perf gate vs committed BENCH_pipeline.json"
+if [ "${SOI_PERF_SKIP:-0}" = "1" ]; then
+    echo "    skipped (SOI_PERF_SKIP=1)"
+else
+    # Non-blocking by default; SOI_PERF_STRICT=1 turns regressions into
+    # failures. SOI_PERF_SKIP=1 skips the measurement entirely (used by
+    # CI, which runs the gate as its own visible step).
+    sh scripts/perf_gate.sh
+fi
+
 if [ "${1:-}" = "--with-benches" ]; then
     echo "==> smoke-run the harness-free benches (quick settings, small N)"
-    # SOI_BENCH_PIPELINE_N keeps the threaded-scaling bench tiny; it still
-    # regenerates BENCH_pipeline.json end to end.
+    # SOI_BENCH_PIPELINE_N keeps the threaded-scaling bench tiny; the
+    # *_OUT overrides park smoke-quality outputs in target/ so the
+    # committed BENCH_*.json baselines are never overwritten by a smoke
+    # run (refresh them with scripts/bench_refresh.sh).
+    mkdir -p target/bench_smoke
     SOI_BENCH_SAMPLES=3 SOI_BENCH_WARMUP_MS=2 SOI_BENCH_TARGET_MS=2 \
     SOI_BENCH_PIPELINE_N=16384 \
+    SOI_BENCH_PIPELINE_OUT="$PWD/target/bench_smoke/BENCH_pipeline.json" \
+    SOI_BENCH_KERNELS_OUT="$PWD/target/bench_smoke/BENCH_kernels.json" \
         cargo bench --offline -p soi-bench
 fi
 
