@@ -57,7 +57,7 @@ pub fn run_baseline(
     let (xr, planr) = (&x, &plan);
     let out = Cluster::new(p, fabric).run(move |comm| {
         let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-        planr.run(comm, local, policy)
+        planr.run(comm, local, policy).expect("baseline run")
     });
     finish(out, &x)
 }

@@ -34,6 +34,9 @@ pub enum ArgError {
         /// Target type name.
         wanted: &'static str,
     },
+    /// Structurally valid values that violate a cross-option constraint
+    /// (divisibility, alignment).
+    Misaligned(String),
 }
 
 impl std::fmt::Display for ArgError {
@@ -46,6 +49,7 @@ impl std::fmt::Display for ArgError {
             ArgError::BadValue { key, value, wanted } => {
                 write!(f, "--{key} {value}: expected {wanted}")
             }
+            ArgError::Misaligned(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -112,9 +116,71 @@ impl Args {
         self.get_parsed(key, default, "an integer")
     }
 
+    /// usize option that must be at least 1 (sizes, counts, rank totals).
+    /// Every subcommand funnels its size-like options through here so
+    /// `--n 0`, `--nodes 0`, `--ranks 0`, … all fail with the same shape
+    /// of message.
+    pub fn get_positive(&self, key: &str, default: usize) -> Result<usize, ArgError> {
+        let v = self.get_usize(key, default)?;
+        if v == 0 {
+            return Err(ArgError::BadValue {
+                key: key.to_string(),
+                value: "0".into(),
+                wanted: "a positive integer",
+            });
+        }
+        Ok(v)
+    }
+
     /// f64 option.
     pub fn get_f64(&self, key: &str, default: f64) -> Result<f64, ArgError> {
         self.get_parsed(key, default, "a number")
+    }
+}
+
+/// The problem geometry shared by every subcommand that runs a
+/// distributed transform (`transform`, `launch`, `worker`): total size
+/// `--n`, SOI segment count `--p`, accuracy `--digits`, per-rank
+/// `--threads`. Parsed and validated in one place so zero and
+/// misalignment errors read identically everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobGeometry {
+    /// Total transform size N.
+    pub n: usize,
+    /// SOI segment count P (must divide N).
+    pub p: usize,
+    /// Decimal digits of accuracy requested.
+    pub digits: usize,
+    /// Compute threads per rank.
+    pub threads: usize,
+}
+
+impl JobGeometry {
+    /// Parse `--n/--p/--digits/--threads` with the given size defaults.
+    pub fn from_args(a: &Args, default_n: usize, default_p: usize) -> Result<Self, ArgError> {
+        let n = a.get_positive("n", default_n)?;
+        let p = a.get_positive("p", default_p)?;
+        let digits = a.get_usize("digits", 15)?;
+        let threads = a.get_positive("threads", 1)?;
+        if n % p != 0 {
+            return Err(ArgError::Misaligned(format!(
+                "--p {p} does not divide --n {n}"
+            )));
+        }
+        Ok(JobGeometry { n, p, digits, threads })
+    }
+
+    /// Validate a rank count against the geometry: `R` must divide `P`
+    /// (each rank owns whole segments) — the same check every launcher
+    /// and worker performs before any process spawns or socket opens.
+    pub fn check_ranks(&self, key: &str, ranks: usize) -> Result<(), ArgError> {
+        if self.p % ranks != 0 {
+            return Err(ArgError::Misaligned(format!(
+                "--{key} {ranks} does not divide --p {}",
+                self.p
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -179,6 +245,36 @@ mod tests {
         ));
         let a = Args::parse(toks("x --beta 0.25")).unwrap();
         assert_eq!(a.get_f64("beta", 0.0).unwrap(), 0.25);
+    }
+
+    #[test]
+    fn positive_accessor_rejects_zero_uniformly() {
+        let a = Args::parse(toks("x --n 0 --nodes 0 --ranks 7")).unwrap();
+        for key in ["n", "nodes"] {
+            let e = a.get_positive(key, 4).unwrap_err();
+            assert!(
+                e.to_string().contains("positive integer"),
+                "--{key}: {e}"
+            );
+        }
+        assert_eq!(a.get_positive("ranks", 4).unwrap(), 7);
+        assert_eq!(a.get_positive("absent", 4).unwrap(), 4);
+    }
+
+    #[test]
+    fn job_geometry_validates_shape() {
+        let a = Args::parse(toks("x --n 4096 --p 8 --threads 2")).unwrap();
+        let g = JobGeometry::from_args(&a, 1 << 16, 8).unwrap();
+        assert_eq!((g.n, g.p, g.digits, g.threads), (4096, 8, 15, 2));
+        g.check_ranks("ranks", 4).unwrap();
+        assert!(g.check_ranks("ranks", 3).unwrap_err().to_string().contains("divide"));
+
+        let a = Args::parse(toks("x --n 1000 --p 3")).unwrap();
+        let e = JobGeometry::from_args(&a, 1 << 16, 8).unwrap_err();
+        assert!(e.to_string().contains("does not divide"), "{e}");
+
+        let a = Args::parse(toks("x --threads 0")).unwrap();
+        assert!(JobGeometry::from_args(&a, 4096, 4).is_err());
     }
 
     #[test]

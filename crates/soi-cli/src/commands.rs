@@ -1,14 +1,14 @@
 //! Subcommand implementations for the `soi` binary.
 
-use crate::args::Args;
+use crate::args::{Args, JobGeometry};
 use soi_core::{SoiFft, SoiParams, SoiWorkspace, ThreadPool};
-use soi_dist::{BaselineFft, ChargePolicy, ComputeRates, DistSoiFft, ExchangeVariant};
+use soi_dist::{BaselineFft, ChargePolicy, ComputeRates, DistSoiFft, ExchangeVariant, PhaseTimes};
 use soi_num::Complex64;
 use soi_simnet::{Cluster, Fabric, RankComm};
-use soi_trace::TraceSet;
+use soi_trace::{Event, Trace, TraceSet};
 use soi_window::{design_compact, design_gaussian, design_two_param};
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -34,25 +34,34 @@ USAGE:
       and collective of the SOI run as JSON lines, then validates the
       trace for communication conservation before writing it.
 
+  soi launch --ranks <r> [--n <size>] [--p <segments>] [--digits <6..15>]
+             [--threads <t>] [--trace <file.jsonl>]
+      Spawn <r> local worker processes, bootstrap a full TCP mesh between
+      them, and run the distributed SOI FFT over real sockets. The
+      launcher aggregates per-rank results and traces, validates the
+      captured traffic for communication conservation, and checks the
+      assembled spectrum bitwise against an in-process reference run.
+
+  soi worker --rendezvous <host:port> [--n ...] [--p ...] [--digits ...]
+             [--threads ...]
+      One rank of a `soi launch` job (started by the launcher; runnable
+      by hand across machines). Joins the rendezvous point, computes its
+      slice, and reports the result over its control connection.
+
   soi trace-check --file <trace.jsonl>
       Validate a recorded trace: per-link byte conservation, identical
       collective sequences, clock monotonicity, barrier agreement, span
       nesting. Prints a summary or the first violation.
+
+  soi trace-view --file <trace.jsonl> [--out <trace.json>]
+      Convert a recorded trace to Chrome trace-event JSON for
+      chrome://tracing or ui.perfetto.dev (stdout if --out is omitted).
 
   soi info
       Print version and configuration summary.
 ";
 
 type CmdResult = Result<(), Box<dyn std::error::Error>>;
-
-/// A usize option that must be at least 1 (sizes, counts, rank totals).
-fn get_positive(a: &Args, key: &str, default: usize) -> Result<usize, Box<dyn std::error::Error>> {
-    let v = a.get_usize(key, default)?;
-    if v == 0 {
-        return Err(format!("--{key} must be at least 1").into());
-    }
-    Ok(v)
-}
 
 fn synthetic(n: usize) -> Vec<Complex64> {
     (0..n)
@@ -77,10 +86,8 @@ fn preset_for_digits(digits: usize) -> Result<soi_window::AccuracyPreset, String
 /// `soi transform`.
 pub fn transform(a: &Args) -> CmdResult {
     a.restrict(&["n", "p", "digits", "band", "threads"])?;
-    let n = get_positive(a, "n", 1 << 16)?;
-    let p = get_positive(a, "p", 8)?;
-    let digits = a.get_usize("digits", 15)?;
-    let threads = get_positive(a, "threads", 1)?;
+    let geo = JobGeometry::from_args(a, 1 << 16, 8)?;
+    let JobGeometry { n, p, digits, threads } = geo;
     let preset = preset_for_digits(digits)?;
     let params = SoiParams::with_preset(n, p, preset)?;
     let soi = SoiFft::new(&params)?;
@@ -169,8 +176,8 @@ pub fn design(a: &Args) -> CmdResult {
 /// `soi simulate`.
 pub fn simulate(a: &Args) -> CmdResult {
     a.restrict(&["nodes", "points", "fabric", "digits", "trace"])?;
-    let nodes = get_positive(a, "nodes", 4)?;
-    let points = get_positive(a, "points", 1 << 14)?;
+    let nodes = a.get_positive("nodes", 4)?;
+    let points = a.get_positive("points", 1 << 14)?;
     let digits = a.get_usize("digits", 15)?;
     let trace_path: Option<String> = a
         .get("trace")
@@ -230,7 +237,7 @@ pub fn simulate(a: &Args) -> CmdResult {
     let br = &base;
     let base_out = Cluster::new(nodes, fabric).run(move |comm| {
         let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-        br.run(comm, local, policy)
+        br.run(comm, local, policy).expect("partition pre-validated")
     });
     let base_y: Vec<Complex64> = base_out.iter().flat_map(|((y, _), _)| y.clone()).collect();
     let base_make = base_out.iter().map(|(_, r)| r.sim_time).fold(0.0, f64::max);
@@ -268,6 +275,310 @@ pub fn trace_check(a: &Args) -> CmdResult {
     );
     if !summary.phases.is_empty() {
         println!("phases: {}", summary.phases.join(", "));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-process execution: `soi launch` / `soi worker`.
+//
+// The launcher owns a rendezvous socket and R child processes; each child
+// bootstraps into the TCP mesh, computes its slice of the same synthetic
+// input the launcher would use, and ships `(rank, PhaseTimes, spectrum,
+// trace)` back over its control connection as one RESULT frame. The
+// launcher reassembles the global spectrum in rank order, validates the
+// merged trace, and diffs the result bitwise against an in-process
+// reference run on the simulated cluster — the two transports must agree
+// to the last bit, not approximately.
+// ---------------------------------------------------------------------------
+
+use soi_wire::frame::{expect_frame, write_frame, TAG_ERROR, TAG_RESULT};
+use soi_wire::pod::{PayloadReader, PayloadWriter};
+use soi_wire::{encode_slice, Bootstrap, Rendezvous, WireComm, WireConfig, WireError};
+
+/// How long the launcher waits for a worker's RESULT after the mesh is
+/// up. Compute-bound, so much longer than the per-message wire timeout.
+const RESULT_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Serialize one rank's outcome as a RESULT payload.
+fn encode_result(rank: usize, times: &PhaseTimes, y: &[Complex64], trace: &[Event]) -> Vec<u8> {
+    let mut jsonl = String::new();
+    for ev in trace {
+        jsonl.push_str(&ev.to_json_line());
+        jsonl.push('\n');
+    }
+    PayloadWriter::new()
+        .u32(rank as u32)
+        .f64(times.halo)
+        .f64(times.conv)
+        .f64(times.fft_small)
+        .f64(times.fft_large)
+        .f64(times.scale)
+        .f64(times.pack)
+        .f64(times.exchange)
+        .bytes(&encode_slice(y))
+        .bytes(jsonl.as_bytes())
+        .finish()
+}
+
+/// Parse a RESULT payload back into `(rank, times, spectrum, events)`.
+fn decode_result(
+    payload: &[u8],
+) -> Result<(usize, PhaseTimes, Vec<Complex64>, Vec<Event>), Box<dyn std::error::Error>> {
+    let mut r = PayloadReader::new(payload);
+    let rank = r.u32()? as usize;
+    let times = PhaseTimes {
+        halo: r.f64()?,
+        conv: r.f64()?,
+        fft_small: r.f64()?,
+        fft_large: r.f64()?,
+        scale: r.f64()?,
+        pack: r.f64()?,
+        exchange: r.f64()?,
+    };
+    let y = soi_wire::decode_slice::<Complex64>(&r.bytes()?)?;
+    let jsonl = String::from_utf8(r.bytes()?).map_err(|e| format!("trace not UTF-8: {e}"))?;
+    let mut events = Vec::new();
+    for line in jsonl.lines().filter(|l| !l.trim().is_empty()) {
+        events.push(Event::from_json_line(line).map_err(|e| format!("bad trace line: {e}"))?);
+    }
+    Ok((rank, times, y, events))
+}
+
+/// Build the distributed plan both the launcher and every worker agree
+/// on, pre-flighting the partition so misconfiguration fails before any
+/// socket traffic.
+fn wire_plan(geo: &JobGeometry, ranks: usize) -> Result<DistSoiFft, Box<dyn std::error::Error>> {
+    let preset = preset_for_digits(geo.digits)?;
+    let params = SoiParams::with_preset(geo.n, geo.p, preset)?;
+    let dist = DistSoiFft::new(&params)?;
+    dist.segments_per_rank(ranks)?;
+    Ok(dist)
+}
+
+/// `soi worker`: one rank of an out-of-process run.
+pub fn worker(a: &Args) -> CmdResult {
+    a.restrict(&["rendezvous", "n", "p", "digits", "threads"])?;
+    let addr = a
+        .get("rendezvous")
+        .ok_or("worker needs --rendezvous <host:port>")?;
+    let geo = JobGeometry::from_args(a, 1 << 16, 8)?;
+    let cfg = WireConfig::from_env();
+    let boot = Bootstrap::join(addr, cfg)?;
+    let (mut comm, control) = WireComm::from_bootstrap(boot);
+    comm.set_trace(Trace::recording(comm.rank()));
+    let mut control = &control;
+    match worker_job(&mut comm, &geo) {
+        Ok((y, times)) => {
+            let events = comm.trace().drain();
+            let payload = encode_result(comm.rank(), &times, &y, &events);
+            write_frame(&mut control, TAG_RESULT, &payload, None, cfg.op_timeout)?;
+            Ok(())
+        }
+        Err(e) => {
+            let msg = format!("rank {}: {e}", comm.rank());
+            // Best effort: the launcher may already be gone.
+            let _ = write_frame(&mut control, TAG_ERROR, msg.as_bytes(), None, cfg.op_timeout);
+            Err(msg.into())
+        }
+    }
+}
+
+/// The compute body of a worker rank (separated so failures can be
+/// reported over the control stream).
+fn worker_job(
+    comm: &mut WireComm,
+    geo: &JobGeometry,
+) -> Result<(Vec<Complex64>, PhaseTimes), Box<dyn std::error::Error>> {
+    let ranks = comm.size();
+    geo.check_ranks("ranks", ranks)?;
+    let dist = wire_plan(geo, ranks)?;
+    let local_pts = geo.n / ranks;
+    let x = synthetic(geo.n);
+    let local = &x[comm.rank() * local_pts..][..local_pts];
+    let pool = ThreadPool::new(geo.threads);
+    let (y, times) = dist.run_with(comm, local, ChargePolicy::WallClock, &pool)?;
+    Ok((y, times))
+}
+
+/// `soi launch`: spawn workers, run over real sockets, verify.
+pub fn launch(a: &Args) -> CmdResult {
+    a.restrict(&["ranks", "n", "p", "digits", "threads", "trace"])?;
+    let ranks = a.get_positive("ranks", 4)?;
+    let geo = JobGeometry::from_args(a, 1 << 16, 8)?;
+    geo.check_ranks("ranks", ranks)?;
+    let trace_path: Option<String> = a
+        .get("trace")
+        .map(String::from)
+        .or_else(soi_trace::path_from_env);
+    let dist = wire_plan(&geo, ranks)?;
+
+    let cfg = WireConfig::from_env();
+    let rv = Rendezvous::bind("127.0.0.1:0", cfg)?;
+    let addr = rv.local_addr()?;
+    let exe = std::env::current_exe()?;
+    println!(
+        "launch   : {ranks} ranks on {addr}, N = {}, P = {}, {} thread(s)/rank",
+        geo.n, geo.p, geo.threads
+    );
+    let t0 = Instant::now();
+    let mut children = Vec::with_capacity(ranks);
+    for _ in 0..ranks {
+        let child = std::process::Command::new(&exe)
+            .args([
+                "worker",
+                "--rendezvous",
+                &addr,
+                "--n",
+                &geo.n.to_string(),
+                "--p",
+                &geo.p.to_string(),
+                "--digits",
+                &geo.digits.to_string(),
+                "--threads",
+                &geo.threads.to_string(),
+            ])
+            .stdin(std::process::Stdio::null())
+            .spawn()?;
+        children.push(child);
+    }
+
+    let outcome = collect_results(&rv, ranks, &geo);
+    // Always reap the children: on success they have already exited; on
+    // failure kill whatever is still running so nothing lingers.
+    if outcome.is_err() {
+        for c in &mut children {
+            let _ = c.kill();
+        }
+    }
+    let mut worker_failure = None;
+    for (rank, c) in children.iter_mut().enumerate() {
+        let status = c.wait()?;
+        if !status.success() && worker_failure.is_none() {
+            worker_failure = Some(format!("worker rank {rank} exited with {status}"));
+        }
+    }
+    let (wire_y, times, streams) = match outcome {
+        Ok(v) => v,
+        Err(e) => match worker_failure {
+            // The worker's stderr (already inherited) has the real story.
+            Some(w) => return Err(format!("{w}: {e}").into()),
+            None => return Err(e),
+        },
+    };
+    let wall = t0.elapsed();
+
+    // Validate the captured traffic exactly like `trace-check` would.
+    let set = TraceSet::from_streams(streams);
+    let summary = set.validate()?;
+    if let Some(path) = &trace_path {
+        set.write_jsonl_file(Path::new(path))?;
+        println!(
+            "trace    : {} events / {} messages / {} bytes on {} ranks -> {path} (conservation OK)",
+            summary.events, summary.messages, summary.bytes, summary.ranks,
+        );
+    } else {
+        println!(
+            "trace    : {} events / {} messages / {} bytes on {} ranks (conservation OK)",
+            summary.events, summary.messages, summary.bytes, summary.ranks,
+        );
+    }
+
+    // Bitwise cross-check against the in-process simulated cluster.
+    let x = synthetic(geo.n);
+    let local_pts = geo.n / ranks;
+    let (xr, dr) = (&x, &dist);
+    let sim_out = Cluster::ideal(ranks).run_collect(move |comm| {
+        let local = &xr[comm.rank() * local_pts..][..local_pts];
+        dr.run(comm, local, ChargePolicy::WallClock)
+            .expect("partition pre-validated")
+            .0
+    });
+    let sim_y: Vec<Complex64> = sim_out.into_iter().flatten().collect();
+    let mismatches = wire_y
+        .iter()
+        .zip(&sim_y)
+        .filter(|(a, b)| a.re.to_bits() != b.re.to_bits() || a.im.to_bits() != b.im.to_bits())
+        .count();
+    if wire_y.len() != sim_y.len() || mismatches != 0 {
+        return Err(format!(
+            "wire spectrum diverges from simnet reference: {mismatches} of {} bins differ",
+            sim_y.len()
+        )
+        .into());
+    }
+
+    let t = times
+        .iter()
+        .fold(PhaseTimes::default(), |acc, t| acc.max_with(t));
+    println!(
+        "workers  : conv {:.4}s, F_P {:.4}s, exchange {:.4}s, F_M' {:.4}s (max across ranks)",
+        t.conv, t.fft_small, t.exchange, t.fft_large
+    );
+    let exact = soi_fft::fft_forward(&x);
+    println!(
+        "result   : {} bins in {wall:.2?}; err {:.1e} vs exact FFT; bitwise identical to simnet reference",
+        wire_y.len(),
+        soi_num::complex::rel_l2_error(&wire_y, &exact)
+    );
+    Ok(())
+}
+
+/// Accept every worker's control connection and read its RESULT frame.
+#[allow(clippy::type_complexity)]
+fn collect_results(
+    rv: &Rendezvous,
+    ranks: usize,
+    geo: &JobGeometry,
+) -> Result<(Vec<Complex64>, Vec<PhaseTimes>, Vec<Vec<Event>>), Box<dyn std::error::Error>> {
+    let controls = rv.serve(ranks)?;
+    let local_pts = geo.n / ranks;
+    let mut wire_y = vec![Complex64::ZERO; geo.n];
+    let mut times = vec![PhaseTimes::default(); ranks];
+    let mut streams: Vec<Vec<Event>> = vec![Vec::new(); ranks];
+    let mut seen = vec![false; ranks];
+    for (slot, control) in controls.iter().enumerate() {
+        control
+            .set_read_timeout(Some(RESULT_TIMEOUT))
+            .map_err(|e| WireError::Io(e.to_string()))?;
+        let payload = expect_frame(&mut &*control, TAG_RESULT, Some(slot), RESULT_TIMEOUT)?;
+        let (rank, t, y, events) = decode_result(&payload)?;
+        if rank >= ranks || seen[rank] {
+            return Err(format!("duplicate or out-of-range result for rank {rank}").into());
+        }
+        if y.len() != local_pts {
+            return Err(format!(
+                "rank {rank} returned {} points, expected {local_pts}",
+                y.len()
+            )
+            .into());
+        }
+        seen[rank] = true;
+        wire_y[rank * local_pts..(rank + 1) * local_pts].copy_from_slice(&y);
+        times[rank] = t;
+        streams[rank] = events;
+    }
+    Ok((wire_y, times, streams))
+}
+
+/// `soi trace-view`: JSONL trace -> Chrome trace-event JSON.
+pub fn trace_view(a: &Args) -> CmdResult {
+    a.restrict(&["file", "out"])?;
+    let path = a
+        .get("file")
+        .ok_or("trace-view needs --file <trace.jsonl>")?;
+    let set = TraceSet::read_jsonl_file(Path::new(path))?;
+    let doc = soi_trace::to_chrome_trace(&set);
+    match a.get("out") {
+        Some(out) => {
+            std::fs::write(out, &doc)?;
+            let events: usize = set.ranks.iter().map(Vec::len).sum();
+            println!(
+                "{out}: {events} events from {} ranks — open in chrome://tracing or ui.perfetto.dev",
+                set.ranks.iter().filter(|s| !s.is_empty()).count()
+            );
+        }
+        None => print!("{doc}"),
     }
     Ok(())
 }

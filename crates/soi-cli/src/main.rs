@@ -5,7 +5,10 @@
 //! soi design    --beta 0.25 --digits 12 [--family two-param|gaussian|compact]
 //! soi simulate  --nodes 8 --points 16384 [--fabric endeavor|gordon|ethernet]
 //!               [--trace trace.jsonl]
+//! soi launch    --ranks 4 [--n 65536] [--p 8] [--threads 2] [--trace t.jsonl]
+//! soi worker    --rendezvous host:port [--n 65536] [--p 8]
 //! soi trace-check --file trace.jsonl
+//! soi trace-view  --file trace.jsonl [--out trace.json]
 //! soi info
 //! soi help
 //! ```
@@ -34,7 +37,10 @@ fn run(tokens: Vec<String>) -> i32 {
         "transform" => commands::transform(&parsed),
         "design" => commands::design(&parsed),
         "simulate" => commands::simulate(&parsed),
+        "launch" => commands::launch(&parsed),
+        "worker" => commands::worker(&parsed),
         "trace-check" => commands::trace_check(&parsed),
+        "trace-view" => commands::trace_view(&parsed),
         "info" => commands::info(&parsed),
         "help" | "--help" | "-h" => {
             println!("{}", commands::USAGE);

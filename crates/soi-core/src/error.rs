@@ -25,6 +25,10 @@ pub enum SoiError {
     /// A distributed partition would not align with the kernel's chunk
     /// structure (μ-row coefficient blocks).
     BadAlignment(String),
+    /// The communication fabric failed mid-run (a peer died, an exchange
+    /// timed out, or traffic was malformed). Only real transports raise
+    /// this; the in-process simulated network cannot fail.
+    Comm(String),
 }
 
 impl std::fmt::Display for SoiError {
@@ -40,6 +44,7 @@ impl std::fmt::Display for SoiError {
             }
             SoiError::BadRankCount(msg) => write!(f, "bad rank count: {msg}"),
             SoiError::BadAlignment(msg) => write!(f, "bad partition alignment: {msg}"),
+            SoiError::Comm(msg) => write!(f, "communication failed: {msg}"),
         }
     }
 }

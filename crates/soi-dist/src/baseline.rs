@@ -19,14 +19,15 @@
 //! output — the properties the paper ascribes to all standard
 //! implementations (§1–2).
 
+use crate::comm::{CommError, Communicator};
 use crate::dtranspose::distributed_transpose;
 use crate::rates::{ChargePolicy, WorkKind};
 use crate::times::PhaseTimes;
+use soi_core::SoiError;
 use soi_fft::batch::BatchFft;
 use soi_fft::flops::fft_flops;
 use soi_fft::plan::{Direction, Plan, Planner};
 use soi_num::Complex64;
-use soi_simnet::RankComm;
 use std::time::Instant;
 
 /// How the global transposes exchange data (Fig 3: "the MPI all-to-all
@@ -81,12 +82,13 @@ impl BaselineFft {
 
     /// Execute on one rank; `x_local` is this rank's `M` points, returns
     /// its `M` output points (natural order) and the phase breakdown.
-    pub fn run(
+    /// Generic over the transport, like [`crate::soi::DistSoiFft::run`].
+    pub fn run<C: Communicator>(
         &self,
-        comm: &mut RankComm,
+        comm: &mut C,
         x_local: &[Complex64],
         policy: ChargePolicy,
-    ) -> (Vec<Complex64>, PhaseTimes) {
+    ) -> Result<(Vec<Complex64>, PhaseTimes), SoiError> {
         assert_eq!(comm.size(), self.p, "cluster size mismatch");
         assert_eq!(x_local.len(), self.m, "rank input must be M points");
         let (n, p, m) = (self.n, self.p, self.m);
@@ -95,7 +97,7 @@ impl BaselineFft {
         let mem = std::mem::size_of::<Complex64>() as f64;
 
         // Transpose #1: M×P → P×M (I own one row of length M per p=P).
-        let a = self.transpose_step(comm, x_local, m, p, policy, &mut times);
+        let a = self.transpose_step(comm, x_local, m, p, policy, &mut times)?;
 
         // Length-M FFT on each owned row (rows_here = P/P = 1 when the
         // matrix is P×M; kept general).
@@ -133,7 +135,7 @@ impl BaselineFft {
         times.scale += dt;
 
         // Transpose #2: P×M → M×P (I own M/P rows of length P).
-        let mut b = self.transpose_step(comm, &a, p, m, policy, &mut times);
+        let mut b = self.transpose_step(comm, &a, p, m, policy, &mut times)?;
 
         // Length-P FFT per row.
         let t0 = Instant::now();
@@ -147,27 +149,27 @@ impl BaselineFft {
         times.fft_small += dt;
 
         // Transpose #3: M×P → P×M; my row is y[rank·M ..].
-        let y = self.transpose_step(comm, &b, m, p, policy, &mut times);
-        (y, times)
+        let y = self.transpose_step(comm, &b, m, p, policy, &mut times)?;
+        Ok((y, times))
     }
 
     /// One distributed transpose with pack/exchange time charging.
-    fn transpose_step(
+    fn transpose_step<C: Communicator>(
         &self,
-        comm: &mut RankComm,
+        comm: &mut C,
         local: &[Complex64],
         rows: usize,
         cols: usize,
         policy: ChargePolicy,
         times: &mut PhaseTimes,
-    ) -> Vec<Complex64> {
-        let c0 = comm.clock().comm_time();
+    ) -> Result<Vec<Complex64>, CommError> {
+        let c0 = comm.comm_seconds();
         let t0 = Instant::now();
         let (out, pack_bytes) = match self.variant {
-            ExchangeVariant::Collective => distributed_transpose(comm, local, rows, cols),
-            ExchangeVariant::Pairwise => distributed_transpose_pairwise(comm, local, rows, cols),
+            ExchangeVariant::Collective => distributed_transpose(comm, local, rows, cols)?,
+            ExchangeVariant::Pairwise => distributed_transpose_pairwise(comm, local, rows, cols)?,
         };
-        let exchange = comm.clock().comm_time() - c0;
+        let exchange = comm.comm_seconds() - c0;
         times.exchange += exchange;
         // Wall time of the whole step minus the exchange approximates the
         // local pack work; in Rates mode the modeled bytes are charged.
@@ -175,18 +177,18 @@ impl BaselineFft {
         let dt = policy.charge(WorkKind::Mem, pack_bytes as f64, wall_pack);
         comm.charge_compute(dt);
         times.pack += dt;
-        out
+        Ok(out)
     }
 }
 
 /// Pairwise-exchange version of [`distributed_transpose`]: same local
 /// permutations, but the wire exchange uses `P−1` send/receive rounds.
-pub fn distributed_transpose_pairwise(
-    comm: &mut RankComm,
+pub fn distributed_transpose_pairwise<C: Communicator>(
+    comm: &mut C,
     local: &[Complex64],
     rows: usize,
     cols: usize,
-) -> (Vec<Complex64>, u64) {
+) -> Result<(Vec<Complex64>, u64), CommError> {
     let p = comm.size();
     assert!(rows % p == 0 && cols % p == 0);
     let rb = rows / p;
@@ -216,11 +218,11 @@ pub fn distributed_transpose_pairwise(
     for round in 1..p {
         let dst = (rank + round) % p;
         let src = (rank + p - round) % p;
-        let got = comm.sendrecv(dst, &blocks[dst], src);
+        let got = comm.sendrecv(dst, &blocks[dst], src)?;
         place(src, &got, &mut out);
     }
     let pack_bytes = 2 * (local.len() * std::mem::size_of::<Complex64>()) as u64;
-    (out, pack_bytes)
+    Ok((out, pack_bytes))
 }
 
 #[cfg(test)]
@@ -241,7 +243,7 @@ mod tests {
         let (xr, planr, m) = (&x, &plan, n / p);
         let pieces = Cluster::ideal(p).run_collect(move |comm| {
             let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-            planr.run(comm, local, ChargePolicy::WallClock).0
+            planr.run(comm, local, ChargePolicy::WallClock).expect("baseline run").0
         });
         pieces.into_iter().flatten().collect()
     }
@@ -273,7 +275,7 @@ mod tests {
         let (xr, planr, m) = (&x, &plan, n / p);
         let reports = Cluster::new(p, Fabric::ethernet_10g()).run(move |comm| {
             let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-            planr.run(comm, local, ChargePolicy::WallClock).0
+            planr.run(comm, local, ChargePolicy::WallClock).expect("baseline run").0
         });
         for (_, rep) in &reports {
             assert_eq!(
@@ -296,7 +298,7 @@ mod tests {
         let (xr, planr) = (&x, &plan);
         let base_reports = Cluster::ideal(p).run(move |comm| {
             let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-            planr.run(comm, local, ChargePolicy::WallClock).0
+            planr.run(comm, local, ChargePolicy::WallClock).expect("baseline run").0
         });
         let base_bytes: u64 = base_reports.iter().map(|(_, r)| r.stats.bytes_sent).sum();
 

@@ -1,0 +1,285 @@
+//! The transport seam: one trait, two fabrics.
+//!
+//! Every distributed algorithm in this crate ([`crate::soi::DistSoiFft`],
+//! [`crate::baseline::BaselineFft`], [`crate::fft2d::Dist2dFft`], the
+//! distributed transpose) is written against [`Communicator`] — the
+//! abstract surface of a blocking-MPI-style rank endpoint. Two
+//! implementations exist:
+//!
+//! * [`soi_simnet::RankComm`] — ranks as threads, channels as links, a
+//!   virtual clock charging the paper's fabric model. Operations cannot
+//!   fail (a hung-up channel is a harness bug and panics), so every
+//!   method returns `Ok`.
+//! * [`soi_wire::WireComm`] — ranks as processes, TCP as links, wall
+//!   clocks. Operations fail for real ([`CommError::PeerLost`],
+//!   [`CommError::Timeout`]) and the algorithms propagate that as
+//!   [`SoiError::Comm`] instead of hanging.
+//!
+//! Element types are bounded by [`soi_wire::Pod`] — the little-endian
+//! bit-exact codec — because anything the algorithms exchange must be
+//! serializable on the real transport. `Pod: Copy + Send + 'static`
+//! subsumes what the channel transport needs.
+//!
+//! Time is the one semantic difference the trait surfaces honestly:
+//! [`Communicator::clock_now`] is `Some(virtual seconds)` on simnet and
+//! `None` on the wire (real networks have no agreed clock), which is
+//! exactly the `t_virt` convention of the trace schema;
+//! [`Communicator::comm_seconds`] is virtual comm time on simnet and
+//! accumulated wall time in comm calls on the wire, so `PhaseTimes`
+//! breakdowns come out meaningful on both.
+
+use soi_core::SoiError;
+use soi_simnet::RankComm;
+use soi_trace::Trace;
+use soi_wire::{Pod, WireComm, WireError};
+use std::fmt;
+
+/// A communication failure surfaced by a transport.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommError {
+    /// A peer process died or its link was torn down.
+    PeerLost(String),
+    /// An operation missed its deadline while links stayed up.
+    Timeout(String),
+    /// Malformed traffic, ragged buffers, or misuse of the collective.
+    Protocol(String),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::PeerLost(m) => write!(f, "peer lost: {m}"),
+            CommError::Timeout(m) => write!(f, "comm timeout: {m}"),
+            CommError::Protocol(m) => write!(f, "comm protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+impl From<WireError> for CommError {
+    fn from(e: WireError) -> Self {
+        match &e {
+            WireError::PeerLost { .. } => CommError::PeerLost(e.to_string()),
+            WireError::Timeout { .. } => CommError::Timeout(e.to_string()),
+            _ => CommError::Protocol(e.to_string()),
+        }
+    }
+}
+
+impl From<CommError> for SoiError {
+    fn from(e: CommError) -> Self {
+        SoiError::Comm(e.to_string())
+    }
+}
+
+/// A rank's endpoint into some fabric — the surface the distributed
+/// algorithms are generic over. Semantics mirror blocking MPI: every
+/// rank calls each collective in the same order with compatible buffers.
+pub trait Communicator {
+    /// This rank's id in `0..size`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks.
+    fn size(&self) -> usize;
+
+    /// A clone of this rank's trace handle (disabled handles are free).
+    fn trace_handle(&self) -> Trace;
+
+    /// The rank's clock, if the fabric has an agreed one: virtual seconds
+    /// on simnet, `None` on a real network — feeds `t_virt` in traces.
+    fn clock_now(&self) -> Option<f64>;
+
+    /// Seconds attributed to communication so far (virtual on simnet,
+    /// wall time inside comm calls on the wire). Differences of this
+    /// around an exchange give the `PhaseTimes` comm entries.
+    fn comm_seconds(&self) -> f64;
+
+    /// Charge `dt` seconds of local computation to the rank's clock
+    /// (no-op on fabrics without a virtual clock).
+    fn charge_compute(&mut self, dt: f64);
+
+    /// Simultaneous exchange: send `data` to `dst` while receiving from
+    /// `src` (the halo pattern).
+    fn sendrecv<T: Pod>(&mut self, dst: usize, data: &[T], src: usize)
+        -> Result<Vec<T>, CommError>;
+
+    /// Equal-block all-to-all: block `d` of `send` goes to rank `d`;
+    /// `recv` block `s` arrives from rank `s`.
+    fn all_to_all<T: Pod>(&mut self, send: &[T], recv: &mut [T]) -> Result<(), CommError>;
+
+    /// Variable-count all-to-all; returns received blocks concatenated
+    /// in rank order.
+    fn all_to_allv<T: Pod>(&mut self, send: &[T], counts: &[usize])
+        -> Result<Vec<T>, CommError>;
+
+    /// Synchronize all ranks.
+    fn barrier(&mut self) -> Result<(), CommError>;
+
+    /// Sum-allreduce of one f64, folded in rank order on every
+    /// implementation so results are bitwise identical across fabrics.
+    fn allreduce_sum(&mut self, v: f64) -> Result<f64, CommError>;
+
+    /// Max-allreduce of one f64.
+    fn allreduce_max(&mut self, v: f64) -> Result<f64, CommError>;
+}
+
+impl Communicator for RankComm {
+    fn rank(&self) -> usize {
+        RankComm::rank(self)
+    }
+
+    fn size(&self) -> usize {
+        RankComm::size(self)
+    }
+
+    fn trace_handle(&self) -> Trace {
+        RankComm::trace(self).clone()
+    }
+
+    fn clock_now(&self) -> Option<f64> {
+        Some(self.clock().now())
+    }
+
+    fn comm_seconds(&self) -> f64 {
+        self.clock().comm_time()
+    }
+
+    fn charge_compute(&mut self, dt: f64) {
+        RankComm::charge_compute(self, dt);
+    }
+
+    fn sendrecv<T: Pod>(
+        &mut self,
+        dst: usize,
+        data: &[T],
+        src: usize,
+    ) -> Result<Vec<T>, CommError> {
+        Ok(RankComm::sendrecv(self, dst, data, src))
+    }
+
+    fn all_to_all<T: Pod>(&mut self, send: &[T], recv: &mut [T]) -> Result<(), CommError> {
+        RankComm::all_to_all(self, send, recv);
+        Ok(())
+    }
+
+    fn all_to_allv<T: Pod>(&mut self, send: &[T], counts: &[usize]) -> Result<Vec<T>, CommError> {
+        Ok(RankComm::all_to_allv(self, send, counts))
+    }
+
+    fn barrier(&mut self) -> Result<(), CommError> {
+        RankComm::barrier(self);
+        Ok(())
+    }
+
+    fn allreduce_sum(&mut self, v: f64) -> Result<f64, CommError> {
+        Ok(RankComm::allreduce_sum(self, v))
+    }
+
+    fn allreduce_max(&mut self, v: f64) -> Result<f64, CommError> {
+        Ok(RankComm::allreduce_max(self, v))
+    }
+}
+
+impl Communicator for WireComm {
+    fn rank(&self) -> usize {
+        WireComm::rank(self)
+    }
+
+    fn size(&self) -> usize {
+        WireComm::size(self)
+    }
+
+    fn trace_handle(&self) -> Trace {
+        WireComm::trace(self).clone()
+    }
+
+    fn clock_now(&self) -> Option<f64> {
+        None // no virtual clock on a real network
+    }
+
+    fn comm_seconds(&self) -> f64 {
+        WireComm::comm_seconds(self)
+    }
+
+    fn charge_compute(&mut self, _dt: f64) {}
+
+    fn sendrecv<T: Pod>(
+        &mut self,
+        dst: usize,
+        data: &[T],
+        src: usize,
+    ) -> Result<Vec<T>, CommError> {
+        Ok(WireComm::sendrecv(self, dst, data, src)?)
+    }
+
+    fn all_to_all<T: Pod>(&mut self, send: &[T], recv: &mut [T]) -> Result<(), CommError> {
+        Ok(WireComm::all_to_all(self, send, recv)?)
+    }
+
+    fn all_to_allv<T: Pod>(&mut self, send: &[T], counts: &[usize]) -> Result<Vec<T>, CommError> {
+        Ok(WireComm::all_to_allv(self, send, counts)?)
+    }
+
+    fn barrier(&mut self) -> Result<(), CommError> {
+        Ok(WireComm::barrier(self)?)
+    }
+
+    fn allreduce_sum(&mut self, v: f64) -> Result<f64, CommError> {
+        Ok(WireComm::allreduce_sum(self, v)?)
+    }
+
+    fn allreduce_max(&mut self, v: f64) -> Result<f64, CommError> {
+        Ok(WireComm::allreduce_max(self, v)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soi_simnet::Cluster;
+    use soi_wire::{run_loopback, WireConfig};
+
+    /// A tiny algorithm written once against the trait, run on both
+    /// transports — the seam working end to end.
+    fn ring_sum<C: Communicator>(comm: &mut C) -> Result<f64, CommError> {
+        let me = comm.rank() as f64;
+        let p = comm.size();
+        let right = (comm.rank() + 1) % p;
+        let left = (comm.rank() + p - 1) % p;
+        let from_left = comm.sendrecv(right, &[me], left)?[0];
+        comm.barrier()?;
+        comm.allreduce_sum(from_left)
+    }
+
+    #[test]
+    fn one_algorithm_runs_on_both_transports() {
+        let p = 3;
+        let want: f64 = (0..p).map(|r| r as f64).sum();
+        let sim: Vec<f64> = Cluster::ideal(p).run_collect(|comm| ring_sum(comm).unwrap());
+        let wire = run_loopback(p, WireConfig::default(), |comm| ring_sum(comm).unwrap()).unwrap();
+        assert_eq!(sim, vec![want; p]);
+        assert_eq!(wire, vec![want; p]);
+        // Rank-order folds: bitwise identical, not just approximately.
+        for (a, b) in sim.iter().zip(&wire) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn wire_errors_map_to_comm_errors() {
+        let e: CommError = WireError::PeerLost { peer: Some(1), detail: "gone".into() }.into();
+        assert!(matches!(e, CommError::PeerLost(_)));
+        let e: CommError = WireError::Timeout {
+            peer: None,
+            op: "recv",
+            after: std::time::Duration::from_secs(1),
+        }
+        .into();
+        assert!(matches!(e, CommError::Timeout(_)));
+        let e: CommError = WireError::Protocol("bad".into()).into();
+        assert!(matches!(e, CommError::Protocol(_)));
+        let s: SoiError = CommError::PeerLost("rank 3".into()).into();
+        assert!(s.to_string().contains("rank 3"));
+    }
+}

@@ -7,8 +7,8 @@
 //! `cols × rows` transpose, block-distributed by its rows (the original
 //! columns).
 
+use crate::comm::{CommError, Communicator};
 use soi_num::Complex64;
-use soi_simnet::RankComm;
 
 /// Transpose a block-row-distributed matrix across ranks.
 ///
@@ -16,13 +16,15 @@ use soi_simnet::RankComm;
 /// rank's `cols/P` rows of length `rows` of the transpose.
 ///
 /// Returns `(result, pack_bytes)` where `pack_bytes` is the local data
-/// volume reshuffled (for time charging by the caller).
-pub fn distributed_transpose(
-    comm: &mut RankComm,
+/// volume reshuffled (for time charging by the caller). Generic over the
+/// transport ([`Communicator`]); fabric failures propagate as
+/// [`CommError`].
+pub fn distributed_transpose<C: Communicator>(
+    comm: &mut C,
     local: &[Complex64],
     rows: usize,
     cols: usize,
-) -> (Vec<Complex64>, u64) {
+) -> Result<(Vec<Complex64>, u64), CommError> {
     let p = comm.size();
     assert!(rows % p == 0, "rows {rows} must divide over {p} ranks");
     assert!(cols % p == 0, "cols {cols} must divide over {p} ranks");
@@ -43,7 +45,7 @@ pub fn distributed_transpose(
         }
     }
     let mut recv = vec![Complex64::ZERO; rb * cols];
-    comm.all_to_all(&send, &mut recv);
+    comm.all_to_all(&send, &mut recv)?;
 
     // Unpack: block from rank `src` holds A[r][c] for r in src's rows and
     // c in my columns, laid out (c, r); place into out[c][src·rb + r].
@@ -56,7 +58,7 @@ pub fn distributed_transpose(
         }
     }
     let pack_bytes = 2 * (local.len() * std::mem::size_of::<Complex64>()) as u64;
-    (out, pack_bytes)
+    Ok((out, pack_bytes))
 }
 
 #[cfg(test)]
@@ -75,7 +77,7 @@ mod tests {
         let pieces = Cluster::ideal(p).run_collect(move |comm| {
             let rb = rows / p;
             let local = &fullr[comm.rank() * rb * cols..(comm.rank() + 1) * rb * cols];
-            let (t, _) = distributed_transpose(comm, local, rows, cols);
+            let (t, _) = distributed_transpose(comm, local, rows, cols).expect("transpose");
             t
         });
         let gathered: Vec<Complex64> = pieces.into_iter().flatten().collect();
@@ -104,8 +106,8 @@ mod tests {
         let pieces = Cluster::ideal(p).run_collect(move |comm| {
             let rb = rows / p;
             let local = &fullr[comm.rank() * rb * cols..(comm.rank() + 1) * rb * cols];
-            let (t, _) = distributed_transpose(comm, local, rows, cols);
-            let (back, _) = distributed_transpose(comm, &t, cols, rows);
+            let (t, _) = distributed_transpose(comm, local, rows, cols).expect("transpose");
+            let (back, _) = distributed_transpose(comm, &t, cols, rows).expect("transpose");
             back
         });
         let gathered: Vec<Complex64> = pieces.into_iter().flatten().collect();

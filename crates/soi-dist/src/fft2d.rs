@@ -11,14 +11,15 @@
 //! Layout: the `rows × cols` matrix is block-distributed by rows; rank
 //! `r` owns rows `[r·rows/R, (r+1)·rows/R)`.
 
+use crate::comm::Communicator;
 use crate::dtranspose::distributed_transpose;
 use crate::rates::{ChargePolicy, WorkKind};
 use crate::times::PhaseTimes;
+use soi_core::SoiError;
 use soi_fft::batch::BatchFft;
 use soi_fft::flops::fft_flops;
 use soi_fft::plan::{Direction, Planner};
 use soi_num::Complex64;
-use soi_simnet::RankComm;
 use std::time::Instant;
 
 /// A prepared distributed 2-D transform (shared read-only across ranks).
@@ -61,12 +62,12 @@ impl Dist2dFft {
     /// `rows × cols` if `restore_layout`, else column-distributed
     /// (`cols × rows` transposed layout — rank `r` owns spectrum columns
     /// `[r·cols/R, (r+1)·cols/R)` as rows), plus phase times.
-    pub fn run(
+    pub fn run<C: Communicator>(
         &self,
-        comm: &mut RankComm,
+        comm: &mut C,
         local: &[Complex64],
         policy: ChargePolicy,
-    ) -> (Vec<Complex64>, PhaseTimes) {
+    ) -> Result<(Vec<Complex64>, PhaseTimes), SoiError> {
         let ranks = comm.size();
         assert!(self.rows % ranks == 0, "ranks must divide rows");
         assert!(self.cols % ranks == 0, "ranks must divide cols");
@@ -87,10 +88,10 @@ impl Dist2dFft {
         times.fft_large += dt;
 
         // THE transpose (single all-to-all).
-        let c0 = comm.clock().comm_time();
+        let c0 = comm.comm_seconds();
         let t0 = Instant::now();
-        let (mut b, pack_bytes) = distributed_transpose(comm, &a, self.rows, self.cols);
-        let exch = comm.clock().comm_time() - c0;
+        let (mut b, pack_bytes) = distributed_transpose(comm, &a, self.rows, self.cols)?;
+        let exch = comm.comm_seconds() - c0;
         times.exchange += exch;
         let dt = policy.charge(
             WorkKind::Mem,
@@ -112,13 +113,13 @@ impl Dist2dFft {
         times.fft_small += dt;
 
         if !self.restore_layout {
-            return (b, times);
+            return Ok((b, times));
         }
         // Optional second transpose to restore row distribution.
-        let c0 = comm.clock().comm_time();
+        let c0 = comm.comm_seconds();
         let t0 = Instant::now();
-        let (out, pack_bytes) = distributed_transpose(comm, &b, self.cols, self.rows);
-        let exch = comm.clock().comm_time() - c0;
+        let (out, pack_bytes) = distributed_transpose(comm, &b, self.cols, self.rows)?;
+        let exch = comm.comm_seconds() - c0;
         times.exchange += exch;
         let dt = policy.charge(
             WorkKind::Mem,
@@ -127,7 +128,7 @@ impl Dist2dFft {
         );
         comm.charge_compute(dt);
         times.pack += dt;
-        (out, times)
+        Ok((out, times))
     }
 }
 
@@ -152,7 +153,7 @@ mod tests {
         Cluster::ideal(ranks)
             .run_collect(move |comm| {
                 let local = &xr[comm.rank() * rb * cols..(comm.rank() + 1) * rb * cols];
-                pr.run(comm, local, ChargePolicy::WallClock).0
+                pr.run(comm, local, ChargePolicy::WallClock).expect("2d run").0
             })
             .into_iter()
             .flatten()
@@ -191,7 +192,7 @@ mod tests {
             let (xr, pr) = (&x, &plan);
             let reports = Cluster::new(ranks, Fabric::ethernet_10g()).run(move |comm| {
                 let local = &xr[comm.rank() * rb * cols..(comm.rank() + 1) * rb * cols];
-                pr.run(comm, local, ChargePolicy::WallClock).0
+                pr.run(comm, local, ChargePolicy::WallClock).expect("2d run").0
             });
             for (_, rep) in &reports {
                 assert_eq!(

@@ -19,6 +19,7 @@
 //! ranks on few physical cores (see DESIGN.md §2).
 
 pub mod baseline;
+pub mod comm;
 pub mod dtranspose;
 pub mod fft2d;
 pub mod rates;
@@ -26,6 +27,7 @@ pub mod soi;
 pub mod times;
 
 pub use baseline::{BaselineFft, ExchangeVariant};
+pub use comm::{CommError, Communicator};
 pub use rates::{ChargePolicy, ComputeRates};
 pub use soi::DistSoiFft;
 pub use times::PhaseTimes;

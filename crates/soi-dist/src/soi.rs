@@ -17,13 +17,13 @@
 //! segments; output stays in natural order: rank `r` ends with
 //! `y[r·cM..(r+1)·cM)`.
 
+use crate::comm::Communicator;
 use crate::rates::{ChargePolicy, WorkKind};
 use crate::times::PhaseTimes;
 use soi_core::{SoiError, SoiFft, SoiParams};
 use soi_fft::flops::{conv_flops, fft_flops};
 use soi_num::Complex64;
 use soi_pool::{part_range, SlicePtr, ThreadPool};
-use soi_simnet::RankComm;
 use std::time::Instant;
 
 /// A prepared distributed SOI transform (shared read-only across ranks).
@@ -80,10 +80,11 @@ impl DistSoiFft {
     /// `x_local` is this rank's `c·M` input points (`c = P/R` segments);
     /// returns this rank's `c·M` output points plus the phase breakdown.
     /// Serial per-rank compute; see [`Self::run_with`] for the threaded
-    /// (MPI+OpenMP-style) hybrid.
-    pub fn run(
+    /// (MPI+OpenMP-style) hybrid. Generic over the transport: the same
+    /// code runs on the simulated cluster and over real sockets.
+    pub fn run<C: Communicator>(
         &self,
-        comm: &mut RankComm,
+        comm: &mut C,
         x_local: &[Complex64],
         policy: ChargePolicy,
     ) -> Result<(Vec<Complex64>, PhaseTimes), SoiError> {
@@ -95,9 +96,9 @@ impl DistSoiFft {
     /// node-local convolution, batch F_P, pack, and F_{M'}). Chunk
     /// boundaries are deterministic, so the output is bitwise identical
     /// to the serial `run` for any worker count.
-    pub fn run_with(
+    pub fn run_with<C: Communicator>(
         &self,
-        comm: &mut RankComm,
+        comm: &mut C,
         x_local: &[Complex64],
         policy: ChargePolicy,
         pool: &ThreadPool,
@@ -117,19 +118,19 @@ impl DistSoiFft {
         let rows = cfg.m_prime / ranks; // P-groups computed on this rank
         let mut times = PhaseTimes::default();
         // Cloned handle so phase spans interleave with `&mut comm` calls;
-        // clones share one buffer (disabled outside Cluster::run_traced).
-        let trace = comm.trace().clone();
+        // clones share one buffer (disabled outside traced runs).
+        let trace = comm.trace_handle();
 
         // 1. Halo exchange: my first halo_len points go to the LEFT
         // neighbor (whose window overruns into my block); I receive the
         // prefix of my RIGHT neighbor.
-        trace.span_begin("halo", Some(comm.clock().now()));
-        let c0 = comm.clock().comm_time();
+        trace.span_begin("halo", comm.clock_now());
+        let c0 = comm.comm_seconds();
         let left = (rank + ranks - 1) % ranks;
         let right = (rank + 1) % ranks;
-        let halo = comm.sendrecv(left, &x_local[..cfg.halo_len()], right);
-        times.halo = comm.clock().comm_time() - c0;
-        trace.span_end("halo", Some(comm.clock().now()));
+        let halo = comm.sendrecv(left, &x_local[..cfg.halo_len()], right)?;
+        times.halo = comm.comm_seconds() - c0;
+        trace.span_end("halo", comm.clock_now());
 
         let mut xext = Vec::with_capacity(local_pts + cfg.halo_len());
         xext.extend_from_slice(x_local);
@@ -138,7 +139,7 @@ impl DistSoiFft {
         // 2. Convolution over my row range (global rows r·rows..(r+1)·rows;
         // the coefficient table is row-periodic with period μ | rows, so
         // the kernel runs rank-relative unchanged).
-        trace.span_begin("conv", Some(comm.clock().now()));
+        trace.span_begin("conv", comm.clock_now());
         let t0 = Instant::now();
         let mut v = vec![Complex64::ZERO; rows * p];
         soi_core::conv::convolve_pooled(
@@ -155,10 +156,10 @@ impl DistSoiFft {
         );
         comm.charge_compute(dt);
         times.conv = dt;
-        trace.span_end("conv", Some(comm.clock().now()));
+        trace.span_end("conv", comm.clock_now());
 
         // 3. I ⊗ F_P over the local groups.
-        trace.span_begin("fft_p", Some(comm.clock().now()));
+        trace.span_begin("fft_p", comm.clock_now());
         let t0 = Instant::now();
         let batch = self.soi.batch_p();
         let mut batch_scratch =
@@ -171,9 +172,9 @@ impl DistSoiFft {
         );
         comm.charge_compute(dt);
         times.fft_small = dt;
-        trace.span_end("fft_p", Some(comm.clock().now()));
+        trace.span_end("fft_p", comm.clock_now());
 
-        trace.span_begin("pack", Some(comm.clock().now()));
+        trace.span_begin("pack", comm.clock_now());
         // 4. Pack (Fig 3's local permutation): destination-major, and
         // within a destination segment-major — rank d gets, for each of
         // its segments s, my rows' lane-s values in row order.
@@ -187,20 +188,20 @@ impl DistSoiFft {
         let dt = policy.charge(WorkKind::Mem, pack_bytes, t0.elapsed().as_secs_f64());
         comm.charge_compute(dt);
         times.pack = dt;
-        trace.span_end("pack", Some(comm.clock().now()));
+        trace.span_end("pack", comm.clock_now());
 
         // 5. THE all-to-all. From src I receive its rows for each of my c
         // segments: recv[src·c·rows + si·rows + jl] = x̃^{(my seg si)}[src·rows + jl].
-        trace.span_begin("exchange", Some(comm.clock().now()));
-        let c0 = comm.clock().comm_time();
+        trace.span_begin("exchange", comm.clock_now());
+        let c0 = comm.comm_seconds();
         let mut recv = vec![Complex64::ZERO; c * cfg.m_prime];
-        comm.all_to_all(&send, &mut recv);
-        times.exchange = comm.clock().comm_time() - c0;
-        trace.span_end("exchange", Some(comm.clock().now()));
+        comm.all_to_all(&send, &mut recv)?;
+        times.exchange = comm.comm_seconds() - c0;
+        trace.span_end("exchange", comm.clock_now());
 
         // 5b. Unpack into per-segment x̃ vectors (a second local
         // permutation; a no-op copy when c = 1 and R = P).
-        trace.span_begin("pack", Some(comm.clock().now()));
+        trace.span_begin("pack", comm.clock_now());
         let t0 = Instant::now();
         let mut xt = vec![Complex64::ZERO; c * cfg.m_prime];
         for src in 0..ranks {
@@ -217,10 +218,10 @@ impl DistSoiFft {
         );
         comm.charge_compute(dt);
         times.pack += dt;
-        trace.span_end("pack", Some(comm.clock().now()));
+        trace.span_end("pack", comm.clock_now());
 
         // 6. F_{M'} per owned segment, one scratch stripe per worker.
-        trace.span_begin("fft_m", Some(comm.clock().now()));
+        trace.span_begin("fft_m", comm.clock_now());
         let t0 = Instant::now();
         let scr_len = self.soi.plan_m().scratch_len();
         let parts = pool.threads().min(c).max(1);
@@ -250,10 +251,10 @@ impl DistSoiFft {
         );
         comm.charge_compute(dt);
         times.fft_large = dt;
-        trace.span_end("fft_m", Some(comm.clock().now()));
+        trace.span_end("fft_m", comm.clock_now());
 
         // 7. Project + demodulate each segment.
-        trace.span_begin("demod", Some(comm.clock().now()));
+        trace.span_begin("demod", comm.clock_now());
         let t0 = Instant::now();
         let demod = &self.soi.coefficients().demod;
         let mut y = Vec::with_capacity(local_pts);
@@ -268,7 +269,7 @@ impl DistSoiFft {
         );
         comm.charge_compute(dt);
         times.scale = dt;
-        trace.span_end("demod", Some(comm.clock().now()));
+        trace.span_end("demod", comm.clock_now());
 
         Ok((y, times))
     }

@@ -1,0 +1,199 @@
+//! Chrome trace-event export.
+//!
+//! Converts a [`TraceSet`] into the JSON consumed by `chrome://tracing`,
+//! Perfetto (<https://ui.perfetto.dev>), and Speedscope: one process per
+//! rank, one thread per worker, phase spans as B/E pairs, tasks as
+//! complete (`X`) slices, messages and collectives as instants, counters
+//! as counter tracks.
+//!
+//! Timestamps use the rank-local monotonic clock (`t_mono_ns`, in
+//! microseconds) because every event carries it on every transport;
+//! virtual-clock seconds, when present, are preserved in `args.t_virt`
+//! so simulated time is still inspectable per event.
+
+use crate::event::{Event, EventKind};
+use crate::validate::TraceSet;
+use std::fmt::Write;
+
+/// Minimal JSON string escape (quotes, backslashes, control bytes).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an f64 the way the rest of the trace schema does: finite
+/// shortest roundtrip, no NaN/inf (callers never pass those).
+fn num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{:.1}", v)
+    } else {
+        format!("{}", v)
+    }
+}
+
+fn push_event(out: &mut String, ev: &Event, first: &mut bool) {
+    let ts_us = ev.t_mono_ns as f64 / 1000.0;
+    let pid = ev.rank;
+    let tid = ev.worker;
+    let tv = ev
+        .t_virt
+        .map(|t| format!(",\"t_virt\":{}", num(t)))
+        .unwrap_or_default();
+    let record = match &ev.kind {
+        EventKind::SpanBegin { phase } => format!(
+            "{{\"name\":\"{}\",\"ph\":\"B\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"kind\":\"phase\"{tv}}}}}",
+            esc(phase),
+            num(ts_us)
+        ),
+        EventKind::SpanEnd { phase } => format!(
+            "{{\"name\":\"{}\",\"ph\":\"E\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"kind\":\"phase\"{tv}}}}}",
+            esc(phase),
+            num(ts_us)
+        ),
+        EventKind::Send { peer, bytes } => format!(
+            "{{\"name\":\"send -> {peer}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"peer\":{peer},\"bytes\":{bytes}{tv}}}}}",
+            num(ts_us)
+        ),
+        EventKind::Recv { peer, bytes } => format!(
+            "{{\"name\":\"recv <- {peer}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"peer\":{peer},\"bytes\":{bytes}{tv}}}}}",
+            num(ts_us)
+        ),
+        EventKind::Collective { op, bytes } => format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"bytes\":{bytes}{tv}}}}}",
+            esc(op.name()),
+            num(ts_us)
+        ),
+        EventKind::Task { index, dur_ns } => {
+            // t_mono_ns is recorded at retire; shift back for the start.
+            let dur_us = *dur_ns as f64 / 1000.0;
+            let start = (ts_us - dur_us).max(0.0);
+            format!(
+                "{{\"name\":\"task {index}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"index\":{index}}}}}",
+                num(start),
+                num(dur_us)
+            )
+        }
+        EventKind::Counter { name, value } => format!(
+            "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"value\":{}}}}}",
+            esc(name),
+            num(ts_us),
+            num(*value)
+        ),
+    };
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str("  ");
+    out.push_str(&record);
+}
+
+/// Render `set` as a complete Chrome trace-event JSON document.
+///
+/// The output is the object form (`{"traceEvents": [...]}`) with
+/// microsecond timestamps; rank `r` appears as process `r`, worker `w`
+/// as thread `w`, plus metadata records naming each process.
+pub fn to_chrome_trace(set: &TraceSet) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    for (r, stream) in set.ranks.iter().enumerate() {
+        if stream.is_empty() {
+            continue;
+        }
+        let meta = format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{r},\"tid\":0,\"args\":{{\"name\":\"rank {r}\"}}}}"
+        );
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("  ");
+        out.push_str(&meta);
+        for ev in stream {
+            push_event(&mut out, ev, &mut first);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CollectiveOp;
+    use crate::recorder::Trace;
+
+    fn sample_set() -> TraceSet {
+        let streams = (0..2)
+            .map(|r| {
+                let t = Trace::recording(r);
+                t.span_begin("halo", Some(0.5));
+                t.send(1 - r, 64, Some(0.6));
+                t.recv(1 - r, 64, Some(0.7));
+                t.collective(CollectiveOp::AllToAll, 128, None);
+                t.task(3, 7, 1500);
+                t.counter("flops", 42.0);
+                t.span_end("halo", Some(0.9));
+                t.drain()
+            })
+            .collect();
+        TraceSet::from_streams(streams)
+    }
+
+    #[test]
+    fn emits_balanced_json_with_all_kinds() {
+        let doc = to_chrome_trace(&sample_set());
+        assert!(doc.starts_with('{') && doc.trim_end().ends_with('}'));
+        // Balanced braces/brackets (no nested strings contain them).
+        let opens = doc.matches('{').count();
+        let closes = doc.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        for needle in [
+            "\"traceEvents\"",
+            "\"ph\":\"B\"",
+            "\"ph\":\"E\"",
+            "\"ph\":\"i\"",
+            "\"ph\":\"X\"",
+            "\"ph\":\"C\"",
+            "\"ph\":\"M\"",
+            "\"name\":\"rank 0\"",
+            "\"name\":\"rank 1\"",
+            "\"name\":\"all_to_all\"",
+            "\"t_virt\":0.5",
+        ] {
+            assert!(doc.contains(needle), "missing {needle} in:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn span_pairs_are_ordered_and_tasks_get_durations() {
+        let doc = to_chrome_trace(&sample_set());
+        let b = doc.find("\"ph\":\"B\"").unwrap();
+        let e = doc.find("\"ph\":\"E\"").unwrap();
+        assert!(b < e);
+        assert!(doc.contains("\"dur\":1.5"), "1500ns task -> 1.5us slice");
+    }
+
+    #[test]
+    fn escapes_hostile_names() {
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(esc("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn empty_set_is_valid_json_shell() {
+        let doc = to_chrome_trace(&TraceSet::default());
+        assert!(doc.contains("\"traceEvents\":[\n\n]"));
+    }
+}

@@ -26,10 +26,12 @@
 //! The crate is std-only and sits below every other crate in the
 //! workspace (even `soi-pool`), so any layer can emit events.
 
+pub mod chrome;
 pub mod event;
 pub mod recorder;
 pub mod validate;
 
+pub use chrome::to_chrome_trace;
 pub use event::{CollectiveOp, Event, EventKind};
 pub use recorder::{Recorder, Trace};
 pub use validate::{phase_totals, TraceError, TraceSet, TraceSummary};

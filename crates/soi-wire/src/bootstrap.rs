@@ -1,0 +1,426 @@
+//! Rank bootstrap: how P anonymous processes become ranks 0..P with a
+//! full TCP mesh between them.
+//!
+//! The protocol has one fixed meeting point (the *rendezvous* listener,
+//! run by the launcher) and three message types:
+//!
+//! ```text
+//! worker                rendezvous                 worker
+//!   |--- HELLO(mesh addr) -->|
+//!   |                        |  (after P hellos, ranks are assigned
+//!   |                        |   in arrival order)
+//!   |<-- WELCOME(rank, P,    |
+//!   |        addrs[0..P]) ---|
+//!   |                                                  |
+//!   |------------- IDENT(my rank) ---------------------|   (mesh wiring)
+//! ```
+//!
+//! Mesh wiring is deterministic: rank `j` *connects* to every lower rank
+//! `i < j` (sending IDENT so the acceptor knows who arrived) and *accepts*
+//! from every higher rank. Each worker binds its mesh listener before it
+//! says HELLO, so by the time any peer learns an address from WELCOME the
+//! listener behind it already exists — connects can only race the
+//! acceptor's `accept()` loop, never the `bind()`, and the OS backlog
+//! absorbs that race.
+//!
+//! Every step has a deadline ([`WireConfig`]); a missing peer surfaces as
+//! [`WireError::Timeout`] or [`WireError::PeerLost`], never a hang.
+
+use crate::error::{classify_io, WireError};
+use crate::frame::{expect_frame, write_frame, TAG_HELLO, TAG_IDENT, TAG_WELCOME};
+use crate::pod::{PayloadReader, PayloadWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Deadlines and retry policy for everything the transport does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireConfig {
+    /// Per-operation deadline: any single blocking read or write on an
+    /// established stream must complete within this.
+    pub op_timeout: Duration,
+    /// Total budget for establishing one connection (including all
+    /// backoff retries) and for each bootstrap accept.
+    pub connect_timeout: Duration,
+    /// Initial connect-retry backoff; doubles per attempt, capped at
+    /// [`WireConfig::max_backoff`].
+    pub initial_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        Self {
+            op_timeout: Duration::from_secs(20),
+            connect_timeout: Duration::from_secs(20),
+            initial_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(250),
+        }
+    }
+}
+
+impl WireConfig {
+    /// Defaults overridden by `SOI_WIRE_TIMEOUT_MS` (per-op deadline) and
+    /// `SOI_WIRE_CONNECT_TIMEOUT_MS` (connection budget), when set.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(ms) = env_ms("SOI_WIRE_TIMEOUT_MS") {
+            cfg.op_timeout = ms;
+        }
+        if let Some(ms) = env_ms("SOI_WIRE_CONNECT_TIMEOUT_MS") {
+            cfg.connect_timeout = ms;
+        }
+        cfg
+    }
+}
+
+fn env_ms(key: &str) -> Option<Duration> {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&ms| ms > 0)
+        .map(Duration::from_millis)
+}
+
+/// Prepare an accepted or connected stream for framed traffic.
+fn configure(stream: &TcpStream, cfg: &WireConfig) -> Result<(), WireError> {
+    stream
+        .set_read_timeout(Some(cfg.op_timeout))
+        .and_then(|_| stream.set_write_timeout(Some(cfg.op_timeout)))
+        .and_then(|_| stream.set_nodelay(true))
+        .map_err(|e| WireError::Io(e.to_string()))
+}
+
+/// Connect to `addr` with bounded exponential backoff: retry failed
+/// attempts (peer not up yet) with doubling sleeps until
+/// `cfg.connect_timeout` is exhausted.
+pub fn connect_with_backoff(addr: &str, cfg: &WireConfig) -> Result<TcpStream, WireError> {
+    let target: SocketAddr = addr
+        .to_socket_addrs()
+        .map_err(|e| WireError::Bootstrap(format!("bad address `{addr}`: {e}")))?
+        .next()
+        .ok_or_else(|| WireError::Bootstrap(format!("address `{addr}` resolved to nothing")))?;
+    let deadline = Instant::now() + cfg.connect_timeout;
+    let mut backoff = cfg.initial_backoff;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(WireError::Timeout {
+                peer: None,
+                op: "connect",
+                after: cfg.connect_timeout,
+            });
+        }
+        match TcpStream::connect_timeout(&target, remaining) {
+            Ok(s) => {
+                configure(&s, cfg)?;
+                return Ok(s);
+            }
+            Err(_) => {
+                std::thread::sleep(backoff.min(deadline.saturating_duration_since(Instant::now())));
+                backoff = (backoff * 2).min(cfg.max_backoff);
+            }
+        }
+    }
+}
+
+/// Accept one connection within `cfg.connect_timeout` (std has no native
+/// accept deadline, so the listener polls non-blocking).
+fn accept_with_deadline(
+    listener: &TcpListener,
+    cfg: &WireConfig,
+) -> Result<TcpStream, WireError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| WireError::Io(e.to_string()))?;
+    let deadline = Instant::now() + cfg.connect_timeout;
+    loop {
+        match listener.accept() {
+            Ok((s, _)) => {
+                s.set_nonblocking(false).map_err(|e| WireError::Io(e.to_string()))?;
+                configure(&s, cfg)?;
+                return Ok(s);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(WireError::Timeout {
+                        peer: None,
+                        op: "accept",
+                        after: cfg.connect_timeout,
+                    });
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => return Err(classify_io(e, None, "accept", cfg.connect_timeout)),
+        }
+    }
+}
+
+/// The launcher's side of the bootstrap: a meeting point that turns the
+/// first `p` HELLOs into rank assignments.
+pub struct Rendezvous {
+    listener: TcpListener,
+    cfg: WireConfig,
+}
+
+impl Rendezvous {
+    /// Bind the meeting point (use `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: &str, cfg: WireConfig) -> Result<Self, WireError> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| WireError::Bootstrap(format!("bind {addr}: {e}")))?;
+        Ok(Self { listener, cfg })
+    }
+
+    /// The address workers should be pointed at.
+    pub fn local_addr(&self) -> Result<String, WireError> {
+        self.listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .map_err(|e| WireError::Io(e.to_string()))
+    }
+
+    /// Accept exactly `p` workers, assign ranks in arrival order, send
+    /// each its WELCOME, and return the control streams **in rank order**.
+    /// The launcher keeps these open to collect RESULT frames later.
+    pub fn serve(&self, p: usize) -> Result<Vec<TcpStream>, WireError> {
+        if p == 0 {
+            return Err(WireError::Bootstrap("cannot serve 0 ranks".into()));
+        }
+        let mut joined: Vec<(TcpStream, String)> = Vec::with_capacity(p);
+        for _ in 0..p {
+            let mut stream = accept_with_deadline(&self.listener, &self.cfg)?;
+            let hello = expect_frame(&mut stream, TAG_HELLO, None, self.cfg.op_timeout)?;
+            let mesh_addr = PayloadReader::new(&hello).str()?;
+            if joined.iter().any(|(_, a)| *a == mesh_addr) {
+                return Err(WireError::Protocol(format!(
+                    "duplicate mesh address `{mesh_addr}` in HELLO"
+                )));
+            }
+            joined.push((stream, mesh_addr));
+        }
+        let addrs: Vec<String> = joined.iter().map(|(_, a)| a.clone()).collect();
+        for (rank, (stream, _)) in joined.iter_mut().enumerate() {
+            let mut w = PayloadWriter::new().u32(rank as u32).u32(p as u32);
+            for a in &addrs {
+                w = w.str(a);
+            }
+            write_frame(stream, TAG_WELCOME, &w.finish(), None, self.cfg.op_timeout)?;
+        }
+        Ok(joined.into_iter().map(|(s, _)| s).collect())
+    }
+}
+
+/// What a worker holds after bootstrap completes: its identity, the
+/// control stream back to the launcher, and one stream per peer.
+pub struct Bootstrap {
+    /// This process's rank in `0..size`.
+    pub rank: usize,
+    /// Number of ranks.
+    pub size: usize,
+    /// The control connection to the rendezvous/launcher (RESULT frames
+    /// travel back on this).
+    pub control: TcpStream,
+    /// `peers[j]` is the mesh stream to rank `j`; `None` at `j == rank`.
+    pub peers: Vec<Option<TcpStream>>,
+    /// The deadlines this mesh was wired with.
+    pub cfg: WireConfig,
+}
+
+impl Bootstrap {
+    /// Join the computation at `rendezvous_addr`: bind a mesh listener,
+    /// say HELLO, learn rank + peer table from WELCOME, and wire the
+    /// full mesh (connect down, accept up).
+    pub fn join(rendezvous_addr: &str, cfg: WireConfig) -> Result<Self, WireError> {
+        // Mesh listener first: its address is what HELLO advertises, and
+        // binding before HELLO is what makes peer connects race-free.
+        let mesh = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| WireError::Bootstrap(format!("mesh bind: {e}")))?;
+        let mesh_addr = mesh
+            .local_addr()
+            .map_err(|e| WireError::Io(e.to_string()))?
+            .to_string();
+
+        let mut control = connect_with_backoff(rendezvous_addr, &cfg)?;
+        write_frame(
+            &mut control,
+            TAG_HELLO,
+            &PayloadWriter::new().str(&mesh_addr).finish(),
+            None,
+            cfg.op_timeout,
+        )?;
+        let welcome = expect_frame(&mut control, TAG_WELCOME, None, cfg.op_timeout)?;
+        let mut r = PayloadReader::new(&welcome);
+        let rank = r.u32()? as usize;
+        let size = r.u32()? as usize;
+        if size == 0 || rank >= size {
+            return Err(WireError::Protocol(format!(
+                "WELCOME assigned rank {rank} of {size}"
+            )));
+        }
+        let mut addrs = Vec::with_capacity(size);
+        for _ in 0..size {
+            addrs.push(r.str()?);
+        }
+
+        let mut peers: Vec<Option<TcpStream>> = (0..size).map(|_| None).collect();
+        // Connect to every lower rank, announcing who we are.
+        for (j, addr) in addrs.iter().enumerate().take(rank) {
+            let mut s = connect_with_backoff(addr, &cfg)
+                .map_err(|e| tag_peer(e, j))?;
+            write_frame(
+                &mut s,
+                TAG_IDENT,
+                &PayloadWriter::new().u32(rank as u32).finish(),
+                Some(j),
+                cfg.op_timeout,
+            )?;
+            peers[j] = Some(s);
+        }
+        // Accept from every higher rank; IDENT tells us which arrived.
+        for _ in rank + 1..size {
+            let mut s = accept_with_deadline(&mesh, &cfg)?;
+            let ident = expect_frame(&mut s, TAG_IDENT, None, cfg.op_timeout)?;
+            let who = PayloadReader::new(&ident).u32()? as usize;
+            if who <= rank || who >= size {
+                return Err(WireError::Protocol(format!(
+                    "rank {rank} accepted IDENT from out-of-range rank {who}"
+                )));
+            }
+            if peers[who].is_some() {
+                return Err(WireError::Protocol(format!(
+                    "rank {who} connected twice during mesh wiring"
+                )));
+            }
+            peers[who] = Some(s);
+        }
+        Ok(Self { rank, size, control, peers, cfg })
+    }
+}
+
+fn tag_peer(e: WireError, peer: usize) -> WireError {
+    match e {
+        WireError::PeerLost { detail, .. } => WireError::PeerLost { peer: Some(peer), detail },
+        WireError::Timeout { op, after, .. } => WireError::Timeout { peer: Some(peer), op, after },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{read_frame, TAG_DATA};
+
+    fn fast_cfg() -> WireConfig {
+        WireConfig {
+            op_timeout: Duration::from_secs(5),
+            connect_timeout: Duration::from_secs(5),
+            ..WireConfig::default()
+        }
+    }
+
+    /// Full bootstrap of `p` ranks on localhost threads.
+    fn boot(p: usize) -> Vec<Bootstrap> {
+        let cfg = fast_cfg();
+        let rv = Rendezvous::bind("127.0.0.1:0", cfg).unwrap();
+        let addr = rv.local_addr().unwrap();
+        std::thread::scope(|s| {
+            let server = s.spawn(move || rv.serve(p).unwrap());
+            let workers: Vec<_> = (0..p)
+                .map(|_| {
+                    let addr = addr.clone();
+                    s.spawn(move || Bootstrap::join(&addr, cfg).unwrap())
+                })
+                .collect();
+            let _controls = server.join().unwrap();
+            let mut boots: Vec<Bootstrap> =
+                workers.into_iter().map(|w| w.join().unwrap()).collect();
+            boots.sort_by_key(|b| b.rank);
+            boots
+        })
+    }
+
+    #[test]
+    fn ranks_are_unique_and_mesh_is_complete() {
+        let p = 4;
+        let boots = boot(p);
+        for (i, b) in boots.iter().enumerate() {
+            assert_eq!(b.rank, i);
+            assert_eq!(b.size, p);
+            for j in 0..p {
+                assert_eq!(b.peers[j].is_some(), j != i, "rank {i} peer {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_links_carry_frames_both_ways() {
+        let mut boots = boot(3);
+        let cfg = fast_cfg();
+        // rank 0 -> rank 2 and back on the same link.
+        let b2 = boots.pop().unwrap();
+        let _b1 = boots.pop().unwrap();
+        let b0 = boots.pop().unwrap();
+        let mut s02 = b0.peers[2].as_ref().unwrap();
+        let mut s20 = b2.peers[0].as_ref().unwrap();
+        write_frame(&mut s02, TAG_DATA, b"ping", Some(2), cfg.op_timeout).unwrap();
+        let (tag, body) = read_frame(&mut s20, Some(0), cfg.op_timeout).unwrap();
+        assert_eq!((tag, body.as_slice()), (TAG_DATA, b"ping".as_slice()));
+        write_frame(&mut s20, TAG_DATA, b"pong", Some(0), cfg.op_timeout).unwrap();
+        let (tag, body) = read_frame(&mut s02, Some(2), cfg.op_timeout).unwrap();
+        assert_eq!((tag, body.as_slice()), (TAG_DATA, b"pong".as_slice()));
+    }
+
+    #[test]
+    fn missing_worker_times_out_instead_of_hanging() {
+        let cfg = WireConfig {
+            op_timeout: Duration::from_millis(300),
+            connect_timeout: Duration::from_millis(300),
+            ..WireConfig::default()
+        };
+        let rv = Rendezvous::bind("127.0.0.1:0", cfg).unwrap();
+        let addr = rv.local_addr().unwrap();
+        // Ask for 2 workers but only start 1: serve must time out.
+        std::thread::scope(|s| {
+            let server = s.spawn(move || rv.serve(2));
+            let w = s.spawn(move || Bootstrap::join(&addr, cfg));
+            let err = server.join().unwrap().unwrap_err();
+            assert!(
+                matches!(err, WireError::Timeout { op: "accept", .. }),
+                "got {err:?}"
+            );
+            // The lone worker fails too (WELCOME never arrives) — also timely.
+            assert!(w.join().unwrap().is_err());
+        });
+    }
+
+    #[test]
+    fn connect_backoff_gives_up_within_budget() {
+        let cfg = WireConfig {
+            connect_timeout: Duration::from_millis(200),
+            ..WireConfig::default()
+        };
+        // A port that is almost certainly closed: bind-then-drop.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().to_string()
+        };
+        let t0 = Instant::now();
+        let r = connect_with_backoff(&dead, &cfg);
+        assert!(r.is_err());
+        assert!(t0.elapsed() < Duration::from_secs(5), "backoff must be bounded");
+    }
+
+    #[test]
+    fn env_knob_parses_and_ignores_garbage() {
+        // A name no other test touches, so parallel tests can't race it.
+        const KEY: &str = "SOI_WIRE_TEST_ONLY_MS";
+        std::env::set_var(KEY, "750");
+        assert_eq!(env_ms(KEY), Some(Duration::from_millis(750)));
+        std::env::set_var(KEY, "0");
+        assert_eq!(env_ms(KEY), None, "zero deadline would mean 'hang forever'");
+        std::env::set_var(KEY, "not-a-number");
+        assert_eq!(env_ms(KEY), None);
+        std::env::remove_var(KEY);
+        assert_eq!(env_ms(KEY), None);
+    }
+}

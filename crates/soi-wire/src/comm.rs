@@ -1,0 +1,505 @@
+//! The per-process communicator over a bootstrapped TCP mesh.
+//!
+//! [`WireComm`] mirrors the surface (and the trace conventions) of
+//! `soi_simnet::RankComm`, but every payload really crosses a socket and
+//! every operation returns `Result` — a dead peer is a prompt
+//! [`WireError::PeerLost`], a stuck one a [`WireError::Timeout`], never a
+//! hang.
+//!
+//! Two structural choices keep the collectives deadlock-free on real TCP:
+//!
+//! * **Paired exchanges use a writer thread.** TCP gives each direction a
+//!   finite buffer; two peers that both `write_all` a large block before
+//!   reading deadlock once both buffers fill. [`WireComm::sendrecv`] and
+//!   the all-to-all rounds therefore push the outgoing frame from a scoped
+//!   thread (writing on `&TcpStream`) while the caller's thread reads —
+//!   correct for any payload size, no buffer-size assumptions.
+//! * **All-to-all is a pairwise-exchange schedule.** Round `r ∈ 1..P`
+//!   pairs rank `k` with destination `(k+r) mod P` and source
+//!   `(k−r) mod P` — every round is a perfect matching of simultaneous
+//!   exchanges, so P−1 rounds move the full permutation without any rank
+//!   ever holding more than one in-flight block per direction.
+
+use crate::bootstrap::{Bootstrap, WireConfig};
+use crate::error::WireError;
+use crate::frame::{read_frame, write_frame, TAG_DATA};
+use crate::pod::{decode_slice, encode_slice, Pod};
+use soi_trace::{CollectiveOp, Trace};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Per-process traffic accounting; field-for-field the same shape as
+/// `soi_simnet::CommStats` so tests can assert the same invariants
+/// against either transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WireStats {
+    /// Payload bytes pushed onto sockets (excludes frame headers).
+    pub bytes_sent: u64,
+    /// Payload bytes read off sockets.
+    pub bytes_received: u64,
+    /// Point-to-point messages sent.
+    pub p2p_messages: u64,
+    /// All-to-all collectives participated in.
+    pub all_to_alls: u64,
+    /// Other collectives (barrier/broadcast/gather/reduce).
+    pub other_collectives: u64,
+}
+
+/// A rank's endpoint onto the real network.
+pub struct WireComm {
+    rank: usize,
+    size: usize,
+    peers: Vec<Option<TcpStream>>,
+    cfg: WireConfig,
+    stats: WireStats,
+    trace: Trace,
+    comm_seconds: f64,
+}
+
+impl WireComm {
+    /// Wrap a completed [`Bootstrap`] (the control stream stays with the
+    /// caller — it is launcher business, not collective business).
+    pub fn new(rank: usize, size: usize, peers: Vec<Option<TcpStream>>, cfg: WireConfig) -> Self {
+        assert_eq!(peers.len(), size, "need one peer slot per rank");
+        Self {
+            rank,
+            size,
+            peers,
+            cfg,
+            stats: WireStats::default(),
+            trace: Trace::disabled(),
+            comm_seconds: 0.0,
+        }
+    }
+
+    /// Build from a bootstrap, returning the communicator and the control
+    /// stream separately.
+    pub fn from_bootstrap(b: Bootstrap) -> (Self, TcpStream) {
+        let comm = Self::new(b.rank, b.size, b.peers, b.cfg);
+        (comm, b.control)
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Traffic counters so far.
+    pub fn stats(&self) -> WireStats {
+        self.stats
+    }
+
+    /// Wall-clock seconds spent inside communication operations.
+    pub fn comm_seconds(&self) -> f64 {
+        self.comm_seconds
+    }
+
+    /// This rank's trace handle.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Install a trace handle (events carry `t_virt = None`; there is no
+    /// virtual clock on a real network).
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    fn stream(&self, peer: usize) -> Result<&TcpStream, WireError> {
+        if peer >= self.size || peer == self.rank {
+            return Err(WireError::Protocol(format!(
+                "rank {} has no link to peer {peer} of {}",
+                self.rank, self.size
+            )));
+        }
+        self.peers[peer].as_ref().ok_or_else(|| WireError::PeerLost {
+            peer: Some(peer),
+            detail: "link already torn down".into(),
+        })
+    }
+
+    fn tag_peer(e: WireError, peer: usize) -> WireError {
+        match e {
+            WireError::PeerLost { peer: None, detail } => {
+                WireError::PeerLost { peer: Some(peer), detail }
+            }
+            WireError::Timeout { peer: None, op, after } => {
+                WireError::Timeout { peer: Some(peer), op, after }
+            }
+            other => other,
+        }
+    }
+
+    /// Send a typed payload to `dst` (framed, blocking, deadline-bounded).
+    pub fn send<T: Pod>(&mut self, dst: usize, data: &[T]) -> Result<(), WireError> {
+        let t0 = Instant::now();
+        let payload = encode_slice(data);
+        let bytes = payload.len() as u64;
+        let mut s = self.stream(dst)?;
+        write_frame(&mut s, TAG_DATA, &payload, Some(dst), self.cfg.op_timeout)?;
+        self.stats.bytes_sent += bytes;
+        self.stats.p2p_messages += 1;
+        self.trace.send(dst, bytes, None);
+        self.comm_seconds += t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// Receive a typed payload from `src`.
+    pub fn recv<T: Pod>(&mut self, src: usize) -> Result<Vec<T>, WireError> {
+        let t0 = Instant::now();
+        let mut s = self.stream(src)?;
+        let (tag, payload) = read_frame(&mut s, Some(src), self.cfg.op_timeout)?;
+        if tag != TAG_DATA {
+            return Err(WireError::Protocol(format!(
+                "expected DATA from rank {src}, got tag {tag:#04x}"
+            )));
+        }
+        let bytes = payload.len() as u64;
+        let out = decode_slice(&payload)?;
+        self.stats.bytes_received += bytes;
+        self.trace.recv(src, bytes, None);
+        self.comm_seconds += t0.elapsed().as_secs_f64();
+        Ok(out)
+    }
+
+    /// Write `payload` to `dst` while reading one DATA frame from `src`,
+    /// concurrently — the deadlock-free primitive under every paired
+    /// exchange. `dst == src` is fine (TCP is full duplex).
+    fn exchange_frames(
+        &self,
+        dst: usize,
+        payload: &[u8],
+        src: usize,
+    ) -> Result<Vec<u8>, WireError> {
+        let out_stream = self.stream(dst)?;
+        let in_stream = self.stream(src)?;
+        let deadline = self.cfg.op_timeout;
+        std::thread::scope(|scope| {
+            let writer = scope.spawn(move || {
+                let mut w = out_stream;
+                write_frame(&mut w, TAG_DATA, payload, Some(dst), deadline)
+            });
+            let mut r = in_stream;
+            let read_result = read_frame(&mut r, Some(src), deadline);
+            let write_result = writer.join().expect("wire writer thread panicked");
+            write_result?;
+            let (tag, body) = read_result?;
+            if tag != TAG_DATA {
+                return Err(WireError::Protocol(format!(
+                    "expected DATA from rank {src}, got tag {tag:#04x}"
+                )));
+            }
+            Ok(body)
+        })
+    }
+
+    /// Simultaneous exchange: send `data` to `dst` while receiving from
+    /// `src` (the SOI halo-exchange pattern).
+    pub fn sendrecv<T: Pod>(
+        &mut self,
+        dst: usize,
+        data: &[T],
+        src: usize,
+    ) -> Result<Vec<T>, WireError> {
+        let t0 = Instant::now();
+        let payload = encode_slice(data);
+        let sent_bytes = payload.len() as u64;
+        self.trace.send(dst, sent_bytes, None);
+        let body = if dst == self.rank && src == self.rank {
+            payload // self-exchange: no wire involved
+        } else {
+            self.exchange_frames(dst, &payload, src)?
+        };
+        let recv_bytes = body.len() as u64;
+        let out = decode_slice(&body)?;
+        self.stats.bytes_sent += sent_bytes;
+        self.stats.p2p_messages += 1;
+        self.stats.bytes_received += recv_bytes;
+        self.trace.recv(src, recv_bytes, None);
+        self.trace.collective(CollectiveOp::SendRecv, recv_bytes, None);
+        self.comm_seconds += t0.elapsed().as_secs_f64();
+        Ok(out)
+    }
+
+    /// All-to-all with equal blocks: block `d` of `send` goes to rank
+    /// `d`; `recv` block `s` arrives from rank `s` — the paper's single
+    /// global exchange, here as P−1 pairwise rounds over real sockets.
+    pub fn all_to_all<T: Pod>(&mut self, send: &[T], recv: &mut [T]) -> Result<(), WireError> {
+        let t0 = Instant::now();
+        let p = self.size;
+        if send.len() != recv.len() {
+            return Err(WireError::Protocol(format!(
+                "all_to_all buffers must match: {} vs {}",
+                send.len(),
+                recv.len()
+            )));
+        }
+        if send.len() % p != 0 {
+            return Err(WireError::Protocol(format!(
+                "all_to_all length {} not divisible by {p} ranks",
+                send.len()
+            )));
+        }
+        let block = send.len() / p;
+        recv[self.rank * block..(self.rank + 1) * block]
+            .copy_from_slice(&send[self.rank * block..(self.rank + 1) * block]);
+        for r in 1..p {
+            let dst = (self.rank + r) % p;
+            let src = (self.rank + p - r) % p;
+            let payload = encode_slice(&send[dst * block..(dst + 1) * block]);
+            let chunk_bytes = payload.len() as u64;
+            self.trace.send(dst, chunk_bytes, None);
+            let body = self
+                .exchange_frames(dst, &payload, src)
+                .map_err(|e| Self::tag_peer(e, src))?;
+            let data: Vec<T> = decode_slice(&body)?;
+            if data.len() != block {
+                return Err(WireError::Protocol(format!(
+                    "ragged all_to_all block from {src}: {} elements, expected {block}",
+                    data.len()
+                )));
+            }
+            let bytes = body.len() as u64;
+            self.stats.bytes_sent += chunk_bytes;
+            self.stats.bytes_received += bytes;
+            self.trace.recv(src, bytes, None);
+            recv[src * block..(src + 1) * block].copy_from_slice(&data);
+        }
+        // Same accounting convention as simnet: the self-block never
+        // touches the wire and is excluded from the collective total.
+        let total_bytes = ((send.len() - block) * T::BYTES) as u64 * p as u64;
+        self.stats.all_to_alls += 1;
+        self.trace.collective(CollectiveOp::AllToAll, total_bytes, None);
+        self.comm_seconds += t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// Variable-count all-to-all: `send` partitioned by `send_counts`
+    /// (one entry per destination); returns the received blocks
+    /// concatenated in rank order.
+    pub fn all_to_allv<T: Pod>(
+        &mut self,
+        send: &[T],
+        send_counts: &[usize],
+    ) -> Result<Vec<T>, WireError> {
+        let t0 = Instant::now();
+        let p = self.size;
+        if send_counts.len() != p {
+            return Err(WireError::Protocol(format!(
+                "need one send count per rank: {} counts for {p} ranks",
+                send_counts.len()
+            )));
+        }
+        if send_counts.iter().sum::<usize>() != send.len() {
+            return Err(WireError::Protocol(
+                "send counts must cover the buffer".into(),
+            ));
+        }
+        let mut offsets = Vec::with_capacity(p + 1);
+        offsets.push(0usize);
+        for &c in send_counts {
+            offsets.push(offsets.last().unwrap() + c);
+        }
+        let mut blocks: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        blocks[self.rank] = send[offsets[self.rank]..offsets[self.rank + 1]].to_vec();
+        let mut total_recv_bytes = 0u64;
+        for r in 1..p {
+            let dst = (self.rank + r) % p;
+            let src = (self.rank + p - r) % p;
+            let payload = encode_slice(&send[offsets[dst]..offsets[dst + 1]]);
+            let sent_bytes = payload.len() as u64;
+            self.trace.send(dst, sent_bytes, None);
+            let body = self
+                .exchange_frames(dst, &payload, src)
+                .map_err(|e| Self::tag_peer(e, src))?;
+            let bytes = body.len() as u64;
+            total_recv_bytes += bytes;
+            self.stats.bytes_sent += sent_bytes;
+            self.stats.bytes_received += bytes;
+            self.trace.recv(src, bytes, None);
+            blocks[src] = decode_slice(&body)?;
+        }
+        let out: Vec<T> = blocks.into_iter().flatten().collect();
+        // Same cost-model convention as simnet: charge the aggregate as
+        // an even all-to-all estimated from this rank's received bytes.
+        let charged = total_recv_bytes * p as u64;
+        self.stats.all_to_alls += 1;
+        self.trace.collective(CollectiveOp::AllToAllV, charged, None);
+        self.comm_seconds += t0.elapsed().as_secs_f64();
+        Ok(out)
+    }
+
+    /// Broadcast `data` from `root` to every rank.
+    pub fn broadcast<T: Pod>(&mut self, root: usize, data: Vec<T>) -> Result<Vec<T>, WireError> {
+        let t0 = Instant::now();
+        let out = if self.rank == root {
+            let payload = encode_slice(&data);
+            let bytes = payload.len() as u64;
+            for dst in 0..self.size {
+                if dst == root {
+                    continue;
+                }
+                let mut s = self.stream(dst)?;
+                write_frame(&mut s, TAG_DATA, &payload, Some(dst), self.cfg.op_timeout)?;
+                self.stats.bytes_sent += bytes;
+                self.trace.send(dst, bytes, None);
+            }
+            data
+        } else {
+            let mut s = self.stream(root)?;
+            let (tag, body) = read_frame(&mut s, Some(root), self.cfg.op_timeout)?;
+            if tag != TAG_DATA {
+                return Err(WireError::Protocol(format!(
+                    "expected DATA broadcast from root {root}, got tag {tag:#04x}"
+                )));
+            }
+            let bytes = body.len() as u64;
+            self.stats.bytes_received += bytes;
+            self.trace.recv(root, bytes, None);
+            decode_slice(&body)?
+        };
+        let bytes = (out.len() * T::BYTES) as u64;
+        self.stats.other_collectives += 1;
+        self.trace.collective(CollectiveOp::Broadcast, bytes, None);
+        self.comm_seconds += t0.elapsed().as_secs_f64();
+        Ok(out)
+    }
+
+    /// Gather every rank's `data` at `root` (rank-ordered concatenation);
+    /// other ranks get `None`.
+    pub fn gather<T: Pod>(
+        &mut self,
+        root: usize,
+        data: &[T],
+    ) -> Result<Option<Vec<T>>, WireError> {
+        let t0 = Instant::now();
+        let result = if self.rank == root {
+            let mut out = Vec::new();
+            for src in 0..self.size {
+                if src == root {
+                    out.extend_from_slice(data);
+                    continue;
+                }
+                let mut s = self.stream(src)?;
+                let (tag, body) = read_frame(&mut s, Some(src), self.cfg.op_timeout)?;
+                if tag != TAG_DATA {
+                    return Err(WireError::Protocol(format!(
+                        "expected DATA in gather from {src}, got tag {tag:#04x}"
+                    )));
+                }
+                let bytes = body.len() as u64;
+                self.stats.bytes_received += bytes;
+                self.trace.recv(src, bytes, None);
+                out.extend(decode_slice::<T>(&body)?);
+            }
+            Some(out)
+        } else {
+            let payload = encode_slice(data);
+            let bytes = payload.len() as u64;
+            let mut s = self.stream(root)?;
+            write_frame(&mut s, TAG_DATA, &payload, Some(root), self.cfg.op_timeout)?;
+            self.stats.bytes_sent += bytes;
+            self.trace.send(root, bytes, None);
+            None
+        };
+        let bytes = (data.len() * T::BYTES) as u64;
+        self.stats.other_collectives += 1;
+        self.trace.collective(CollectiveOp::Gather, bytes, None);
+        self.comm_seconds += t0.elapsed().as_secs_f64();
+        Ok(result)
+    }
+
+    /// All-gather: every rank receives the rank-ordered concatenation.
+    /// Runs as P−1 pairwise exchange rounds (same schedule as
+    /// [`WireComm::all_to_all`], each round carrying this rank's whole
+    /// contribution).
+    pub fn all_gather<T: Pod>(&mut self, data: &[T]) -> Result<Vec<T>, WireError> {
+        let t0 = Instant::now();
+        let p = self.size;
+        let payload = encode_slice(data);
+        let mut blocks: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+        blocks[self.rank] = data.to_vec();
+        for r in 1..p {
+            let dst = (self.rank + r) % p;
+            let src = (self.rank + p - r) % p;
+            let sent_bytes = payload.len() as u64;
+            self.trace.send(dst, sent_bytes, None);
+            let body = self
+                .exchange_frames(dst, &payload, src)
+                .map_err(|e| Self::tag_peer(e, src))?;
+            let bytes = body.len() as u64;
+            self.stats.bytes_sent += sent_bytes;
+            self.stats.bytes_received += bytes;
+            self.trace.recv(src, bytes, None);
+            blocks[src] = decode_slice(&body)?;
+        }
+        let out: Vec<T> = blocks.into_iter().flatten().collect();
+        let bytes = (data.len() * T::BYTES) as u64 * p as u64;
+        self.stats.other_collectives += 1;
+        self.trace.collective(CollectiveOp::AllGather, bytes, None);
+        self.comm_seconds += t0.elapsed().as_secs_f64();
+        Ok(out)
+    }
+
+    /// Barrier: a one-token pairwise round with every peer. The tokens
+    /// are protocol, not payload, so neither send/recv events nor byte
+    /// counters record them — matching simnet's convention of recording
+    /// only the collective itself.
+    pub fn barrier(&mut self) -> Result<(), WireError> {
+        let t0 = Instant::now();
+        let token = [0u8];
+        for r in 1..self.size {
+            let dst = (self.rank + r) % self.size;
+            let src = (self.rank + self.size - r) % self.size;
+            let body = self
+                .exchange_frames(dst, &token, src)
+                .map_err(|e| Self::tag_peer(e, src))?;
+            if body.len() != 1 {
+                return Err(WireError::Protocol(format!(
+                    "barrier token from rank {src} had {} bytes",
+                    body.len()
+                )));
+            }
+        }
+        self.stats.other_collectives += 1;
+        self.trace.collective(CollectiveOp::Barrier, 0, None);
+        self.comm_seconds += t0.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    /// Sum-allreduce of one f64 (folded in rank order — the same order
+    /// simnet folds, so results are bitwise identical across transports).
+    pub fn allreduce_sum(&mut self, v: f64) -> Result<f64, WireError> {
+        Ok(self.all_gather(&[v])?.iter().sum())
+    }
+
+    /// Max-allreduce of one f64.
+    pub fn allreduce_max(&mut self, v: f64) -> Result<f64, WireError> {
+        Ok(self
+            .all_gather(&[v])?
+            .iter()
+            .copied()
+            .fold(f64::MIN, f64::max))
+    }
+
+    /// Tear the mesh down explicitly (dropping does the same; this makes
+    /// the intent visible at call sites and lets tests sever links).
+    pub fn shutdown(&mut self) {
+        for p in self.peers.iter_mut() {
+            if let Some(s) = p.take() {
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+    }
+}
+
+impl Drop for WireComm {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

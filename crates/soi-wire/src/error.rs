@@ -1,0 +1,126 @@
+//! Failure taxonomy for the wire transport.
+//!
+//! Every operation on the transport has a deadline; nothing in this crate
+//! blocks forever. The two failure shapes that matter operationally are
+//! distinguished so callers (and tests) can tell a dead peer from a slow
+//! one:
+//!
+//! * [`WireError::PeerLost`] — the TCP stream to a peer closed or reset:
+//!   the process died or the connection was torn down.
+//! * [`WireError::Timeout`] — the peer's socket is open but the operation
+//!   did not complete within the configured deadline.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Everything that can go wrong on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireError {
+    /// The connection to `peer` closed, reset, or broke mid-operation.
+    PeerLost {
+        /// The peer rank, when known (bootstrap failures may predate ranks).
+        peer: Option<usize>,
+        /// Underlying OS error text.
+        detail: String,
+    },
+    /// An operation missed its deadline while the connection stayed up.
+    Timeout {
+        /// The peer rank, when known.
+        peer: Option<usize>,
+        /// Which operation timed out (`"recv"`, `"accept"`, ...).
+        op: &'static str,
+        /// The deadline that was exceeded.
+        after: Duration,
+    },
+    /// The peer spoke, but not our protocol (bad magic, bad frame, ragged
+    /// payload, duplicate rank, ...).
+    Protocol(String),
+    /// Rank bootstrap could not complete (bind/rendezvous/mesh wiring).
+    Bootstrap(String),
+    /// Any other I/O error.
+    Io(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::PeerLost { peer: Some(p), detail } => {
+                write!(f, "peer rank {p} lost: {detail}")
+            }
+            WireError::PeerLost { peer: None, detail } => write!(f, "peer lost: {detail}"),
+            WireError::Timeout { peer: Some(p), op, after } => {
+                write!(f, "{op} from rank {p} timed out after {after:?}")
+            }
+            WireError::Timeout { peer: None, op, after } => {
+                write!(f, "{op} timed out after {after:?}")
+            }
+            WireError::Protocol(msg) => write!(f, "wire protocol violation: {msg}"),
+            WireError::Bootstrap(msg) => write!(f, "rank bootstrap failed: {msg}"),
+            WireError::Io(msg) => write!(f, "wire i/o: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Classify an OS error from an operation against `peer` into the
+/// taxonomy above. `op` and `deadline` label timeout errors.
+pub(crate) fn classify_io(
+    e: std::io::Error,
+    peer: Option<usize>,
+    op: &'static str,
+    deadline: Duration,
+) -> WireError {
+    use std::io::ErrorKind::*;
+    match e.kind() {
+        WouldBlock | TimedOut => WireError::Timeout { peer, op, after: deadline },
+        UnexpectedEof | ConnectionReset | ConnectionAborted | BrokenPipe | NotConnected => {
+            WireError::PeerLost { peer, detail: e.to_string() }
+        }
+        _ => WireError::Io(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_peer() {
+        let e = WireError::PeerLost { peer: Some(3), detail: "reset".into() };
+        assert!(e.to_string().contains("rank 3"));
+        let e = WireError::Timeout {
+            peer: Some(1),
+            op: "recv",
+            after: Duration::from_millis(250),
+        };
+        assert!(e.to_string().contains("recv"));
+        assert!(e.to_string().contains("250"));
+    }
+
+    #[test]
+    fn io_classification() {
+        use std::io::{Error, ErrorKind};
+        let d = Duration::from_secs(1);
+        assert!(matches!(
+            classify_io(Error::from(ErrorKind::TimedOut), Some(0), "recv", d),
+            WireError::Timeout { .. }
+        ));
+        assert!(matches!(
+            classify_io(Error::from(ErrorKind::WouldBlock), None, "recv", d),
+            WireError::Timeout { .. }
+        ));
+        assert!(matches!(
+            classify_io(Error::from(ErrorKind::UnexpectedEof), Some(2), "recv", d),
+            WireError::PeerLost { peer: Some(2), .. }
+        ));
+        assert!(matches!(
+            classify_io(Error::from(ErrorKind::ConnectionReset), None, "recv", d),
+            WireError::PeerLost { .. }
+        ));
+        assert!(matches!(
+            classify_io(Error::from(ErrorKind::PermissionDenied), None, "recv", d),
+            WireError::Io(_)
+        ));
+    }
+}

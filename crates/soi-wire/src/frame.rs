@@ -1,0 +1,156 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Wire format of one frame:
+//!
+//! ```text
+//! [tag: u8][len: u64 LE][payload: len bytes]
+//! ```
+//!
+//! Tags distinguish the handful of message classes the transport speaks;
+//! anything else on the stream is a [`WireError::Protocol`]. A hard cap on
+//! `len` keeps a corrupt or hostile length prefix from driving an
+//! unbounded allocation.
+
+use crate::error::{classify_io, WireError};
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// Worker → rendezvous: "I exist", carries the worker's mesh listen address.
+pub const TAG_HELLO: u8 = 0x01;
+/// Rendezvous → worker: rank assignment + full peer address table.
+pub const TAG_WELCOME: u8 = 0x02;
+/// Mesh handshake: each side states its rank on a fresh peer connection.
+pub const TAG_IDENT: u8 = 0x03;
+/// Bulk element payload between peers (point-to-point and collectives).
+pub const TAG_DATA: u8 = 0x04;
+/// Worker → rendezvous: final output block + phase times + trace.
+pub const TAG_RESULT: u8 = 0x05;
+/// Worker → rendezvous: fatal error report (payload = display string).
+pub const TAG_ERROR: u8 = 0x06;
+
+/// Upper bound on a single frame payload (256 MiB). Largest legitimate
+/// frame is a RESULT carrying a rank's output block plus its trace; for
+/// the sizes this repo targets that is a few MiB.
+pub const MAX_FRAME: u64 = 256 << 20;
+
+/// Write one frame. `deadline` labels the error if the stream's write
+/// timeout fires.
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    tag: u8,
+    payload: &[u8],
+    peer: Option<usize>,
+    deadline: Duration,
+) -> Result<(), WireError> {
+    let mut header = [0u8; 9];
+    header[0] = tag;
+    header[1..9].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    w.write_all(&header)
+        .and_then(|_| w.write_all(payload))
+        .and_then(|_| w.flush())
+        .map_err(|e| classify_io(e, peer, "send", deadline))
+}
+
+/// Read one frame, returning `(tag, payload)`.
+pub fn read_frame<R: Read>(
+    r: &mut R,
+    peer: Option<usize>,
+    deadline: Duration,
+) -> Result<(u8, Vec<u8>), WireError> {
+    let mut header = [0u8; 9];
+    read_exact_classified(r, &mut header, peer, deadline)?;
+    let tag = header[0];
+    let len = u64::from_le_bytes(header[1..9].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(WireError::Protocol(format!(
+            "frame length {len} exceeds cap {MAX_FRAME}"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_classified(r, &mut payload, peer, deadline)?;
+    Ok((tag, payload))
+}
+
+/// Read one frame and insist on `want`; a different tag is a protocol
+/// violation (reported with both tags for debuggability).
+pub fn expect_frame<R: Read>(
+    r: &mut R,
+    want: u8,
+    peer: Option<usize>,
+    deadline: Duration,
+) -> Result<Vec<u8>, WireError> {
+    let (tag, payload) = read_frame(r, peer, deadline)?;
+    if tag == want {
+        return Ok(payload);
+    }
+    if tag == TAG_ERROR {
+        // A peer reporting a fatal error is more informative than a
+        // tag-mismatch complaint: surface its message directly.
+        let msg = String::from_utf8_lossy(&payload).into_owned();
+        return Err(WireError::Protocol(format!("peer reported error: {msg}")));
+    }
+    Err(WireError::Protocol(format!(
+        "expected frame tag {want:#04x}, got {tag:#04x}"
+    )))
+}
+
+/// `read_exact` with a zero-byte-read (clean EOF) mapped to `PeerLost`
+/// and timeouts mapped by the usual classifier.
+fn read_exact_classified<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    peer: Option<usize>,
+    deadline: Duration,
+) -> Result<(), WireError> {
+    r.read_exact(buf).map_err(|e| classify_io(e, peer, "recv", deadline))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const D: Duration = Duration::from_secs(1);
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_DATA, b"hello", None, D).unwrap();
+        write_frame(&mut buf, TAG_IDENT, &[], Some(2), D).unwrap();
+        let mut c = Cursor::new(buf);
+        let (t, p) = read_frame(&mut c, None, D).unwrap();
+        assert_eq!((t, p.as_slice()), (TAG_DATA, b"hello".as_slice()));
+        let (t, p) = read_frame(&mut c, None, D).unwrap();
+        assert_eq!((t, p.len()), (TAG_IDENT, 0));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocating() {
+        let mut buf = vec![TAG_DATA];
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let e = read_frame(&mut Cursor::new(buf), None, D).unwrap_err();
+        assert!(matches!(e, WireError::Protocol(_)));
+    }
+
+    #[test]
+    fn truncated_stream_is_peer_lost() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_DATA, b"hello", Some(1), D).unwrap();
+        buf.truncate(buf.len() - 2);
+        let e = read_frame(&mut Cursor::new(buf), Some(1), D).unwrap_err();
+        assert!(matches!(e, WireError::PeerLost { peer: Some(1), .. }));
+    }
+
+    #[test]
+    fn expect_frame_flags_mismatch_and_relays_peer_errors() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_DATA, b"x", None, D).unwrap();
+        let e = expect_frame(&mut Cursor::new(buf), TAG_WELCOME, None, D).unwrap_err();
+        assert!(e.to_string().contains("expected frame tag"));
+
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_ERROR, b"rank 3 exploded", None, D).unwrap();
+        let e = expect_frame(&mut Cursor::new(buf), TAG_RESULT, None, D).unwrap_err();
+        assert!(e.to_string().contains("rank 3 exploded"));
+    }
+}

@@ -1,0 +1,43 @@
+//! `soi-wire`: a real multi-process transport for the SOI FFT.
+//!
+//! Everything before this crate ran the distributed algorithm inside one
+//! process — `soi-simnet` gives ranks as threads, channels as links, and
+//! a virtual clock for time. The paper's headline claim is about a real
+//! network, though: one all-to-all instead of three, because the exchange
+//! dominates at scale. This crate is the transport that lets the same
+//! `DistSoiFft` code run with every byte crossing the kernel's TCP stack:
+//!
+//! * [`bootstrap`] — how P anonymous processes become ranks `0..P`: a
+//!   rendezvous listener assigns ranks in arrival order and hands out the
+//!   peer address table; workers then wire a full mesh (connect down,
+//!   accept up), every step deadline-bounded.
+//! * [`frame`] — `[tag u8][len u64 LE][payload]` framing with a hard
+//!   length cap; [`pod`] — explicit little-endian element codecs that
+//!   round-trip `f64` bit-exactly (the cross-transport bitwise
+//!   equivalence tests lean on this).
+//! * [`comm::WireComm`] — the communicator: point-to-point send/recv,
+//!   deadlock-free paired exchange (writer thread vs. finite TCP
+//!   buffers), pairwise-exchange `all_to_all`/`all_to_allv`, barrier and
+//!   allreduce, all with per-operation deadlines and
+//!   [`WireError::PeerLost`]/[`WireError::Timeout`] instead of hangs. The
+//!   trace conventions match `RankComm`, so `TraceSet::validate`'s
+//!   conservation checks run unchanged on real captured traffic
+//!   (`t_virt` is `None`: there is no virtual clock on a real network).
+//! * [`loopback`] — an in-process harness (ranks as threads, payloads
+//!   over real localhost sockets) used by the equivalence and
+//!   kill-one-rank tests here and in `soi-dist`.
+//!
+//! The crate is std-only, like everything else in the workspace.
+
+pub mod bootstrap;
+pub mod comm;
+pub mod error;
+pub mod frame;
+pub mod loopback;
+pub mod pod;
+
+pub use bootstrap::{connect_with_backoff, Bootstrap, Rendezvous, WireConfig};
+pub use comm::{WireComm, WireStats};
+pub use error::WireError;
+pub use loopback::{loopback_mesh, run_loopback};
+pub use pod::{decode_slice, encode_slice, Pod};

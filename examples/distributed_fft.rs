@@ -57,7 +57,7 @@ fn main() {
     let planr = &plan;
     let base_out = Cluster::new(p, fabric).run(move |comm| {
         let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-        planr.run(comm, local, policy)
+        planr.run(comm, local, policy).expect("baseline run")
     });
     let base_y: Vec<Complex64> = base_out.iter().flat_map(|((y, _), _)| y.clone()).collect();
     let base_makespan = base_out.iter().map(|(_, r)| r.sim_time).fold(0.0, f64::max);

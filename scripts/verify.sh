@@ -52,6 +52,17 @@ cargo run --release --offline -q -p soi-cli --bin soi -- \
     trace-check --file "$trace_file"
 rm -f "$trace_file"
 
+echo "==> out-of-process smoke: 4-rank soi launch over localhost + trace-check"
+wire_trace="${TMPDIR:-/tmp}/soi-verify-wire.$$.jsonl"
+# Hard timeout: a transport regression must fail loudly, never hang the
+# verification run. (Workers carry their own per-op deadlines too.)
+if command -v timeout >/dev/null 2>&1; then launch_to="timeout 120"; else launch_to=""; fi
+$launch_to cargo run --release --offline -q -p soi-cli --bin soi -- \
+    launch --ranks 4 --n 65536 --p 8 --trace "$wire_trace"
+cargo run --release --offline -q -p soi-cli --bin soi -- \
+    trace-check --file "$wire_trace"
+rm -f "$wire_trace"
+
 echo "==> cargo build --release --offline -p soi-bench --benches"
 cargo build --release --offline -p soi-bench --benches
 
@@ -74,8 +85,10 @@ if [ "${1:-}" = "--with-benches" ]; then
     mkdir -p target/bench_smoke
     SOI_BENCH_SAMPLES=3 SOI_BENCH_WARMUP_MS=2 SOI_BENCH_TARGET_MS=2 \
     SOI_BENCH_PIPELINE_N=16384 \
+    SOI_BENCH_DIST_ITERS=2 SOI_BENCH_DIST_N=16384 \
     SOI_BENCH_PIPELINE_OUT="$PWD/target/bench_smoke/BENCH_pipeline.json" \
     SOI_BENCH_KERNELS_OUT="$PWD/target/bench_smoke/BENCH_kernels.json" \
+    SOI_BENCH_DIST_OUT="$PWD/target/bench_smoke/BENCH_dist.json" \
         cargo bench --offline -p soi-bench
 fi
 

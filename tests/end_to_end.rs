@@ -56,7 +56,7 @@ fn four_way_agreement_serial_distributed_baseline_exact() {
     let baseline: Vec<Complex64> = Cluster::ideal(p)
         .run_collect(move |comm| {
             let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-            pr.run(comm, local, ChargePolicy::WallClock).0
+            pr.run(comm, local, ChargePolicy::WallClock).expect("baseline run").0
         })
         .into_iter()
         .flatten()
@@ -125,7 +125,7 @@ fn comm_volume_advantage_holds_end_to_end() {
     let base_bytes: u64 = Cluster::ideal(p)
         .run(move |comm| {
             let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-            pr.run(comm, local, ChargePolicy::WallClock).0
+            pr.run(comm, local, ChargePolicy::WallClock).expect("baseline run").0
         })
         .iter()
         .map(|(_, r)| r.stats.bytes_sent)
@@ -146,7 +146,7 @@ fn pairwise_exchange_variant_end_to_end() {
     let y: Vec<Complex64> = Cluster::new(p, Fabric::gordon_torus())
         .run_collect(move |comm| {
             let local = &xr[comm.rank() * m..(comm.rank() + 1) * m];
-            pr.run(comm, local, ChargePolicy::WallClock).0
+            pr.run(comm, local, ChargePolicy::WallClock).expect("baseline run").0
         })
         .into_iter()
         .flatten()
