@@ -1,0 +1,217 @@
+//! What does surviving a rank death cost?
+//!
+//! For every phase boundary k of the distributed SOI pipeline, run a
+//! 4-rank wire (localhost TCP) job in which rank 1 dies at boundary k,
+//! drive the full recovery protocol — detection, survivor reconnect into
+//! epoch 1, a respawned rank claiming the dead slot, checkpoint reload,
+//! replay — and record the end-to-end wall time next to an undisturbed
+//! run through the same recoverable driver. The difference is the price
+//! of the fault: detection + rollback + replay.
+//!
+//! Recorded to `BENCH_faults.json` at the repo root. Knobs:
+//!
+//! * `SOI_BENCH_FAULT_N`       — transform size (default 2^14).
+//! * `SOI_BENCH_FAULT_SAMPLES` — samples per point, median kept (default 3).
+//! * `SOI_BENCH_FAULTS_OUT`    — output path override; CI smoke runs point
+//!   this at a scratch file so the committed baseline survives.
+
+use soi_core::SoiParams;
+use soi_dist::{
+    run_wire_recoverable, ChargePolicy, CheckpointStore, DistSoiFft, FaultPlan, MemStore,
+    LAST_BOUNDARY,
+};
+use soi_num::Complex64;
+use soi_pool::ThreadPool;
+use soi_window::AccuracyPreset;
+use soi_wire::{Bootstrap, Rendezvous, WireComm, WireConfig};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+const RANKS: usize = 4;
+const VICTIM: usize = 1;
+const P: usize = 8;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn signal(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+        .collect()
+}
+
+fn cfg() -> WireConfig {
+    WireConfig {
+        op_timeout: Duration::from_secs(10),
+        connect_timeout: Duration::from_secs(15),
+        ..WireConfig::default()
+    }
+}
+
+/// One undisturbed job through the recoverable driver (checkpoints armed,
+/// completion barrier included — the honest baseline for the fault path).
+fn undisturbed_ns(dist: &DistSoiFft, x: &[Complex64]) -> f64 {
+    let cfg = cfg();
+    let rv = Rendezvous::bind("127.0.0.1:0", cfg).expect("bind rendezvous");
+    let addr = rv.local_addr().unwrap();
+    let store = MemStore::new(RANKS);
+    let m = x.len() / RANKS;
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let rv_ref = &rv;
+        let driver = s.spawn(move || rv_ref.serve(RANKS).unwrap());
+        let handles: Vec<_> = (0..RANKS)
+            .map(|_| {
+                let (addr, st) = (addr.clone(), &store);
+                s.spawn(move || {
+                    let boot = Bootstrap::join(&addr, cfg).unwrap();
+                    let (mut comm, _control) = WireComm::from_bootstrap(boot);
+                    let local = &x[comm.rank() * m..(comm.rank() + 1) * m];
+                    run_wire_recoverable(
+                        dist,
+                        &mut comm,
+                        local,
+                        ChargePolicy::WallClock,
+                        &ThreadPool::serial(),
+                        st,
+                        None,
+                    )
+                    .expect("undisturbed run")
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(driver.join().unwrap());
+    });
+    t0.elapsed().as_nanos() as f64
+}
+
+/// One faulted job: rank `VICTIM` dies at `boundary`, everyone recovers.
+/// Mirrors the launcher protocol: survivors reconnect on their own, the
+/// victim's death releases a "respawn" that rejoins the dead slot and
+/// replays from the checkpoint store.
+fn recovered_ns(dist: &DistSoiFft, x: &[Complex64], boundary: usize) -> f64 {
+    let cfg = cfg();
+    let rv = Rendezvous::bind("127.0.0.1:0", cfg).expect("bind rendezvous");
+    let addr = rv.local_addr().unwrap();
+    let store = MemStore::new(RANKS);
+    let m = x.len() / RANKS;
+    let (dead_tx, dead_rx) = mpsc::channel::<()>();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let rv_ref = &rv;
+        let driver = s.spawn(move || {
+            let initial = rv_ref.serve(RANKS).unwrap();
+            let recovery = rv_ref.reserve(RANKS, 1).unwrap();
+            (initial, recovery)
+        });
+        let mut workers = Vec::new();
+        for _ in 0..RANKS {
+            let (addr, st) = (addr.clone(), &store);
+            let dead_tx = dead_tx.clone();
+            workers.push(s.spawn(move || {
+                let boot = Bootstrap::join(&addr, cfg).unwrap();
+                let (mut comm, _control) = WireComm::from_bootstrap(boot);
+                let rank = comm.rank();
+                let local = &x[rank * m..(rank + 1) * m];
+                let fault = (rank == VICTIM).then(|| FaultPlan::fail_comm(VICTIM, boundary));
+                let res = run_wire_recoverable(
+                    dist,
+                    &mut comm,
+                    local,
+                    ChargePolicy::WallClock,
+                    &ThreadPool::serial(),
+                    st,
+                    fault,
+                );
+                if rank == VICTIM {
+                    assert!(res.is_err(), "victim must die");
+                    dead_tx.send(()).unwrap();
+                } else {
+                    res.unwrap_or_else(|e| panic!("survivor rank {rank}: {e}"));
+                }
+            }));
+        }
+        drop(dead_tx);
+        let st = &store;
+        let respawn = s.spawn(move || {
+            dead_rx.recv().expect("victim signals its death");
+            let boot = Bootstrap::rejoin(&addr, VICTIM, 1, cfg).unwrap();
+            let (mut comm, _control) = WireComm::from_bootstrap(boot);
+            let ckpt = st.load(VICTIM).unwrap().expect("victim checkpoint");
+            run_wire_recoverable(
+                dist,
+                &mut comm,
+                &ckpt.x_local,
+                ChargePolicy::WallClock,
+                &ThreadPool::serial(),
+                st,
+                None,
+            )
+            .expect("respawned rank replays clean");
+        });
+        for w in workers {
+            w.join().unwrap();
+        }
+        respawn.join().unwrap();
+        drop(driver.join().unwrap());
+    });
+    t0.elapsed().as_nanos() as f64
+}
+
+fn main() {
+    let n = env_usize("SOI_BENCH_FAULT_N", 1 << 14);
+    let samples = env_usize("SOI_BENCH_FAULT_SAMPLES", 3);
+    let params = SoiParams::with_preset(n, P, AccuracyPreset::Digits10).expect("params");
+    let dist = DistSoiFft::new(&params).expect("plan");
+    let x = signal(n);
+
+    let base = median((0..samples).map(|_| undisturbed_ns(&dist, &x)).collect());
+    println!("undisturbed N={n} {RANKS} ranks: {:.2} ms", base / 1e6);
+
+    let mut rows = Vec::new();
+    for boundary in 0..=LAST_BOUNDARY {
+        let rec = median(
+            (0..samples)
+                .map(|_| recovered_ns(&dist, &x, boundary))
+                .collect(),
+        );
+        let overhead = rec - base;
+        println!(
+            "boundary {boundary}: recovered {:>8.2} ms, overhead {:>8.2} ms ({:.1}x undisturbed)",
+            rec / 1e6,
+            overhead / 1e6,
+            rec / base
+        );
+        rows.push(format!(
+            "    {{\"boundary\":{boundary},\"recovered_ns\":{rec:.0},\
+             \"overhead_ns\":{overhead:.0},\"over_undisturbed\":{:.3}}}",
+            rec / base
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"fault_recovery\",\n  \"ranks\": {RANKS},\n  \
+         \"victim\": {VICTIM},\n  \"n\": {n},\n  \"p\": {P},\n  \
+         \"samples\": {samples},\n  \"undisturbed_ns\": {base:.0},\n  \
+         \"recovery\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = std::env::var("SOI_BENCH_FAULTS_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_faults.json").to_string()
+    });
+    std::fs::write(&path, &json).expect("write fault bench json");
+    println!("wrote {path}");
+}

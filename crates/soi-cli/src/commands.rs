@@ -35,18 +35,29 @@ USAGE:
       trace for communication conservation before writing it.
 
   soi launch --ranks <r> [--n <size>] [--p <segments>] [--digits <6..15>]
-             [--threads <t>] [--trace <file.jsonl>]
+             [--threads <t>] [--trace <file.jsonl>] [--ckpt-dir <dir>]
       Spawn <r> local worker processes, bootstrap a full TCP mesh between
       them, and run the distributed SOI FFT over real sockets. The
       launcher aggregates per-rank results and traces, validates the
       captured traffic for communication conservation, and checks the
       assembled spectrum bitwise against an in-process reference run.
+      --ckpt-dir (or SOI_CKPT_DIR) arms checkpointing: workers persist
+      per-rank state at every phase boundary and the job survives one
+      rank death — the launcher respawns the dead rank, every survivor
+      re-rendezvouses into the next epoch, and the job replays from
+      checkpoints to a bitwise-identical spectrum. Fault injection:
+      SOI_FAULT_PHASE=<k> makes a victim rank (SOI_FAULT_RANK, default
+      1) abort its process at phase boundary k in [0, 7]; a checkpoint
+      directory is created automatically if none was given.
 
   soi worker --rendezvous <host:port> [--n ...] [--p ...] [--digits ...]
-             [--threads ...]
+             [--threads ...] [--ckpt-dir <dir>] [--rejoin <rank>]
       One rank of a `soi launch` job (started by the launcher; runnable
       by hand across machines). Joins the rendezvous point, computes its
       slice, and reports the result over its control connection.
+      --rejoin reclaims a dead rank's slot in the recovery epoch,
+      reloading its input from the checkpoint directory; such a worker
+      ignores any armed fault.
 
   soi trace-check --file <trace.jsonl>
       Validate a recorded trace: per-link byte conservation, identical
@@ -290,11 +301,22 @@ pub fn trace_check(a: &Args) -> CmdResult {
 // merged trace, and diffs the result bitwise against an in-process
 // reference run on the simulated cluster — the two transports must agree
 // to the last bit, not approximately.
+//
+// With a checkpoint directory armed, the job additionally survives one
+// rank death: each worker runs the recoverable driver
+// (`soi_dist::run_wire_recoverable`), the launcher watches every control
+// stream concurrently, and a dead worker's EOF triggers a respawn with
+// `--rejoin <rank>` plus a `Rendezvous::reserve` round that re-wires all
+// survivors into epoch 1. The replayed job must still pass the bitwise
+// cross-check and trace conservation (with per-rank rejoin markers).
 // ---------------------------------------------------------------------------
 
+use soi_dist::{run_wire_recoverable, CheckpointStore, DirStore, FaultPlan};
 use soi_wire::frame::{expect_frame, write_frame, TAG_ERROR, TAG_RESULT};
 use soi_wire::pod::{PayloadReader, PayloadWriter};
 use soi_wire::{encode_slice, Bootstrap, Rendezvous, WireComm, WireConfig, WireError};
+use std::net::TcpStream;
+use std::path::PathBuf;
 
 /// How long the launcher waits for a worker's RESULT after the mesh is
 /// up. Compute-bound, so much longer than the per-message wire timeout.
@@ -356,54 +378,118 @@ fn wire_plan(geo: &JobGeometry, ranks: usize) -> Result<DistSoiFft, Box<dyn std:
     Ok(dist)
 }
 
+/// `SOI_FAULT_PHASE=<k>` arms a deterministic crash: the victim rank
+/// (`SOI_FAULT_RANK`, default 1) aborts its process — SIGKILL-equivalent
+/// on the wire — at phase boundary `k`.
+fn fault_from_env() -> Option<FaultPlan> {
+    let boundary: usize = std::env::var("SOI_FAULT_PHASE").ok()?.parse().ok()?;
+    let victim: usize = std::env::var("SOI_FAULT_RANK")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    Some(FaultPlan::abort_process(victim, boundary))
+}
+
 /// `soi worker`: one rank of an out-of-process run.
 pub fn worker(a: &Args) -> CmdResult {
-    a.restrict(&["rendezvous", "n", "p", "digits", "threads"])?;
+    a.restrict(&["rendezvous", "n", "p", "digits", "threads", "rejoin", "ckpt-dir"])?;
     let addr = a
         .get("rendezvous")
         .ok_or("worker needs --rendezvous <host:port>")?;
     let geo = JobGeometry::from_args(a, 1 << 16, 8)?;
+    let rejoin: Option<usize> = match a.get("rejoin") {
+        Some(s) => Some(s.parse().map_err(|_| "--rejoin must be a rank number")?),
+        None => None,
+    };
+    let ckpt_dir: Option<String> = a
+        .get("ckpt-dir")
+        .map(String::from)
+        .or_else(|| std::env::var("SOI_CKPT_DIR").ok());
+    // A respawned worker reclaims a dead rank's slot and must never
+    // re-run that rank's fault: the launcher scrubs the fault env on
+    // respawn, and --rejoin ignores it outright as a second line.
+    let fault = if rejoin.is_none() { fault_from_env() } else { None };
     let cfg = WireConfig::from_env();
-    let boot = Bootstrap::join(addr, cfg)?;
+    let boot = match rejoin {
+        None => Bootstrap::join(addr, cfg)?,
+        Some(rank) => Bootstrap::rejoin(addr, rank, 1, cfg)?,
+    };
     let (mut comm, control) = WireComm::from_bootstrap(boot);
     comm.set_trace(Trace::recording(comm.rank()));
-    let mut control = &control;
-    match worker_job(&mut comm, &geo) {
-        Ok((y, times)) => {
+    if rejoin.is_some() {
+        // Survivors record the same marker when they re-rendezvous, so
+        // the merged trace has one identical rejoin sequence per rank.
+        comm.trace().rejoin(1, None);
+    }
+    match worker_job(&mut comm, &geo, rejoin.is_some(), ckpt_dir.as_deref(), fault) {
+        Ok((y, times, new_control)) => {
             let events = comm.trace().drain();
             let payload = encode_result(comm.rank(), &times, &y, &events);
-            write_frame(&mut control, TAG_RESULT, &payload, None, cfg.op_timeout)?;
+            // After a recovery the original control stream belongs to a
+            // dead epoch; the RESULT goes on the reserve-round stream.
+            let stream = new_control.as_ref().unwrap_or(&control);
+            write_frame(&mut &*stream, TAG_RESULT, &payload, None, cfg.op_timeout)?;
             Ok(())
         }
         Err(e) => {
             let msg = format!("rank {}: {e}", comm.rank());
             // Best effort: the launcher may already be gone.
-            let _ = write_frame(&mut control, TAG_ERROR, msg.as_bytes(), None, cfg.op_timeout);
+            let _ = write_frame(&mut &control, TAG_ERROR, msg.as_bytes(), None, cfg.op_timeout);
             Err(msg.into())
         }
     }
 }
 
 /// The compute body of a worker rank (separated so failures can be
-/// reported over the control stream).
+/// reported over the control stream). Returns the fresh control stream
+/// when the run went through a recovery rendezvous.
+#[allow(clippy::type_complexity)]
 fn worker_job(
     comm: &mut WireComm,
     geo: &JobGeometry,
-) -> Result<(Vec<Complex64>, PhaseTimes), Box<dyn std::error::Error>> {
+    rejoined: bool,
+    ckpt_dir: Option<&str>,
+    fault: Option<FaultPlan>,
+) -> Result<(Vec<Complex64>, PhaseTimes, Option<TcpStream>), Box<dyn std::error::Error>> {
     let ranks = comm.size();
     geo.check_ranks("ranks", ranks)?;
     let dist = wire_plan(geo, ranks)?;
     let local_pts = geo.n / ranks;
-    let x = synthetic(geo.n);
-    let local = &x[comm.rank() * local_pts..][..local_pts];
     let pool = ThreadPool::new(geo.threads);
-    let (y, times) = dist.run_with(comm, local, ChargePolicy::WallClock, &pool)?;
-    Ok((y, times))
+    let Some(dir) = ckpt_dir else {
+        // No checkpoint store: the plain non-recoverable path, byte for
+        // byte what ran before fault tolerance existed.
+        let x = synthetic(geo.n);
+        let local = &x[comm.rank() * local_pts..][..local_pts];
+        let (y, times) = dist.run_with(comm, local, ChargePolicy::WallClock, &pool)?;
+        return Ok((y, times, None));
+    };
+    let store = DirStore::new(dir);
+    let input: Vec<Complex64> = if rejoined {
+        // The dead rank's input comes back from its last checkpoint —
+        // the respawned process never sees the original signal source.
+        let ckpt = store
+            .load(comm.rank())?
+            .ok_or_else(|| format!("no checkpoint for rejoined rank {}", comm.rank()))?;
+        if ckpt.n as usize != geo.n || ckpt.p as usize != geo.p || ckpt.ranks as usize != ranks {
+            return Err(format!(
+                "checkpoint geometry (N = {}, P = {}, R = {}) does not match job (N = {}, P = {}, R = {ranks})",
+                ckpt.n, ckpt.p, ckpt.ranks, geo.n, geo.p
+            )
+            .into());
+        }
+        ckpt.x_local
+    } else {
+        let x = synthetic(geo.n);
+        x[comm.rank() * local_pts..][..local_pts].to_vec()
+    };
+    let rec = run_wire_recoverable(&dist, comm, &input, ChargePolicy::WallClock, &pool, &store, fault)?;
+    Ok((rec.y, rec.times, rec.control))
 }
 
 /// `soi launch`: spawn workers, run over real sockets, verify.
 pub fn launch(a: &Args) -> CmdResult {
-    a.restrict(&["ranks", "n", "p", "digits", "threads", "trace"])?;
+    a.restrict(&["ranks", "n", "p", "digits", "threads", "trace", "ckpt-dir"])?;
     let ranks = a.get_positive("ranks", 4)?;
     let geo = JobGeometry::from_args(a, 1 << 16, 8)?;
     geo.check_ranks("ranks", ranks)?;
@@ -413,37 +499,40 @@ pub fn launch(a: &Args) -> CmdResult {
         .or_else(soi_trace::path_from_env);
     let dist = wire_plan(&geo, ranks)?;
 
+    // Checkpointing is armed by an explicit directory or implicitly by
+    // an injected fault (which would be unsurvivable without one). A
+    // directory we invented ourselves is cleaned up on success.
+    let fault_armed = fault_from_env().is_some();
+    let explicit_dir: Option<PathBuf> = a
+        .get("ckpt-dir")
+        .map(PathBuf::from)
+        .or_else(|| std::env::var("SOI_CKPT_DIR").ok().map(PathBuf::from));
+    let owned_dir = explicit_dir.is_none() && fault_armed;
+    let ckpt_dir: Option<PathBuf> = explicit_dir.or_else(|| {
+        fault_armed.then(|| std::env::temp_dir().join(format!("soi-ckpt-{}", std::process::id())))
+    });
+
     let cfg = WireConfig::from_env();
     let rv = Rendezvous::bind("127.0.0.1:0", cfg)?;
     let addr = rv.local_addr()?;
     let exe = std::env::current_exe()?;
     println!(
-        "launch   : {ranks} ranks on {addr}, N = {}, P = {}, {} thread(s)/rank",
-        geo.n, geo.p, geo.threads
+        "launch   : {ranks} ranks on {addr}, N = {}, P = {}, {} thread(s)/rank{}",
+        geo.n,
+        geo.p,
+        geo.threads,
+        match &ckpt_dir {
+            Some(d) => format!(", checkpoints in {}", d.display()),
+            None => String::new(),
+        }
     );
     let t0 = Instant::now();
     let mut children = Vec::with_capacity(ranks);
     for _ in 0..ranks {
-        let child = std::process::Command::new(&exe)
-            .args([
-                "worker",
-                "--rendezvous",
-                &addr,
-                "--n",
-                &geo.n.to_string(),
-                "--p",
-                &geo.p.to_string(),
-                "--digits",
-                &geo.digits.to_string(),
-                "--threads",
-                &geo.threads.to_string(),
-            ])
-            .stdin(std::process::Stdio::null())
-            .spawn()?;
-        children.push(child);
+        children.push(spawn_worker(&exe, &addr, &geo, None, ckpt_dir.as_deref())?);
     }
 
-    let outcome = collect_results(&rv, ranks, &geo);
+    let outcome = collect_results(&rv, ranks, &geo, &exe, &addr, ckpt_dir.as_deref(), &mut children);
     // Always reap the children: on success they have already exited; on
     // failure kill whatever is still running so nothing lingers.
     if outcome.is_err() {
@@ -452,13 +541,13 @@ pub fn launch(a: &Args) -> CmdResult {
         }
     }
     let mut worker_failure = None;
-    for (rank, c) in children.iter_mut().enumerate() {
+    for (idx, c) in children.iter_mut().enumerate() {
         let status = c.wait()?;
         if !status.success() && worker_failure.is_none() {
-            worker_failure = Some(format!("worker rank {rank} exited with {status}"));
+            worker_failure = Some(format!("worker #{idx} exited with {status}"));
         }
     }
-    let (wire_y, times, streams) = match outcome {
+    let (wire_y, times, streams, recovered) = match outcome {
         Ok(v) => v,
         Err(e) => match worker_failure {
             // The worker's stderr (already inherited) has the real story.
@@ -467,6 +556,14 @@ pub fn launch(a: &Args) -> CmdResult {
         },
     };
     let wall = t0.elapsed();
+    if recovered {
+        println!("recovery : job survived a rank death and replayed from checkpoints (epoch 1)");
+    }
+    if owned_dir {
+        if let Some(dir) = &ckpt_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
 
     // Validate the captured traffic exactly like `trace-check` would.
     let set = TraceSet::from_streams(streams);
@@ -524,41 +621,145 @@ pub fn launch(a: &Args) -> CmdResult {
     Ok(())
 }
 
-/// Accept every worker's control connection and read its RESULT frame.
+/// Spawn one worker process. `rejoin` makes it reclaim a dead rank's
+/// slot in the recovery epoch, with the fault env scrubbed so the
+/// respawn does not inherit its predecessor's death sentence.
+fn spawn_worker(
+    exe: &std::path::Path,
+    addr: &str,
+    geo: &JobGeometry,
+    rejoin: Option<usize>,
+    ckpt_dir: Option<&std::path::Path>,
+) -> std::io::Result<std::process::Child> {
+    let mut cmd = std::process::Command::new(exe);
+    cmd.args([
+        "worker",
+        "--rendezvous",
+        addr,
+        "--n",
+        &geo.n.to_string(),
+        "--p",
+        &geo.p.to_string(),
+        "--digits",
+        &geo.digits.to_string(),
+        "--threads",
+        &geo.threads.to_string(),
+    ]);
+    if let Some(dir) = ckpt_dir {
+        cmd.arg("--ckpt-dir").arg(dir);
+    }
+    if let Some(rank) = rejoin {
+        cmd.args(["--rejoin", &rank.to_string()]);
+        cmd.env_remove("SOI_FAULT_PHASE").env_remove("SOI_FAULT_RANK");
+    }
+    cmd.stdin(std::process::Stdio::null()).spawn()
+}
+
+/// One reader thread per control stream, reporting `(generation, rank,
+/// frame-or-error)` — concurrency is what turns a dead worker's EOF
+/// into prompt detection instead of a serialized 300 s stall.
+fn spawn_result_readers(
+    controls: Vec<TcpStream>,
+    gen: u32,
+    tx: &std::sync::mpsc::Sender<(u32, usize, Result<Vec<u8>, WireError>)>,
+) {
+    for (slot, control) in controls.into_iter().enumerate() {
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let res = control
+                .set_read_timeout(Some(RESULT_TIMEOUT))
+                .map_err(|e| WireError::Io(e.to_string()))
+                .and_then(|()| expect_frame(&mut &control, TAG_RESULT, Some(slot), RESULT_TIMEOUT));
+            let _ = tx.send((gen, slot, res));
+        });
+    }
+}
+
+/// Read every worker's RESULT frame, surviving one rank death when a
+/// checkpoint directory is armed: the dead rank is respawned with
+/// `--rejoin`, a `reserve` round hands every worker a fresh control
+/// stream (generation 1), and collection starts over on those. Returns
+/// the assembled job plus whether a recovery happened.
 #[allow(clippy::type_complexity)]
 fn collect_results(
     rv: &Rendezvous,
     ranks: usize,
     geo: &JobGeometry,
-) -> Result<(Vec<Complex64>, Vec<PhaseTimes>, Vec<Vec<Event>>), Box<dyn std::error::Error>> {
+    exe: &std::path::Path,
+    addr: &str,
+    ckpt_dir: Option<&std::path::Path>,
+    children: &mut Vec<std::process::Child>,
+) -> Result<(Vec<Complex64>, Vec<PhaseTimes>, Vec<Vec<Event>>, bool), Box<dyn std::error::Error>> {
     let controls = rv.serve(ranks)?;
+    let (tx, rx) = std::sync::mpsc::channel();
+    spawn_result_readers(controls, 0, &tx);
     let local_pts = geo.n / ranks;
     let mut wire_y = vec![Complex64::ZERO; geo.n];
     let mut times = vec![PhaseTimes::default(); ranks];
     let mut streams: Vec<Vec<Event>> = vec![Vec::new(); ranks];
     let mut seen = vec![false; ranks];
-    for (slot, control) in controls.iter().enumerate() {
-        control
-            .set_read_timeout(Some(RESULT_TIMEOUT))
-            .map_err(|e| WireError::Io(e.to_string()))?;
-        let payload = expect_frame(&mut &*control, TAG_RESULT, Some(slot), RESULT_TIMEOUT)?;
-        let (rank, t, y, events) = decode_result(&payload)?;
-        if rank >= ranks || seen[rank] {
-            return Err(format!("duplicate or out-of-range result for rank {rank}").into());
+    let mut pending = ranks;
+    let mut gen = 0u32;
+    let mut recovered = false;
+    let deadline = Instant::now() + RESULT_TIMEOUT;
+    while pending > 0 {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return Err("timed out waiting for worker results".into());
         }
-        if y.len() != local_pts {
-            return Err(format!(
-                "rank {rank} returned {} points, expected {local_pts}",
-                y.len()
-            )
-            .into());
+        let (g, slot, res) = rx
+            .recv_timeout(left)
+            .map_err(|_| "timed out waiting for worker results")?;
+        if g != gen {
+            // A pre-recovery stream finally EOF'd (its worker exited
+            // after delivering on the fresh control); nothing to do.
+            continue;
         }
-        seen[rank] = true;
-        wire_y[rank * local_pts..(rank + 1) * local_pts].copy_from_slice(&y);
-        times[rank] = t;
-        streams[rank] = events;
+        match res {
+            Ok(payload) => {
+                let (rank, t, y, events) = decode_result(&payload)?;
+                if rank >= ranks || seen[rank] {
+                    return Err(format!("duplicate or out-of-range result for rank {rank}").into());
+                }
+                if y.len() != local_pts {
+                    return Err(format!(
+                        "rank {rank} returned {} points, expected {local_pts}",
+                        y.len()
+                    )
+                    .into());
+                }
+                seen[rank] = true;
+                wire_y[rank * local_pts..(rank + 1) * local_pts].copy_from_slice(&y);
+                times[rank] = t;
+                streams[rank] = events;
+                pending -= 1;
+            }
+            Err(e) => {
+                if recovered {
+                    return Err(format!("rank {slot} died during recovery (double fault): {e}").into());
+                }
+                let Some(dir) = ckpt_dir else {
+                    return Err(format!(
+                        "worker rank {slot} died: {e} (arm --ckpt-dir to make jobs recoverable)"
+                    )
+                    .into());
+                };
+                println!("fault    : rank {slot} died ({e}); respawning into epoch 1");
+                children.push(spawn_worker(exe, addr, geo, Some(slot), Some(dir))?);
+                // Survivors are already re-rendezvousing (their
+                // completion barrier or data path failed); collect all
+                // R rejoin claims and restart collection on the fresh
+                // control streams.
+                let fresh = rv.reserve(ranks, 1)?;
+                gen += 1;
+                recovered = true;
+                pending = ranks;
+                seen = vec![false; ranks];
+                spawn_result_readers(fresh, gen, &tx);
+            }
+        }
     }
-    Ok((wire_y, times, streams))
+    Ok((wire_y, times, streams, recovered))
 }
 
 /// `soi trace-view`: JSONL trace -> Chrome trace-event JSON.

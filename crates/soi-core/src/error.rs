@@ -26,8 +26,10 @@ pub enum SoiError {
     /// structure (μ-row coefficient blocks).
     BadAlignment(String),
     /// The communication fabric failed mid-run (a peer died, an exchange
-    /// timed out, or traffic was malformed). Only real transports raise
-    /// this; the in-process simulated network cannot fail.
+    /// timed out, or traffic was malformed). Both transports raise this:
+    /// the wire on real socket failures, the simulated network when a
+    /// rank declares itself dead (fault injection). Recoverable — see
+    /// the `soi-dist` checkpoint/replay driver.
     Comm(String),
 }
 

@@ -7,9 +7,10 @@
 //! implementations exist:
 //!
 //! * [`soi_simnet::RankComm`] — ranks as threads, channels as links, a
-//!   virtual clock charging the paper's fabric model. Operations cannot
-//!   fail (a hung-up channel is a harness bug and panics), so every
-//!   method returns `Ok`.
+//!   virtual clock charging the paper's fabric model. Operations fail
+//!   only when a rank declares itself dead ([`RankComm::fail_now`], the
+//!   fault-injection seam) — survivors then see
+//!   [`CommError::PeerLost`] instead of hanging.
 //! * [`soi_wire::WireComm`] — ranks as processes, TCP as links, wall
 //!   clocks. Operations fail for real ([`CommError::PeerLost`],
 //!   [`CommError::Timeout`]) and the algorithms propagate that as
@@ -29,7 +30,7 @@
 //! breakdowns come out meaningful on both.
 
 use soi_core::SoiError;
-use soi_simnet::RankComm;
+use soi_simnet::{RankComm, SimCommError};
 use soi_trace::Trace;
 use soi_wire::{Pod, WireComm, WireError};
 use std::fmt;
@@ -63,6 +64,15 @@ impl From<WireError> for CommError {
             WireError::PeerLost { .. } => CommError::PeerLost(e.to_string()),
             WireError::Timeout { .. } => CommError::Timeout(e.to_string()),
             _ => CommError::Protocol(e.to_string()),
+        }
+    }
+}
+
+impl From<SimCommError> for CommError {
+    fn from(e: SimCommError) -> Self {
+        match &e {
+            SimCommError::PeerLost { .. } => CommError::PeerLost(e.to_string()),
+            SimCommError::Timeout { .. } => CommError::Timeout(e.to_string()),
         }
     }
 }
@@ -122,6 +132,16 @@ pub trait Communicator {
 
     /// Max-allreduce of one f64.
     fn allreduce_max(&mut self, v: f64) -> Result<f64, CommError>;
+
+    /// Declare this rank dead, mid-run — the fault-injection seam.
+    ///
+    /// After this call every pending and future operation by *peers*
+    /// involving this rank fails with [`CommError::PeerLost`] (promptly,
+    /// not by deadline), and this rank's own operations fail too. On
+    /// simnet this flips the shared death flag; on the wire it tears
+    /// down every TCP link so peers see EOF. Used by `FaultPlan` to
+    /// simulate a rank crash at an exact phase boundary.
+    fn fail_now(&mut self);
 }
 
 impl Communicator for RankComm {
@@ -155,29 +175,31 @@ impl Communicator for RankComm {
         data: &[T],
         src: usize,
     ) -> Result<Vec<T>, CommError> {
-        Ok(RankComm::sendrecv(self, dst, data, src))
+        Ok(RankComm::try_sendrecv(self, dst, data, src)?)
     }
 
     fn all_to_all<T: Pod>(&mut self, send: &[T], recv: &mut [T]) -> Result<(), CommError> {
-        RankComm::all_to_all(self, send, recv);
-        Ok(())
+        Ok(RankComm::try_all_to_all(self, send, recv)?)
     }
 
     fn all_to_allv<T: Pod>(&mut self, send: &[T], counts: &[usize]) -> Result<Vec<T>, CommError> {
-        Ok(RankComm::all_to_allv(self, send, counts))
+        Ok(RankComm::try_all_to_allv(self, send, counts)?)
     }
 
     fn barrier(&mut self) -> Result<(), CommError> {
-        RankComm::barrier(self);
-        Ok(())
+        Ok(RankComm::try_barrier(self)?)
     }
 
     fn allreduce_sum(&mut self, v: f64) -> Result<f64, CommError> {
-        Ok(RankComm::allreduce_sum(self, v))
+        Ok(RankComm::try_allreduce_sum(self, v)?)
     }
 
     fn allreduce_max(&mut self, v: f64) -> Result<f64, CommError> {
-        Ok(RankComm::allreduce_max(self, v))
+        Ok(RankComm::try_allreduce_max(self, v)?)
+    }
+
+    fn fail_now(&mut self) {
+        RankComm::fail_now(self);
     }
 }
 
@@ -231,6 +253,10 @@ impl Communicator for WireComm {
 
     fn allreduce_max(&mut self, v: f64) -> Result<f64, CommError> {
         Ok(WireComm::allreduce_max(self, v)?)
+    }
+
+    fn fail_now(&mut self) {
+        WireComm::shutdown(self);
     }
 }
 

@@ -23,11 +23,16 @@ pub mod comm;
 pub mod dtranspose;
 pub mod fft2d;
 pub mod rates;
+pub mod recover;
 pub mod soi;
 pub mod times;
 
 pub use baseline::{BaselineFft, ExchangeVariant};
 pub use comm::{CommError, Communicator};
 pub use rates::{ChargePolicy, ComputeRates};
+pub use recover::{
+    run_checkpointed, run_wire_recoverable, Checkpoint, CheckpointStore, DirStore, FaultAction,
+    FaultPlan, MemStore, Recovery, LAST_BOUNDARY,
+};
 pub use soi::DistSoiFft;
 pub use times::PhaseTimes;

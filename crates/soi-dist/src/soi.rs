@@ -103,6 +103,33 @@ impl DistSoiFft {
         policy: ChargePolicy,
         pool: &ThreadPool,
     ) -> Result<(Vec<Complex64>, PhaseTimes), SoiError> {
+        self.run_with_hooks(comm, x_local, policy, pool, |_, _| Ok(()))
+    }
+
+    /// [`Self::run_with`] with a callback at every phase boundary — the
+    /// seam the checkpoint/recovery layer ([`crate::recover`]) hangs off.
+    ///
+    /// `hook(comm, k)` fires at boundary `k ∈ 0..=7`: `0` before the halo
+    /// exchange, then after each phase in pipeline order — `1` halo,
+    /// `2` convolution, `3` F_P batch, `4` pack, `5` all-to-all (+unpack),
+    /// `6` F_{M'}, `7` demodulation (i.e. run complete). An `Err` from the
+    /// hook aborts the run at that boundary and propagates; a fault
+    /// injector uses this to crash a rank at an exact point, a checkpoint
+    /// writer to persist progress. The hook runs *outside* phase trace
+    /// spans and is not charged to any phase, so a no-op hook leaves the
+    /// run observationally identical to [`Self::run_with`].
+    pub fn run_with_hooks<C, F>(
+        &self,
+        comm: &mut C,
+        x_local: &[Complex64],
+        policy: ChargePolicy,
+        pool: &ThreadPool,
+        mut hook: F,
+    ) -> Result<(Vec<Complex64>, PhaseTimes), SoiError>
+    where
+        C: Communicator,
+        F: FnMut(&mut C, usize) -> Result<(), SoiError>,
+    {
         let cfg = *self.soi.config();
         let ranks = comm.size();
         let c = self.segments_per_rank(ranks)?;
@@ -121,6 +148,8 @@ impl DistSoiFft {
         // clones share one buffer (disabled outside traced runs).
         let trace = comm.trace_handle();
 
+        hook(comm, 0)?;
+
         // 1. Halo exchange: my first halo_len points go to the LEFT
         // neighbor (whose window overruns into my block); I receive the
         // prefix of my RIGHT neighbor.
@@ -131,6 +160,7 @@ impl DistSoiFft {
         let halo = comm.sendrecv(left, &x_local[..cfg.halo_len()], right)?;
         times.halo = comm.comm_seconds() - c0;
         trace.span_end("halo", comm.clock_now());
+        hook(comm, 1)?;
 
         let mut xext = Vec::with_capacity(local_pts + cfg.halo_len());
         xext.extend_from_slice(x_local);
@@ -157,6 +187,7 @@ impl DistSoiFft {
         comm.charge_compute(dt);
         times.conv = dt;
         trace.span_end("conv", comm.clock_now());
+        hook(comm, 2)?;
 
         // 3. I ⊗ F_P over the local groups.
         trace.span_begin("fft_p", comm.clock_now());
@@ -173,6 +204,7 @@ impl DistSoiFft {
         comm.charge_compute(dt);
         times.fft_small = dt;
         trace.span_end("fft_p", comm.clock_now());
+        hook(comm, 3)?;
 
         trace.span_begin("pack", comm.clock_now());
         // 4. Pack (Fig 3's local permutation): destination-major, and
@@ -189,6 +221,7 @@ impl DistSoiFft {
         comm.charge_compute(dt);
         times.pack = dt;
         trace.span_end("pack", comm.clock_now());
+        hook(comm, 4)?;
 
         // 5. THE all-to-all. From src I receive its rows for each of my c
         // segments: recv[src·c·rows + si·rows + jl] = x̃^{(my seg si)}[src·rows + jl].
@@ -219,6 +252,7 @@ impl DistSoiFft {
         comm.charge_compute(dt);
         times.pack += dt;
         trace.span_end("pack", comm.clock_now());
+        hook(comm, 5)?;
 
         // 6. F_{M'} per owned segment, one scratch stripe per worker.
         trace.span_begin("fft_m", comm.clock_now());
@@ -252,6 +286,7 @@ impl DistSoiFft {
         comm.charge_compute(dt);
         times.fft_large = dt;
         trace.span_end("fft_m", comm.clock_now());
+        hook(comm, 6)?;
 
         // 7. Project + demodulate each segment.
         trace.span_begin("demod", comm.clock_now());
@@ -270,6 +305,7 @@ impl DistSoiFft {
         comm.charge_compute(dt);
         times.scale = dt;
         trace.span_end("demod", comm.clock_now());
+        hook(comm, 7)?;
 
         Ok((y, times))
     }

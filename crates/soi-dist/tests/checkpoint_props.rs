@@ -1,0 +1,155 @@
+//! Property suite for the recovery checkpoint codec.
+//!
+//! A checkpoint frame is the only thing standing between a dead rank and
+//! a wrong answer after respawn, so the codec gets the adversarial
+//! treatment: random geometries must roundtrip **bit-exactly**, and any
+//! torn or corrupted frame must be *rejected* — decode must never panic,
+//! and must never silently accept a frame whose header bytes changed.
+
+use soi_dist::Checkpoint;
+use soi_num::Complex64;
+use soi_testkit::{forall, prop::no_shrink, PropConfig, TestRng};
+
+/// Draw a checkpoint with a random (not necessarily FFT-valid) geometry:
+/// the codec must be total over the struct, not just over sizes the
+/// planner would accept. Block lengths include 0 (a degenerate but legal
+/// frame) and awkward non-power-of-two sizes.
+fn gen_checkpoint(rng: &mut TestRng) -> Checkpoint {
+    let len = match rng.usize_in(0..4) {
+        0 => 0,
+        1 => rng.usize_in(1..9),
+        2 => rng.usize_in(9..257),
+        _ => 1usize << rng.usize_in(8..13),
+    };
+    Checkpoint {
+        epoch: rng.next_u32() % 4,
+        rank: rng.next_u32() % 64,
+        boundary: rng.next_u32() % 8,
+        n: 1u64 << rng.usize_in(4..31),
+        p: 1u64 << rng.usize_in(1..7),
+        ranks: 1 + rng.next_u32() % 64,
+        x_local: rng.complex_vec(len),
+    }
+}
+
+fn bits(xs: &[Complex64]) -> Vec<(u64, u64)> {
+    xs.iter().map(|c| (c.re.to_bits(), c.im.to_bits())).collect()
+}
+
+#[test]
+fn roundtrip_is_bit_exact_over_random_geometries() {
+    forall(
+        "ckpt_roundtrip",
+        PropConfig::cases(64),
+        gen_checkpoint,
+        no_shrink,
+        |ckpt| {
+            let frame = ckpt.encode();
+            let back = Checkpoint::decode(&frame)
+                .map_err(|e| format!("decode of a fresh frame failed: {e}"))?;
+            if back.epoch != ckpt.epoch
+                || back.rank != ckpt.rank
+                || back.boundary != ckpt.boundary
+                || back.n != ckpt.n
+                || back.p != ckpt.p
+                || back.ranks != ckpt.ranks
+            {
+                return Err(format!("header drift: {back:?} vs {ckpt:?}"));
+            }
+            if bits(&back.x_local) != bits(&ckpt.x_local) {
+                return Err("payload not bit-exact after roundtrip".into());
+            }
+            // Encoding is canonical: same struct, same bytes.
+            if back.encode() != frame {
+                return Err("re-encode differs from the original frame".into());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn every_truncation_is_rejected() {
+    forall(
+        "ckpt_truncation",
+        PropConfig::cases(32),
+        gen_checkpoint,
+        no_shrink,
+        |ckpt| {
+            let frame = ckpt.encode();
+            // Check every short prefix for small frames, a random sample
+            // of cut points for large ones (always including the header).
+            let cuts: Vec<usize> = if frame.len() <= 64 {
+                (0..frame.len()).collect()
+            } else {
+                let mut rng = TestRng::seed_from_u64(frame.len() as u64);
+                let mut c: Vec<usize> = (0..32).map(|_| rng.usize_in(0..frame.len())).collect();
+                c.extend(0..40); // all header/length-prefix cuts
+                c
+            };
+            for cut in cuts {
+                if Checkpoint::decode(&frame[..cut]).is_ok() {
+                    return Err(format!(
+                        "decode accepted a frame truncated to {cut}/{} bytes",
+                        frame.len()
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn trailing_garbage_and_bad_header_are_rejected() {
+    forall(
+        "ckpt_corruption",
+        PropConfig::cases(32),
+        gen_checkpoint,
+        no_shrink,
+        |ckpt| {
+            let frame = ckpt.encode();
+
+            // A trailing byte means the frame is not what we wrote.
+            let mut longer = frame.clone();
+            longer.push(0xAB);
+            if Checkpoint::decode(&longer).is_ok() {
+                return Err("decode accepted a frame with trailing garbage".into());
+            }
+
+            // Any bit flip in the magic or version words must be caught.
+            for byte in 0..8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 0x01;
+                if Checkpoint::decode(&bad).is_ok() {
+                    return Err(format!("decode accepted a frame with header byte {byte} flipped"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn arbitrary_byte_flips_never_panic() {
+    // Flipping payload bytes may yield a *different* valid checkpoint
+    // (raw f64 bits carry no redundancy) — that is fine; what decode must
+    // never do is panic or loop. Exercise a spread of flip positions.
+    forall(
+        "ckpt_no_panic",
+        PropConfig::cases(32),
+        gen_checkpoint,
+        no_shrink,
+        |ckpt| {
+            let frame = ckpt.encode();
+            let mut rng = TestRng::seed_from_u64(frame.len() as u64 ^ 0x5051);
+            for _ in 0..16 {
+                let mut bad = frame.clone();
+                let pos = rng.usize_in(0..bad.len());
+                bad[pos] ^= 1 << rng.usize_in(0..8);
+                let _ = Checkpoint::decode(&bad); // must return, Ok or Err
+            }
+            Ok(())
+        },
+    );
+}

@@ -1,0 +1,179 @@
+//! Pin tests: `all_to_allv` with zero-length blocks behaves identically
+//! on both transports.
+//!
+//! The SOI pack phase legitimately produces empty blocks (a rank can owe
+//! a peer nothing for some segment layouts), so the variable-count
+//! exchange must treat `count == 0` as a real, *observable* message slot:
+//! same output concatenation, same byte counters, and the same zero-byte
+//! send/recv events in the trace — on the simulated fabric and on real
+//! sockets alike. These tests freeze that contract so neither transport
+//! can silently start skipping (or double-counting) empty frames.
+
+use soi_simnet::Cluster;
+use soi_trace::{Event, EventKind, Trace, TraceSet};
+use soi_wire::{run_loopback, WireConfig};
+use std::time::Duration;
+
+const P: usize = 4;
+
+fn wire_cfg() -> WireConfig {
+    WireConfig {
+        op_timeout: Duration::from_secs(10),
+        connect_timeout: Duration::from_secs(10),
+        ..WireConfig::default()
+    }
+}
+
+/// Per-destination element counts for `rank`, under three patterns:
+/// `"mixed"` zeroes out every (src+dst)-even pair, `"mute"` makes rank 0
+/// send nothing at all, `"empty"` is the fully degenerate exchange.
+fn counts_for(pattern: &str, rank: usize) -> Vec<usize> {
+    match pattern {
+        "mixed" => (0..P)
+            .map(|dst| if (rank + dst) % 2 == 0 { 0 } else { 2 + rank })
+            .collect(),
+        "mute" => (0..P)
+            .map(|dst| if rank == 0 { 0 } else { 1 + dst })
+            .collect(),
+        "empty" => vec![0; P],
+        _ => unreachable!(),
+    }
+}
+
+/// Flat send buffer matching `counts`, stamped `src*100 + dst`.
+fn send_buf(rank: usize, counts: &[usize]) -> Vec<u64> {
+    (0..P)
+        .flat_map(|dst| std::iter::repeat((rank * 100 + dst) as u64).take(counts[dst]))
+        .collect()
+}
+
+/// What `rank` must receive: each source's block, in rank order.
+fn expect_recv(pattern: &str, rank: usize) -> Vec<u64> {
+    (0..P)
+        .flat_map(|src| {
+            let c = counts_for(pattern, src)[rank];
+            std::iter::repeat((src * 100 + rank) as u64).take(c)
+        })
+        .collect()
+}
+
+/// Reduce a rank's event stream to the comparable network payload shape:
+/// (is_send, peer, bytes) for every Send/Recv event, sorted — the wire
+/// interleaves sends with whatever recv completes first, so only the
+/// multiset of payload events is transport-invariant, not their order.
+fn payload_events(events: &[Event]) -> Vec<(bool, u32, u64)> {
+    let mut v: Vec<(bool, u32, u64)> = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Send { peer, bytes } => Some((true, peer, bytes)),
+            EventKind::Recv { peer, bytes } => Some((false, peer, bytes)),
+            _ => None,
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// Byte/collective counters in a transport-neutral tuple.
+type StatLine = (u64, u64, u64, u64);
+
+fn run_simnet(pattern: &'static str) -> (Vec<Vec<u64>>, Vec<StatLine>, TraceSet) {
+    let (results, set) = Cluster::ideal(P).run_traced(|comm| {
+        let me = comm.rank();
+        let counts = counts_for(pattern, me);
+        let out = comm.all_to_allv(&send_buf(me, &counts), &counts);
+        let s = comm.stats();
+        (out, (s.bytes_sent, s.bytes_received, s.all_to_alls, s.other_collectives))
+    });
+    let (outs, stats) = results.into_iter().map(|(r, _report)| r).unzip();
+    (outs, stats, set)
+}
+
+fn run_wire(pattern: &'static str) -> (Vec<Vec<u64>>, Vec<StatLine>, TraceSet) {
+    let per_rank = run_loopback(P, wire_cfg(), |comm| {
+        comm.set_trace(Trace::recording(comm.rank()));
+        let me = comm.rank();
+        let counts = counts_for(pattern, me);
+        let out = comm
+            .all_to_allv(&send_buf(me, &counts), &counts)
+            .unwrap_or_else(|e| panic!("wire all_to_allv failed on rank {me}: {e}"));
+        let s = comm.stats();
+        let events = comm.trace().drain();
+        (out, (s.bytes_sent, s.bytes_received, s.all_to_alls, s.other_collectives), events)
+    })
+    .expect("loopback mesh");
+    let mut outs = Vec::new();
+    let mut stats = Vec::new();
+    let mut streams = Vec::new();
+    for (o, s, ev) in per_rank {
+        outs.push(o);
+        stats.push(s);
+        streams.push(ev);
+    }
+    (outs, stats, TraceSet::from_streams(streams))
+}
+
+fn pin_pattern(pattern: &'static str) {
+    let (sim_out, sim_stats, sim_set) = run_simnet(pattern);
+    let (wire_out, wire_stats, wire_set) = run_wire(pattern);
+
+    for rank in 0..P {
+        let want = expect_recv(pattern, rank);
+        assert_eq!(sim_out[rank], want, "[{pattern}] simnet output, rank {rank}");
+        assert_eq!(wire_out[rank], want, "[{pattern}] wire output, rank {rank}");
+        assert_eq!(
+            sim_stats[rank], wire_stats[rank],
+            "[{pattern}] stats diverge on rank {rank} (sent, recvd, a2a, other)"
+        );
+        // Every remote slot — zero-length ones included — shows up as a
+        // send/recv event pair with the exact byte count, identically on
+        // both transports.
+        let sim_ev = payload_events(&sim_set.ranks[rank]);
+        let wire_ev = payload_events(&wire_set.ranks[rank]);
+        assert_eq!(
+            sim_ev, wire_ev,
+            "[{pattern}] payload event streams diverge on rank {rank}"
+        );
+        let sends: Vec<(u32, u64)> = sim_ev
+            .iter()
+            .filter(|(is_send, _, _)| *is_send)
+            .map(|&(_, peer, bytes)| (peer, bytes))
+            .collect();
+        let want_sends: Vec<(u32, u64)> = (0..P)
+            .filter(|&dst| dst != rank)
+            .map(|dst| (dst as u32, (counts_for(pattern, rank)[dst] * 8) as u64))
+            .collect();
+        assert_eq!(
+            sends, want_sends,
+            "[{pattern}] rank {rank} must emit one send event per remote peer, \
+             zero-byte slots included"
+        );
+    }
+
+    // Zero-byte traffic must still satisfy conservation on both sides.
+    let sim_sum = sim_set.validate().expect("simnet trace must validate");
+    let wire_sum = wire_set.validate().expect("wire trace must validate");
+    assert_eq!(sim_sum.ranks, P);
+    assert_eq!(wire_sum.ranks, P);
+    assert_eq!(
+        sim_sum.messages, wire_sum.messages,
+        "[{pattern}] message counts diverge"
+    );
+    // P ranks × (P-1) remote slots, every slot an event even when empty.
+    assert_eq!(sim_sum.messages, (P * (P - 1)) as u64, "[{pattern}]");
+}
+
+#[test]
+fn mixed_zero_blocks_pin_identical_behavior() {
+    pin_pattern("mixed");
+}
+
+#[test]
+fn mute_rank_pin_identical_behavior() {
+    pin_pattern("mute");
+}
+
+#[test]
+fn fully_empty_exchange_pin_identical_behavior() {
+    pin_pattern("empty");
+}

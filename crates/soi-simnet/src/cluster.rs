@@ -431,6 +431,57 @@ mod tests {
     }
 
     #[test]
+    fn failed_rank_surfaces_as_peer_lost_not_hang() {
+        use crate::comm::SimCommError;
+        let p = 4;
+        let t0 = std::time::Instant::now();
+        let out = Cluster::ideal(p).run_collect(|c| {
+            if c.rank() == 2 {
+                c.fail_now();
+                return Err(SimCommError::PeerLost { peer: Some(2) });
+            }
+            let send: Vec<u64> = (0..p * 2).map(|i| i as u64).collect();
+            let mut recv = vec![0u64; p * 2];
+            c.try_all_to_all(&send, &mut recv)
+        });
+        for (rank, r) in out.iter().enumerate() {
+            if rank == 2 {
+                continue;
+            }
+            assert!(
+                matches!(r, Err(SimCommError::PeerLost { .. })),
+                "rank {rank} got {r:?}"
+            );
+        }
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "death detection took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn buffered_messages_outlive_their_sender() {
+        use crate::comm::SimCommError;
+        let out = Cluster::ideal(2).run_collect(|c| {
+            if c.rank() == 0 {
+                // Send, then die: the payload is already on the wire.
+                c.try_send(1, vec![7u64, 8, 9]).unwrap();
+                c.fail_now();
+                Ok::<Vec<u64>, SimCommError>(Vec::new())
+            } else {
+                let got = c.try_recv::<u64>(0)?;
+                // A second receive must now observe the death.
+                match c.try_recv::<u64>(0) {
+                    Err(SimCommError::PeerLost { .. }) => Ok(got),
+                    other => panic!("expected PeerLost, got {other:?}"),
+                }
+            }
+        });
+        assert_eq!(out[1].as_deref(), Ok(&[7u64, 8, 9][..]));
+    }
+
+    #[test]
     #[should_panic]
     fn rank_panic_propagates() {
         Cluster::ideal(2).run_collect(|c| {

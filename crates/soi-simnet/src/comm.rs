@@ -5,24 +5,129 @@
 //! receives block until the matching message arrives. All payloads really
 //! travel through channels — nothing is faked — while *time* is charged to
 //! the rank's [`VirtualClock`] from the fabric model.
+//!
+//! Rank death is a first-class event, mirroring the wire transport: a
+//! rank that calls [`RankComm::fail_now`] marks itself dead and breaks
+//! the cluster barrier, and every `try_*` operation on a survivor then
+//! surfaces [`SimCommError::PeerLost`] in bounded time instead of
+//! blocking forever. The panicking methods (`recv`, `all_to_all`, …)
+//! remain the ergonomic API for tests that never inject faults; they are
+//! thin wrappers over the `try_*` variants.
 
 use crate::clock::VirtualClock;
 use crate::netmodel::Fabric;
 use soi_trace::{CollectiveOp, Trace};
 use std::any::Any;
-use std::sync::mpsc::{Receiver, Sender};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 type Msg = Box<dyn Any + Send>;
+
+/// How long a survivor polls an empty mailbox before giving up. Death is
+/// normally observed through the dead flag within one poll interval; the
+/// deadline is the backstop for a peer that is alive but wedged.
+const RECV_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Poll interval while waiting on an empty mailbox or a barrier.
+const POLL: Duration = Duration::from_micros(500);
+
+/// What can go wrong on the simulated network. Mirrors the wire
+/// transport's taxonomy so `soi-dist` can map both onto one `CommError`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimCommError {
+    /// A peer rank died (or the cluster barrier was broken by a death).
+    PeerLost {
+        /// The dead peer, when a specific link observed the death.
+        peer: Option<usize>,
+    },
+    /// An operation exceeded its deadline with every peer still alive.
+    Timeout {
+        /// Which operation timed out.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for SimCommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimCommError::PeerLost { peer: Some(p) } => write!(f, "peer rank {p} died"),
+            SimCommError::PeerLost { peer: None } => write!(f, "a peer rank died"),
+            SimCommError::Timeout { op } => write!(f, "simnet {op} timed out"),
+        }
+    }
+}
+
+impl std::error::Error for SimCommError {}
+
+/// A reusable barrier that can be *failed*: once any participant calls
+/// [`DeathBarrier::fail`], every current and future `wait` returns `Err`
+/// immediately — the mesh stays broken until a new cluster is built,
+/// exactly like a torn-down TCP mesh.
+pub(crate) struct DeathBarrier {
+    size: usize,
+    state: Mutex<BarrierState>,
+    cvar: Condvar,
+}
+
+struct BarrierState {
+    count: usize,
+    generation: u64,
+    failed: bool,
+}
+
+impl DeathBarrier {
+    pub(crate) fn new(size: usize) -> Self {
+        Self {
+            size,
+            state: Mutex::new(BarrierState { count: 0, generation: 0, failed: false }),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Block until all `size` ranks arrive, or until the barrier fails.
+    pub(crate) fn wait(&self) -> Result<(), ()> {
+        let mut st = self.state.lock().expect("barrier poisoned");
+        if st.failed {
+            return Err(());
+        }
+        let gen = st.generation;
+        st.count += 1;
+        if st.count == self.size {
+            st.count = 0;
+            st.generation += 1;
+            self.cvar.notify_all();
+            return Ok(());
+        }
+        while st.generation == gen && !st.failed {
+            st = self.cvar.wait(st).expect("barrier poisoned");
+        }
+        if st.failed {
+            Err(())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Break the barrier permanently and wake every waiter.
+    pub(crate) fn fail(&self) {
+        let mut st = self.state.lock().expect("barrier poisoned");
+        st.failed = true;
+        self.cvar.notify_all();
+    }
+}
 
 /// Shared coordination state for one cluster run.
 pub(crate) struct Shared {
     pub(crate) size: usize,
     pub(crate) fabric: Fabric,
-    pub(crate) barrier: Barrier,
+    pub(crate) barrier: DeathBarrier,
     /// One f64-as-bits slot per rank for clock agreement at collectives.
     pub(crate) clock_slots: Vec<AtomicU64>,
+    /// `dead[r]` — rank `r` called `fail_now` and will never speak again.
+    pub(crate) dead: Vec<AtomicBool>,
 }
 
 impl Shared {
@@ -30,8 +135,9 @@ impl Shared {
         Self {
             size,
             fabric,
-            barrier: Barrier::new(size),
+            barrier: DeathBarrier::new(size),
             clock_slots: (0..size).map(|_| AtomicU64::new(0)).collect(),
+            dead: (0..size).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 }
@@ -138,12 +244,75 @@ impl RankComm {
         r
     }
 
+    /// Declare this rank dead: mark the flag every survivor polls and
+    /// break the cluster barrier. Simulates a killed process — after
+    /// this, every operation on every rank of this cluster fails, and
+    /// the mesh stays broken until a fresh [`crate::Cluster`] run
+    /// (the simnet analogue of re-wiring the TCP mesh on rejoin).
+    pub fn fail_now(&mut self) {
+        self.shared.dead[self.rank].store(true, Ordering::SeqCst);
+        self.shared.barrier.fail();
+    }
+
+    /// Whether `rank` has declared itself dead.
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.shared.dead[rank].load(Ordering::SeqCst)
+    }
+
+    /// Push one message toward `dst`, failing fast on a dead peer.
+    fn try_send_msg(&mut self, dst: usize, msg: Msg) -> Result<(), SimCommError> {
+        if self.shared.dead[dst].load(Ordering::SeqCst) {
+            return Err(SimCommError::PeerLost { peer: Some(dst) });
+        }
+        self.senders[dst]
+            .send(msg)
+            .map_err(|_| SimCommError::PeerLost { peer: Some(dst) })
+    }
+
+    /// Pull one message from `src`. Buffered messages are delivered even
+    /// if `src` has since died (they were "on the wire"); an empty
+    /// mailbox from a dead peer is a lost peer; an empty mailbox from a
+    /// live peer is polled until [`RECV_DEADLINE`].
+    fn try_recv_msg(&self, src: usize, op: &'static str) -> Result<Msg, SimCommError> {
+        let deadline = Instant::now() + RECV_DEADLINE;
+        loop {
+            match self.receivers[src].try_recv() {
+                Ok(m) => return Ok(m),
+                Err(TryRecvError::Disconnected) => {
+                    return Err(SimCommError::PeerLost { peer: Some(src) })
+                }
+                Err(TryRecvError::Empty) => {}
+            }
+            if self.shared.dead[src].load(Ordering::SeqCst) {
+                // Final drain: a message queued before the death flag
+                // became visible is still on the wire and deliverable.
+                return match self.receivers[src].try_recv() {
+                    Ok(m) => Ok(m),
+                    Err(_) => Err(SimCommError::PeerLost { peer: Some(src) }),
+                };
+            }
+            if Instant::now() >= deadline {
+                return Err(SimCommError::Timeout { op });
+            }
+            match self.receivers[src].recv_timeout(POLL) {
+                Ok(m) => return Ok(m),
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(SimCommError::PeerLost { peer: Some(src) })
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+        }
+    }
+
     /// Agree on `max(now)` across ranks, then charge `op_cost`. The
     /// double barrier protects the slots from the next collective.
-    fn sync_clocks(&mut self, op_cost: f64) {
+    fn try_sync_clocks(&mut self, op_cost: f64) -> Result<(), SimCommError> {
         let slots = &self.shared.clock_slots;
         slots[self.rank].store(self.clock.now().to_bits(), Ordering::SeqCst);
-        self.shared.barrier.wait();
+        self.shared
+            .barrier
+            .wait()
+            .map_err(|_| SimCommError::PeerLost { peer: None })?;
         // Seed with -inf, not 0.0: a 0.0 seed would silently clamp the
         // fold if clocks could ever read negative, turning "max of the
         // ranks' clocks" into "max of the clocks and zero".
@@ -151,40 +320,57 @@ impl RankComm {
             .iter()
             .map(|s| f64::from_bits(s.load(Ordering::SeqCst)))
             .fold(f64::NEG_INFINITY, f64::max);
-        self.shared.barrier.wait();
+        self.shared
+            .barrier
+            .wait()
+            .map_err(|_| SimCommError::PeerLost { peer: None })?;
         self.clock.synchronize(max, op_cost);
+        Ok(())
     }
 
-    /// Barrier across all ranks.
-    pub fn barrier(&mut self) {
+    /// Fallible barrier across all ranks.
+    pub fn try_barrier(&mut self) -> Result<(), SimCommError> {
         let cost = self.shared.fabric.barrier_time(self.size());
-        self.sync_clocks(cost);
+        self.try_sync_clocks(cost)?;
         self.stats.other_collectives += 1;
         // Recorded after synchronization: every rank's barrier event must
         // carry the identical clock, which the trace validator asserts.
         self.trace
             .collective(CollectiveOp::Barrier, 0, Some(self.clock.now()));
+        Ok(())
     }
 
-    /// Non-blocking buffered send of a typed payload to `dst`.
+    /// Barrier across all ranks.
+    pub fn barrier(&mut self) {
+        self.try_barrier().expect("peer rank hung up");
+    }
+
+    /// Fallible non-blocking buffered send of a typed payload to `dst`.
     ///
     /// Time is *not* charged here; paired operations ([`Self::sendrecv`])
     /// and collectives charge the fabric cost. Raw sends are the building
     /// block and charge at the matching `recv`.
-    pub fn send<T: Send + 'static>(&mut self, dst: usize, data: Vec<T>) {
+    pub fn try_send<T: Send + 'static>(
+        &mut self,
+        dst: usize,
+        data: Vec<T>,
+    ) -> Result<(), SimCommError> {
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         self.stats.bytes_sent += bytes;
         self.stats.p2p_messages += 1;
         self.trace.send(dst, bytes, Some(self.clock.now()));
-        self.senders[dst]
-            .send(Box::new(data))
-            .expect("peer rank hung up");
+        self.try_send_msg(dst, Box::new(data))
     }
 
-    /// Blocking receive of a typed payload from `src`, charging the
-    /// point-to-point fabric cost.
-    pub fn recv<T: Send + 'static>(&mut self, src: usize) -> Vec<T> {
-        let msg = self.receivers[src].recv().expect("peer rank hung up");
+    /// Non-blocking buffered send of a typed payload to `dst`.
+    pub fn send<T: Send + 'static>(&mut self, dst: usize, data: Vec<T>) {
+        self.try_send(dst, data).expect("peer rank hung up");
+    }
+
+    /// Fallible blocking receive of a typed payload from `src`, charging
+    /// the point-to-point fabric cost.
+    pub fn try_recv<T: Send + 'static>(&mut self, src: usize) -> Result<Vec<T>, SimCommError> {
+        let msg = self.try_recv_msg(src, "recv")?;
         let data = *msg
             .downcast::<Vec<T>>()
             .expect("type mismatch between send and recv");
@@ -193,27 +379,31 @@ impl RankComm {
         self.clock
             .charge_comm(self.shared.fabric.point_to_point_time(bytes));
         self.trace.recv(src, bytes, Some(self.clock.now()));
-        data
+        Ok(data)
     }
 
-    /// Simultaneous exchange: send `data` to `dst` while receiving from
-    /// `src` (the halo-exchange pattern of the SOI convolution, where each
-    /// node needs `(B−ν)P` points from its next-door neighbor — §2: "each
-    /// node merely needs an insignificant amount of data").
-    pub fn sendrecv<T: Send + Clone + 'static>(
+    /// Blocking receive of a typed payload from `src`.
+    pub fn recv<T: Send + 'static>(&mut self, src: usize) -> Vec<T> {
+        self.try_recv(src).expect("peer rank hung up")
+    }
+
+    /// Fallible simultaneous exchange: send `data` to `dst` while
+    /// receiving from `src` (the halo-exchange pattern of the SOI
+    /// convolution, where each node needs `(B−ν)P` points from its
+    /// next-door neighbor — §2: "each node merely needs an insignificant
+    /// amount of data").
+    pub fn try_sendrecv<T: Send + Clone + 'static>(
         &mut self,
         dst: usize,
         data: &[T],
         src: usize,
-    ) -> Vec<T> {
+    ) -> Result<Vec<T>, SimCommError> {
         let sent_bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         self.stats.bytes_sent += sent_bytes;
         self.stats.p2p_messages += 1;
         self.trace.send(dst, sent_bytes, Some(self.clock.now()));
-        self.senders[dst]
-            .send(Box::new(data.to_vec()))
-            .expect("peer rank hung up");
-        let msg = self.receivers[src].recv().expect("peer rank hung up");
+        self.try_send_msg(dst, Box::new(data.to_vec()))?;
+        let msg = self.try_recv_msg(src, "sendrecv")?;
         let out = *msg
             .downcast::<Vec<T>>()
             .expect("type mismatch between sendrecv peers");
@@ -221,17 +411,31 @@ impl RankComm {
         self.stats.bytes_received += bytes;
         self.trace.recv(src, bytes, Some(self.clock.now()));
         // All ranks exchange concurrently; synchronize and charge one hop.
-        self.sync_clocks(self.shared.fabric.point_to_point_time(bytes));
+        self.try_sync_clocks(self.shared.fabric.point_to_point_time(bytes))?;
         self.trace
             .collective(CollectiveOp::SendRecv, bytes, Some(self.clock.now()));
-        out
+        Ok(out)
     }
 
-    /// All-to-all with equal blocks: block `d` of `send` goes to rank `d`;
-    /// `recv` block `s` arrives from rank `s`. This is the single global
-    /// exchange of the SOI factorization (`P_perm^{P,N'}` in Eq. 6) and
-    /// the three exchanges of the baseline.
-    pub fn all_to_all<T: Send + Clone + 'static>(&mut self, send: &[T], recv: &mut [T]) {
+    /// Simultaneous exchange: send `data` to `dst` while receiving from `src`.
+    pub fn sendrecv<T: Send + Clone + 'static>(
+        &mut self,
+        dst: usize,
+        data: &[T],
+        src: usize,
+    ) -> Vec<T> {
+        self.try_sendrecv(dst, data, src).expect("peer rank hung up")
+    }
+
+    /// Fallible all-to-all with equal blocks: block `d` of `send` goes to
+    /// rank `d`; `recv` block `s` arrives from rank `s`. This is the
+    /// single global exchange of the SOI factorization (`P_perm^{P,N'}`
+    /// in Eq. 6) and the three exchanges of the baseline.
+    pub fn try_all_to_all<T: Send + Clone + 'static>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+    ) -> Result<(), SimCommError> {
         let p = self.size();
         assert_eq!(send.len(), recv.len(), "all_to_all buffers must match");
         assert!(
@@ -248,9 +452,7 @@ impl RankComm {
             let chunk_bytes = (chunk.len() * std::mem::size_of::<T>()) as u64;
             self.stats.bytes_sent += chunk_bytes;
             self.trace.send(dst, chunk_bytes, Some(self.clock.now()));
-            self.senders[dst]
-                .send(Box::new(chunk))
-                .expect("peer rank hung up");
+            self.try_send_msg(dst, Box::new(chunk))?;
         }
         recv[self.rank * block..(self.rank + 1) * block]
             .clone_from_slice(&send[self.rank * block..(self.rank + 1) * block]);
@@ -258,7 +460,7 @@ impl RankComm {
             if src == self.rank {
                 continue;
             }
-            let msg = self.receivers[src].recv().expect("peer rank hung up");
+            let msg = self.try_recv_msg(src, "all_to_all")?;
             let data = *msg
                 .downcast::<Vec<T>>()
                 .expect("type mismatch in all_to_all");
@@ -273,20 +475,29 @@ impl RankComm {
         // `all_to_allv` uses, so even payloads price identically on both.
         let total_bytes = ((send.len() - block) * std::mem::size_of::<T>()) as u64 * p as u64;
         let cost = self.shared.fabric.all_to_all_time(p, total_bytes);
-        self.sync_clocks(cost);
+        self.try_sync_clocks(cost)?;
         self.stats.all_to_alls += 1;
         self.trace
             .collective(CollectiveOp::AllToAll, total_bytes, Some(self.clock.now()));
+        Ok(())
     }
 
-    /// Variable-count all-to-all: `send` is partitioned by `send_counts`
-    /// (one entry per destination); returns the concatenation of the
-    /// blocks received from ranks `0..p` in order.
-    pub fn all_to_allv<T: Send + Clone + 'static>(
+    /// All-to-all with equal blocks.
+    pub fn all_to_all<T: Send + Clone + 'static>(&mut self, send: &[T], recv: &mut [T]) {
+        self.try_all_to_all(send, recv).expect("peer rank hung up");
+    }
+
+    /// Fallible variable-count all-to-all: `send` is partitioned by
+    /// `send_counts` (one entry per destination); returns the
+    /// concatenation of the blocks received from ranks `0..p` in order.
+    /// A zero count is legal and still records a zero-byte send/recv
+    /// event pair (the wire transport ships the matching zero-length
+    /// frame — the schedules must stay in lock-step).
+    pub fn try_all_to_allv<T: Send + Clone + 'static>(
         &mut self,
         send: &[T],
         send_counts: &[usize],
-    ) -> Vec<T> {
+    ) -> Result<Vec<T>, SimCommError> {
         let p = self.size();
         assert_eq!(send_counts.len(), p, "need one send count per rank");
         assert_eq!(
@@ -305,9 +516,7 @@ impl RankComm {
                 let bytes = (cnt * std::mem::size_of::<T>()) as u64;
                 self.stats.bytes_sent += bytes;
                 self.trace.send(dst, bytes, Some(self.clock.now()));
-                self.senders[dst]
-                    .send(Box::new(chunk.to_vec()))
-                    .expect("peer rank hung up");
+                self.try_send_msg(dst, Box::new(chunk.to_vec()))?;
             }
         }
         let mut out = Vec::new();
@@ -317,7 +526,7 @@ impl RankComm {
                 out.extend_from_slice(&self_block);
                 continue;
             }
-            let msg = self.receivers[src].recv().expect("peer rank hung up");
+            let msg = self.try_recv_msg(src, "all_to_allv")?;
             let data = *msg
                 .downcast::<Vec<T>>()
                 .expect("type mismatch in all_to_allv");
@@ -333,15 +542,28 @@ impl RankComm {
         // the paper's model, and the SOI/baseline payloads are balanced).
         let charged = total_recv_bytes * p as u64;
         let cost = self.shared.fabric.all_to_all_time(p, charged);
-        self.sync_clocks(cost);
+        self.try_sync_clocks(cost)?;
         self.stats.all_to_alls += 1;
         self.trace
             .collective(CollectiveOp::AllToAllV, charged, Some(self.clock.now()));
-        out
+        Ok(out)
     }
 
-    /// Broadcast `data` from `root` to every rank.
-    pub fn broadcast<T: Send + Clone + 'static>(&mut self, root: usize, data: Vec<T>) -> Vec<T> {
+    /// Variable-count all-to-all.
+    pub fn all_to_allv<T: Send + Clone + 'static>(
+        &mut self,
+        send: &[T],
+        send_counts: &[usize],
+    ) -> Vec<T> {
+        self.try_all_to_allv(send, send_counts).expect("peer rank hung up")
+    }
+
+    /// Fallible broadcast of `data` from `root` to every rank.
+    pub fn try_broadcast<T: Send + Clone + 'static>(
+        &mut self,
+        root: usize,
+        data: Vec<T>,
+    ) -> Result<Vec<T>, SimCommError> {
         let p = self.size();
         let out = if self.rank == root {
             let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
@@ -349,14 +571,12 @@ impl RankComm {
                 if dst != root {
                     self.stats.bytes_sent += bytes;
                     self.trace.send(dst, bytes, Some(self.clock.now()));
-                    self.senders[dst]
-                        .send(Box::new(data.clone()))
-                        .expect("peer rank hung up");
+                    self.try_send_msg(dst, Box::new(data.clone()))?;
                 }
             }
             data
         } else {
-            let msg = self.receivers[root].recv().expect("peer rank hung up");
+            let msg = self.try_recv_msg(root, "broadcast")?;
             let out = *msg.downcast::<Vec<T>>().expect("type mismatch in broadcast");
             let bytes = (out.len() * std::mem::size_of::<T>()) as u64;
             self.stats.bytes_received += bytes;
@@ -366,16 +586,25 @@ impl RankComm {
         let bytes = (out.len() * std::mem::size_of::<T>()) as u64;
         let cost =
             self.shared.fabric.point_to_point_time(bytes) * (p as f64).log2().ceil().max(1.0);
-        self.sync_clocks(cost);
+        self.try_sync_clocks(cost)?;
         self.stats.other_collectives += 1;
         self.trace
             .collective(CollectiveOp::Broadcast, bytes, Some(self.clock.now()));
-        out
+        Ok(out)
     }
 
-    /// Gather every rank's `data` at `root` (concatenated in rank order);
-    /// other ranks get `None`.
-    pub fn gather<T: Send + Clone + 'static>(&mut self, root: usize, data: &[T]) -> Option<Vec<T>> {
+    /// Broadcast `data` from `root` to every rank.
+    pub fn broadcast<T: Send + Clone + 'static>(&mut self, root: usize, data: Vec<T>) -> Vec<T> {
+        self.try_broadcast(root, data).expect("peer rank hung up")
+    }
+
+    /// Fallible gather of every rank's `data` at `root` (concatenated in
+    /// rank order); other ranks get `None`.
+    pub fn try_gather<T: Send + Clone + 'static>(
+        &mut self,
+        root: usize,
+        data: &[T],
+    ) -> Result<Option<Vec<T>>, SimCommError> {
         let p = self.size();
         let result = if self.rank == root {
             let mut out = Vec::new();
@@ -383,7 +612,7 @@ impl RankComm {
                 if src == root {
                     out.extend_from_slice(data);
                 } else {
-                    let msg = self.receivers[src].recv().expect("peer rank hung up");
+                    let msg = self.try_recv_msg(src, "gather")?;
                     let block = *msg.downcast::<Vec<T>>().expect("type mismatch in gather");
                     let bytes = (block.len() * std::mem::size_of::<T>()) as u64;
                     self.stats.bytes_received += bytes;
@@ -396,31 +625,36 @@ impl RankComm {
             let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
             self.stats.bytes_sent += bytes;
             self.trace.send(root, bytes, Some(self.clock.now()));
-            self.senders[root]
-                .send(Box::new(data.to_vec()))
-                .expect("peer rank hung up");
+            self.try_send_msg(root, Box::new(data.to_vec()))?;
             None
         };
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
         let cost = self.shared.fabric.point_to_point_time(bytes) * (p as f64).log2().ceil().max(1.0);
-        self.sync_clocks(cost);
+        self.try_sync_clocks(cost)?;
         self.stats.other_collectives += 1;
         self.trace
             .collective(CollectiveOp::Gather, bytes, Some(self.clock.now()));
-        result
+        Ok(result)
     }
 
-    /// All-gather: every rank receives the rank-ordered concatenation.
-    pub fn all_gather<T: Send + Clone + 'static>(&mut self, data: &[T]) -> Vec<T> {
+    /// Gather every rank's `data` at `root`; other ranks get `None`.
+    pub fn gather<T: Send + Clone + 'static>(&mut self, root: usize, data: &[T]) -> Option<Vec<T>> {
+        self.try_gather(root, data).expect("peer rank hung up")
+    }
+
+    /// Fallible all-gather: every rank receives the rank-ordered
+    /// concatenation.
+    pub fn try_all_gather<T: Send + Clone + 'static>(
+        &mut self,
+        data: &[T],
+    ) -> Result<Vec<T>, SimCommError> {
         let p = self.size();
         for dst in 0..p {
             if dst != self.rank {
                 let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
                 self.stats.bytes_sent += bytes;
                 self.trace.send(dst, bytes, Some(self.clock.now()));
-                self.senders[dst]
-                    .send(Box::new(data.to_vec()))
-                    .expect("peer rank hung up");
+                self.try_send_msg(dst, Box::new(data.to_vec()))?;
             }
         }
         let mut out = Vec::new();
@@ -428,7 +662,7 @@ impl RankComm {
             if src == self.rank {
                 out.extend_from_slice(data);
             } else {
-                let msg = self.receivers[src].recv().expect("peer rank hung up");
+                let msg = self.try_recv_msg(src, "all_gather")?;
                 let block = *msg
                     .downcast::<Vec<T>>()
                     .expect("type mismatch in all_gather");
@@ -440,26 +674,46 @@ impl RankComm {
         }
         let bytes = (data.len() * std::mem::size_of::<T>()) as u64 * p as u64;
         let cost = self.shared.fabric.all_to_all_time(p, bytes);
-        self.sync_clocks(cost);
+        self.try_sync_clocks(cost)?;
         self.stats.other_collectives += 1;
         self.trace
             .collective(CollectiveOp::AllGather, bytes, Some(self.clock.now()));
-        out
+        Ok(out)
+    }
+
+    /// All-gather: every rank receives the rank-ordered concatenation.
+    pub fn all_gather<T: Send + Clone + 'static>(&mut self, data: &[T]) -> Vec<T> {
+        self.try_all_gather(data).expect("peer rank hung up")
+    }
+
+    /// Fallible sum-allreduce of one f64.
+    pub fn try_allreduce_sum(&mut self, v: f64) -> Result<f64, SimCommError> {
+        Ok(self.try_all_gather(&[v])?.iter().sum())
     }
 
     /// Sum-allreduce of one f64.
     pub fn allreduce_sum(&mut self, v: f64) -> f64 {
-        self.all_gather(&[v]).iter().sum()
+        self.try_allreduce_sum(v).expect("peer rank hung up")
+    }
+
+    /// Fallible max-allreduce of one f64.
+    pub fn try_allreduce_max(&mut self, v: f64) -> Result<f64, SimCommError> {
+        Ok(self
+            .try_all_gather(&[v])?
+            .iter()
+            .copied()
+            .fold(f64::MIN, f64::max))
     }
 
     /// Max-allreduce of one f64.
     pub fn allreduce_max(&mut self, v: f64) -> f64 {
-        self.all_gather(&[v]).iter().copied().fold(f64::MIN, f64::max)
+        self.try_allreduce_max(v).expect("peer rank hung up")
     }
 }
 
 #[cfg(test)]
 mod tests {
-    // RankComm cannot exist without a Cluster; its behaviour is tested in
-    // `cluster.rs` where ranks actually run.
+    // RankComm cannot exist without a Cluster; its behaviour (including
+    // fault injection via `fail_now`) is tested in `cluster.rs` where
+    // ranks actually run.
 }

@@ -32,6 +32,6 @@ pub mod netmodel;
 pub mod systems;
 
 pub use cluster::{Cluster, RankReport};
-pub use comm::{CommStats, RankComm};
+pub use comm::{CommStats, RankComm, SimCommError};
 pub use netmodel::Fabric;
 pub use systems::SystemConfig;

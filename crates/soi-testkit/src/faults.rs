@@ -1,0 +1,145 @@
+//! Shared fault-injection test helpers: kill a rank, run the survivors,
+//! and assert they fail *fast* instead of hanging.
+//!
+//! Several suites need the same scaffold: bootstrap a mesh of per-rank
+//! communicators, make one rank "die" (drop its endpoint so peers see
+//! EOF / deadline expiry), drive the surviving ranks through a job on
+//! one thread each, and then check two things —
+//!
+//! 1. **every** survivor observes the death as an error (no partial
+//!    success, no survivor stuck in a blocking read), and
+//! 2. the whole episode finishes inside a deadline (the transport's
+//!    timeouts are actually bounding the hang).
+//!
+//! The helper is generic over the communicator type so this crate does
+//! not depend on any transport; `soi-wire` and `soi-dist` instantiate it
+//! with `WireComm` and whatever job/error types they are testing.
+
+use std::fmt::Debug;
+use std::time::{Duration, Instant};
+
+/// What [`kill_and_run`] observed: the per-survivor errors (in the order
+/// the surviving communicators were given) and the wall-clock time the
+/// whole episode took.
+pub struct KillOutcome<E> {
+    /// One error per survivor; `kill_and_run` has already asserted every
+    /// survivor failed, so callers only match on the error *kind*.
+    pub errors: Vec<E>,
+    /// Time from just after the victim died to the last survivor
+    /// returning.
+    pub elapsed: Duration,
+}
+
+/// Drop `comms[victim]` (the rank "dies"), run `job` on every surviving
+/// communicator on its own thread, and assert that
+///
+/// * every survivor returns `Err` (panics otherwise — a survivor that
+///   computes a result against a dead peer is a correctness bug), and
+/// * the slowest survivor failed within `deadline` (panics otherwise —
+///   an unbounded hang is exactly what the transports' timeouts exist
+///   to prevent).
+///
+/// Returns the collected errors so callers can additionally assert the
+/// error *variant* (e.g. `PeerLost` / `Timeout` on the wire, `Comm` at
+/// the FFT layer).
+///
+/// # Panics
+///
+/// On out-of-range `victim`, on any survivor thread panicking, and on
+/// the two assertions above.
+pub fn kill_and_run<C, T, E>(
+    mut comms: Vec<C>,
+    victim: usize,
+    deadline: Duration,
+    job: impl Fn(&mut C) -> Result<T, E> + Sync,
+) -> KillOutcome<E>
+where
+    C: Send,
+    T: Send,
+    E: Send + Debug,
+{
+    assert!(
+        victim < comms.len(),
+        "victim rank {victim} out of range for {} comms",
+        comms.len()
+    );
+    let dead = comms.remove(victim);
+    drop(dead);
+
+    let job = &job;
+    let t0 = Instant::now();
+    let results = std::thread::scope(|s| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|mut c| s.spawn(move || job(&mut c)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("survivor panicked"))
+            .collect::<Vec<_>>()
+    });
+    let elapsed = t0.elapsed();
+
+    let errors: Vec<E> = results
+        .into_iter()
+        .map(|r| match r {
+            Ok(_) => panic!("a survivor completed despite rank {victim} being dead"),
+            Err(e) => e,
+        })
+        .collect();
+    assert!(
+        elapsed < deadline,
+        "survivors took {elapsed:?} (deadline {deadline:?}) — \
+         deadlines are not bounding the hang"
+    );
+    KillOutcome { errors, elapsed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// A toy "communicator": each survivor holds a Receiver whose only
+    /// Sender lives inside the victim's comm, so dropping the victim is
+    /// what closes every survivor's channel — the same shape as a TCP
+    /// peer hanging up mid-collective.
+    #[test]
+    fn surfaces_errors_from_all_survivors() {
+        let p = 4;
+        let victim = 2;
+        let (txs, rxs): (Vec<_>, Vec<_>) = (0..p).map(|_| mpsc::channel::<u8>()).unzip();
+        let mut comms: Vec<(Option<mpsc::Receiver<u8>>, Vec<mpsc::Sender<u8>>)> = rxs
+            .into_iter()
+            .map(|rx| (Some(rx), Vec::new()))
+            .collect();
+        comms[victim].1 = txs; // victim owns every sender
+
+        let out = kill_and_run(comms, victim, Duration::from_secs(5), |c| {
+            // The victim is gone, so the sender side is closed and this
+            // returns Disconnected immediately rather than timing out.
+            c.0.take()
+                .unwrap()
+                .recv_timeout(Duration::from_secs(2))
+                .map_err(|e| format!("{e}"))
+        });
+        assert_eq!(out.errors.len(), p - 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "a survivor completed")]
+    fn panics_when_a_survivor_succeeds() {
+        let comms: Vec<u8> = vec![0, 1, 2];
+        let _ = kill_and_run(comms, 0, Duration::from_secs(1), |_| Ok::<_, String>(()));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlines are not bounding the hang")]
+    fn panics_when_the_deadline_is_blown() {
+        let comms: Vec<u8> = vec![0, 1];
+        let _ = kill_and_run(comms, 0, Duration::from_millis(1), |_| {
+            std::thread::sleep(Duration::from_millis(50));
+            Err::<(), _>("late")
+        });
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`bench`] — a lightweight bench runner: warmup, iteration
 //!   calibration, median-of-K timing, human-readable and JSON-line
 //!   output. Replaces `criterion` in the harness-free benches.
+//! * [`faults`] — a kill-one-rank scaffold shared by the transport and
+//!   FFT-layer fault suites: drop a communicator, run the survivors on
+//!   threads, assert they all fail within a deadline.
 //!
 //! Everything is deterministic by construction: the default property seed
 //! is a fixed constant, so two consecutive `cargo test` runs exercise
@@ -21,9 +24,11 @@
 //! or `SOI_TESTKIT_REPLAY` (re-run exactly one reported failing case).
 
 pub mod bench;
+pub mod faults;
 pub mod prop;
 pub mod rng;
 
 pub use bench::{black_box, BenchStats, Bencher};
+pub use faults::{kill_and_run, KillOutcome};
 pub use prop::{check, forall, PropConfig};
 pub use rng::TestRng;

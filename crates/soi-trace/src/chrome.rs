@@ -89,6 +89,10 @@ fn push_event(out: &mut String, ev: &Event, first: &mut bool) {
             num(ts_us),
             num(*value)
         ),
+        EventKind::Rejoin { epoch } => format!(
+            "{{\"name\":\"rejoin epoch {epoch}\",\"ph\":\"i\",\"s\":\"p\",\"ts\":{},\"pid\":{pid},\"tid\":{tid},\"args\":{{\"epoch\":{epoch}{tv}}}}}",
+            num(ts_us)
+        ),
     };
     if !*first {
         out.push_str(",\n");

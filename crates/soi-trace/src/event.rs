@@ -117,6 +117,16 @@ pub enum EventKind {
         /// Value.
         value: f64,
     },
+    /// This rank entered job epoch `epoch` after a fault: either it is a
+    /// respawned incarnation reclaiming a dead rank's slot, or a survivor
+    /// that re-wired its mesh to admit one. Recovery replays from
+    /// checkpoints, so all traffic recorded after this marker belongs to
+    /// the clean replay; the validator requires every rank to agree on
+    /// the epoch sequence, exactly like collectives.
+    Rejoin {
+        /// The new job epoch (the initial bootstrap is epoch 0).
+        epoch: u64,
+    },
 }
 
 /// One structured trace record.
@@ -176,6 +186,9 @@ impl Event {
             EventKind::Counter { name, value } => {
                 let _ = write!(s, ",\"kind\":\"counter\",\"name\":\"{name}\",\"value\":{value}");
             }
+            EventKind::Rejoin { epoch } => {
+                let _ = write!(s, ",\"kind\":\"rejoin\",\"epoch\":{epoch}");
+            }
         }
         s.push('}');
         s
@@ -234,6 +247,9 @@ impl Event {
             "counter" => EventKind::Counter {
                 name: Cow::Owned(string("name")?.to_string()),
                 value: num("value")?,
+            },
+            "rejoin" => EventKind::Rejoin {
+                epoch: num("epoch")? as u64,
             },
             other => return Err(format!("unknown event kind `{other}`")),
         };
@@ -411,6 +427,13 @@ mod tests {
                 name: Cow::Borrowed("flops"),
                 value: 1.5e9,
             },
+        });
+        roundtrip(Event {
+            rank: 2,
+            worker: 0,
+            t_mono_ns: 49,
+            t_virt: None,
+            kind: EventKind::Rejoin { epoch: 1 },
         });
     }
 

@@ -160,6 +160,14 @@ impl Trace {
         }
     }
 
+    /// Record entry into job epoch `epoch` after a fault (rejoin or
+    /// mesh re-wire). Replayed traffic is recorded after this marker.
+    pub fn rejoin(&self, epoch: u64, t_virt: Option<f64>) {
+        if let Some(r) = &self.inner {
+            r.record(0, t_virt, EventKind::Rejoin { epoch });
+        }
+    }
+
     /// Number of events recorded so far (0 when disabled).
     pub fn len(&self) -> usize {
         self.inner

@@ -11,7 +11,9 @@
 //! 5. on every directed link *a → b*, bytes and message counts sent by
 //!    *a* equal bytes and counts received by *b* (order-insensitive —
 //!    only the totals must conserve);
-//! 6. at every barrier, all ranks read the same virtual clock.
+//! 6. at every barrier, all ranks read the same virtual clock;
+//! 7. all ranks record the identical sequence of rejoin epochs (empty
+//!    for an undisturbed run) — a recovered job re-wires *every* rank.
 //!
 //! A dropped or duplicated message event, a clock that regresses, or a
 //! rank that skipped a collective — i.e. a race or protocol bug in the
@@ -49,6 +51,9 @@ pub struct TraceSummary {
     pub bytes: u64,
     /// The collective sequence every rank executed.
     pub collectives: Vec<CollectiveOp>,
+    /// The rejoin-epoch sequence every rank recorded (empty when the run
+    /// was undisturbed).
+    pub rejoins: Vec<u64>,
     /// Distinct phase names seen in spans, in order of first appearance.
     pub phases: Vec<String>,
 }
@@ -104,6 +109,13 @@ pub enum TraceError {
         /// The clock readings per rank.
         clocks: Vec<f64>,
     },
+    /// Two ranks recorded different rejoin-epoch sequences.
+    RejoinMismatch {
+        /// First divergent rank.
+        rank: usize,
+        /// Human-readable description of the divergence.
+        detail: String,
+    },
     /// A trace file could not be read or parsed.
     Io(String),
 }
@@ -136,6 +148,10 @@ impl fmt::Display for TraceError {
             TraceError::BarrierSkew { barrier, clocks } => write!(
                 f,
                 "barrier {barrier}: virtual clocks disagree across ranks: {clocks:?}"
+            ),
+            TraceError::RejoinMismatch { rank, detail } => write!(
+                f,
+                "rank {rank} diverges from rank 0's rejoin-epoch sequence: {detail}"
             ),
             TraceError::Io(msg) => write!(f, "trace i/o: {msg}"),
         }
@@ -348,12 +364,42 @@ impl TraceSet {
             }
         }
 
+        // 7. identical rejoin-epoch sequence across ranks. Recovery
+        //    re-wires the whole mesh, so a survivor that missed a rejoin
+        //    (or a respawn that recorded an extra one) is a protocol bug.
+        let rejoins_of = |evs: &[Event]| -> Vec<u64> {
+            evs.iter()
+                .filter_map(|e| match e.kind {
+                    EventKind::Rejoin { epoch } => Some(epoch),
+                    _ => None,
+                })
+                .collect()
+        };
+        let rejoins = self.ranks.first().map(|evs| rejoins_of(evs)).unwrap_or_default();
+        for (rank, evs) in self.ranks.iter().enumerate().skip(1) {
+            let seq = rejoins_of(evs);
+            if seq != rejoins {
+                let detail = if seq.len() != rejoins.len() {
+                    format!("{} rejoins vs {}", seq.len(), rejoins.len())
+                } else {
+                    let i = seq
+                        .iter()
+                        .zip(&rejoins)
+                        .position(|(a, b)| a != b)
+                        .unwrap_or(0);
+                    format!("rejoin {} is epoch {} but rank 0 saw {}", i, seq[i], rejoins[i])
+                };
+                return Err(TraceError::RejoinMismatch { rank, detail });
+            }
+        }
+
         Ok(TraceSummary {
             ranks: self.ranks.len(),
             events: self.ranks.iter().map(Vec::len).sum(),
             messages,
             bytes,
             collectives: reference,
+            rejoins,
             phases,
         })
     }
@@ -491,6 +537,35 @@ mod tests {
         assert!(matches!(
             set.validate(),
             Err(TraceError::UnbalancedSpans { rank: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejoin_sequences_must_agree() {
+        let mut set = good_set();
+        for evs in set.ranks.iter_mut() {
+            evs.push(Event {
+                rank: evs[0].rank,
+                worker: 0,
+                t_mono_ns: 999,
+                t_virt: None,
+                kind: EventKind::Rejoin { epoch: 1 },
+            });
+        }
+        let s = set.validate().expect("agreeing rejoins must validate");
+        assert_eq!(s.rejoins, vec![1]);
+
+        // Rank 1 alone records an extra rejoin: protocol bug.
+        set.ranks[1].push(Event {
+            rank: 1,
+            worker: 0,
+            t_mono_ns: 1000,
+            t_virt: None,
+            kind: EventKind::Rejoin { epoch: 2 },
+        });
+        assert!(matches!(
+            set.validate(),
+            Err(TraceError::RejoinMismatch { rank: 1, .. })
         ));
     }
 

@@ -25,6 +25,16 @@
 //!
 //! Every step has a deadline ([`WireConfig`]); a missing peer surfaces as
 //! [`WireError::Timeout`] or [`WireError::PeerLost`], never a hang.
+//!
+//! **Rejoin.** Jobs carry an *epoch* (the initial bootstrap is epoch 0).
+//! When a rank dies mid-job, the launcher opens a fresh recovery round:
+//! every survivor plus the respawned worker sends a HELLO that *claims*
+//! its rank for the next epoch (`REJOIN` claims, vs the arrival-order
+//! `NEW` claims of [`Rendezvous::serve`]), [`Rendezvous::reserve`]
+//! validates the claims, and the mesh re-wires exactly as at first
+//! bootstrap — same address-table WELCOME, same connect-down/accept-up
+//! wiring. Ranks are pinned by the claims, so the respawned incarnation
+//! lands in the dead rank's slot.
 
 use crate::error::{classify_io, WireError};
 use crate::frame::{expect_frame, write_frame, TAG_HELLO, TAG_IDENT, TAG_WELCOME};
@@ -72,6 +82,26 @@ impl WireConfig {
         }
         cfg
     }
+}
+
+/// HELLO claim kind: join with no rank preference (assigned arrival order).
+const CLAIM_NEW: u32 = 0;
+/// HELLO claim kind: reclaim a specific rank's slot for a new epoch.
+const CLAIM_REJOIN: u32 = 1;
+
+/// Decode a HELLO payload: `(mesh_addr, claim_kind, claimed_rank, epoch)`.
+/// Claimless HELLOs (the pre-epoch wire format) parse as `NEW` claims, so
+/// old workers still bootstrap against a new rendezvous.
+fn parse_hello(payload: &[u8]) -> Result<(String, u32, u32, u32), WireError> {
+    let mut r = PayloadReader::new(payload);
+    let mesh_addr = r.str()?;
+    if r.remaining() == 0 {
+        return Ok((mesh_addr, CLAIM_NEW, 0, 0));
+    }
+    let kind = r.u32()?;
+    let rank = r.u32()?;
+    let epoch = r.u32()?;
+    Ok((mesh_addr, kind, rank, epoch))
 }
 
 fn env_ms(key: &str) -> Option<Duration> {
@@ -190,7 +220,13 @@ impl Rendezvous {
         for _ in 0..p {
             let mut stream = accept_with_deadline(&self.listener, &self.cfg)?;
             let hello = expect_frame(&mut stream, TAG_HELLO, None, self.cfg.op_timeout)?;
-            let mesh_addr = PayloadReader::new(&hello).str()?;
+            let (mesh_addr, kind, claimed, epoch) = parse_hello(&hello)?;
+            if kind != CLAIM_NEW {
+                return Err(WireError::Protocol(format!(
+                    "rank {claimed} sent a rejoin HELLO (epoch {epoch}) to an \
+                     initial rendezvous"
+                )));
+            }
             if joined.iter().any(|(_, a)| *a == mesh_addr) {
                 return Err(WireError::Protocol(format!(
                     "duplicate mesh address `{mesh_addr}` in HELLO"
@@ -208,6 +244,67 @@ impl Rendezvous {
         }
         Ok(joined.into_iter().map(|(s, _)| s).collect())
     }
+
+    /// Recovery round: accept exactly `p` REJOIN claims for `epoch`, each
+    /// pinning a distinct rank `< p`, send WELCOMEs carrying the fresh
+    /// address table, and return the new control streams **in rank
+    /// order**. Accepts get extra budget on top of `connect_timeout`:
+    /// survivors only come back after noticing the death, which can take
+    /// up to one `op_timeout`.
+    pub fn reserve(&self, p: usize, epoch: u32) -> Result<Vec<TcpStream>, WireError> {
+        if p == 0 {
+            return Err(WireError::Bootstrap("cannot reserve 0 ranks".into()));
+        }
+        let cfg = WireConfig {
+            connect_timeout: self.cfg.connect_timeout + self.cfg.op_timeout,
+            ..self.cfg
+        };
+        let mut joined: Vec<Option<(TcpStream, String)>> = (0..p).map(|_| None).collect();
+        for _ in 0..p {
+            let mut stream = accept_with_deadline(&self.listener, &cfg)?;
+            let hello = expect_frame(&mut stream, TAG_HELLO, None, cfg.op_timeout)?;
+            let (mesh_addr, kind, claimed, claimed_epoch) = parse_hello(&hello)?;
+            if kind != CLAIM_REJOIN {
+                return Err(WireError::Protocol(format!(
+                    "expected a rejoin HELLO for epoch {epoch}, got a new join \
+                     from `{mesh_addr}`"
+                )));
+            }
+            if claimed_epoch != epoch {
+                return Err(WireError::Protocol(format!(
+                    "rank {claimed} rejoined with epoch {claimed_epoch}, \
+                     recovery round is epoch {epoch}"
+                )));
+            }
+            let claimed = claimed as usize;
+            if claimed >= p {
+                return Err(WireError::Protocol(format!(
+                    "rejoin claims rank {claimed} of {p}"
+                )));
+            }
+            if joined[claimed].is_some() {
+                return Err(WireError::Protocol(format!(
+                    "two workers claimed rank {claimed} in epoch {epoch}"
+                )));
+            }
+            joined[claimed] = Some((stream, mesh_addr));
+        }
+        let addrs: Vec<String> = joined
+            .iter()
+            .map(|s| s.as_ref().expect("all slots filled").1.clone())
+            .collect();
+        let mut controls = Vec::with_capacity(p);
+        for (rank, slot) in joined.into_iter().enumerate() {
+            let (mut stream, _) = slot.expect("all slots filled");
+            let mut w = PayloadWriter::new().u32(rank as u32).u32(p as u32);
+            for a in &addrs {
+                w = w.str(a);
+            }
+            write_frame(&mut stream, TAG_WELCOME, &w.finish(), None, cfg.op_timeout)?;
+            controls.push(stream);
+        }
+        Ok(controls)
+    }
 }
 
 /// What a worker holds after bootstrap completes: its identity, the
@@ -224,6 +321,12 @@ pub struct Bootstrap {
     pub peers: Vec<Option<TcpStream>>,
     /// The deadlines this mesh was wired with.
     pub cfg: WireConfig,
+    /// The job epoch this mesh belongs to (0 for the initial bootstrap,
+    /// incremented by each recovery round).
+    pub epoch: u32,
+    /// The rendezvous address this worker bootstrapped against — kept so
+    /// the communicator can reconnect for a recovery round.
+    pub rendezvous: String,
 }
 
 impl Bootstrap {
@@ -231,6 +334,27 @@ impl Bootstrap {
     /// say HELLO, learn rank + peer table from WELCOME, and wire the
     /// full mesh (connect down, accept up).
     pub fn join(rendezvous_addr: &str, cfg: WireConfig) -> Result<Self, WireError> {
+        Self::handshake(rendezvous_addr, None, 0, cfg)
+    }
+
+    /// Reclaim `rank`'s slot for `epoch` at a recovery rendezvous
+    /// ([`Rendezvous::reserve`]): identical to [`Bootstrap::join`] except
+    /// the HELLO pins the rank instead of taking arrival order.
+    pub fn rejoin(
+        rendezvous_addr: &str,
+        rank: usize,
+        epoch: u32,
+        cfg: WireConfig,
+    ) -> Result<Self, WireError> {
+        Self::handshake(rendezvous_addr, Some(rank), epoch, cfg)
+    }
+
+    fn handshake(
+        rendezvous_addr: &str,
+        claim: Option<usize>,
+        epoch: u32,
+        cfg: WireConfig,
+    ) -> Result<Self, WireError> {
         // Mesh listener first: its address is what HELLO advertises, and
         // binding before HELLO is what makes peer connects race-free.
         let mesh = TcpListener::bind("127.0.0.1:0")
@@ -241,13 +365,19 @@ impl Bootstrap {
             .to_string();
 
         let mut control = connect_with_backoff(rendezvous_addr, &cfg)?;
-        write_frame(
-            &mut control,
-            TAG_HELLO,
-            &PayloadWriter::new().str(&mesh_addr).finish(),
-            None,
-            cfg.op_timeout,
-        )?;
+        let hello = match claim {
+            None => PayloadWriter::new()
+                .str(&mesh_addr)
+                .u32(CLAIM_NEW)
+                .u32(0)
+                .u32(epoch),
+            Some(r) => PayloadWriter::new()
+                .str(&mesh_addr)
+                .u32(CLAIM_REJOIN)
+                .u32(r as u32)
+                .u32(epoch),
+        };
+        write_frame(&mut control, TAG_HELLO, &hello.finish(), None, cfg.op_timeout)?;
         let welcome = expect_frame(&mut control, TAG_WELCOME, None, cfg.op_timeout)?;
         let mut r = PayloadReader::new(&welcome);
         let rank = r.u32()? as usize;
@@ -256,6 +386,13 @@ impl Bootstrap {
             return Err(WireError::Protocol(format!(
                 "WELCOME assigned rank {rank} of {size}"
             )));
+        }
+        if let Some(claimed) = claim {
+            if rank != claimed {
+                return Err(WireError::Protocol(format!(
+                    "rejoin claimed rank {claimed} but WELCOME assigned {rank}"
+                )));
+            }
         }
         let mut addrs = Vec::with_capacity(size);
         for _ in 0..size {
@@ -293,7 +430,15 @@ impl Bootstrap {
             }
             peers[who] = Some(s);
         }
-        Ok(Self { rank, size, control, peers, cfg })
+        Ok(Self {
+            rank,
+            size,
+            control,
+            peers,
+            cfg,
+            epoch,
+            rendezvous: rendezvous_addr.to_string(),
+        })
     }
 }
 
@@ -368,6 +513,81 @@ mod tests {
         write_frame(&mut s20, TAG_DATA, b"pong", Some(0), cfg.op_timeout).unwrap();
         let (tag, body) = read_frame(&mut s02, Some(2), cfg.op_timeout).unwrap();
         assert_eq!((tag, body.as_slice()), (TAG_DATA, b"pong".as_slice()));
+    }
+
+    #[test]
+    fn rejoin_round_pins_claimed_ranks() {
+        let p = 3;
+        let cfg = fast_cfg();
+        let rv = Rendezvous::bind("127.0.0.1:0", cfg).unwrap();
+        let addr = rv.local_addr().unwrap();
+        let boots = std::thread::scope(|s| {
+            let server = s.spawn(move || rv.reserve(p, 1).unwrap());
+            // Arrive in reverse rank order: claims, not arrival, decide.
+            let workers: Vec<_> = (0..p)
+                .rev()
+                .map(|r| {
+                    let addr = addr.clone();
+                    s.spawn(move || Bootstrap::rejoin(&addr, r, 1, cfg).unwrap())
+                })
+                .collect();
+            let _controls = server.join().unwrap();
+            let mut boots: Vec<Bootstrap> =
+                workers.into_iter().map(|w| w.join().unwrap()).collect();
+            boots.sort_by_key(|b| b.rank);
+            boots
+        });
+        for (i, b) in boots.iter().enumerate() {
+            assert_eq!(b.rank, i);
+            assert_eq!(b.size, p);
+            assert_eq!(b.epoch, 1);
+            for j in 0..p {
+                assert_eq!(b.peers[j].is_some(), j != i, "rank {i} peer {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn initial_rendezvous_rejects_rejoin_claims() {
+        let cfg = WireConfig {
+            op_timeout: Duration::from_millis(500),
+            connect_timeout: Duration::from_millis(500),
+            ..WireConfig::default()
+        };
+        let rv = Rendezvous::bind("127.0.0.1:0", cfg).unwrap();
+        let addr = rv.local_addr().unwrap();
+        std::thread::scope(|s| {
+            let server = s.spawn(move || rv.serve(1));
+            let w = s.spawn(move || Bootstrap::rejoin(&addr, 0, 1, cfg));
+            let err = server.join().unwrap().unwrap_err();
+            assert!(matches!(err, WireError::Protocol(_)), "got {err:?}");
+            assert!(w.join().unwrap().is_err());
+        });
+    }
+
+    #[test]
+    fn recovery_round_rejects_duplicate_rank_claims() {
+        let cfg = WireConfig {
+            op_timeout: Duration::from_millis(500),
+            connect_timeout: Duration::from_millis(500),
+            ..WireConfig::default()
+        };
+        let rv = Rendezvous::bind("127.0.0.1:0", cfg).unwrap();
+        let addr = rv.local_addr().unwrap();
+        std::thread::scope(|s| {
+            let server = s.spawn(move || rv.reserve(2, 1));
+            let ws: Vec<_> = (0..2)
+                .map(|_| {
+                    let addr = addr.clone();
+                    s.spawn(move || Bootstrap::rejoin(&addr, 0, 1, cfg))
+                })
+                .collect();
+            let err = server.join().unwrap().unwrap_err();
+            assert!(matches!(err, WireError::Protocol(_)), "got {err:?}");
+            for w in ws {
+                assert!(w.join().unwrap().is_err());
+            }
+        });
     }
 
     #[test]

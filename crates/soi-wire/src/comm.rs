@@ -54,6 +54,11 @@ pub struct WireComm {
     stats: WireStats,
     trace: Trace,
     comm_seconds: f64,
+    /// Rendezvous address to reconnect to for a recovery round; empty for
+    /// meshes built without one (then [`WireComm::reconnect`] fails).
+    rendezvous: String,
+    /// Job epoch this mesh belongs to (0 = initial bootstrap).
+    epoch: u32,
 }
 
 impl WireComm {
@@ -69,14 +74,23 @@ impl WireComm {
             stats: WireStats::default(),
             trace: Trace::disabled(),
             comm_seconds: 0.0,
+            rendezvous: String::new(),
+            epoch: 0,
         }
     }
 
     /// Build from a bootstrap, returning the communicator and the control
     /// stream separately.
     pub fn from_bootstrap(b: Bootstrap) -> (Self, TcpStream) {
-        let comm = Self::new(b.rank, b.size, b.peers, b.cfg);
+        let mut comm = Self::new(b.rank, b.size, b.peers, b.cfg);
+        comm.rendezvous = b.rendezvous;
+        comm.epoch = b.epoch;
         (comm, b.control)
+    }
+
+    /// The job epoch this mesh belongs to.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// This rank's id in `0..size`.
@@ -495,6 +509,28 @@ impl WireComm {
                 let _ = s.shutdown(std::net::Shutdown::Both);
             }
         }
+    }
+
+    /// Re-wire the mesh for the next job epoch after a peer died: tear
+    /// the current mesh down *first* (so peers still blocked on us
+    /// observe EOF and fail over promptly — detection cascades instead
+    /// of waiting out timeouts), then rejoin the rendezvous claiming
+    /// this rank for `epoch + 1`. Returns the fresh control stream;
+    /// stats and trace carry over (the trace records the epoch change
+    /// via `Trace::rejoin` at the recovery driver's discretion).
+    pub fn reconnect(&mut self) -> Result<TcpStream, WireError> {
+        if self.rendezvous.is_empty() {
+            return Err(WireError::Bootstrap(
+                "mesh was built without a rendezvous address; cannot reconnect".into(),
+            ));
+        }
+        self.shutdown();
+        let next = self.epoch + 1;
+        let boot = Bootstrap::rejoin(&self.rendezvous, self.rank, next, self.cfg)?;
+        debug_assert_eq!(boot.size, self.size);
+        self.peers = boot.peers;
+        self.epoch = next;
+        Ok(boot.control)
     }
 }
 

@@ -63,6 +63,18 @@ cargo run --release --offline -q -p soi-cli --bin soi -- \
     trace-check --file "$wire_trace"
 rm -f "$wire_trace"
 
+echo "==> fault smoke: kill rank 1 at boundary 3, recover, trace-check the capture"
+fault_trace="${TMPDIR:-/tmp}/soi-verify-fault.$$.jsonl"
+# The worker aborts itself mid-run; the launcher must detect the death,
+# respawn the rank into epoch 1, replay from checkpoints, and still
+# produce a conservation-valid merged trace (with rejoin markers) and a
+# bitwise-correct spectrum — all inside the hard timeout.
+SOI_FAULT_PHASE=3 $launch_to cargo run --release --offline -q -p soi-cli --bin soi -- \
+    launch --ranks 4 --n 65536 --p 8 --trace "$fault_trace"
+cargo run --release --offline -q -p soi-cli --bin soi -- \
+    trace-check --file "$fault_trace"
+rm -f "$fault_trace"
+
 echo "==> cargo build --release --offline -p soi-bench --benches"
 cargo build --release --offline -p soi-bench --benches
 
@@ -86,9 +98,11 @@ if [ "${1:-}" = "--with-benches" ]; then
     SOI_BENCH_SAMPLES=3 SOI_BENCH_WARMUP_MS=2 SOI_BENCH_TARGET_MS=2 \
     SOI_BENCH_PIPELINE_N=16384 \
     SOI_BENCH_DIST_ITERS=2 SOI_BENCH_DIST_N=16384 \
+    SOI_BENCH_FAULT_N=16384 SOI_BENCH_FAULT_SAMPLES=1 \
     SOI_BENCH_PIPELINE_OUT="$PWD/target/bench_smoke/BENCH_pipeline.json" \
     SOI_BENCH_KERNELS_OUT="$PWD/target/bench_smoke/BENCH_kernels.json" \
     SOI_BENCH_DIST_OUT="$PWD/target/bench_smoke/BENCH_dist.json" \
+    SOI_BENCH_FAULTS_OUT="$PWD/target/bench_smoke/BENCH_faults.json" \
         cargo bench --offline -p soi-bench
 fi
 
