@@ -21,7 +21,7 @@ use soi_core::conv::{convolve, convolve_portable, kernel_name};
 use soi_core::{SoiFft, SoiParams};
 use soi_fft::flops::{conv_flops, fft_flops};
 use soi_fft::Plan;
-use soi_num::Complex64;
+use soi_num::{AlignedBuf, Complex64};
 use soi_testkit::{black_box, BenchStats, Bencher};
 use soi_window::AccuracyPreset;
 
@@ -94,35 +94,78 @@ struct Row {
     n: usize,
     stats: BenchStats,
     flops: f64,
+    /// Transforms per timed iteration (`ns_per_point` divides by
+    /// `transforms · n`).
+    transforms: f64,
+    /// Which implementation produced the number: `"avx2+fma"`,
+    /// `"portable"`, or `"mixed"` for plans with both kinds of stage.
+    dispatch: String,
 }
 
 fn bench_fft_engines(g: &mut Bencher, rows: &mut Vec<Row>) {
     // One size per planner dispatch path; the engine-name assert keeps
-    // the labels honest if thresholds ever move.
+    // the labels honest if thresholds ever move. Each iteration runs a
+    // forward + normalized-inverse round trip: the buffer returns to
+    // ≈unit scale so no input-staging copy pollutes the timed region
+    // (a full copy is ~10% of a Stockham transform at these sizes), and
+    // both directions exercise the same kernels. `ns_per_point` is per
+    // transform (the round trip counts as two).
     for (n, want_engine) in [
         (16384usize, "stockham"),   // 2^14, below the four-step threshold
         (20480, "mixed-radix"),     // 2^12·5: the radix-4/5 codelet path
-        (163840, "four-step"),      // 2^15·5 = 320×512: production M'
+        (163840, "four-step"),      // 2^15·5: production M'
         (4093, "bluestein"),        // prime
     ] {
-        let plan = Plan::<f64>::forward(n);
-        assert_eq!(plan.engine_name(), want_engine, "size {n} dispatched away");
-        let x = tone_mix(n);
-        let mut buf = x.clone();
-        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
-        g.throughput_elements(n as u64);
+        let fwd = Plan::<f64>::forward(n);
+        let inv = Plan::<f64>::inverse(n);
+        assert_eq!(fwd.engine_name(), want_engine, "size {n} dispatched away");
+        // Aligned data + scratch, matching what the workspace arena hands
+        // the engines in production: a plain Vec this size lands 16 bytes
+        // past a page, where half the 32-byte SIMD loads straddle lines.
+        let mut buf = AlignedBuf::from_slice(&tone_mix(n));
+        let mut scratch =
+            AlignedBuf::<Complex64>::zeroed(fwd.scratch_len().max(inv.scratch_len()));
+        g.throughput_elements(2 * n as u64);
         let stats = g.bench(&format!("{want_engine}/{n}"), || {
-            buf.copy_from_slice(&x);
-            plan.execute_with_scratch(&mut buf, &mut scratch);
+            fwd.execute_with_scratch(&mut buf, &mut scratch);
+            inv.execute_with_scratch(&mut buf, &mut scratch);
             black_box(buf[0])
         });
         rows.push(Row {
             kernel: want_engine.to_string(),
             n,
             stats,
-            flops: fft_flops(n),
+            flops: 2.0 * fft_flops(n),
+            transforms: 2.0,
+            dispatch: fwd.dispatch_name().to_string(),
         });
     }
+}
+
+/// Real-input FFT row at the Stockham complex row's length, so the r2c
+/// lever has a tracked baseline: nominal r2c work is half the complex
+/// plan's (`5·N·log₂N / 2` via the half-length complex trick), so at
+/// equal efficiency its ns/point should be ~half the complex row's.
+fn bench_realfft(g: &mut Bencher, rows: &mut Vec<Row>) {
+    use soi_fft::realfft::RealFft;
+    let n = 16384usize;
+    let plan = RealFft::<f64>::new(n);
+    let x: Vec<f64> = tone_mix(n).iter().map(|c| c.re).collect();
+    let mut out = AlignedBuf::<Complex64>::zeroed(plan.output_len());
+    let mut scratch = AlignedBuf::<Complex64>::zeroed(plan.scratch_len());
+    g.throughput_elements(n as u64);
+    let stats = g.bench(&format!("realfft/{n}"), || {
+        plan.forward_into(&x, &mut out, &mut scratch);
+        black_box(out[0])
+    });
+    rows.push(Row {
+        kernel: "realfft".to_string(),
+        n,
+        stats,
+        flops: fft_flops(n) / 2.0,
+        transforms: 1.0,
+        dispatch: soi_fft::simd::kernel_name().to_string(),
+    });
 }
 
 fn bench_conv_kernel(g: &mut Bencher, rows: &mut Vec<Row>) {
@@ -134,11 +177,11 @@ fn bench_conv_kernel(g: &mut Bencher, rows: &mut Vec<Row>) {
     let shape = soi.shape();
     let coeffs: &ConvCoefficients = soi.coefficients();
     let x = tone_mix(n);
-    let mut xext = vec![Complex64::ZERO; cfg.n + cfg.halo_len()];
+    let mut xext = AlignedBuf::<Complex64>::zeroed(cfg.n + cfg.halo_len());
     xext[..cfg.n].copy_from_slice(&x);
     let halo = xext[..cfg.halo_len()].to_vec();
     xext[cfg.n..].copy_from_slice(&halo);
-    let mut out = vec![Complex64::ZERO; cfg.n_prime];
+    let mut out = AlignedBuf::<Complex64>::zeroed(cfg.n_prime);
     g.throughput_elements(cfg.n_prime as u64);
     let stats = g.bench(&format!("conv[{}]/{}", kernel_name(), cfg.n_prime), || {
         convolve(shape, coeffs, &xext, &mut out);
@@ -149,6 +192,8 @@ fn bench_conv_kernel(g: &mut Bencher, rows: &mut Vec<Row>) {
         n: cfg.n_prime,
         stats,
         flops: conv_flops(cfg.n_prime, cfg.taps()),
+        transforms: 1.0,
+        dispatch: kernel_name().to_string(),
     });
     if kernel_name() != "portable" {
         // SIMD ablation: the same tiling without the target-feature path.
@@ -161,6 +206,8 @@ fn bench_conv_kernel(g: &mut Bencher, rows: &mut Vec<Row>) {
             n: cfg.n_prime,
             stats,
             flops: conv_flops(cfg.n_prime, cfg.taps()),
+            transforms: 1.0,
+            dispatch: "portable".to_string(),
         });
     }
 }
@@ -170,6 +217,7 @@ fn main() {
     let mut g = Bencher::new("kernel_report").samples(10);
     let mut rows: Vec<Row> = Vec::new();
     bench_fft_engines(&mut g, &mut rows);
+    bench_realfft(&mut g, &mut rows);
     bench_conv_kernel(&mut g, &mut rows);
 
     let json_rows: Vec<String> = rows
@@ -178,11 +226,13 @@ fn main() {
             let secs = r.stats.median_ns / 1e9;
             let gflops = r.flops / secs / 1e9;
             format!(
-                "    {{\"kernel\":\"{}\",\"n\":{},\"ns_per_point\":{:.3},\
+                "    {{\"kernel\":\"{}\",\"n\":{},\"dispatch\":\"{}\",\
+                 \"ns_per_point\":{:.3},\
                  \"gflops\":{:.3},\"fraction_of_peak\":{:.4}}}",
                 r.kernel,
                 r.n,
-                r.stats.median_ns / r.n as f64,
+                r.dispatch,
+                r.stats.median_ns / (r.transforms * r.n as f64),
                 gflops,
                 gflops / peak
             )

@@ -34,7 +34,7 @@
 //! Demodulation divides bin `k` by `ŵ(k)` (§3: `y⁽⁰⁾ ≈ Ŵ⁻¹·P_proj·ỹ`).
 
 use crate::params::SoiConfig;
-use soi_num::Complex64;
+use soi_num::{AlignedBuf, Complex64};
 use soi_window::family::Window;
 
 /// Precomputed tables for one SOI configuration.
@@ -48,11 +48,11 @@ pub struct ConvCoefficients {
     /// yields `[re_q, re_q, re_{q+1}, re_{q+1}]` — exactly the broadcast
     /// pattern the SIMD convolution kernel needs for a pair of lanes,
     /// without spending shuffle ports on it in the inner loop.
-    pub coef_re_dup: Vec<f64>,
+    pub coef_re_dup: AlignedBuf<f64>,
     /// Imaginary parts of `coef`, duplicated the same way.
-    pub coef_im_dup: Vec<f64>,
+    pub coef_im_dup: AlignedBuf<f64>,
     /// Demodulation weights `1/ŵ(k)` for `k < M`.
-    pub demod: Vec<Complex64>,
+    pub demod: AlignedBuf<Complex64>,
     mu: usize,
     b: usize,
     p: usize,
@@ -79,20 +79,20 @@ impl ConvCoefficients {
                 }
             }
         }
-        let mut coef_re_dup = Vec::with_capacity(2 * coef.len());
-        let mut coef_im_dup = Vec::with_capacity(2 * coef.len());
-        for c in &coef {
-            coef_re_dup.push(c.re);
-            coef_re_dup.push(c.re);
-            coef_im_dup.push(c.im);
-            coef_im_dup.push(c.im);
+        let mut coef_re_dup = AlignedBuf::<f64>::zeroed(2 * coef.len());
+        let mut coef_im_dup = AlignedBuf::<f64>::zeroed(2 * coef.len());
+        for (q, c) in coef.iter().enumerate() {
+            coef_re_dup[2 * q] = c.re;
+            coef_re_dup[2 * q + 1] = c.re;
+            coef_im_dup[2 * q] = c.im;
+            coef_im_dup[2 * q + 1] = c.im;
         }
-        let demod = (0..cfg.m).map(|k| w_hat(cfg, k as f64).inv()).collect();
+        let demod: Vec<Complex64> = (0..cfg.m).map(|k| w_hat(cfg, k as f64).inv()).collect();
         Self {
             coef,
             coef_re_dup,
             coef_im_dup,
-            demod,
+            demod: AlignedBuf::from_slice(&demod),
             mu,
             b: taps,
             p,

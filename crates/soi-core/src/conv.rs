@@ -88,7 +88,8 @@ pub fn convolve(shape: ConvShape, coeffs: &ConvCoefficients, xext: &[Complex64],
 
 /// Name of the convolution inner kernel [`convolve`] dispatches to on
 /// this machine (`"avx2+fma"` or `"portable"`); recorded by the kernel
-/// bench so committed numbers say which path produced them.
+/// bench so committed numbers say which path produced them. Honors the
+/// `SOI_NO_SIMD` ablation knob, like the FFT engines' dispatch.
 pub fn kernel_name() -> &'static str {
     #[cfg(target_arch = "x86_64")]
     if avx2::available() {
@@ -214,10 +215,13 @@ mod avx2 {
     use soi_num::Complex64;
     use std::arch::x86_64::*;
 
-    /// Runtime gate for the kernel (cached atomics inside `std`).
+    /// Runtime gate for the kernel: CPU features (cached atomics inside
+    /// `std`) minus the process-wide `SOI_NO_SIMD` ablation override,
+    /// sharing the FFT engines' dispatch seam so one knob disables every
+    /// vector kernel in the workspace.
     #[inline]
     pub fn available() -> bool {
-        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        soi_fft::simd::enabled()
     }
 
     /// One lane-pair × one tap: `m += t.re·x`, `n += t.im·swap(x)` for

@@ -352,7 +352,7 @@ impl SoiFft {
                 }
             });
         }
-        let mut scratch = vec![Complex64::ZERO; self.plan_m.scratch_len()];
+        let mut scratch = soi_num::AlignedBuf::zeroed(self.plan_m.scratch_len());
         let mut out = vec![Complex64::ZERO; cfg.m];
         self.plan_m
             .execute_fused_into(&mut xt, &mut scratch, &mut out, &self.coeffs.demod);

@@ -17,7 +17,7 @@
 
 use crate::error::SoiError;
 use crate::pipeline::SoiFft;
-use soi_num::Complex64;
+use soi_num::{AlignedBuf, Complex64};
 use soi_pool::ThreadPool;
 use soi_trace::Trace;
 use std::sync::Arc;
@@ -27,13 +27,16 @@ use std::sync::Arc;
 pub struct SoiWorkspace {
     pub(crate) pool: Arc<ThreadPool>,
     /// Extended input: `N` points followed by the circular halo.
-    pub(crate) xext: Vec<Complex64>,
+    /// All four arena buffers are [`AlignedBuf`]s: a plain `Vec` this
+    /// large is mmap-served at a 16-byte offset, which costs the SIMD
+    /// kernels ~25% in straddled cache-line loads.
+    pub(crate) xext: AlignedBuf<Complex64>,
     /// Convolution output / `F_P` batch buffer (`N'`).
-    pub(crate) v: Vec<Complex64>,
+    pub(crate) v: AlignedBuf<Complex64>,
     /// Stride-permuted segment buffer (`N'`).
-    pub(crate) seg: Vec<Complex64>,
+    pub(crate) seg: AlignedBuf<Complex64>,
     /// Per-worker FFT scratch arena: `threads` stripes of `stride`.
-    pub(crate) scratch: Vec<Complex64>,
+    pub(crate) scratch: AlignedBuf<Complex64>,
     /// Stripe width of `scratch` (max engine scratch length).
     pub(crate) stride: usize,
     /// Configuration fingerprint: `(n, p, m_prime, halo_len)`.
@@ -56,12 +59,16 @@ impl SoiWorkspace {
         let stride = soi
             .batch_p()
             .scratch_len()
-            .max(soi.plan_m().scratch_len());
+            .max(soi.plan_m().scratch_len())
+            // Whole cache lines per stripe (4 × 16-byte Complex64), so
+            // every worker's stripe starts 64-byte aligned, not just the
+            // arena base.
+            .next_multiple_of(4);
         Self {
-            xext: vec![Complex64::ZERO; cfg.n + cfg.halo_len()],
-            v: vec![Complex64::ZERO; cfg.n_prime],
-            seg: vec![Complex64::ZERO; cfg.n_prime],
-            scratch: vec![Complex64::ZERO; pool.threads() * stride],
+            xext: AlignedBuf::zeroed(cfg.n + cfg.halo_len()),
+            v: AlignedBuf::zeroed(cfg.n_prime),
+            seg: AlignedBuf::zeroed(cfg.n_prime),
+            scratch: AlignedBuf::zeroed(pool.threads() * stride),
             stride,
             shape: (cfg.n, cfg.p, cfg.m_prime, cfg.halo_len()),
             trace: Trace::disabled(),
@@ -138,9 +145,11 @@ mod tests {
 
     #[test]
     fn scratch_stride_is_exactly_the_larger_engine_requirement() {
-        // The arena stripe must match the engines' exact scratch bounds —
-        // a stride below either engine's need would silently re-allocate
-        // per call (the fallback path), a stride above wastes arena.
+        // The arena stripe must match the engines' exact scratch bounds
+        // rounded to whole cache lines — a stride below either engine's
+        // need would silently re-allocate per call (the fallback path), a
+        // stride beyond the cache-line round-up wastes arena, and a
+        // stride off a 64-byte multiple would misalign stripes 1..t.
         let soi =
             SoiFft::new(&SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10).unwrap())
                 .unwrap();
@@ -148,9 +157,11 @@ mod tests {
         let want = soi
             .batch_p()
             .scratch_len()
-            .max(soi.plan_m().scratch_len());
+            .max(soi.plan_m().scratch_len())
+            .next_multiple_of(4);
         assert_eq!(ws.stride, want);
         assert_eq!(ws.scratch.len(), 3 * want);
+        assert_eq!(ws.scratch.as_ptr() as usize % 64, 0);
         // The mixed-radix M' engine needs more than M' elements; the pin
         // fails if Plan::scratch_len ever regresses to the flat `n`.
         assert!(soi.plan_m().scratch_len() > soi.config().m_prime);

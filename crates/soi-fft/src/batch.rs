@@ -16,7 +16,7 @@
 //! `tests/batch_equivalence.rs`).
 
 use crate::plan::{Direction, Plan};
-use soi_num::{Complex, Real};
+use soi_num::{AlignedBuf, Complex, Real};
 use soi_pool::{part_range, SlicePtr, ThreadPool};
 use std::sync::Arc;
 
@@ -77,7 +77,7 @@ impl<T: Real> BatchFft<T> {
         let m = self.plan.len();
         let rows = data.len() / m;
         let parts = self.pool.threads().min(rows).max(1);
-        let mut scratch = vec![Complex::ZERO; parts * self.scratch_len()];
+        let mut scratch = AlignedBuf::zeroed(parts * self.scratch_len());
         self.execute_pooled(data, &self.pool, &mut scratch);
     }
 
@@ -167,7 +167,7 @@ pub fn batch_fft_forward<T: Real>(data: &mut [Complex<T>], len: usize, threads: 
 /// Convenience wrapper around [`strided_fft_with_scratch`] that allocates
 /// the workspace.
 pub fn strided_fft<T: Real>(data: &mut [Complex<T>], plan: &Plan<T>, count: usize) {
-    let mut work = vec![Complex::ZERO; plan.len() + plan.scratch_len()];
+    let mut work = AlignedBuf::zeroed(plan.len() + plan.scratch_len());
     strided_fft_with_scratch(data, plan, count, &mut work);
 }
 

@@ -6,11 +6,11 @@
 //! (signs per direction). The convolution runs through the Stockham
 //! engine at `m = next_pow2(2N−1)`.
 
-use crate::codelet::{self, Codelet};
+use crate::codelet::{self, Codelet, Dispatch};
 use crate::fourstep::RawFft;
 use crate::plan::Planner;
 use crate::twiddle::Sign;
-use soi_num::{Complex, Real};
+use soi_num::{AlignedBuf, Complex, Real};
 use std::sync::Arc;
 
 /// A prepared arbitrary-size Bluestein transform.
@@ -19,10 +19,11 @@ pub struct BluesteinFft<T> {
     n: usize,
     m: usize,
     sign: Sign,
-    /// Chirp `b_j = exp(∓iπ j²/n)`, j < n.
-    chirp: Vec<Complex<T>>,
-    /// Forward FFT (size m) of the zero-padded conjugate-chirp filter.
-    filter_hat: Vec<Complex<T>>,
+    /// Chirp `b_j = exp(∓iπ j²/n)`, j < n (cache-line aligned stream).
+    chirp: AlignedBuf<Complex<T>>,
+    /// Forward FFT (size m) of the zero-padded conjugate-chirp filter
+    /// (cache-line aligned stream).
+    filter_hat: AlignedBuf<Complex<T>>,
     /// Size-`m` convolution engines (planner-cached Stockham plans; the
     /// padded size is a power of two by construction).
     fwd: Arc<RawFft<T>>,
@@ -64,8 +65,8 @@ impl<T: Real> BluesteinFft<T> {
             n,
             m,
             sign,
-            chirp,
-            filter_hat: h,
+            chirp: AlignedBuf::from_slice(&chirp),
+            filter_hat: AlignedBuf::from_slice(&h),
             fwd,
             inv,
         }
@@ -76,6 +77,13 @@ impl<T: Real> BluesteinFft<T> {
         let mut v = self.fwd.codelets();
         v.extend(self.inv.codelets());
         codelet::dedup(v)
+    }
+
+    /// The inner engines' codelets with their active dispatch.
+    pub fn codelet_dispatch(&self) -> Vec<(Codelet, Dispatch)> {
+        let mut v = self.fwd.codelet_dispatch();
+        v.extend(self.inv.codelet_dispatch());
+        codelet::dedup_dispatch(v)
     }
 
     /// Transform size.
@@ -100,7 +108,7 @@ impl<T: Real> BluesteinFft<T> {
 
     /// In-place execute.
     pub fn execute(&self, data: &mut [Complex<T>]) {
-        let mut scratch = vec![Complex::ZERO; self.scratch_len()];
+        let mut scratch = AlignedBuf::zeroed(self.scratch_len());
         self.execute_with_scratch(data, &mut scratch);
     }
 
@@ -129,7 +137,7 @@ impl<T: Real> BluesteinFft<T> {
         }
         a[self.n..].fill(Complex::ZERO);
         self.fwd.execute_with_scratch(a, st);
-        for (av, &hv) in a.iter_mut().zip(&self.filter_hat) {
+        for (av, &hv) in a.iter_mut().zip(self.filter_hat.iter()) {
             *av = *av * hv;
         }
         self.inv.execute_with_scratch(a, st);

@@ -71,9 +71,56 @@ impl fmt::Display for Codelet {
     }
 }
 
+/// Which implementation of a codelet an engine's execution path actually
+/// runs: the runtime-dispatched SIMD kernel or the portable scalar one.
+///
+/// Dispatch is decided once at plan-construction time from the CPU
+/// feature set (and the `SOI_NO_SIMD` ablation knob), so a given plan
+/// reports — and executes — the same dispatch for its whole lifetime:
+/// that is what makes SIMD execution bitwise reproducible run-to-run and
+/// across worker counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Dispatch {
+    /// 256-bit AVX2 + FMA kernel (2 complex `f64` per register).
+    Avx2Fma,
+    /// Portable scalar kernel (the ablation / non-x86 fallback).
+    Portable,
+}
+
+impl Dispatch {
+    /// Short name, matching the conv kernel's report strings.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dispatch::Avx2Fma => "avx2+fma",
+            Dispatch::Portable => "portable",
+        }
+    }
+
+    /// True for any vectorized dispatch.
+    pub fn is_simd(self) -> bool {
+        self != Dispatch::Portable
+    }
+}
+
+impl fmt::Display for Dispatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Deduplicate and sort a codelet list (helper for engines assembling
 /// reports from per-stage radices).
 pub fn dedup(mut v: Vec<Codelet>) -> Vec<Codelet> {
+    v.sort();
+    v.dedup();
+    v
+}
+
+/// Deduplicate and sort a per-stage `(codelet, dispatch)` report. A
+/// codelet can legitimately appear twice with different dispatches (e.g.
+/// a radix-4 level vectorized at one depth and scalar at another), so
+/// pairs — not codelets — are the dedup key.
+pub fn dedup_dispatch(mut v: Vec<(Codelet, Dispatch)>) -> Vec<(Codelet, Dispatch)> {
     v.sort();
     v.dedup();
     v
@@ -112,5 +159,27 @@ mod tests {
         assert_eq!(Codelet::Generic(13).to_string(), "generic(13)");
         let v = dedup(vec![Codelet::Radix4, Codelet::Radix2, Codelet::Radix4]);
         assert_eq!(v, vec![Codelet::Radix2, Codelet::Radix4]);
+    }
+
+    #[test]
+    fn dispatch_names_and_dedup() {
+        assert_eq!(Dispatch::Avx2Fma.name(), "avx2+fma");
+        assert_eq!(Dispatch::Portable.to_string(), "portable");
+        assert!(Dispatch::Avx2Fma.is_simd());
+        assert!(!Dispatch::Portable.is_simd());
+        // Same codelet under two dispatches survives the dedup; exact
+        // duplicates collapse.
+        let v = dedup_dispatch(vec![
+            (Codelet::Radix4, Dispatch::Portable),
+            (Codelet::Radix4, Dispatch::Avx2Fma),
+            (Codelet::Radix4, Dispatch::Avx2Fma),
+        ]);
+        assert_eq!(
+            v,
+            vec![
+                (Codelet::Radix4, Dispatch::Avx2Fma),
+                (Codelet::Radix4, Dispatch::Portable),
+            ]
+        );
     }
 }

@@ -17,11 +17,13 @@
 //! shared wrapper the planner also caches for Bluestein's inner
 //! convolution FFTs.
 
-use crate::codelet::{self, Codelet};
+use crate::codelet::{self, Codelet, Dispatch};
+use crate::colfft::ColumnFft;
 use crate::mixed::MixedRadixFft;
+use crate::simd;
 use crate::stockham::StockhamFft;
 use crate::twiddle::Sign;
-use soi_num::{Complex, Real};
+use soi_num::{AlignedBuf, Complex, Real};
 use std::sync::Arc;
 
 /// Transpose block edge (elements); 32 complex doubles = 512 B per row
@@ -45,10 +47,16 @@ impl<T: Real> RawFft<T> {
     /// huge prime factors to Bluestein *before* reaching here; mixed
     /// still handles them, just in `O(r²)` per large factor).
     pub fn new(n: usize, sign: Sign) -> Self {
+        Self::with_simd(n, sign, simd::enabled())
+    }
+
+    /// Build with an explicit SIMD request forwarded to the inner engine
+    /// (see [`StockhamFft::with_simd`] / [`MixedRadixFft::with_simd`]).
+    pub fn with_simd(n: usize, sign: Sign, want: bool) -> Self {
         if n.is_power_of_two() {
-            RawFft::Stockham(StockhamFft::new(n, sign))
+            RawFft::Stockham(StockhamFft::with_simd(n, sign, want))
         } else {
-            RawFft::Mixed(MixedRadixFft::new(n, sign))
+            RawFft::Mixed(MixedRadixFft::with_simd(n, sign, want))
         }
     }
 
@@ -91,7 +99,7 @@ impl<T: Real> RawFft<T> {
 
     /// In-place unnormalized execute, allocating scratch internally.
     pub fn execute(&self, data: &mut [Complex<T>]) {
-        let mut scratch = vec![Complex::ZERO; self.scratch_len()];
+        let mut scratch = AlignedBuf::zeroed(self.scratch_len());
         self.execute_with_scratch(data, &mut scratch);
     }
 
@@ -100,6 +108,14 @@ impl<T: Real> RawFft<T> {
         match self {
             RawFft::Stockham(e) => e.codelets(),
             RawFft::Mixed(e) => e.codelets(),
+        }
+    }
+
+    /// The codelets with their active dispatch.
+    pub fn codelet_dispatch(&self) -> Vec<(Codelet, Dispatch)> {
+        match self {
+            RawFft::Stockham(e) => e.codelet_dispatch(),
+            RawFft::Mixed(e) => e.codelet_dispatch(),
         }
     }
 }
@@ -111,14 +127,25 @@ pub struct FourStepFft<T> {
     a: usize,
     b: usize,
     sign: Sign,
-    /// Inter-step twiddles `tw[j2·a + k1] = ω_n^{j2·k1}` (direction-signed),
-    /// laid out to match the `b×a` buffer after the first row-transform
-    /// pass so the twiddle sweep is unit-stride.
-    tw: Vec<Complex<T>>,
-    /// `a`-point row engine (applied `b` times).
+    /// Inter-step twiddles `ω_n^{j2·k1}` (direction-signed). Layout
+    /// follows the active column-pass path: `tw[k1·b + j2]` (row-major,
+    /// matching the matrix) when `col` is active so the fused scatter
+    /// streams it unit-stride, else `tw[j2·a + k1]` to match the `b×a`
+    /// buffer of the transpose-based path.
+    tw: AlignedBuf<Complex<T>>,
+    /// `a`-point row engine (applied `b` times on the transpose-based
+    /// path; on the batched column path it only documents the codelets).
     fa: Arc<RawFft<T>>,
     /// `b`-point row engine (applied `a` times).
     fb: Arc<RawFft<T>>,
+    /// Run the transpose / twiddle / fused-epilogue passes through the
+    /// AVX2 kernels (decided once at construction, like the engines').
+    simd: bool,
+    /// Batched column-DFT fast path for the `F_a` side: replaces the
+    /// first transpose, the `b` row transforms, and the twiddle pass
+    /// with one strided read and one fused twiddled write. Built only
+    /// under SIMD dispatch for `a = 5^j·2^k` splits.
+    col: Option<ColumnFft>,
 }
 
 /// The near-square split: largest divisor of `n` that is ≤ √n. Returns 1
@@ -142,29 +169,61 @@ impl<T: Real> FourStepFft<T> {
     /// Panics if `n` has no nontrivial near-square split (i.e. is 1 or
     /// prime) — the planner never routes such sizes here.
     pub fn new(n: usize, sign: Sign) -> Self {
+        Self::with_simd(n, sign, simd::enabled())
+    }
+
+    /// Plan with an explicit SIMD request, forwarded to the inner row
+    /// engines and governing this engine's own transpose/twiddle passes.
+    pub fn with_simd(n: usize, sign: Sign, want: bool) -> Self {
         let a = split(n);
         assert!(a > 1, "four-step needs a composite size, got {n}");
-        Self::with_engines(
+        Self::with_engines_opts(
             n,
             sign,
-            Arc::new(RawFft::new(a, sign)),
-            Arc::new(RawFft::new(n / a, sign)),
+            Arc::new(RawFft::with_simd(a, sign, want)),
+            Arc::new(RawFft::with_simd(n / a, sign, want)),
+            want,
         )
     }
 
-    /// Plan with caller-provided (typically planner-cached) inner engines
-    /// of sizes `split(n)` and `n / split(n)`.
+    /// Plan with caller-provided (typically planner-cached) inner engines.
+    /// The split is taken from the engines themselves — `fa.len()·fb.len()`
+    /// must equal `n` with both sides nontrivial — so the planner is free
+    /// to pick a better-than-near-square split.
     pub fn with_engines(n: usize, sign: Sign, fa: Arc<RawFft<T>>, fb: Arc<RawFft<T>>) -> Self {
-        let a = split(n);
-        assert!(a > 1, "four-step needs a composite size, got {n}");
-        let b = n / a;
-        assert_eq!(fa.len(), a, "inner engine size mismatch");
-        assert_eq!(fb.len(), b, "inner engine size mismatch");
+        Self::with_engines_opts(n, sign, fa, fb, simd::enabled())
+    }
+
+    fn with_engines_opts(
+        n: usize,
+        sign: Sign,
+        fa: Arc<RawFft<T>>,
+        fb: Arc<RawFft<T>>,
+        want: bool,
+    ) -> Self {
+        let a = fa.len();
+        let b = fb.len();
+        assert!(a > 1 && b > 1, "four-step needs a composite size, got {n}");
+        assert_eq!(a * b, n, "inner engine sizes {a}·{b} != {n}");
         assert!(fa.sign() == sign && fb.sign() == sign, "inner engine sign mismatch");
+        let simd = want && simd::cpu_supported() && simd::is_c64::<T>();
+        let col = if simd {
+            ColumnFft::width_for(a, b).map(|w| ColumnFft::new(a, w, sign))
+        } else {
+            None
+        };
         let mut tw = Vec::with_capacity(n);
-        for j2 in 0..b {
+        if col.is_some() {
             for k1 in 0..a {
-                tw.push(sign.root(j2 * k1, n));
+                for j2 in 0..b {
+                    tw.push(sign.root(j2 * k1, n));
+                }
+            }
+        } else {
+            for j2 in 0..b {
+                for k1 in 0..a {
+                    tw.push(sign.root(j2 * k1, n));
+                }
             }
         }
         Self {
@@ -172,9 +231,11 @@ impl<T: Real> FourStepFft<T> {
             a,
             b,
             sign,
-            tw,
+            tw: AlignedBuf::from_slice(&tw),
             fa,
             fb,
+            simd,
+            col,
         }
     }
 
@@ -205,21 +266,68 @@ impl<T: Real> FourStepFft<T> {
         codelet::dedup(v)
     }
 
+    /// The codelets the transform actually runs, with their dispatch.
+    /// On the batched column path the `F_a` side executes through the
+    /// [`ColumnFft`] ladder's vector stage kernels, not `fa` — report
+    /// those radices (all AVX2+FMA by construction) so introspection
+    /// matches the code that runs.
+    pub fn codelet_dispatch(&self) -> Vec<(Codelet, Dispatch)> {
+        let mut v: Vec<(Codelet, Dispatch)> = if let Some(col) = &self.col {
+            col.radices()
+                .map(|r| {
+                    let c = match r {
+                        2 => Codelet::Radix2,
+                        4 => Codelet::Radix4,
+                        5 => Codelet::Radix5,
+                        8 => Codelet::Radix8,
+                        r => Codelet::Generic(r),
+                    };
+                    (c, Dispatch::Avx2Fma)
+                })
+                .collect()
+        } else {
+            self.fa.codelet_dispatch()
+        };
+        v.extend(self.fb.codelet_dispatch());
+        codelet::dedup_dispatch(v)
+    }
+
     /// Scratch elements [`Self::execute_with_scratch`] needs: the size-`n`
-    /// transpose buffer plus the worst-case inner row scratch. Exact — no
-    /// internal allocation happens when this much is provided.
+    /// transpose buffer, the column-pass ping-pong tiles when that path is
+    /// active, plus the worst-case inner row scratch. Exact — no internal
+    /// allocation happens when this much is provided.
     pub fn scratch_len(&self) -> usize {
-        self.n + self.fa.scratch_len().max(self.fb.scratch_len())
+        self.n
+            + self.col.as_ref().map_or(0, |c| 2 * c.tile_len())
+            + self.fa.scratch_len().max(self.fb.scratch_len())
     }
 
     /// In-place unnormalized execute reusing caller scratch
     /// (`scratch.len() >= self.scratch_len()`); allocation-free.
     pub fn execute_with_scratch(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
-        let (buf, inner) = self.run_steps(data, scratch);
-        // Step 6: transpose a×b → b×a lands y[k1 + a·k2] in natural order.
-        transpose_blocked(data, buf, self.a, self.b);
-        data.copy_from_slice(buf);
-        let _ = inner;
+        let in_buf = self.run_steps(data, scratch, true);
+        let (buf, _) = scratch.split_at_mut(self.n);
+        // Final step: transpose a×b → b×a lands y[k1 + a·k2] in natural
+        // order. When the result rows already sit in `buf` the transpose
+        // writes straight into `data` and the copy-back disappears.
+        if in_buf {
+            self.transpose_pass(buf, data, self.a, self.b);
+        } else {
+            self.transpose_pass(data, buf, self.a, self.b);
+            data.copy_from_slice(buf);
+        }
+    }
+
+    /// Blocked transpose through the SIMD kernel when active, the scalar
+    /// block loop otherwise (identical element moves either way).
+    fn transpose_pass(&self, src: &[Complex<T>], dst: &mut [Complex<T>], rows: usize, cols: usize) {
+        #[cfg(target_arch = "x86_64")]
+        if self.simd {
+            // Safety: `simd` implies AVX2+FMA detected and `T = f64`.
+            unsafe { simd::avx2::transpose(simd::c64s(src), simd::c64s_mut(dst), rows, cols) };
+            return;
+        }
+        transpose_blocked(src, dst, rows, cols);
     }
 
     /// Transform `data` and write `out[k] = result[k]·weights[k]` for
@@ -240,12 +348,30 @@ impl<T: Real> FourStepFft<T> {
     ) {
         assert!(out.len() <= self.n, "fused output longer than transform");
         assert!(weights.len() >= out.len(), "fused weights too short");
-        let (_, _) = self.run_steps(data, scratch);
-        // Fused step 6: blocked transpose of the a×b result directly into
-        // the weighted output. data[k1·b + k2] = y[k1 + a·k2], so output
-        // index k = k2·a + k1.
+        let in_buf = self.run_steps(data, scratch, false);
+        let (buf, _) = scratch.split_at_mut(self.n);
+        let src: &[Complex<T>] = if in_buf { buf } else { data };
+        // Fused final step: blocked transpose of the a×b result directly
+        // into the weighted output. src[k1·b + k2] = y[k1 + a·k2], so
+        // output index k = k2·a + k1.
         let (a, b) = (self.a, self.b);
         let klim = out.len();
+        #[cfg(target_arch = "x86_64")]
+        if self.simd {
+            // Safety: `simd` implies AVX2+FMA detected and `T = f64`. The
+            // kernel's weighted multiply uses the exact-rounding form, so
+            // the fused result stays bitwise equal to unfused+multiply.
+            unsafe {
+                simd::avx2::weighted_transpose(
+                    simd::c64s(src),
+                    simd::c64s(weights),
+                    simd::c64s_mut(out),
+                    a,
+                    b,
+                )
+            };
+            return;
+        }
         for r0 in (0..a).step_by(BLOCK) {
             let r1 = (r0 + BLOCK).min(a);
             for c0 in (0..b).step_by(BLOCK) {
@@ -254,7 +380,7 @@ impl<T: Real> FourStepFft<T> {
                     for k2 in c0..c1 {
                         let k = k2 * a + k1;
                         if k < klim {
-                            out[k] = data[k1 * b + k2] * weights[k];
+                            out[k] = src[k1 * b + k2] * weights[k];
                         }
                     }
                 }
@@ -262,13 +388,15 @@ impl<T: Real> FourStepFft<T> {
         }
     }
 
-    /// Steps 1–5; on return `data` holds the transform result in `a×b`
-    /// row-major layout: `data[k1·b + k2] = y[k1 + a·k2]`.
-    fn run_steps<'s>(
-        &self,
-        data: &mut [Complex<T>],
-        scratch: &'s mut [Complex<T>],
-    ) -> (&'s mut [Complex<T>], &'s mut [Complex<T>]) {
+    /// Steps 1–5. Returns `true` when the `a×b` row-major result
+    /// (`rows[k1][k2] = y[k1 + a·k2]`) landed in `scratch[..n]`, `false`
+    /// when it is in `data`. `want_buf` asks the column path to stage the
+    /// result rows in `scratch[..n]` (worth one row-copy pass when the
+    /// caller's final transpose can then stream buf→data instead of
+    /// needing a copy-back); fused callers read the result wherever it
+    /// lies, so they pass `false` and F_b runs in place. The choice only
+    /// moves bytes — the computed values are bitwise identical.
+    fn run_steps(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>], want_buf: bool) -> bool {
         assert_eq!(data.len(), self.n, "data length mismatch");
         assert!(
             scratch.len() >= self.scratch_len(),
@@ -277,10 +405,46 @@ impl<T: Real> FourStepFft<T> {
             self.scratch_len()
         );
         let (a, b) = (self.a, self.b);
+        if let Some(col) = &self.col {
+            // Batched column path: steps 1–4 collapse into one in-place
+            // sweep — each block of `w` columns is DFT'd through
+            // cache-resident tiles and scattered back with the inter-step
+            // twiddle fused into the store. No transpose materializes.
+            let (buf, rest) = scratch.split_at_mut(self.n);
+            let (tiles, inner) = rest.split_at_mut(2 * col.tile_len());
+            {
+                let d = simd::c64s_mut(data);
+                let t = simd::c64s_mut(tiles);
+                let twc = simd::c64s(&self.tw);
+                let w = col.width();
+                let mut c0 = 0;
+                while c0 < b {
+                    col.run_block(d, b, c0, twc, t);
+                    c0 += w;
+                }
+            }
+            // Step 5: a rows of F_b. When the caller wants the result in
+            // `buf`, copy each row over first so the transform runs there
+            // and its final transpose streams buf→data with no copy-back;
+            // otherwise transform in place and skip the copy pass.
+            if want_buf {
+                for k1 in 0..a {
+                    let row = &mut buf[k1 * b..(k1 + 1) * b];
+                    row.copy_from_slice(&data[k1 * b..(k1 + 1) * b]);
+                    self.fb.execute_with_scratch(row, inner);
+                }
+                return true;
+            }
+            for k1 in 0..a {
+                self.fb
+                    .execute_with_scratch(&mut data[k1 * b..(k1 + 1) * b], inner);
+            }
+            return false;
+        }
         let (buf, inner) = scratch.split_at_mut(self.n);
         // Step 1: transpose the a×b input to b×a so each length-a column
         // subsequence becomes a contiguous row.
-        transpose_blocked(data, buf, a, b);
+        self.transpose_pass(data, buf, a, b);
         // Step 2: b rows of F_a.
         for j2 in 0..b {
             self.fa
@@ -288,6 +452,32 @@ impl<T: Real> FourStepFft<T> {
         }
         // Steps 3+4 fused: twiddle by ω_n^{j2·k1} while transposing back
         // to a×b, so the scaling rides the pass that had to happen anyway.
+        self.twiddle_pass(buf, data);
+        // Step 5: a rows of F_b; row k1 becomes y[k1 + a·k2] over k2.
+        for k1 in 0..a {
+            self.fb
+                .execute_with_scratch(&mut data[k1 * b..(k1 + 1) * b], inner);
+        }
+        false
+    }
+
+    /// Fused steps 3+4: `data[k1·b + j2] = buf[j2·a + k1] · tw[j2·a + k1]`.
+    fn twiddle_pass(&self, buf: &[Complex<T>], data: &mut [Complex<T>]) {
+        let (a, b) = (self.a, self.b);
+        #[cfg(target_arch = "x86_64")]
+        if self.simd {
+            // Safety: `simd` implies AVX2+FMA detected and `T = f64`.
+            unsafe {
+                simd::avx2::twiddle_transpose(
+                    simd::c64s(buf),
+                    simd::c64s(&self.tw),
+                    simd::c64s_mut(data),
+                    a,
+                    b,
+                )
+            };
+            return;
+        }
         for c0 in (0..a).step_by(BLOCK) {
             let c1 = (c0 + BLOCK).min(a);
             for r0 in (0..b).step_by(BLOCK) {
@@ -299,17 +489,11 @@ impl<T: Real> FourStepFft<T> {
                 }
             }
         }
-        // Step 5: a rows of F_b; row k1 becomes y[k1 + a·k2] over k2.
-        for k1 in 0..a {
-            self.fb
-                .execute_with_scratch(&mut data[k1 * b..(k1 + 1) * b], inner);
-        }
-        (buf, inner)
     }
 
     /// In-place unnormalized execute, allocating scratch internally.
     pub fn execute(&self, data: &mut [Complex<T>]) {
-        let mut scratch = vec![Complex::ZERO; self.scratch_len()];
+        let mut scratch = AlignedBuf::zeroed(self.scratch_len());
         self.execute_with_scratch(data, &mut scratch);
     }
 }

@@ -30,12 +30,16 @@
 //!   and cache-blocked transposes.
 //! * [`ddfft`] — a double-double radix-2 FFT used as the high-precision
 //!   reference when certifying SNR numbers (§7.2).
+//! * [`simd`] — runtime-dispatched AVX2+FMA butterfly kernels behind the
+//!   same feature-detect seam as the conv kernel, with the `SOI_NO_SIMD`
+//!   ablation knob and the portable fallback kept alive for non-x86.
 //! * [`flops`] — the paper's operation-count conventions
 //!   (GFLOPS = 5·N·log₂N / time).
 
 pub mod batch;
 pub mod bluestein;
 pub mod codelet;
+pub(crate) mod colfft;
 pub mod ddfft;
 pub mod dft;
 pub mod fft2d;
@@ -46,6 +50,7 @@ pub mod permute;
 pub mod plan;
 pub mod realfft;
 pub mod signal;
+pub mod simd;
 pub mod splitradix;
 pub mod stockham;
 pub mod twiddle;

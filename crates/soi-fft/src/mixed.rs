@@ -16,9 +16,10 @@
 //! and the `F_{M'}` stage runs at `M' = M·(1+β)` which for β = 1/4 carries
 //! a factor of 5.
 
-use crate::codelet::{self, Codelet};
+use crate::codelet::{self, Codelet, Dispatch};
+use crate::simd;
 use crate::twiddle::Sign;
-use soi_num::{Complex, Real};
+use soi_num::{AlignedBuf, Complex, Real};
 
 /// Factor `n` into non-decreasing primes.
 pub fn factorize(mut n: usize) -> Vec<usize> {
@@ -49,6 +50,16 @@ pub fn largest_prime_factor(n: usize) -> usize {
     factorize(n).last().copied().unwrap_or(1)
 }
 
+/// Split/dup twiddle streams for a SIMD-combined level: `q`-major blocks
+/// of `2m`, `re[(q−1)·2m + 2k]` holding `tw[k·(r−1)+(q−1)].re`
+/// duplicated ×2 — so the combine's vectorized `k` loop loads its
+/// twiddle operands with plain unit-stride reads.
+#[derive(Debug, Clone)]
+struct LevelSimd {
+    re: Vec<f64>,
+    im: Vec<f64>,
+}
+
 /// Per-recursion-depth precomputed data.
 #[derive(Debug, Clone)]
 struct Level<T> {
@@ -62,6 +73,9 @@ struct Level<T> {
     /// Dense roots of order `radix` (for the generic butterfly):
     /// `roots[j] = ω_radix^j`.
     roots: Vec<Complex<T>>,
+    /// Dup'd twiddle streams when this level has a SIMD combine
+    /// (radix 4 at any `m`, radix 5 at `m ≥ 2`).
+    simd: Option<LevelSimd>,
 }
 
 /// A prepared mixed-radix transform of arbitrary smooth size.
@@ -76,9 +90,20 @@ pub struct MixedRadixFft<T> {
 
 impl<T: Real> MixedRadixFft<T> {
     /// Plan a transform of size `n` (any positive integer; cost is
-    /// `O(N·Σrᵢ)`, so route large prime factors to Bluestein instead).
+    /// `O(N·Σrᵢ)`, so route large prime factors to Bluestein instead),
+    /// with SIMD dispatch decided by [`simd::enabled`].
     pub fn new(n: usize, sign: Sign) -> Self {
+        Self::with_simd(n, sign, simd::enabled())
+    }
+
+    /// Plan with an explicit SIMD request; `want` is intersected with
+    /// host support (AVX2+FMA, `f64` elements). Deliberately ignores
+    /// `SOI_NO_SIMD` so property tests can compare both paths in one
+    /// process. SIMD combines exist for the radix-4 and radix-5 levels
+    /// (the hot ones at `M' = 2^k·5`); other radices stay portable.
+    pub fn with_simd(n: usize, sign: Sign, want: bool) -> Self {
         assert!(n > 0);
+        let simd_ok = want && simd::cpu_supported() && simd::is_c64::<T>();
         let factors = factorize(n);
         // Merge pairs of 2s into radix-4 levels: one radix-4 combine does
         // the work of two radix-2 passes in a single trip over the data.
@@ -104,11 +129,29 @@ impl<T: Real> MixedRadixFft<T> {
                 }
             }
             let roots = (0..r).map(|j| sign.root(j, r)).collect();
+            let lsimd = if simd_ok && (r == 4 || (r == 5 && m >= 2)) {
+                let tw64 = simd::c64s(&tw);
+                let mut re = vec![0.0f64; (r - 1) * 2 * m];
+                let mut im = vec![0.0f64; (r - 1) * 2 * m];
+                for q in 0..r - 1 {
+                    for k in 0..m {
+                        let w = tw64[k * (r - 1) + q];
+                        re[q * 2 * m + 2 * k] = w.re;
+                        re[q * 2 * m + 2 * k + 1] = w.re;
+                        im[q * 2 * m + 2 * k] = w.im;
+                        im[q * 2 * m + 2 * k + 1] = w.im;
+                    }
+                }
+                Some(LevelSimd { re, im })
+            } else {
+                None
+            };
             levels.push(Level {
                 radix: r,
                 m,
                 tw,
                 roots,
+                simd: lsimd,
             });
             max_radix = max_radix.max(r);
             size = m;
@@ -147,6 +190,24 @@ impl<T: Real> MixedRadixFft<T> {
         )
     }
 
+    /// Per-level codelets with the active dispatch: a level reports
+    /// `Avx2Fma` exactly when its combine runs the vector kernel.
+    pub fn codelet_dispatch(&self) -> Vec<(Codelet, Dispatch)> {
+        codelet::dedup_dispatch(
+            self.levels
+                .iter()
+                .map(|l| {
+                    let d = if l.simd.is_some() {
+                        Dispatch::Avx2Fma
+                    } else {
+                        Dispatch::Portable
+                    };
+                    (Codelet::for_mixed_radix(l.radix), d)
+                })
+                .collect(),
+        )
+    }
+
     /// Out-of-place execute: `dst` receives the DFT of `src`.
     pub fn process(&self, src: &[Complex<T>], dst: &mut [Complex<T>]) {
         assert_eq!(src.len(), self.n);
@@ -157,7 +218,7 @@ impl<T: Real> MixedRadixFft<T> {
 
     /// In-place execute (internally out-of-place into scratch).
     pub fn execute(&self, data: &mut [Complex<T>]) {
-        let mut scratch = vec![Complex::ZERO; self.scratch_len()];
+        let mut scratch = AlignedBuf::zeroed(self.scratch_len());
         self.execute_with_scratch(data, &mut scratch);
     }
 
@@ -214,6 +275,9 @@ impl<T: Real> MixedRadixFft<T> {
         }
         // Combine: for each k, an r-point DFT across the subsequence
         // outputs, twiddled by ω_size^{qk}.
+        if self.combine_simd(level, &mut output[..r * m]) {
+            return;
+        }
         let (t, rest) = scratch.split_at_mut(self.max_radix);
         match r {
             2 => {
@@ -354,6 +418,47 @@ impl<T: Real> MixedRadixFft<T> {
             }
         }
         let _ = rest;
+    }
+
+    /// Run a level's combine through its SIMD kernel if it has one;
+    /// returns `false` (caller falls through to the scalar combine)
+    /// otherwise.
+    #[cfg_attr(not(target_arch = "x86_64"), allow(unused_variables))]
+    fn combine_simd(&self, level: &Level<T>, output: &mut [Complex<T>]) -> bool {
+        #[cfg(target_arch = "x86_64")]
+        if let Some(ls) = &level.simd {
+            let out = simd::c64s_mut(output);
+            // Safety: `simd` streams are only built when AVX2+FMA was
+            // detected and `T = f64`; the radix/m geometry each kernel
+            // needs is enforced at construction.
+            unsafe {
+                match level.radix {
+                    4 => simd::avx2::mixed_r4(
+                        out,
+                        level.m,
+                        &ls.re,
+                        &ls.im,
+                        self.sign == Sign::Forward,
+                    ),
+                    5 => {
+                        let roots = simd::c64s(&level.roots);
+                        simd::avx2::mixed_r5(
+                            out,
+                            level.m,
+                            &ls.re,
+                            &ls.im,
+                            roots[1].re,
+                            roots[2].re,
+                            roots[1].im,
+                            roots[2].im,
+                        )
+                    }
+                    r => unreachable!("no SIMD combine for radix {r}"),
+                }
+            }
+            return true;
+        }
+        false
     }
 }
 

@@ -2,9 +2,10 @@
 //! normalization, FFTW-style.
 
 use crate::bluestein::BluesteinFft;
-use crate::codelet::Codelet;
+use crate::codelet::{Codelet, Dispatch};
 use crate::fourstep::{split, FourStepFft, RawFft};
 use crate::mixed::{largest_prime_factor, MixedRadixFft};
+use crate::simd;
 use crate::stockham::StockhamFft;
 use crate::twiddle::Sign;
 use soi_num::{Complex, Real};
@@ -56,6 +57,87 @@ pub fn four_step_min_len() -> usize {
     })
 }
 
+/// The four-step split the planner uses, re-derived against the SIMD
+/// kernel speeds (calibrated with `soi-bench`'s `fourstep_scan` example
+/// on AVX2+FMA). Powers of two keep the near-square [`split`] (both
+/// sides stay Stockham, and near-square minimizes the larger side's
+/// working set). For mixed sizes, candidate divisors `(a, b = n/a)` are
+/// scored jointly:
+///
+/// * When the batched column fast path covers `a` (`a = 5^j·2^k` with a
+///   usable stream width for `b`), the `F_a` side runs through
+///   cache-resident tiles with no transpose passes — its levels cost a
+///   fraction (`COL_COST_K`) of a streamed Stockham level. Otherwise the
+///   side pays the classic transpose+twiddle passes (`NO_COL_PENALTY`)
+///   on top of its engine cost.
+/// * The `F_b` row engine costs `log₂ b` Stockham levels when `b` is a
+///   power of two, and `MIXED_COST_K` as much per level when it falls to
+///   mixed-radix (measured: mixed runs ≈2× Stockham's per-level cost),
+///   plus a scalar radix-2 level penalty when its pow2 part has odd
+///   exponent and a per-row overhead term for short rows.
+/// * Rows shorter than the ≈4096-point sweet spot trade cheap Stockham
+///   levels for extra column-ladder levels and narrower column blocks;
+///   `ROW_SKEW` prices that (the 163840 scan: b=4096 beats b=2048 and
+///   b=1024 despite the deeper row transform).
+///
+/// The inner cap keeps both row engines below the four-step threshold so
+/// they stay cache-resident monolithic engines.
+///
+/// Returns a nontrivial divisor `a ≤ √n` of `n`, or 1 when `n` is prime.
+pub fn choose_split(n: usize) -> usize {
+    if n.is_power_of_two() {
+        return split(n);
+    }
+    const MIXED_COST_K: f64 = 2.2;
+    const OVERHEAD: f64 = 24.0;
+    const RADIX2_PENALTY: f64 = 1.3;
+    const COL_COST_K: f64 = 0.55;
+    const NO_COL_PENALTY: f64 = 2.0;
+    const ROW_SWEET_LG: f64 = 12.0; // b ≈ 4096: 64 KiB rows, L2-hot
+    const ROW_SKEW: f64 = 0.6;
+    let side = |s: usize| -> f64 {
+        let lg = (s as f64).log2();
+        if s.is_power_of_two() {
+            lg + OVERHEAD / s as f64
+        } else {
+            let r2 = if s.trailing_zeros() % 2 == 1 {
+                RADIX2_PENALTY
+            } else {
+                0.0
+            };
+            MIXED_COST_K * lg + OVERHEAD / s as f64 + r2
+        }
+    };
+    let cost = |a: usize, b: usize| -> f64 {
+        let a_cost = if crate::colfft::ColumnFft::width_for(a, b).is_some() {
+            COL_COST_K * (a as f64).log2()
+        } else {
+            side(a) + NO_COL_PENALTY
+        };
+        let b_lg = (b as f64).log2();
+        a_cost + side(b) + ROW_SKEW * (ROW_SWEET_LG - b_lg).max(0.0)
+    };
+    let cap = four_step_min_len();
+    let mut best_a = 1usize;
+    let mut best_cost = f64::INFINITY;
+    let mut a = 2usize;
+    while a * a <= n {
+        if n % a == 0 && n / a <= cap {
+            let c = cost(a, n / a);
+            if c < best_cost {
+                best_cost = c;
+                best_a = a;
+            }
+        }
+        a += 1;
+    }
+    if best_a > 1 {
+        best_a
+    } else {
+        split(n)
+    }
+}
+
 #[derive(Debug, Clone)]
 enum Engine<T> {
     Stockham(StockhamFft<T>),
@@ -102,7 +184,7 @@ impl<T: Real> Plan<T> {
         let engine = if smooth && n >= four_step_min_len() && split(n) > 1 {
             // Above the L2 working set, decompose into cache-resident
             // row transforms instead of strided monolithic passes.
-            let a = split(n);
+            let a = choose_split(n);
             Engine::FourStep(FourStepFft::with_engines(
                 n,
                 sign,
@@ -166,6 +248,33 @@ impl<T: Real> Plan<T> {
             Engine::Mixed(e) => e.codelets(),
             Engine::FourStep(e) => e.codelets(),
             Engine::Bluestein(e) => e.codelets(),
+        }
+    }
+
+    /// The codelets with the dispatch each actually executes under —
+    /// `Avx2Fma` for stages running the vector kernels, `Portable` for
+    /// scalar ones. Decided at plan construction, constant thereafter.
+    pub fn codelet_dispatch(&self) -> Vec<(Codelet, Dispatch)> {
+        match &self.engine {
+            Engine::Stockham(e) => e.codelet_dispatch(),
+            Engine::Mixed(e) => e.codelet_dispatch(),
+            Engine::FourStep(e) => e.codelet_dispatch(),
+            Engine::Bluestein(e) => e.codelet_dispatch(),
+        }
+    }
+
+    /// Summary dispatch string for benches/logs: `"avx2+fma"` when every
+    /// stage runs a vector kernel, `"portable"` when none does, and
+    /// `"mixed"` for plans with both (e.g. a scalar radix-3 level inside
+    /// an otherwise vectorized mixed-radix plan).
+    pub fn dispatch_name(&self) -> &'static str {
+        let v = self.codelet_dispatch();
+        if v.iter().all(|(_, d)| d.is_simd()) {
+            "avx2+fma"
+        } else if v.iter().all(|(_, d)| !d.is_simd()) {
+            "portable"
+        } else {
+            "mixed"
         }
     }
 
@@ -249,9 +358,8 @@ impl<T: Real> Plan<T> {
             }
         }
         self.execute_with_scratch(data, scratch);
-        for (k, slot) in out.iter_mut().enumerate() {
-            *slot = data[k] * weights[k];
-        }
+        // Bitwise identical to the plain multiply loop on every path.
+        simd::weighted_product(out, data, weights);
     }
 
     /// Apply the `1/N` inverse normalization when the plan is inverse.
@@ -518,6 +626,54 @@ mod tests {
                     assert_eq!(a.im.to_bits(), b.im.to_bits(), "n={n} bin {k}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn production_m_dispatches_simd_on_avx2() {
+        // On AVX2+FMA hardware (without the SOI_NO_SIMD override), the
+        // production M' = 163840 = 2^15·5 plan must hit *only*
+        // SIMD-dispatched stages: the planner's split may not introduce a
+        // side whose factorization forces a scalar level.
+        if !crate::simd::enabled() {
+            return; // non-x86 or ablation run: nothing to assert
+        }
+        let plan = Plan::<f64>::forward(163840);
+        assert_eq!(plan.engine_name(), "four-step");
+        let cd = plan.codelet_dispatch();
+        assert!(
+            cd.iter().all(|&(_, d)| d.is_simd()),
+            "non-SIMD stage in production plan: {cd:?}"
+        );
+        assert_eq!(plan.dispatch_name(), "avx2+fma");
+        // The small-M' mixed-radix plan makes the same promise.
+        let small = Plan::<f64>::forward(1280);
+        assert_eq!(small.dispatch_name(), "avx2+fma", "{:?}", small.codelet_dispatch());
+    }
+
+    #[test]
+    fn choose_split_returns_divisors_and_keeps_pow2_near_square() {
+        assert_eq!(choose_split(65536), 256);
+        assert_eq!(choose_split(131072), 256);
+        assert_eq!(choose_split(97), 1); // prime: no split
+        for n in [40960usize, 163840, 327680, 98304] {
+            let a = choose_split(n);
+            assert!(a > 1 && n % a == 0 && a * a <= n, "n={n} a={a}");
+            let b = n / a;
+            // The a side may take the batched column path, where every
+            // stage kernel (radix-2 included) is vectorized. Any other
+            // side must not force a scalar radix-2 level (odd
+            // power-of-two exponent) while SIMD is the point.
+            if crate::colfft::ColumnFft::width_for(a, b).is_none() {
+                assert!(
+                    a.is_power_of_two() || a.trailing_zeros() % 2 == 0,
+                    "n={n} side {a} would need a radix-2 level"
+                );
+            }
+            assert!(
+                b.is_power_of_two() || b.trailing_zeros() % 2 == 0,
+                "n={n} side {b} would need a radix-2 level"
+            );
         }
     }
 

@@ -8,7 +8,7 @@
 //! blocks) provides.
 
 use crate::plan::Plan;
-use soi_num::{Complex, Real};
+use soi_num::{AlignedBuf, Complex, Real};
 
 /// A prepared real-input forward FFT of even length `n`.
 #[derive(Debug, Clone)]
@@ -46,25 +46,46 @@ impl<T: Real> RealFft<T> {
     /// Forward transform: real input → `n/2+1` Hermitian spectrum bins
     /// `X_0 … X_{n/2}` (the rest follow from `X_{n−k} = conj(X_k)`).
     pub fn forward(&self, input: &[T]) -> Vec<Complex<T>> {
+        let mut out = vec![Complex::ZERO; self.output_len()];
+        let mut scratch = AlignedBuf::zeroed(self.scratch_len());
+        self.forward_into(input, &mut out, &mut scratch);
+        out
+    }
+
+    /// Scratch elements [`Self::forward_into`] needs: the packed
+    /// half-length buffer plus the half plan's own scratch.
+    pub fn scratch_len(&self) -> usize {
+        self.n / 2 + self.half_plan.scratch_len()
+    }
+
+    /// [`Self::forward`] into caller buffers (`out.len() == n/2+1`,
+    /// `scratch.len() ≥ scratch_len()`); allocation-free, bitwise
+    /// identical to the allocating wrapper.
+    pub fn forward_into(
+        &self,
+        input: &[T],
+        out: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+    ) {
         assert_eq!(input.len(), self.n);
+        assert_eq!(out.len(), self.output_len());
         let h = self.n / 2;
+        let (z, rest) = scratch.split_at_mut(h);
         // Pack even samples into re, odd into im.
-        let mut z: Vec<Complex<T>> = (0..h)
-            .map(|k| Complex::new(input[2 * k], input[2 * k + 1]))
-            .collect();
-        self.half_plan.execute(&mut z);
+        for (k, zk) in z.iter_mut().enumerate() {
+            *zk = Complex::new(input[2 * k], input[2 * k + 1]);
+        }
+        self.half_plan.execute_with_scratch(z, rest);
         // Unpack: X_k = (Z_k + conj(Z_{h−k}))/2 − (i/2)·w^k·(Z_k − conj(Z_{h−k}))
-        let mut out = Vec::with_capacity(h + 1);
         let half = T::HALF;
-        for k in 0..=h {
+        for (k, slot) in out.iter_mut().enumerate() {
             let zk = if k == h { z[0] } else { z[k] };
             let zc = z[(h - k) % h].conj();
             let even = (zk + zc).scale(half);
             let odd = (zk - zc).scale(half);
             let w = self.tw[k];
-            out.push(even + (odd * w).mul_neg_i());
+            *slot = even + (odd * w).mul_neg_i();
         }
-        out
     }
 }
 
@@ -131,6 +152,22 @@ mod tests {
         (0..n)
             .map(|i| (i as f64 * 0.37).sin() + 0.25 * (i as f64 * 1.7).cos() + 0.1)
             .collect()
+    }
+
+    #[test]
+    fn forward_into_is_bitwise_the_allocating_forward() {
+        for n in [8usize, 64, 1000, 16384] {
+            let x = real_signal(n);
+            let plan = RealFft::new(n);
+            let want = plan.forward(&x);
+            let mut out = vec![Complex64::ZERO; plan.output_len()];
+            let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+            plan.forward_into(&x, &mut out, &mut scratch);
+            for (k, (&g, &w)) in out.iter().zip(&want).enumerate() {
+                assert_eq!(g.re.to_bits(), w.re.to_bits(), "n={n} bin={k}");
+                assert_eq!(g.im.to_bits(), w.im.to_bits(), "n={n} bin={k}");
+            }
+        }
     }
 
     #[test]

@@ -10,9 +10,20 @@
 //! streaming pass — the property that makes it the engine of choice for the
 //! node-local FFTs in Fig 2 of the paper.
 
-use crate::codelet::{self, Codelet};
+use crate::codelet::{self, Codelet, Dispatch};
+use crate::simd;
 use crate::twiddle::{Sign, StageTwiddles};
-use soi_num::{Complex, Real};
+use soi_num::{AlignedBuf, Complex, Real};
+
+/// Split/dup twiddle streams for the SIMD first stage (`s == 1`,
+/// radix 8), where the twiddle varies along the vectorized `p` axis:
+/// `re[(c−1)·2m + 2p]` holds `tw[p·7 + (c−1)].re` duplicated ×2, so one
+/// 256-bit load yields the operand for a `[p, p+1]` pair.
+#[derive(Debug, Clone)]
+struct StockhamSimd {
+    first_re: AlignedBuf<f64>,
+    first_im: AlignedBuf<f64>,
+}
 
 /// A prepared power-of-two Stockham transform.
 #[derive(Debug, Clone)]
@@ -20,14 +31,25 @@ pub struct StockhamFft<T> {
     n: usize,
     sign: Sign,
     stages: Vec<StageTwiddles<T>>,
+    simd: Option<StockhamSimd>,
 }
 
 impl<T: Real> StockhamFft<T> {
-    /// Plan a transform of power-of-two size `n`.
+    /// Plan a transform of power-of-two size `n`, with SIMD dispatch
+    /// decided by [`simd::enabled`] (CPU features minus `SOI_NO_SIMD`).
     ///
     /// # Panics
     /// Panics if `n` is not a power of two or is zero.
     pub fn new(n: usize, sign: Sign) -> Self {
+        Self::with_simd(n, sign, simd::enabled())
+    }
+
+    /// Plan with an explicit SIMD request. `want` is intersected with
+    /// what the host supports (AVX2+FMA, `f64` elements, `n ≥ 16` so the
+    /// first stage is a full radix-8 pass); it deliberately ignores the
+    /// `SOI_NO_SIMD` env so property tests can pit both paths against
+    /// each other in one process.
+    pub fn with_simd(n: usize, sign: Sign, want: bool) -> Self {
         assert!(n.is_power_of_two() && n > 0, "Stockham requires a power of two, got {n}");
         let mut stages = Vec::new();
         let mut cur = n;
@@ -42,22 +64,66 @@ impl<T: Real> StockhamFft<T> {
             stages.push(StageTwiddles::new(cur, r, sign));
             cur /= r;
         }
-        Self { n, sign, stages }
+        // n ≥ 16 guarantees stage 0 is radix 8 with even m = n/8 ≥ 2 and
+        // every later stage streams s ∈ {8, 64, ...} — all even, so the
+        // vector kernels cover every stage with no tails.
+        let simd = if want && simd::cpu_supported() && simd::is_c64::<T>() && n >= 16 {
+            let st0 = &stages[0];
+            debug_assert_eq!(st0.radix, 8);
+            let m = st0.m;
+            let tw = simd::c64s(&st0.tw);
+            // Aligned streams: the kernel reads these 4 f64 (32 bytes)
+            // at a time, and a mmap-served Vec would straddle lines.
+            let mut first_re = AlignedBuf::<f64>::zeroed(7 * 2 * m);
+            let mut first_im = AlignedBuf::<f64>::zeroed(7 * 2 * m);
+            for c in 0..7 {
+                for p in 0..m {
+                    let w = tw[p * 7 + c];
+                    first_re[c * 2 * m + 2 * p] = w.re;
+                    first_re[c * 2 * m + 2 * p + 1] = w.re;
+                    first_im[c * 2 * m + 2 * p] = w.im;
+                    first_im[c * 2 * m + 2 * p + 1] = w.im;
+                }
+            }
+            Some(StockhamSimd { first_re, first_im })
+        } else {
+            None
+        };
+        Self { n, sign, stages, simd }
     }
 
     /// The butterfly codelets this plan's stages dispatch to.
     pub fn codelets(&self) -> Vec<Codelet> {
-        codelet::dedup(
-            self.stages
-                .iter()
-                .map(|st| match st.radix {
-                    2 => Codelet::Radix2,
-                    4 => Codelet::Radix4,
-                    8 => Codelet::Radix8,
-                    r => Codelet::Generic(r),
-                })
-                .collect(),
-        )
+        codelet::dedup(self.stage_codelets())
+    }
+
+    /// Per-stage codelets with the active dispatch. Every stage shares
+    /// one dispatch: when the SIMD streams were built, every stage runs
+    /// a vector kernel; otherwise all are portable.
+    pub fn codelet_dispatch(&self) -> Vec<(Codelet, Dispatch)> {
+        let d = self.dispatch();
+        codelet::dedup_dispatch(self.stage_codelets().into_iter().map(|c| (c, d)).collect())
+    }
+
+    /// The dispatch this plan executes with.
+    pub fn dispatch(&self) -> Dispatch {
+        if self.simd.is_some() {
+            Dispatch::Avx2Fma
+        } else {
+            Dispatch::Portable
+        }
+    }
+
+    fn stage_codelets(&self) -> Vec<Codelet> {
+        self.stages
+            .iter()
+            .map(|st| match st.radix {
+                2 => Codelet::Radix2,
+                4 => Codelet::Radix4,
+                8 => Codelet::Radix8,
+                r => Codelet::Generic(r),
+            })
+            .collect()
     }
 
     /// Transform size.
@@ -94,6 +160,10 @@ impl<T: Real> StockhamFft<T> {
         if self.n == 1 {
             return true;
         }
+        #[cfg(target_arch = "x86_64")]
+        if self.simd.is_some() {
+            return self.run_stages_simd(data, scratch);
+        }
         let mut s = 1usize; // stream count (number of interleaved sub-vectors)
         let mut in_data = true; // which buffer currently holds the live values
         for st in &self.stages {
@@ -107,6 +177,46 @@ impl<T: Real> StockhamFft<T> {
                 4 => stage_radix4(src, dst, st, s, self.sign),
                 8 => stage_radix8(src, dst, st, s, self.sign),
                 r => unreachable!("unsupported Stockham radix {r}"),
+            }
+            s *= st.radix;
+            in_data = !in_data;
+        }
+        in_data
+    }
+
+    /// SIMD stage driver: same ping-pong as the portable path, with
+    /// every stage routed to an AVX2+FMA kernel. Only reachable when the
+    /// constructor built the streams (so `T = f64`, AVX2+FMA present,
+    /// `n ≥ 16`).
+    #[cfg(target_arch = "x86_64")]
+    fn run_stages_simd(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) -> bool {
+        let sd = self.simd.as_ref().unwrap();
+        let data = simd::c64s_mut(data);
+        let scratch = simd::c64s_mut(scratch);
+        let forward = self.sign == Sign::Forward;
+        let mut s = 1usize;
+        let mut in_data = true;
+        for (i, st) in self.stages.iter().enumerate() {
+            let (src, dst): (&mut [soi_num::Complex64], &mut [soi_num::Complex64]) = if in_data {
+                (&mut *data, &mut *scratch)
+            } else {
+                (&mut *scratch, &mut *data)
+            };
+            let tw = simd::c64s(&st.tw);
+            // Safety: constructor checked AVX2+FMA; stage geometry
+            // (even m for stage 0, even s ≥ 8 afterwards) is guaranteed
+            // by the n ≥ 16 power-of-two schedule.
+            unsafe {
+                if i == 0 {
+                    simd::avx2::stockham_first8(src, dst, &sd.first_re, &sd.first_im, st.m, forward);
+                } else {
+                    match st.radix {
+                        2 => simd::avx2::stockham_q2(src, dst, tw, st.m, s, s),
+                        4 => simd::avx2::stockham_q4(src, dst, tw, st.m, s, s, forward),
+                        8 => simd::avx2::stockham_q8(src, dst, tw, st.m, s, s, forward),
+                        r => unreachable!("unsupported Stockham radix {r}"),
+                    }
+                }
             }
             s *= st.radix;
             in_data = !in_data;
@@ -136,14 +246,15 @@ impl<T: Real> StockhamFft<T> {
         assert!(weights.len() >= out.len(), "fused weights too short");
         let res_in_data = self.run_stages(data, scratch);
         let res: &[Complex<T>] = if res_in_data { data } else { scratch };
-        for (k, slot) in out.iter_mut().enumerate() {
-            *slot = res[k] * weights[k];
-        }
+        // Bitwise identical to the scalar multiply loop on every path
+        // (see `simd::weighted_product`), preserving the fused==unfused
+        // bitwise contract with SIMD active.
+        simd::weighted_product(out, res, weights);
     }
 
     /// Execute in place, allocating scratch internally.
     pub fn execute(&self, data: &mut [Complex<T>]) {
-        let mut scratch = vec![Complex::ZERO; self.n];
+        let mut scratch = AlignedBuf::zeroed(self.n);
         self.execute_with_scratch(data, &mut scratch);
     }
 }

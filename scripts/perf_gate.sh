@@ -1,23 +1,30 @@
 #!/usr/bin/env sh
-# Per-phase performance gate: re-measure the pipeline phase breakdown
-# (one traced serial pass at the baseline's N) and compare each phase's
-# total against the committed BENCH_pipeline.json.
+# Performance gate: re-measure and compare against the committed
+# baselines.
+#
+#   * pipeline phases — one traced serial pass at the baseline's N,
+#     per-phase total_ns vs BENCH_pipeline.json
+#   * kernel report — per-engine ns_per_point vs BENCH_kernels.json
+#     (dispatch-dependent rows that exist only on some hosts, e.g. the
+#     portable-conv ablation row, are skipped when absent)
 #
 # Usage: scripts/perf_gate.sh
 #
 # Knobs:
-#   SOI_PERF_TOL=25      allowed per-phase regression, percent
+#   SOI_PERF_TOL=25      allowed regression per phase / per kernel, percent
 #   SOI_PERF_STRICT=0    1 = exit non-zero on regression (default: report only,
 #                        so CI stays green on noisy runners while the report
 #                        is still visible in the log)
-#   SOI_PERF_FRESH=...   path for the fresh measurement
+#   SOI_PERF_FRESH=...   path for the fresh pipeline measurement
 #                        (default target/perf_gate/BENCH_pipeline.json)
+#   SOI_PERF_KERNELS_FRESH=...  path for the fresh kernel measurement
+#                        (default target/perf_gate/BENCH_kernels.json)
 #   SOI_BENCH_SAMPLES    forwarded to the bench timer (default here: 5,
 #                        lighter than the committed-baseline runs)
 #
-# The fresh run writes to a scratch file via SOI_BENCH_PIPELINE_OUT, never
-# to the committed baseline it is compared against. If the baseline was
-# recorded at a different N (e.g. a smoke-size override), the comparison
+# Fresh runs write to scratch files via SOI_BENCH_*_OUT, never to the
+# committed baselines they are compared against. If a baseline was
+# recorded at a different N (e.g. a smoke-size override), that comparison
 # is skipped with a notice instead of producing nonsense percentages.
 
 set -eu
@@ -25,6 +32,45 @@ cd "$(dirname "$0")/.."
 
 TOL="${SOI_PERF_TOL:-25}"
 STRICT="${SOI_PERF_STRICT:-0}"
+SAMPLES="${SOI_BENCH_SAMPLES:-5}"
+FAILED=""
+
+# top-level integer field, e.g. `"n": 1048576`
+field() {
+    sed -n 's/^  "'"$2"'": \([0-9][0-9]*\).*/\1/p' "$1" | head -n 1
+}
+
+check_report() {
+    # $1 = section label; stdin = merged "B key value" / "F key value" lines
+    report="$(awk -v tol="$TOL" '
+        $1 == "B" { base[$2] = $3; order[n++] = $2 }
+        $1 == "F" { fresh[$2] = $3 }
+        END {
+            printf "  %-24s %14s %14s %9s\n", "name", "baseline", "fresh", "delta"
+            bad = ""
+            for (i = 0; i < n; i++) {
+                p = order[i]
+                if (!(p in fresh)) {
+                    printf "  %-24s %14s %14s %9s\n", p, base[p], "-", "skipped"
+                    continue
+                }
+                d = (fresh[p] - base[p]) / base[p] * 100
+                printf "  %-24s %14s %14s %+8.1f%%\n", p, base[p], fresh[p], d
+                if (d > tol) bad = bad " " p
+            }
+            if (bad != "") printf "REGRESSION:%s\n", bad
+        }')"
+    echo "$report"
+    if echo "$report" | grep -q "^REGRESSION:"; then
+        echo "perf-gate[$1]: entries above the ${TOL}% tolerance"
+        FAILED="$FAILED $1"
+    else
+        echo "perf-gate[$1]: OK — everything within ${TOL}% of the baseline"
+    fi
+}
+
+# --- pipeline phase gate ---------------------------------------------------
+
 BASE="BENCH_pipeline.json"
 FRESH="${SOI_PERF_FRESH:-target/perf_gate/BENCH_pipeline.json}"
 # cargo runs bench executables with cwd = the package dir, so hand the
@@ -32,58 +78,57 @@ FRESH="${SOI_PERF_FRESH:-target/perf_gate/BENCH_pipeline.json}"
 case "$FRESH" in /*) ;; *) FRESH="$PWD/$FRESH" ;; esac
 
 if [ ! -f "$BASE" ]; then
-    echo "perf-gate: no committed $BASE baseline; nothing to compare"
-    exit 0
+    echo "perf-gate: no committed $BASE baseline; pipeline comparison skipped"
+else
+    mkdir -p "$(dirname "$FRESH")"
+    echo "==> perf-gate: fresh phase measurement (writes $FRESH)"
+    SOI_BENCH_PIPELINE_OUT="$FRESH" SOI_BENCH_PIPELINE_ONLY=1 \
+    SOI_BENCH_SAMPLES="$SAMPLES" \
+        cargo bench --offline -q -p soi-bench --bench soi_pipeline
+
+    bn="$(field "$BASE" n)"
+    fn="$(field "$FRESH" n)"
+    if [ "$bn" != "$fn" ]; then
+        echo "perf-gate: baseline N=$bn != fresh N=$fn; pipeline comparison skipped"
+    else
+        # `{"phase":"conv","total_ns":53805135}` -> `conv 53805135`
+        phases() {
+            sed -n 's/.*"phase":"\([a-z_]*\)","total_ns":\([0-9][0-9]*\).*/\1 \2/p' "$1"
+        }
+        { phases "$BASE" | sed 's/^/B /'; phases "$FRESH" | sed 's/^/F /'; } |
+            check_report pipeline
+    fi
 fi
 
-mkdir -p "$(dirname "$FRESH")"
-echo "==> perf-gate: fresh phase measurement (writes $FRESH)"
-SOI_BENCH_PIPELINE_OUT="$FRESH" SOI_BENCH_PIPELINE_ONLY=1 \
-SOI_BENCH_SAMPLES="${SOI_BENCH_SAMPLES:-5}" \
-    cargo bench --offline -q -p soi-bench --bench soi_pipeline
+# --- kernel report gate ----------------------------------------------------
 
-# `{"phase":"conv","total_ns":53805135}` -> `conv 53805135`
-phases() {
-    sed -n 's/.*"phase":"\([a-z_]*\)","total_ns":\([0-9][0-9]*\).*/\1 \2/p' "$1"
-}
-# top-level integer field, e.g. `"n": 1048576`
-field() {
-    sed -n 's/^  "'"$2"'": \([0-9][0-9]*\).*/\1/p' "$1" | head -n 1
-}
+KBASE="BENCH_kernels.json"
+KFRESH="${SOI_PERF_KERNELS_FRESH:-target/perf_gate/BENCH_kernels.json}"
+case "$KFRESH" in /*) ;; *) KFRESH="$PWD/$KFRESH" ;; esac
 
-bn="$(field "$BASE" n)"
-fn="$(field "$FRESH" n)"
-if [ "$bn" != "$fn" ]; then
-    echo "perf-gate: baseline N=$bn != fresh N=$fn; comparison skipped"
-    exit 0
+if [ ! -f "$KBASE" ]; then
+    echo "perf-gate: no committed $KBASE baseline; kernel comparison skipped"
+else
+    mkdir -p "$(dirname "$KFRESH")"
+    echo "==> perf-gate: fresh kernel measurement (writes $KFRESH)"
+    SOI_BENCH_KERNELS_OUT="$KFRESH" SOI_BENCH_SAMPLES="$SAMPLES" \
+        cargo bench --offline -q -p soi-bench --bench kernel_report
+
+    # `{"kernel":"stockham","n":16384,...,"ns_per_point":6.885,...}`
+    #   -> `stockham/16384 6.885`
+    kernels() {
+        sed -n 's/.*"kernel":"\([^"]*\)","n":\([0-9][0-9]*\)[^}]*"ns_per_point":\([0-9.]*\).*/\1\/\2 \3/p' "$1"
+    }
+    { kernels "$KBASE" | sed 's/^/B /'; kernels "$KFRESH" | sed 's/^/F /'; } |
+        check_report kernels
 fi
 
-report="$(
-    { phases "$BASE" | sed 's/^/B /'; phases "$FRESH" | sed 's/^/F /'; } |
-    awk -v tol="$TOL" '
-        $1 == "B" { base[$2] = $3; order[n++] = $2 }
-        $1 == "F" { fresh[$2] = $3 }
-        END {
-            printf "  %-8s %14s %14s %9s\n", "phase", "baseline_ns", "fresh_ns", "delta"
-            bad = ""
-            for (i = 0; i < n; i++) {
-                p = order[i]
-                if (!(p in fresh)) { bad = bad " " p "(missing)"; continue }
-                d = (fresh[p] - base[p]) / base[p] * 100
-                printf "  %-8s %14d %14d %+8.1f%%\n", p, base[p], fresh[p], d
-                if (d > tol) bad = bad " " p
-            }
-            if (bad != "") printf "REGRESSION:%s\n", bad
-        }'
-)"
-echo "$report"
-if echo "$report" | grep -q "^REGRESSION:"; then
-    echo "perf-gate: phases above the ${TOL}% tolerance"
+# --- verdict ---------------------------------------------------------------
+
+if [ -n "$FAILED" ]; then
     if [ "$STRICT" = "1" ]; then
-        echo "perf-gate: FAIL (SOI_PERF_STRICT=1)"
+        echo "perf-gate: FAIL (SOI_PERF_STRICT=1):$FAILED"
         exit 1
     fi
-    echo "perf-gate: non-blocking (set SOI_PERF_STRICT=1 to enforce)"
-else
-    echo "perf-gate: OK — every phase within ${TOL}% of the committed baseline"
+    echo "perf-gate: non-blocking regressions in:$FAILED (set SOI_PERF_STRICT=1 to enforce)"
 fi
