@@ -118,6 +118,29 @@ pub trait Communicator {
     /// `recv` block `s` arrives from rank `s`.
     fn all_to_all<T: Pod>(&mut self, send: &[T], recv: &mut [T]) -> Result<(), CommError>;
 
+    /// Segment-granular all-to-all with a per-landed-segment callback —
+    /// the seam the overlapped SOI exchange schedule runs on.
+    ///
+    /// `send` holds one block per destination rank, each `nseg`
+    /// sub-blocks of `rows = len / (size·nseg)` elements (sub-block
+    /// `(d, s)` at `send[(d·nseg + s)·rows..]`). Deliveries land
+    /// *segment-major*: `recv[(s·size + src)·rows..]`, so each segment's
+    /// `size·rows` region is contiguous. `on_seg(s, segment, clock)`
+    /// fires once per segment in ascending order as soon as all of that
+    /// segment's sub-blocks are in place (on the wire, while later
+    /// segments are still in flight); `clock` is the fabric's agreed
+    /// clock if it has one. Callback time is excluded from
+    /// [`Communicator::comm_seconds`] on wall-clock fabrics. With
+    /// `nseg = 1` the layouts coincide with [`Communicator::all_to_all`]
+    /// and the callback fires once after the exchange.
+    fn all_to_all_seg<T: Pod>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+        nseg: usize,
+        on_seg: &mut dyn FnMut(usize, &mut [T], Option<f64>),
+    ) -> Result<(), CommError>;
+
     /// Variable-count all-to-all; returns received blocks concatenated
     /// in rank order.
     fn all_to_allv<T: Pod>(&mut self, send: &[T], counts: &[usize])
@@ -182,6 +205,16 @@ impl Communicator for RankComm {
         Ok(RankComm::try_all_to_all(self, send, recv)?)
     }
 
+    fn all_to_all_seg<T: Pod>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+        nseg: usize,
+        on_seg: &mut dyn FnMut(usize, &mut [T], Option<f64>),
+    ) -> Result<(), CommError> {
+        Ok(RankComm::try_all_to_all_seg(self, send, recv, nseg, on_seg)?)
+    }
+
     fn all_to_allv<T: Pod>(&mut self, send: &[T], counts: &[usize]) -> Result<Vec<T>, CommError> {
         Ok(RankComm::try_all_to_allv(self, send, counts)?)
     }
@@ -239,6 +272,16 @@ impl Communicator for WireComm {
         Ok(WireComm::all_to_all(self, send, recv)?)
     }
 
+    fn all_to_all_seg<T: Pod>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+        nseg: usize,
+        on_seg: &mut dyn FnMut(usize, &mut [T], Option<f64>),
+    ) -> Result<(), CommError> {
+        Ok(WireComm::all_to_all_seg(self, send, recv, nseg, on_seg)?)
+    }
+
     fn all_to_allv<T: Pod>(&mut self, send: &[T], counts: &[usize]) -> Result<Vec<T>, CommError> {
         Ok(WireComm::all_to_allv(self, send, counts)?)
     }
@@ -289,6 +332,105 @@ mod tests {
         // Rank-order folds: bitwise identical, not just approximately.
         for (a, b) in sim.iter().zip(&wire) {
             assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn all_neg_inf_allreduce_max_stays_neg_inf_on_both_transports() {
+        // A fold seeded with f64::MIN would silently answer f64::MIN
+        // here; both transports must agree the max of {-inf} is -inf,
+        // bitwise.
+        let p = 3;
+        let sim: Vec<f64> = Cluster::ideal(p)
+            .run_collect(|comm| Communicator::allreduce_max(comm, f64::NEG_INFINITY).unwrap());
+        let wire = run_loopback(p, WireConfig::default(), |comm| {
+            Communicator::allreduce_max(comm, f64::NEG_INFINITY).unwrap()
+        })
+        .unwrap();
+        for (a, b) in sim.iter().zip(&wire) {
+            assert_eq!(a.to_bits(), f64::NEG_INFINITY.to_bits());
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Both one-sided self shapes, bootstrapped the only order that can
+    /// work: a buffered self-`send` seeds rank 0's inbox so its
+    /// `sendrecv(dst=1, src=0)` can pop it while writing to the peer,
+    /// and rank 1's `sendrecv(dst=1, src=0)` queues to itself while
+    /// reading that write, draining its own queue with a plain `recv`.
+    /// One synchronized exchange per rank keeps simnet's clock sync in
+    /// lockstep.
+    #[test]
+    fn one_sided_self_sendrecv_agrees_across_transports() {
+        let p = 2;
+        let sim: Vec<Vec<Vec<f64>>> = Cluster::ideal(p).run_collect(|c| {
+            if c.rank() == 0 {
+                c.send(0, vec![0.5, 0.25]);
+                vec![c.sendrecv(1, &[7.0], 0)]
+            } else {
+                let from_peer = c.sendrecv(1, &[11.0, 12.0], 0);
+                vec![from_peer, c.recv::<f64>(1)]
+            }
+        });
+        let wire: Vec<Vec<Vec<f64>>> = run_loopback(p, WireConfig::default(), |c| {
+            if c.rank() == 0 {
+                c.send(0, &[0.5, 0.25]).unwrap();
+                vec![c.sendrecv::<f64>(1, &[7.0], 0).unwrap()]
+            } else {
+                let from_peer = c.sendrecv::<f64>(1, &[11.0, 12.0], 0).unwrap();
+                vec![from_peer, c.recv::<f64>(1).unwrap()]
+            }
+        })
+        .unwrap();
+        assert_eq!(sim, wire);
+        // Rank 0's self-recv side popped its earlier self-send.
+        assert_eq!(wire[0], vec![vec![0.5, 0.25]]);
+        // Rank 1 received rank 0's one-sided wire write, then drained
+        // the payload its own self-send side had queued.
+        assert_eq!(wire[1], vec![vec![7.0], vec![11.0, 12.0]]);
+    }
+
+    /// Segment-granular exchange: values encode (source, destination,
+    /// segment, row) so every landed sub-block is checkable, and the
+    /// callback must see segments complete in ascending order.
+    fn seg_exchange<C: Communicator>(comm: &mut C, nseg: usize, rows: usize) -> (Vec<f64>, Vec<usize>) {
+        let p = comm.size();
+        let me = comm.rank();
+        let send: Vec<f64> = (0..p * nseg * rows)
+            .map(|i| {
+                let (d, s, j) = (i / (nseg * rows), (i / rows) % nseg, i % rows);
+                (me * 1000 + d * 100 + s * 10 + j) as f64
+            })
+            .collect();
+        let mut recv = vec![0.0f64; p * nseg * rows];
+        let mut order = Vec::new();
+        comm.all_to_all_seg(&send, &mut recv, nseg, &mut |si, seg, _clock| {
+            assert_eq!(seg.len(), p * rows);
+            order.push(si);
+        })
+        .unwrap();
+        (recv, order)
+    }
+
+    #[test]
+    fn segmented_exchange_delivers_segment_major_on_both_transports() {
+        let (p, nseg, rows) = (3, 2, 4);
+        let sim: Vec<_> = Cluster::ideal(p).run_collect(|c| seg_exchange(c, nseg, rows));
+        let wire = run_loopback(p, WireConfig::default(), |c| seg_exchange(c, nseg, rows)).unwrap();
+        assert_eq!(sim, wire);
+        for (me, (recv, order)) in wire.iter().enumerate() {
+            assert_eq!(*order, (0..nseg).collect::<Vec<_>>());
+            for si in 0..nseg {
+                for src in 0..p {
+                    for j in 0..rows {
+                        assert_eq!(
+                            recv[(si * p + src) * rows + j],
+                            (src * 1000 + me * 100 + si * 10 + j) as f64,
+                            "rank {me} segment {si} from {src} row {j}"
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -34,5 +34,5 @@ pub use recover::{
     run_checkpointed, run_wire_recoverable, Checkpoint, CheckpointStore, DirStore, FaultAction,
     FaultPlan, MemStore, Recovery, LAST_BOUNDARY,
 };
-pub use soi::DistSoiFft;
+pub use soi::{DistSoiFft, ExchangeSchedule};
 pub use times::PhaseTimes;

@@ -10,6 +10,13 @@
 //! 6. **F_{M'}** — one oversampled FFT per owned segment;
 //! 7. **demodulate** — project to `M` bins and divide by `ŵ(k)`.
 //!
+//! Phases 5–7 run on one of two [`ExchangeSchedule`]s. The default
+//! `Overlapped` schedule streams the exchange at segment granularity and
+//! starts each owned segment's F_{M'} + demodulation the moment its rows
+//! land, hiding compute under the remaining traffic; `Barriered`
+//! (`SOI_NO_OVERLAP=1`) keeps the classic exchange → unpack → FFT →
+//! demodulate sequence. Both produce bitwise-identical output.
+//!
 //! The segment count `P` may be a multiple of the rank count `R` (§6a:
 //! "In general, P can be a multiple of number of processor nodes,
 //! increasing the granularity of parallelism" — the paper's own runs used
@@ -24,7 +31,47 @@ use soi_core::{SoiError, SoiFft, SoiParams};
 use soi_fft::flops::{conv_flops, fft_flops};
 use soi_num::Complex64;
 use soi_pool::{part_range, SlicePtr, ThreadPool};
+use std::sync::OnceLock;
 use std::time::Instant;
+
+/// How the global exchange interleaves with the compute that consumes it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExchangeSchedule {
+    /// Stream the all-to-all at segment granularity and run each owned
+    /// segment's F_{M'} + demodulation the moment its rows land, hiding
+    /// per-segment compute under the remaining segments' traffic. The
+    /// segment-major delivery layout doubles as the x̃ layout, so the
+    /// post-exchange unpack pass disappears entirely.
+    Overlapped,
+    /// The pre-pipelined schedule: one barriered all-to-all, an unpack
+    /// pass, then every F_{M'}, then demodulation. Kept as the ablation
+    /// baseline and the bitwise reference the overlapped path must match.
+    Barriered,
+}
+
+impl ExchangeSchedule {
+    /// Process-wide default: `Overlapped`, unless `SOI_NO_OVERLAP` is set
+    /// (mirroring `SOI_NO_SIMD` for the kernel ablation — read once, so a
+    /// process never mixes schedules mid-run by accident).
+    pub fn from_env() -> Self {
+        if no_overlap_env() {
+            ExchangeSchedule::Barriered
+        } else {
+            ExchangeSchedule::Overlapped
+        }
+    }
+}
+
+/// `SOI_NO_OVERLAP` set to anything but `""`/`"0"` forces the barriered
+/// schedule (same contract as `SOI_NO_SIMD`).
+fn no_overlap_env() -> bool {
+    static V: OnceLock<bool> = OnceLock::new();
+    *V.get_or_init(|| {
+        std::env::var("SOI_NO_OVERLAP")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
 
 /// A prepared distributed SOI transform (shared read-only across ranks).
 #[derive(Debug)]
@@ -118,12 +165,38 @@ impl DistSoiFft {
     /// writer to persist progress. The hook runs *outside* phase trace
     /// spans and is not charged to any phase, so a no-op hook leaves the
     /// run observationally identical to [`Self::run_with`].
+    ///
+    /// Under the default [`ExchangeSchedule::Overlapped`] schedule the
+    /// exchange, F_{M'}, and demodulation fuse into one streamed region;
+    /// boundaries `5` and `6` then fire back-to-back after it. Both
+    /// checkpoint consumers store phase *inputs*, so replay from either
+    /// boundary is schedule-independent.
     pub fn run_with_hooks<C, F>(
         &self,
         comm: &mut C,
         x_local: &[Complex64],
         policy: ChargePolicy,
         pool: &ThreadPool,
+        hook: F,
+    ) -> Result<(Vec<Complex64>, PhaseTimes), SoiError>
+    where
+        C: Communicator,
+        F: FnMut(&mut C, usize) -> Result<(), SoiError>,
+    {
+        self.run_with_hooks_scheduled(comm, x_local, policy, pool, ExchangeSchedule::from_env(), hook)
+    }
+
+    /// [`Self::run_with_hooks`] with the exchange schedule pinned
+    /// explicitly instead of read from `SOI_NO_OVERLAP` — the seam the
+    /// equivalence tests use to compare both schedules inside one
+    /// process. The two schedules produce bitwise-identical output.
+    pub fn run_with_hooks_scheduled<C, F>(
+        &self,
+        comm: &mut C,
+        x_local: &[Complex64],
+        policy: ChargePolicy,
+        pool: &ThreadPool,
+        schedule: ExchangeSchedule,
         mut hook: F,
     ) -> Result<(Vec<Complex64>, PhaseTimes), SoiError>
     where
@@ -222,6 +295,63 @@ impl DistSoiFft {
         times.pack = dt;
         trace.span_end("pack", comm.clock_now());
         hook(comm, 4)?;
+
+        if schedule == ExchangeSchedule::Overlapped {
+            // 5–7 fused. The streamed exchange delivers segment-major, so
+            // each landing sub-block already sits in its x̃ slot (delivery
+            // IS the unpack), and the moment segment `si` completes its
+            // F_{M'} + demodulation run inside the collective — hidden
+            // under the remaining segments' traffic. Per-segment math is
+            // identical to the barriered arm (independent segments, same
+            // serial kernels), so the output is bitwise identical.
+            trace.span_begin("exchange", comm.clock_now());
+            let c0 = comm.comm_seconds();
+            let mut xt = vec![Complex64::ZERO; c * cfg.m_prime];
+            let mut y = vec![Complex64::ZERO; local_pts];
+            let mut scratch = vec![Complex64::ZERO; self.soi.plan_m().scratch_len()];
+            let demod = &self.soi.coefficients().demod;
+            let (mut fft_wall, mut demod_wall) = (0.0f64, 0.0f64);
+            let trace_cb = &trace;
+            let y_out = &mut y;
+            comm.all_to_all_seg(&send, &mut xt, c, &mut |si, seg, clock| {
+                trace_cb.span_begin("fft_m", clock);
+                let t0 = Instant::now();
+                self.soi.plan_m().execute_with_scratch(seg, &mut scratch);
+                fft_wall += t0.elapsed().as_secs_f64();
+                trace_cb.span_end("fft_m", clock);
+                trace_cb.span_begin("demod", clock);
+                let t0 = Instant::now();
+                for k in 0..cfg.m {
+                    y_out[si * cfg.m + k] = seg[k] * demod[k];
+                }
+                demod_wall += t0.elapsed().as_secs_f64();
+                trace_cb.span_end("demod", clock);
+            })?;
+            times.exchange = comm.comm_seconds() - c0;
+            trace.span_end("exchange", comm.clock_now());
+
+            // Compute was measured inside the callbacks (the transports
+            // exclude it from comm time); charge it once per phase so the
+            // ledger matches the barriered breakdown.
+            let dt = policy.charge(WorkKind::Fft, c as f64 * fft_flops(cfg.m_prime), fft_wall);
+            comm.charge_compute(dt);
+            times.fft_large = dt;
+            let dt = policy.charge(
+                WorkKind::Mem,
+                2.0 * (local_pts * std::mem::size_of::<Complex64>()) as f64,
+                demod_wall,
+            );
+            comm.charge_compute(dt);
+            times.scale = dt;
+
+            // The fused region crossed boundaries 5–7 at once; fire the
+            // hooks in pipeline order (both checkpoint consumers persist
+            // phase inputs, so replay semantics match the barriered arm).
+            hook(comm, 5)?;
+            hook(comm, 6)?;
+            hook(comm, 7)?;
+            return Ok((y, times));
+        }
 
         // 5. THE all-to-all. From src I receive its rows for each of my c
         // segments: recv[src·c·rows + si·rows + jl] = x̃^{(my seg si)}[src·rows + jl].

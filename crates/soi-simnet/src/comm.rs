@@ -487,6 +487,75 @@ impl RankComm {
         self.try_all_to_all(send, recv).expect("peer rank hung up");
     }
 
+    /// Fallible segment-granular all-to-all with a per-landed-segment
+    /// callback — the simulated twin of the wire transport's streamed
+    /// exchange, with identical layouts and accounting.
+    ///
+    /// `send` holds `P` destination blocks of `nseg` sub-blocks each
+    /// (sub-block `(d, s)` at `send[(d·nseg + s)·rows..]`); deliveries
+    /// land segment-major (`recv[(s·P + src)·rows..]`), and `on_seg(s,
+    /// segment, clock)` fires once per segment in ascending order with
+    /// the rank's virtual clock. Sends are buffered up front (they never
+    /// block on simnet), so "overlap" here is purely the delivery
+    /// order — what matters is that both transports fire the callbacks
+    /// on identical data in identical order, keeping the overlapped
+    /// schedule bitwise reproducible across fabrics. Time is charged
+    /// exactly like [`RankComm::try_all_to_all`]: one all-to-all of the
+    /// aggregate non-self payload at the closing clock sync.
+    pub fn try_all_to_all_seg<T: Send + Clone + 'static>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+        nseg: usize,
+        on_seg: &mut dyn FnMut(usize, &mut [T], Option<f64>),
+    ) -> Result<(), SimCommError> {
+        let p = self.size();
+        assert_eq!(send.len(), recv.len(), "all_to_all buffers must match");
+        assert!(
+            nseg > 0 && send.len() % (p * nseg) == 0,
+            "all_to_all length {} not divisible by {p} ranks x {nseg} segments",
+            send.len()
+        );
+        let rows = send.len() / (p * nseg);
+        let sub_bytes = (rows * std::mem::size_of::<T>()) as u64;
+        // Same (segment, round)-major global order as the wire writer
+        // thread, so per-link FIFO delivery matches across transports.
+        for si in 0..nseg {
+            for r in 1..p {
+                let dst = (self.rank + r) % p;
+                let chunk = send[(dst * nseg + si) * rows..][..rows].to_vec();
+                self.stats.bytes_sent += sub_bytes;
+                self.trace.send(dst, sub_bytes, Some(self.clock.now()));
+                self.try_send_msg(dst, Box::new(chunk))?;
+            }
+        }
+        for si in 0..nseg {
+            for r in 1..p {
+                let src = (self.rank + p - r) % p;
+                let msg = self.try_recv_msg(src, "all_to_all")?;
+                let data = *msg
+                    .downcast::<Vec<T>>()
+                    .expect("type mismatch in all_to_all");
+                assert_eq!(data.len(), rows, "ragged all_to_all sub-block from {src}");
+                self.stats.bytes_received += sub_bytes;
+                self.trace.recv(src, sub_bytes, Some(self.clock.now()));
+                recv[(si * p + src) * rows..][..rows].clone_from_slice(&data);
+            }
+            recv[(si * p + self.rank) * rows..][..rows]
+                .clone_from_slice(&send[(self.rank * nseg + si) * rows..][..rows]);
+            on_seg(si, &mut recv[si * p * rows..][..p * rows], Some(self.clock.now()));
+        }
+        // Fabric-charged traffic excludes each rank's self-block — the
+        // identical convention (and total) as the unsegmented collective.
+        let total_bytes = (p - 1) as u64 * nseg as u64 * sub_bytes * p as u64;
+        let cost = self.shared.fabric.all_to_all_time(p, total_bytes);
+        self.try_sync_clocks(cost)?;
+        self.stats.all_to_alls += 1;
+        self.trace
+            .collective(CollectiveOp::AllToAll, total_bytes, Some(self.clock.now()));
+        Ok(())
+    }
+
     /// Fallible variable-count all-to-all: `send` is partitioned by
     /// `send_counts` (one entry per destination); returns the
     /// concatenation of the blocks received from ranks `0..p` in order.
@@ -696,13 +765,17 @@ impl RankComm {
         self.try_allreduce_sum(v).expect("peer rank hung up")
     }
 
-    /// Fallible max-allreduce of one f64.
+    /// Fallible max-allreduce of one f64. Seeded with `-inf`, not
+    /// `f64::MIN`: a finite seed would silently become the answer when
+    /// every rank contributes `-inf` — the same bug class
+    /// [`Self::try_sync_clocks`] guards against, and the wire transport
+    /// folds identically so the transports agree bitwise.
     pub fn try_allreduce_max(&mut self, v: f64) -> Result<f64, SimCommError> {
         Ok(self
             .try_all_gather(&[v])?
             .iter()
             .copied()
-            .fold(f64::MIN, f64::max))
+            .fold(f64::NEG_INFINITY, f64::max))
     }
 
     /// Max-allreduce of one f64.

@@ -6,25 +6,47 @@
 //! [`WireError::PeerLost`], a stuck one a [`WireError::Timeout`], never a
 //! hang.
 //!
-//! Two structural choices keep the collectives deadlock-free on real TCP:
+//! Three structural choices keep the collectives deadlock-free (and the
+//! big one fast) on real TCP:
 //!
-//! * **Paired exchanges use a writer thread.** TCP gives each direction a
-//!   finite buffer; two peers that both `write_all` a large block before
-//!   reading deadlock once both buffers fill. [`WireComm::sendrecv`] and
-//!   the all-to-all rounds therefore push the outgoing frame from a scoped
-//!   thread (writing on `&TcpStream`) while the caller's thread reads —
-//!   correct for any payload size, no buffer-size assumptions.
+//! * **Outgoing traffic streams from one writer thread per collective.**
+//!   TCP gives each direction a finite buffer; two peers that both
+//!   `write_all` a large block before reading deadlock once both buffers
+//!   fill. Every paired or global exchange therefore pushes its outgoing
+//!   frames from a single scoped thread (writing on `&TcpStream`) while
+//!   the caller's thread reads — correct for any payload size, no
+//!   buffer-size assumptions. For the all-to-all family the writer
+//!   streams *every* round of the whole schedule back-to-back through a
+//!   reused encode buffer, so rounds pipeline on the wire instead of
+//!   running send-wait-receive lockstep, and payloads are decoded
+//!   straight into the caller's receive buffer (no per-round temporary).
 //! * **All-to-all is a pairwise-exchange schedule.** Round `r ∈ 1..P`
 //!   pairs rank `k` with destination `(k+r) mod P` and source
 //!   `(k−r) mod P` — every round is a perfect matching of simultaneous
-//!   exchanges, so P−1 rounds move the full permutation without any rank
-//!   ever holding more than one in-flight block per direction.
+//!   exchanges. The segmented variant ([`WireComm::all_to_all_seg`])
+//!   iterates that schedule once per segment, sub-block `(segment,
+//!   round)`-major on every rank, so each link carries frames in one
+//!   globally agreed order and a segment's data all lands before any
+//!   later segment's.
+//! * **Self-traffic goes through an in-process inbox.** A rank may name
+//!   itself as the destination and/or source of a paired exchange (the
+//!   simulated fabric permits it, so the wire must too). Payloads
+//!   "sent" to self are queued on [`WireComm`]'s own inbox and "received"
+//!   by popping it — no socket involved, same FIFO semantics as a
+//!   buffered self-link.
+//!
+//! Error attribution: inside an exchange, write-side failures are tagged
+//! with the *destination* rank and read-side failures with the *source* —
+//! recovery decisions key off the reported peer, so a dead outbound link
+//! must never be blamed on the (healthy) rank we happened to be reading
+//! from.
 
 use crate::bootstrap::{Bootstrap, WireConfig};
 use crate::error::WireError;
-use crate::frame::{read_frame, write_frame, TAG_DATA};
-use crate::pod::{decode_slice, encode_slice, Pod};
+use crate::frame::{read_frame, read_frame_into, write_frame, TAG_DATA};
+use crate::pod::{decode_into, decode_slice, encode_into, encode_slice, Pod};
 use soi_trace::{CollectiveOp, Trace};
+use std::collections::VecDeque;
 use std::net::TcpStream;
 use std::time::Instant;
 
@@ -59,6 +81,9 @@ pub struct WireComm {
     rendezvous: String,
     /// Job epoch this mesh belongs to (0 = initial bootstrap).
     epoch: u32,
+    /// FIFO of payloads this rank sent to itself and has not yet
+    /// received back — the buffered self-link simnet gets for free.
+    self_inbox: VecDeque<Vec<u8>>,
 }
 
 impl WireComm {
@@ -76,6 +101,7 @@ impl WireComm {
             comm_seconds: 0.0,
             rendezvous: String::new(),
             epoch: 0,
+            self_inbox: VecDeque::new(),
         }
     }
 
@@ -149,13 +175,30 @@ impl WireComm {
         }
     }
 
+    /// Pop the oldest payload this rank sent to itself; an empty inbox is
+    /// the wire analogue of blocking forever on an empty self-mailbox, so
+    /// it reports a timeout against this very rank.
+    fn recv_self(&mut self, op: &'static str) -> Result<Vec<u8>, WireError> {
+        self.self_inbox.pop_front().ok_or(WireError::Timeout {
+            peer: Some(self.rank),
+            op,
+            after: self.cfg.op_timeout,
+        })
+    }
+
     /// Send a typed payload to `dst` (framed, blocking, deadline-bounded).
+    /// `dst == self.rank` queues on the self-inbox, like simnet's buffered
+    /// self-link.
     pub fn send<T: Pod>(&mut self, dst: usize, data: &[T]) -> Result<(), WireError> {
         let t0 = Instant::now();
         let payload = encode_slice(data);
         let bytes = payload.len() as u64;
-        let mut s = self.stream(dst)?;
-        write_frame(&mut s, TAG_DATA, &payload, Some(dst), self.cfg.op_timeout)?;
+        if dst == self.rank {
+            self.self_inbox.push_back(payload);
+        } else {
+            let mut s = self.stream(dst)?;
+            write_frame(&mut s, TAG_DATA, &payload, Some(dst), self.cfg.op_timeout)?;
+        }
         self.stats.bytes_sent += bytes;
         self.stats.p2p_messages += 1;
         self.trace.send(dst, bytes, None);
@@ -163,16 +206,22 @@ impl WireComm {
         Ok(())
     }
 
-    /// Receive a typed payload from `src`.
+    /// Receive a typed payload from `src` (`src == self.rank` pops the
+    /// self-inbox).
     pub fn recv<T: Pod>(&mut self, src: usize) -> Result<Vec<T>, WireError> {
         let t0 = Instant::now();
-        let mut s = self.stream(src)?;
-        let (tag, payload) = read_frame(&mut s, Some(src), self.cfg.op_timeout)?;
-        if tag != TAG_DATA {
-            return Err(WireError::Protocol(format!(
-                "expected DATA from rank {src}, got tag {tag:#04x}"
-            )));
-        }
+        let payload = if src == self.rank {
+            self.recv_self("recv")?
+        } else {
+            let mut s = self.stream(src)?;
+            let (tag, payload) = read_frame(&mut s, Some(src), self.cfg.op_timeout)?;
+            if tag != TAG_DATA {
+                return Err(WireError::Protocol(format!(
+                    "expected DATA from rank {src}, got tag {tag:#04x}"
+                )));
+            }
+            payload
+        };
         let bytes = payload.len() as u64;
         let out = decode_slice(&payload)?;
         self.stats.bytes_received += bytes;
@@ -183,7 +232,10 @@ impl WireComm {
 
     /// Write `payload` to `dst` while reading one DATA frame from `src`,
     /// concurrently — the deadlock-free primitive under every paired
-    /// exchange. `dst == src` is fine (TCP is full duplex).
+    /// exchange. `dst == src` is fine (TCP is full duplex). Write-side
+    /// failures come back tagged with `dst`, read-side with `src` —
+    /// callers must NOT re-tag (a blanket `tag_peer(e, src)` would blame
+    /// the source rank for a dead outbound link).
     fn exchange_frames(
         &self,
         dst: usize,
@@ -201,8 +253,8 @@ impl WireComm {
             let mut r = in_stream;
             let read_result = read_frame(&mut r, Some(src), deadline);
             let write_result = writer.join().expect("wire writer thread panicked");
-            write_result?;
-            let (tag, body) = read_result?;
+            write_result.map_err(|e| Self::tag_peer(e, dst))?;
+            let (tag, body) = read_result.map_err(|e| Self::tag_peer(e, src))?;
             if tag != TAG_DATA {
                 return Err(WireError::Protocol(format!(
                     "expected DATA from rank {src}, got tag {tag:#04x}"
@@ -213,7 +265,10 @@ impl WireComm {
     }
 
     /// Simultaneous exchange: send `data` to `dst` while receiving from
-    /// `src` (the SOI halo-exchange pattern).
+    /// `src` (the SOI halo-exchange pattern). Either endpoint may be this
+    /// rank itself: a self-destination queues the payload on the
+    /// self-inbox while the wire read proceeds, a self-source pops it —
+    /// the same one-sided self-exchange the simulated fabric permits.
     pub fn sendrecv<T: Pod>(
         &mut self,
         dst: usize,
@@ -224,10 +279,31 @@ impl WireComm {
         let payload = encode_slice(data);
         let sent_bytes = payload.len() as u64;
         self.trace.send(dst, sent_bytes, None);
-        let body = if dst == self.rank && src == self.rank {
-            payload // self-exchange: no wire involved
-        } else {
-            self.exchange_frames(dst, &payload, src)?
+        let body = match (dst == self.rank, src == self.rank) {
+            (true, true) => payload, // pure self-exchange: no wire involved
+            (true, false) => {
+                // Send-to-self, receive from a real peer.
+                self.self_inbox.push_back(payload);
+                let mut s = self.stream(src)?;
+                let (tag, body) = read_frame(&mut s, Some(src), self.cfg.op_timeout)
+                    .map_err(|e| Self::tag_peer(e, src))?;
+                if tag != TAG_DATA {
+                    return Err(WireError::Protocol(format!(
+                        "expected DATA from rank {src}, got tag {tag:#04x}"
+                    )));
+                }
+                body
+            }
+            (false, true) => {
+                // Send to a real peer, receive from self. The peer's
+                // mirrored call is read-only toward us, so a plain
+                // blocking write cannot deadlock against it.
+                let mut s = self.stream(dst)?;
+                write_frame(&mut s, TAG_DATA, &payload, Some(dst), self.cfg.op_timeout)
+                    .map_err(|e| Self::tag_peer(e, dst))?;
+                self.recv_self("sendrecv")?
+            }
+            (false, false) => self.exchange_frames(dst, &payload, src)?,
         };
         let recv_bytes = body.len() as u64;
         let out = decode_slice(&body)?;
@@ -242,10 +318,44 @@ impl WireComm {
 
     /// All-to-all with equal blocks: block `d` of `send` goes to rank
     /// `d`; `recv` block `s` arrives from rank `s` — the paper's single
-    /// global exchange, here as P−1 pairwise rounds over real sockets.
+    /// global exchange, streamed over real sockets (one writer thread
+    /// pipelines all P−1 rounds; see [`WireComm::all_to_all_seg`]).
     pub fn all_to_all<T: Pod>(&mut self, send: &[T], recv: &mut [T]) -> Result<(), WireError> {
-        let t0 = Instant::now();
+        self.all_to_all_seg(send, recv, 1, &mut |_, _, _| {})
+    }
+
+    /// Segment-granular streamed all-to-all with compute overlap — the
+    /// pipelined exchange under the overlapped SOI schedule.
+    ///
+    /// `send` holds `P` destination blocks, each `nseg` sub-blocks of
+    /// `rows = len / (P·nseg)` elements: sub-block `(d, s)` at
+    /// `send[(d·nseg + s)·rows..]` goes to rank `d` for its segment `s`.
+    /// Deliveries land *segment-major*: sub-block `(s, src)` at
+    /// `recv[(s·P + src)·rows..]`, so each segment's `P·rows` region is
+    /// contiguous. `on_seg(s, segment, clock)` fires once per segment in
+    /// ascending order as soon as all of that segment's sub-blocks are
+    /// in place — while later segments are still in flight — with `clock
+    /// = None` (no virtual clock on a real network). Callback time is
+    /// excluded from [`WireComm::comm_seconds`].
+    ///
+    /// One scoped writer thread streams the entire `(segment,
+    /// round)`-major schedule through a reused encode buffer; the caller
+    /// thread decodes frames straight into `recv` and runs the
+    /// callbacks. Both sides follow the same global order restricted to
+    /// each link, so per-link FIFO delivery keeps every sub-block
+    /// matched to its slot. With `nseg = 1` this is exactly
+    /// [`WireComm::all_to_all`] (identical layout, one callback at the
+    /// end), and the accounting (bytes, events, one `AllToAll`
+    /// collective excluding the self-block) is the same for any `nseg`.
+    pub fn all_to_all_seg<T: Pod>(
+        &mut self,
+        send: &[T],
+        recv: &mut [T],
+        nseg: usize,
+        on_seg: &mut dyn FnMut(usize, &mut [T], Option<f64>),
+    ) -> Result<(), WireError> {
         let p = self.size;
+        let rank = self.rank;
         if send.len() != recv.len() {
             return Err(WireError::Protocol(format!(
                 "all_to_all buffers must match: {} vs {}",
@@ -253,44 +363,96 @@ impl WireComm {
                 recv.len()
             )));
         }
-        if send.len() % p != 0 {
+        if nseg == 0 || send.len() % (p * nseg) != 0 {
             return Err(WireError::Protocol(format!(
-                "all_to_all length {} not divisible by {p} ranks",
+                "all_to_all length {} not divisible by {p} ranks x {nseg} segments",
                 send.len()
             )));
         }
-        let block = send.len() / p;
-        recv[self.rank * block..(self.rank + 1) * block]
-            .copy_from_slice(&send[self.rank * block..(self.rank + 1) * block]);
-        for r in 1..p {
-            let dst = (self.rank + r) % p;
-            let src = (self.rank + p - r) % p;
-            let payload = encode_slice(&send[dst * block..(dst + 1) * block]);
-            let chunk_bytes = payload.len() as u64;
-            self.trace.send(dst, chunk_bytes, None);
-            let body = self
-                .exchange_frames(dst, &payload, src)
-                .map_err(|e| Self::tag_peer(e, src))?;
-            let data: Vec<T> = decode_slice(&body)?;
-            if data.len() != block {
-                return Err(WireError::Protocol(format!(
-                    "ragged all_to_all block from {src}: {} elements, expected {block}",
-                    data.len()
-                )));
+        let rows = send.len() / (p * nseg);
+        let sub_bytes = (rows * T::BYTES) as u64;
+        let deadline = self.cfg.op_timeout;
+        // Validate every link up front so the writer thread cannot race a
+        // slot the reader already reported missing.
+        for peer in 0..p {
+            if peer != rank {
+                self.stream(peer)?;
             }
-            let bytes = body.len() as u64;
-            self.stats.bytes_sent += chunk_bytes;
-            self.stats.bytes_received += bytes;
-            self.trace.recv(src, bytes, None);
-            recv[src * block..(src + 1) * block].copy_from_slice(&data);
         }
+        let peers = &self.peers;
+        let trace = &self.trace;
+        let stats = &mut self.stats;
+        let mut comm_elapsed = 0.0f64;
+        let result = std::thread::scope(|scope| -> Result<(), WireError> {
+            let writer = scope.spawn(move || -> Result<(), WireError> {
+                let mut buf = Vec::new();
+                for si in 0..nseg {
+                    for r in 1..p {
+                        let dst = (rank + r) % p;
+                        encode_into(&send[(dst * nseg + si) * rows..][..rows], &mut buf);
+                        let mut w = peers[dst].as_ref().expect("link validated above");
+                        write_frame(&mut w, TAG_DATA, &buf, Some(dst), deadline)
+                            .map_err(|e| Self::tag_peer(e, dst))?;
+                    }
+                }
+                Ok(())
+            });
+            let mut t0 = Instant::now();
+            let mut payload = Vec::new();
+            let mut read_err: Option<WireError> = None;
+            'deliver: for si in 0..nseg {
+                for r in 1..p {
+                    let src = (rank + p - r) % p;
+                    let dst = (rank + r) % p;
+                    let mut s = peers[src].as_ref().expect("link validated above");
+                    let round = (|| -> Result<(), WireError> {
+                        let tag = read_frame_into(&mut s, &mut payload, Some(src), deadline)
+                            .map_err(|e| Self::tag_peer(e, src))?;
+                        if tag != TAG_DATA {
+                            return Err(WireError::Protocol(format!(
+                                "expected DATA from rank {src}, got tag {tag:#04x}"
+                            )));
+                        }
+                        if payload.len() as u64 != sub_bytes {
+                            return Err(WireError::Protocol(format!(
+                                "ragged all_to_all sub-block from {src}: {} bytes, expected {sub_bytes}",
+                                payload.len()
+                            )));
+                        }
+                        decode_into(&payload, &mut recv[(si * p + src) * rows..][..rows])
+                    })();
+                    if let Err(e) = round {
+                        read_err = Some(e);
+                        break 'deliver;
+                    }
+                    trace.send(dst, sub_bytes, None);
+                    trace.recv(src, sub_bytes, None);
+                    stats.bytes_sent += sub_bytes;
+                    stats.bytes_received += sub_bytes;
+                }
+                recv[(si * p + rank) * rows..][..rows]
+                    .copy_from_slice(&send[(rank * nseg + si) * rows..][..rows]);
+                comm_elapsed += t0.elapsed().as_secs_f64();
+                on_seg(si, &mut recv[si * p * rows..][..p * rows], None);
+                t0 = Instant::now();
+            }
+            let write_result = writer.join().expect("wire writer thread panicked");
+            comm_elapsed += t0.elapsed().as_secs_f64();
+            // Writer errors carry the severed destination; prefer them
+            // over the read-side error they usually cascade into.
+            write_result?;
+            match read_err {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        });
         // Same accounting convention as simnet: the self-block never
         // touches the wire and is excluded from the collective total.
-        let total_bytes = ((send.len() - block) * T::BYTES) as u64 * p as u64;
+        let total_bytes = (p - 1) as u64 * nseg as u64 * sub_bytes * p as u64;
         self.stats.all_to_alls += 1;
         self.trace.collective(CollectiveOp::AllToAll, total_bytes, None);
-        self.comm_seconds += t0.elapsed().as_secs_f64();
-        Ok(())
+        self.comm_seconds += comm_elapsed;
+        result
     }
 
     /// Variable-count all-to-all: `send` partitioned by `send_counts`
@@ -328,9 +490,7 @@ impl WireComm {
             let payload = encode_slice(&send[offsets[dst]..offsets[dst + 1]]);
             let sent_bytes = payload.len() as u64;
             self.trace.send(dst, sent_bytes, None);
-            let body = self
-                .exchange_frames(dst, &payload, src)
-                .map_err(|e| Self::tag_peer(e, src))?;
+            let body = self.exchange_frames(dst, &payload, src)?;
             let bytes = body.len() as u64;
             total_recv_bytes += bytes;
             self.stats.bytes_sent += sent_bytes;
@@ -443,9 +603,7 @@ impl WireComm {
             let src = (self.rank + p - r) % p;
             let sent_bytes = payload.len() as u64;
             self.trace.send(dst, sent_bytes, None);
-            let body = self
-                .exchange_frames(dst, &payload, src)
-                .map_err(|e| Self::tag_peer(e, src))?;
+            let body = self.exchange_frames(dst, &payload, src)?;
             let bytes = body.len() as u64;
             self.stats.bytes_sent += sent_bytes;
             self.stats.bytes_received += bytes;
@@ -470,9 +628,7 @@ impl WireComm {
         for r in 1..self.size {
             let dst = (self.rank + r) % self.size;
             let src = (self.rank + self.size - r) % self.size;
-            let body = self
-                .exchange_frames(dst, &token, src)
-                .map_err(|e| Self::tag_peer(e, src))?;
+            let body = self.exchange_frames(dst, &token, src)?;
             if body.len() != 1 {
                 return Err(WireError::Protocol(format!(
                     "barrier token from rank {src} had {} bytes",
@@ -492,13 +648,27 @@ impl WireComm {
         Ok(self.all_gather(&[v])?.iter().sum())
     }
 
-    /// Max-allreduce of one f64.
+    /// Max-allreduce of one f64. The fold seeds with `-inf`, not
+    /// `f64::MIN`: a finite seed would silently become the answer when
+    /// every rank contributes `-inf` (the same bug class `sync_clocks`
+    /// fixed on the simulated fabric), and the two transports must agree
+    /// bitwise.
     pub fn allreduce_max(&mut self, v: f64) -> Result<f64, WireError> {
         Ok(self
             .all_gather(&[v])?
             .iter()
             .copied()
-            .fold(f64::MIN, f64::max))
+            .fold(f64::NEG_INFINITY, f64::max))
+    }
+
+    /// Sever only this rank's *outbound* half of the link to `peer`
+    /// (subsequent writes toward `peer` fail; reads keep working) — the
+    /// test seam for asserting that a dead outbound link is attributed
+    /// to the destination, never to whichever rank we were reading from.
+    pub fn sever_outbound(&mut self, peer: usize) {
+        if let Some(s) = self.peers.get(peer).and_then(Option::as_ref) {
+            let _ = s.shutdown(std::net::Shutdown::Write);
+        }
     }
 
     /// Tear the mesh down explicitly (dropping does the same; this makes
@@ -509,6 +679,9 @@ impl WireComm {
                 let _ = s.shutdown(std::net::Shutdown::Both);
             }
         }
+        // Queued self-payloads belong to the aborted run; a rejoin must
+        // not replay them into the next epoch.
+        self.self_inbox.clear();
     }
 
     /// Re-wire the mesh for the next job epoch after a peer died: tear

@@ -71,6 +71,30 @@ pub fn read_frame<R: Read>(
     Ok((tag, payload))
 }
 
+/// Read one frame into a reusable payload buffer (resized to the frame's
+/// length, capacity kept across calls), returning the tag. The streamed
+/// collectives call this once per sub-block; reusing `payload` keeps the
+/// hot receive path allocation-free after the first frame.
+pub fn read_frame_into<R: Read>(
+    r: &mut R,
+    payload: &mut Vec<u8>,
+    peer: Option<usize>,
+    deadline: Duration,
+) -> Result<u8, WireError> {
+    let mut header = [0u8; 9];
+    read_exact_classified(r, &mut header, peer, deadline)?;
+    let tag = header[0];
+    let len = u64::from_le_bytes(header[1..9].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(WireError::Protocol(format!(
+            "frame length {len} exceeds cap {MAX_FRAME}"
+        )));
+    }
+    payload.resize(len as usize, 0);
+    read_exact_classified(r, payload, peer, deadline)?;
+    Ok(tag)
+}
+
 /// Read one frame and insist on `want`; a different tag is a protocol
 /// violation (reported with both tags for debuggability).
 pub fn expect_frame<R: Read>(
@@ -122,6 +146,20 @@ mod tests {
         assert_eq!((t, p.as_slice()), (TAG_DATA, b"hello".as_slice()));
         let (t, p) = read_frame(&mut c, None, D).unwrap();
         assert_eq!((t, p.len()), (TAG_IDENT, 0));
+    }
+
+    #[test]
+    fn read_frame_into_reuses_the_buffer_across_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, TAG_DATA, b"first-longer", None, D).unwrap();
+        write_frame(&mut buf, TAG_DATA, b"2nd", None, D).unwrap();
+        let mut c = Cursor::new(buf);
+        let mut payload = Vec::new();
+        assert_eq!(read_frame_into(&mut c, &mut payload, None, D).unwrap(), TAG_DATA);
+        assert_eq!(payload.as_slice(), b"first-longer");
+        // Shorter second frame: contents replaced, no stale tail.
+        assert_eq!(read_frame_into(&mut c, &mut payload, None, D).unwrap(), TAG_DATA);
+        assert_eq!(payload.as_slice(), b"2nd");
     }
 
     #[test]

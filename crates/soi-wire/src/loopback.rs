@@ -272,6 +272,80 @@ mod tests {
     }
 
     #[test]
+    fn severed_outbound_link_blames_the_destination() {
+        // Rank 0 cuts only its *write* half toward rank 2 and then joins
+        // the collective. Its failure must name rank 2 — the destination
+        // the writer could not reach — not whichever source the read loop
+        // happened to be waiting on when the schedule unravelled.
+        let p = 3;
+        let fast = WireConfig {
+            op_timeout: Duration::from_millis(500),
+            connect_timeout: Duration::from_secs(5),
+            ..WireConfig::default()
+        };
+        let results = run_loopback(p, fast, |comm| {
+            if comm.rank() == 0 {
+                comm.sever_outbound(2);
+            }
+            let send: Vec<u64> = (0..p * 2).map(|i| i as u64).collect();
+            let mut recv = vec![0u64; p * 2];
+            comm.all_to_all(&send, &mut recv)
+        })
+        .unwrap();
+        match &results[0] {
+            Err(WireError::PeerLost { peer: Some(2), .. })
+            | Err(WireError::Timeout { peer: Some(2), .. }) => {}
+            other => panic!("rank 0 must blame destination 2, got {other:?}"),
+        }
+        // Rank 1 is untouched by the cut: rank 0's writer streams the
+        // frame to rank 1 before it trips over the dead link to rank 2.
+        assert!(results[1].is_ok(), "rank 1 got {:?}", results[1]);
+        // Rank 2 observes rank 0's half-closed stream as a lost peer 0.
+        match &results[2] {
+            Err(WireError::PeerLost { peer: Some(0), .. })
+            | Err(WireError::Timeout { peer: Some(0), .. }) => {}
+            other => panic!("rank 2 must blame source 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn segmented_exchange_keeps_stats_and_conservation() {
+        let p = 3;
+        let nseg = 2;
+        let rows = 4;
+        let outs = run_loopback(p, cfg(), |comm| {
+            comm.set_trace(Trace::recording(comm.rank()));
+            let me = comm.rank();
+            let send: Vec<f64> =
+                (0..p * nseg * rows).map(|i| (me * 1000 + i) as f64).collect();
+            let mut recv = vec![0.0f64; p * nseg * rows];
+            let mut segs_seen = Vec::new();
+            comm.all_to_all_seg(&send, &mut recv, nseg, &mut |si, seg, clock| {
+                assert!(clock.is_none(), "wire has no simulated clock");
+                assert_eq!(seg.len(), p * rows);
+                segs_seen.push(si);
+            })
+            .unwrap();
+            (comm.stats(), comm.trace().drain(), segs_seen)
+        })
+        .unwrap();
+        let mut streams = Vec::new();
+        for (me, (stats, stream, segs)) in outs.into_iter().enumerate() {
+            assert_eq!(segs, vec![0, 1], "rank {me} callback order");
+            assert_eq!(stats.all_to_alls, 1);
+            // (p-1) peers × nseg sub-blocks × rows f64 each way; the
+            // self segment never touches the wire.
+            assert_eq!(stats.bytes_sent, ((p - 1) * nseg * rows * 8) as u64);
+            assert_eq!(stats.bytes_received, ((p - 1) * nseg * rows * 8) as u64);
+            streams.push(stream);
+        }
+        let set = TraceSet::from_streams(streams);
+        let summary = set.validate().expect("segmented traffic must conserve");
+        assert_eq!(summary.collectives, vec![CollectiveOp::AllToAll]);
+        assert_eq!(summary.messages, (p * (p - 1) * nseg) as u64);
+    }
+
+    #[test]
     fn large_paired_exchange_does_not_deadlock() {
         // Two ranks exchange blocks far larger than any socket buffer;
         // without the writer thread this deadlocks with both sides stuck

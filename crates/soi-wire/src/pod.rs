@@ -9,8 +9,10 @@
 use crate::error::WireError;
 use soi_num::Complex64;
 
-/// A fixed-size element that can cross the wire.
-pub trait Pod: Copy + Send + 'static {
+/// A fixed-size element that can cross the wire. `Sync` because the
+/// streamed collectives encode from a shared `&[T]` on a writer thread
+/// while the caller's thread decodes.
+pub trait Pod: Copy + Send + Sync + 'static {
     /// Encoded size in bytes.
     const BYTES: usize;
     /// Append the little-endian encoding to `out`.
@@ -77,6 +79,33 @@ pub fn encode_slice<T: Pod>(xs: &[T]) -> Vec<u8> {
         x.write_le(&mut out);
     }
     out
+}
+
+/// Encode a slice into a reusable buffer (cleared first, capacity kept) —
+/// the allocation-free path the streamed collectives use per frame.
+pub fn encode_into<T: Pod>(xs: &[T], out: &mut Vec<u8>) {
+    out.clear();
+    out.reserve(xs.len() * T::BYTES);
+    for &x in xs {
+        x.write_le(out);
+    }
+}
+
+/// Decode a payload of back-to-back elements directly into a caller
+/// slice; the byte length must match `out.len() * T::BYTES` exactly.
+pub fn decode_into<T: Pod>(b: &[u8], out: &mut [T]) -> Result<(), WireError> {
+    if b.len() != out.len() * T::BYTES {
+        return Err(WireError::Protocol(format!(
+            "payload of {} bytes does not fill {} elements of {} bytes",
+            b.len(),
+            out.len(),
+            T::BYTES
+        )));
+    }
+    for (dst, chunk) in out.iter_mut().zip(b.chunks_exact(T::BYTES)) {
+        *dst = T::read_le(chunk);
+    }
+    Ok(())
 }
 
 /// Decode a payload of back-to-back elements; the length must divide
@@ -229,6 +258,33 @@ mod tests {
     fn ragged_payload_is_a_protocol_error() {
         let e = decode_slice::<u64>(&[1, 2, 3]).unwrap_err();
         assert!(matches!(e, WireError::Protocol(_)));
+    }
+
+    #[test]
+    fn reusable_buffer_codec_roundtrips_bitwise() {
+        let xs: Vec<Complex64> = (0..9)
+            .map(|i| c64((i as f64 * 0.3).cos(), (i as f64 * 1.7).sin()))
+            .collect();
+        let mut buf = vec![0xAAu8; 4]; // stale contents must be discarded
+        encode_into(&xs, &mut buf);
+        assert_eq!(buf, encode_slice(&xs));
+        let mut out = vec![Complex64::ZERO; xs.len()];
+        decode_into(&buf, &mut out).unwrap();
+        for (a, b) in xs.iter().zip(&out) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        // Length mismatch (either direction) is a protocol error.
+        let mut short = vec![Complex64::ZERO; xs.len() - 1];
+        assert!(matches!(
+            decode_into(&buf, &mut short),
+            Err(WireError::Protocol(_))
+        ));
+        let mut long = vec![Complex64::ZERO; xs.len() + 1];
+        assert!(matches!(
+            decode_into(&buf, &mut long),
+            Err(WireError::Protocol(_))
+        ));
     }
 
     #[test]

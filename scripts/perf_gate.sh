@@ -123,6 +123,45 @@ else
         check_report kernels
 fi
 
+# --- dist transport gate ---------------------------------------------------
+
+DBASE="BENCH_dist.json"
+DFRESH="${SOI_PERF_DIST_FRESH:-target/perf_gate/BENCH_dist.json}"
+case "$DFRESH" in /*) ;; *) DFRESH="$PWD/$DFRESH" ;; esac
+
+if [ ! -f "$DBASE" ]; then
+    echo "perf-gate: no committed $DBASE baseline; dist comparison skipped"
+else
+    mkdir -p "$(dirname "$DFRESH")"
+    echo "==> perf-gate: fresh dist measurement (writes $DFRESH)"
+    SOI_BENCH_DIST_OUT="$DFRESH" \
+        cargo bench --offline -q -p soi-bench --bench soi_dist
+
+    bn="$(sed -n 's/.*"n": \([0-9][0-9]*\).*/\1/p' "$DBASE" | head -n 1)"
+    fn="$(sed -n 's/.*"n": \([0-9][0-9]*\).*/\1/p' "$DFRESH" | head -n 1)"
+    if [ "$bn" != "$fn" ]; then
+        echo "perf-gate: baseline N=$bn != fresh N=$fn; dist comparison skipped"
+    else
+        # All-to-all rows: `{"...","bytes_per_rank":65536,"wire_ns_per_op":...}`
+        #   -> `a2a_wire/65536 <ns>`; plus the overlap acceptance metric —
+        # wire end-to-end `exchange + fft_large` seconds summed into one row.
+        dist_rows() {
+            sed -n 's/.*"bytes_per_rank":\([0-9][0-9]*\),"wire_ns_per_op":\([0-9][0-9]*\).*/a2a_wire\/\1 \2/p' "$1"
+            awk 'match($0, /"wire_phases_s": *{[^}]*}/) {
+                s = substr($0, RSTART, RLENGTH)
+                ex = fl = -1
+                if (match(s, /"exchange":[0-9.]+/))
+                    ex = substr(s, RSTART + 11, RLENGTH - 11)
+                if (match(s, /"fft_large":[0-9.]+/))
+                    fl = substr(s, RSTART + 12, RLENGTH - 12)
+                if (ex >= 0 && fl >= 0) printf "exchange+fft_large %.6f\n", ex + fl
+            }' "$1"
+        }
+        { dist_rows "$DBASE" | sed 's/^/B /'; dist_rows "$DFRESH" | sed 's/^/F /'; } |
+            check_report dist
+    fi
+fi
+
 # --- verdict ---------------------------------------------------------------
 
 if [ -n "$FAILED" ]; then
