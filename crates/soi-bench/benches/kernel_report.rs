@@ -131,23 +131,40 @@ fn bench_fft_engines(g: &mut Bencher, rows: &mut Vec<Row>) {
             inv.execute_with_scratch(&mut buf, &mut scratch);
             black_box(buf[0])
         });
+        // Bluestein really runs two padded-length FFTs plus three
+        // pointwise chirp sweeps per transform; the nominal 5·N·log₂N
+        // undercounts that several-fold at a prime N, which made the row
+        // read as idle silicon rather than an algorithmic detour. Count
+        // the work the engine actually executes.
+        let per_transform = if want_engine == "bluestein" {
+            let m = (2 * n - 1).next_power_of_two();
+            2.0 * fft_flops(m) + 12.0 * n as f64 + 6.0 * m as f64
+        } else {
+            fft_flops(n)
+        };
         rows.push(Row {
             kernel: want_engine.to_string(),
             n,
             stats,
-            flops: 2.0 * fft_flops(n),
+            flops: 2.0 * per_transform,
             transforms: 2.0,
             dispatch: fwd.dispatch_name().to_string(),
         });
     }
 }
 
-/// Real-input FFT row at the Stockham complex row's length, so the r2c
-/// lever has a tracked baseline: nominal r2c work is half the complex
-/// plan's (`5·N·log₂N / 2` via the half-length complex trick), so at
-/// equal efficiency its ns/point should be ~half the complex row's.
+/// Real-input FFT rows at the Stockham complex row's length, so the r2c
+/// lever has a tracked baseline. The flop count is the work the packed
+/// half-spectrum transform actually executes — one half-length complex
+/// FFT plus the ~8-op/point Hermitian split epilogue — not the
+/// `5·N·log₂N / 2` complex-budget proxy, which credited the row with
+/// flops it never issues and understated the fraction of peak.
+fn realfft_flops(n: usize) -> f64 {
+    fft_flops(n / 2) + 8.0 * n as f64
+}
+
 fn bench_realfft(g: &mut Bencher, rows: &mut Vec<Row>) {
-    use soi_fft::realfft::RealFft;
+    use soi_fft::realfft::{RealFft, RealIfft};
     let n = 16384usize;
     let plan = RealFft::<f64>::new(n);
     let x: Vec<f64> = tone_mix(n).iter().map(|c| c.re).collect();
@@ -162,7 +179,58 @@ fn bench_realfft(g: &mut Bencher, rows: &mut Vec<Row>) {
         kernel: "realfft".to_string(),
         n,
         stats,
-        flops: fft_flops(n) / 2.0,
+        flops: realfft_flops(n),
+        transforms: 1.0,
+        dispatch: soi_fft::simd::kernel_name().to_string(),
+    });
+
+    // The inverse through the allocation-free `inverse_into` seam: same
+    // half-length trick in reverse (Hermitian merge, then a half-length
+    // inverse FFT).
+    let iplan = RealIfft::<f64>::new(n);
+    let spec = out.to_vec();
+    let mut xr = vec![0.0f64; n];
+    let mut iscratch = AlignedBuf::<Complex64>::zeroed(iplan.scratch_len());
+    let stats = g.bench(&format!("realfft-inverse/{n}"), || {
+        iplan.inverse_into(&spec, &mut xr, &mut iscratch);
+        black_box(xr[0])
+    });
+    rows.push(Row {
+        kernel: "realfft-inverse".to_string(),
+        n,
+        stats,
+        flops: realfft_flops(n),
+        transforms: 1.0,
+        dispatch: soi_fft::simd::kernel_name().to_string(),
+    });
+}
+
+/// The chirp multiply Bluestein leans on — the in-place weighted complex
+/// product through the `soi_fft::simd` seam (6 real ops per point). Its
+/// own row keeps the pre/post sweeps visible instead of smeared into the
+/// bluestein total.
+fn bench_chirp(g: &mut Bencher, rows: &mut Vec<Row>) {
+    let n = 16384usize;
+    // Unit-modulus weights (a quadratic chirp, like the real thing) so
+    // the repeated in-place product can never drift toward 0 or inf.
+    let chirp: Vec<Complex64> = (0..n)
+        .map(|k| {
+            let phi = std::f64::consts::PI * (k as f64) * (k as f64) / n as f64;
+            Complex64::new(phi.cos(), phi.sin())
+        })
+        .collect();
+    let w = AlignedBuf::from_slice(&chirp);
+    let mut buf = AlignedBuf::from_slice(&tone_mix(n));
+    g.throughput_elements(n as u64);
+    let stats = g.bench(&format!("chirp-mul/{n}"), || {
+        soi_fft::simd::weighted_product_in(&mut buf, &w);
+        black_box(buf[0])
+    });
+    rows.push(Row {
+        kernel: "chirp-mul".to_string(),
+        n,
+        stats,
+        flops: 6.0 * n as f64,
         transforms: 1.0,
         dispatch: soi_fft::simd::kernel_name().to_string(),
     });
@@ -218,6 +286,7 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     bench_fft_engines(&mut g, &mut rows);
     bench_realfft(&mut g, &mut rows);
+    bench_chirp(&mut g, &mut rows);
     bench_conv_kernel(&mut g, &mut rows);
 
     let json_rows: Vec<String> = rows

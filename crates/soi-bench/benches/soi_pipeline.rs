@@ -18,7 +18,7 @@
 //!   run only the scaling/phase measurement (the part the gate needs).
 
 use soi_bench::workload::tone_mix;
-use soi_core::{SoiFft, SoiParams, SoiWorkspace};
+use soi_core::{SoiFft, SoiParams, SoiRealWorkspace, SoiWorkspace};
 use soi_fft::Plan;
 use soi_num::Complex64;
 use soi_testkit::{black_box, BenchStats, Bencher};
@@ -84,6 +84,21 @@ fn bench_threaded_scaling() {
         results.push((workers, stats));
     }
 
+    // The r2c pipeline on the same signal's real part, per worker count:
+    // `r2c_speedup` is the complex path's median over the real path's at
+    // the same worker count — the headline lever the gate tracks.
+    let xr: Vec<f64> = x.iter().map(|c| c.re).collect();
+    let mut yr = vec![Complex64::ZERO; n / 2 + 1];
+    let mut real_results: Vec<(usize, BenchStats)> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let mut ws = SoiRealWorkspace::new(&soi, workers);
+        let stats = g.bench(&format!("transform_real_into/{n}/w{workers}"), || {
+            soi.transform_real_into(&xr, &mut yr, &mut ws).unwrap();
+            black_box(yr[0])
+        });
+        real_results.push((workers, stats));
+    }
+
     // One traced serial pass for the per-phase breakdown: attach a
     // recording handle, run once, and pair the stage spans by wall time.
     // Tracing is off during the timed samples above, so the numbers they
@@ -92,6 +107,15 @@ fn bench_threaded_scaling() {
     ws.set_trace(Trace::recording(0));
     soi.transform_into(&x, &mut y, &mut ws).unwrap();
     let phase_rows: Vec<String> = phase_totals(&ws.trace().snapshot())
+        .iter()
+        .map(|(phase, ns)| format!("    {{\"phase\":\"{phase}\",\"total_ns\":{ns}}}"))
+        .collect();
+
+    // And the same traced pass for the real-input pipeline.
+    let mut ws = SoiRealWorkspace::new(&soi, 1);
+    ws.set_trace(Trace::recording(0));
+    soi.transform_real_into(&xr, &mut yr, &mut ws).unwrap();
+    let real_phase_rows: Vec<String> = phase_totals(&ws.trace().snapshot())
         .iter()
         .map(|(phase, ns)| format!("    {{\"phase\":\"{phase}\",\"total_ns\":{ns}}}"))
         .collect();
@@ -108,13 +132,31 @@ fn bench_threaded_scaling() {
             )
         })
         .collect();
+    let real_serial_ns = real_results[0].1.median_ns;
+    let real_rows: Vec<String> = real_results
+        .iter()
+        .zip(&results)
+        .map(|((workers, s), (_, cs))| {
+            format!(
+                "    {{\"workers\":{workers},\"median_ns\":{:.3},\"min_ns\":{:.3},\
+                 \"speedup\":{:.3},\"r2c_speedup\":{:.3}}}",
+                s.median_ns,
+                s.min_ns,
+                real_serial_ns / s.median_ns,
+                cs.median_ns / s.median_ns
+            )
+        })
+        .collect();
     let json = format!(
         "{{\n  \"bench\": \"soi_pipeline_threaded\",\n  \"n\": {n},\n  \"p\": {p},\n  \
          \"preset\": \"Digits10\",\n  \"available_parallelism\": {cores},\n  \
-         \"samples\": {},\n  \"results\": [\n{}\n  ],\n  \"phases_ns\": [\n{}\n  ]\n}}\n",
+         \"samples\": {},\n  \"results\": [\n{}\n  ],\n  \"real_results\": [\n{}\n  ],\n  \
+         \"phases_ns\": [\n{}\n  ],\n  \"real_phases_ns\": [\n{}\n  ]\n}}\n",
         results[0].1.samples,
         rows.join(",\n"),
-        phase_rows.join(",\n")
+        real_rows.join(",\n"),
+        phase_rows.join(",\n"),
+        real_phase_rows.join(",\n")
     );
     let path = std::env::var("SOI_BENCH_PIPELINE_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pipeline.json").to_string()

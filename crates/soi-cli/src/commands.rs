@@ -1,7 +1,7 @@
 //! Subcommand implementations for the `soi` binary.
 
 use crate::args::{Args, JobGeometry};
-use soi_core::{SoiFft, SoiParams, SoiWorkspace, ThreadPool};
+use soi_core::{SoiFft, SoiParams, SoiRealWorkspace, SoiWorkspace, ThreadPool};
 use soi_dist::{BaselineFft, ChargePolicy, ComputeRates, DistSoiFft, ExchangeVariant, PhaseTimes};
 use soi_num::Complex64;
 use soi_simnet::{Cluster, Fabric, RankComm};
@@ -16,12 +16,15 @@ soi — low-communication 1-D FFT (Tang et al., SC 2012 reproduction)
 
 USAGE:
   soi transform --n <size> --p <segments> [--digits <6..15>] [--band <k0>]
-                [--threads <t>]
+                [--threads <t>] [--input complex|real]
       Run a SOI transform on a synthetic signal; checks against an exact
       FFT and prints accuracy and timing. --band computes one M-bin zoom
       band starting at bin k0 instead of the full spectrum. --threads
       fans the compute stages across t workers (default 1 = serial); the
-      result is bitwise identical for every worker count.
+      result is bitwise identical for every worker count. --input real
+      runs the r2c pipeline (real samples in, packed N/2+1 half-spectrum
+      out; needs an even P) and also times the complex path on the same
+      signal to report the r2c speedup.
 
   soi design --beta <rate> --digits <d> [--family two-param|gaussian|compact]
       Search window parameters (tau, sigma, B) for an accuracy target.
@@ -96,7 +99,7 @@ fn preset_for_digits(digits: usize) -> Result<soi_window::AccuracyPreset, String
 
 /// `soi transform`.
 pub fn transform(a: &Args) -> CmdResult {
-    a.restrict(&["n", "p", "digits", "band", "threads"])?;
+    a.restrict(&["n", "p", "digits", "band", "threads", "input"])?;
     let geo = JobGeometry::from_args(a, 1 << 16, 8)?;
     let JobGeometry { n, p, digits, threads } = geo;
     let preset = preset_for_digits(digits)?;
@@ -110,6 +113,11 @@ pub fn transform(a: &Args) -> CmdResult {
         cfg.kappa,
         cfg.predicted_error()
     );
+    match a.get("input").unwrap_or("complex") {
+        "complex" => {}
+        "real" => return transform_real(&soi, n, threads),
+        other => return Err(format!("unknown input kind `{other}` (complex|real)").into()),
+    }
     let x = synthetic(n);
     if let Some(k0s) = a.get("band") {
         let k0: usize = k0s.parse().map_err(|_| "--band must be an integer")?;
@@ -141,6 +149,41 @@ pub fn transform(a: &Args) -> CmdResult {
     let err = soi_num::complex::rel_l2_error(&y, &exact);
     println!("SOI transform: {soi_t:?}  |  plain FFT: {fft_t:?}");
     println!("relative L2 error vs exact FFT: {err:.3e}");
+    Ok(())
+}
+
+/// `soi transform --input real`: the r2c pipeline on real samples, with
+/// the complex path timed on the same (embedded) signal for the speedup.
+fn transform_real(soi: &SoiFft, n: usize, threads: usize) -> CmdResult {
+    let x: Vec<f64> = (0..n)
+        .map(|j| {
+            let t = j as f64;
+            (t * 0.37).sin() + 0.4 * (t * 1.7).cos()
+        })
+        .collect();
+    let mut ws = SoiRealWorkspace::new(soi, threads);
+    let mut y = vec![Complex64::ZERO; n / 2 + 1];
+    let t0 = Instant::now();
+    soi.transform_real_into(&x, &mut y, &mut ws)?;
+    let real_t = t0.elapsed();
+
+    let xc: Vec<Complex64> = x.iter().map(|&r| Complex64::new(r, 0.0)).collect();
+    let mut cws = SoiWorkspace::new(soi, threads);
+    let mut yc = vec![Complex64::ZERO; n];
+    let t0 = Instant::now();
+    soi.transform_into(&xc, &mut yc, &mut cws)?;
+    let complex_t = t0.elapsed();
+
+    let exact = soi_fft::fft_forward(&xc);
+    let err = soi_num::complex::rel_l2_error(&y, &exact[..n / 2 + 1]);
+    println!(
+        "r2c transform: {real_t:?} ({} half-spectrum bins)  |  complex path: {complex_t:?}",
+        n / 2 + 1
+    );
+    println!(
+        "relative L2 error vs exact FFT: {err:.3e}; r2c speedup {:.2}x",
+        complex_t.as_secs_f64() / real_t.as_secs_f64()
+    );
     Ok(())
 }
 

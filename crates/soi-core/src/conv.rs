@@ -316,6 +316,94 @@ mod avx2 {
             }
         }
     }
+
+    /// One lane-quad × one tap of the real-input kernel: the four real
+    /// samples are loaded once and duplicated across re/im slots
+    /// (`[x0 x0 x1 x1]`, `[x2 x2 x3 x3]`), so one FMA against the
+    /// *interleaved* complex tap register advances both components of two
+    /// lanes — 2 FMAs per tap per 4 lanes, half the complex kernel's 4.
+    ///
+    /// SAFETY: caller guarantees avx2+fma and `ci + 4 ≤ b·p` for the row
+    /// slices passed in.
+    #[inline(always)]
+    unsafe fn real_quad(
+        a01: &mut __m256d,
+        a23: &mut __m256d,
+        taps: *const f64,
+        xin: *const f64,
+        ci: usize,
+    ) {
+        let x = _mm256_loadu_pd(xin.add(ci));
+        let x01 = _mm256_permute4x64_pd(x, 0x50);
+        let x23 = _mm256_permute4x64_pd(x, 0xFA);
+        let t01 = _mm256_loadu_pd(taps.add(2 * ci));
+        let t23 = _mm256_loadu_pd(taps.add(2 * ci + 4));
+        *a01 = _mm256_fmadd_pd(t01, x01, *a01);
+        *a23 = _mm256_fmadd_pd(t23, x23, *a23);
+    }
+
+    /// Real-input AVX2+FMA kernel, selected at runtime by
+    /// [`super::convolve_real`]. Same chunk/jam structure as the complex
+    /// kernel; no addsub reconciliation is needed because the interleaved
+    /// accumulators already hold `[re im re im]`.
+    ///
+    /// SAFETY: caller checked [`available`] and validated slice extents.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn convolve_real(
+        shape: ConvShape,
+        coeffs: &ConvCoefficients,
+        xext: &[f64],
+        out: &mut [Complex64],
+    ) {
+        let ConvShape { mu, nu, b, p } = shape;
+        let rows = out.len() / p;
+        let chunks = rows / mu;
+        let zero = _mm256_setzero_pd();
+        for c in 0..chunks {
+            for r in 0..mu {
+                let j = c * mu + r;
+                let k0 = c * nu + r * nu / mu;
+                let out_row = &mut out[j * p..(j + 1) * p];
+                let trow = r * b * p;
+                let taps = coeffs.coef[trow..trow + b * p].as_ptr() as *const f64;
+                let xrow = &xext[k0 * p..];
+                let xin = xrow.as_ptr();
+                let mut s = 0;
+                while s + 4 <= p {
+                    // 2 quad-registers × 2 jammed tap banks = 4 FMA chains.
+                    let (mut a01, mut a23) = (zero, zero);
+                    let (mut b01, mut b23) = (zero, zero);
+                    let mut blk = 0;
+                    while blk + 2 <= b {
+                        let ci = blk * p + s;
+                        real_quad(&mut a01, &mut a23, taps, xin, ci);
+                        real_quad(&mut b01, &mut b23, taps, xin, ci + p);
+                        blk += 2;
+                    }
+                    if blk < b {
+                        real_quad(&mut a01, &mut a23, taps, xin, blk * p + s);
+                    }
+                    let r01 = _mm256_add_pd(a01, b01);
+                    let r23 = _mm256_add_pd(a23, b23);
+                    _mm256_storeu_pd(out_row.as_mut_ptr().add(s) as *mut f64, r01);
+                    _mm256_storeu_pd(out_row.as_mut_ptr().add(s + 2) as *mut f64, r23);
+                    s += 4;
+                }
+                // Trailing lanes (never hit in real configs: P is even
+                // and ≥ 4 whenever the r2c path is admissible).
+                while s < p {
+                    let mut acc = Complex64::ZERO;
+                    for blk in 0..b {
+                        let t = coeffs.coef[trow + blk * p + s];
+                        let xv = xrow[blk * p + s];
+                        acc = Complex64::new(t.re.mul_add(xv, acc.re), t.im.mul_add(xv, acc.im));
+                    }
+                    out_row[s] = acc;
+                    s += 1;
+                }
+            }
+        }
+    }
 }
 
 /// Row-parallel [`convolve`] on a [`ThreadPool`]: the μ-row coefficient
@@ -354,6 +442,166 @@ pub fn convolve_pooled(
         // ends at the `run` barrier.
         let sub = unsafe { out_ptr.slice(c0 * mu * p, cl * mu * p) };
         convolve(shape, coeffs, &xext[c0 * nu * p..], sub);
+    });
+}
+
+/// Real-input convolution: fills `out` (`rows·P` complex values) from a
+/// **real** extended input `xext` (local reals followed by the halo).
+///
+/// With `x` real, the complex multiply-accumulate per tap collapses to
+/// two real FMAs — `acc.re += t.re·x`, `acc.im += t.im·x` — half the
+/// arithmetic of the complex kernel, and the input stream halves in
+/// bytes. Runtime dispatch mirrors [`convolve`]: an AVX2+FMA kernel
+/// where available, the portable register-tiled kernel otherwise; each
+/// path is bitwise deterministic run-to-run and across worker counts.
+pub fn convolve_real(
+    shape: ConvShape,
+    coeffs: &ConvCoefficients,
+    xext: &[f64],
+    out: &mut [Complex64],
+) {
+    let ConvShape { mu, p, .. } = shape;
+    let rows = out.len() / p;
+    assert_eq!(out.len(), rows * p, "out must be whole rows");
+    assert!(rows % mu == 0, "rows {rows} must be a multiple of mu {mu}");
+    assert!(
+        xext.len() >= shape.required_input(rows),
+        "xext too short: {} < {}",
+        xext.len(),
+        shape.required_input(rows)
+    );
+    #[cfg(target_arch = "x86_64")]
+    if avx2::available() {
+        // SAFETY: avx2+fma presence just checked; slice extents were
+        // validated by the asserts above.
+        unsafe { avx2::convolve_real(shape, coeffs, xext, out) };
+        return;
+    }
+    convolve_real_portable(shape, coeffs, xext, out);
+}
+
+/// Portable real-input kernel: the same chunked μ-row structure and 2×4
+/// unroll-and-jam as [`convolve_portable`], with the per-tap work halved
+/// to the two real products a real sample needs. Public as the
+/// dispatch-free reference for tests and the kernel-bench ablation.
+pub fn convolve_real_portable(
+    shape: ConvShape,
+    coeffs: &ConvCoefficients,
+    xext: &[f64],
+    out: &mut [Complex64],
+) {
+    let ConvShape { mu, nu, b, p } = shape;
+    let rows = out.len() / p;
+    assert_eq!(out.len(), rows * p, "out must be whole rows");
+    assert!(rows % mu == 0, "rows {rows} must be a multiple of mu {mu}");
+    assert!(
+        xext.len() >= shape.required_input(rows),
+        "xext too short: {} < {}",
+        xext.len(),
+        shape.required_input(rows)
+    );
+    let chunks = rows / mu;
+    let fma = |t: Complex64, x: f64, acc: Complex64| {
+        Complex64::new(acc.re + t.re * x, acc.im + t.im * x)
+    };
+    for c in 0..chunks {
+        for r in 0..mu {
+            let j = c * mu + r;
+            let k0 = c * nu + r * nu / mu;
+            let out_row = &mut out[j * p..(j + 1) * p];
+            let taps = &coeffs.coef[r * b * p..(r + 1) * b * p];
+            let xin = &xext[k0 * p..];
+            let mut s = 0;
+            while s + 4 <= p {
+                let (mut a0, mut a1, mut a2, mut a3) = (
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                );
+                let (mut b0, mut b1, mut b2, mut b3) = (
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                );
+                let mut blk = 0;
+                while blk + 2 <= b {
+                    let ci = blk * p + s;
+                    let cj = ci + p;
+                    let t = &taps[ci..ci + 4];
+                    let x = &xin[ci..ci + 4];
+                    let u = &taps[cj..cj + 4];
+                    let z = &xin[cj..cj + 4];
+                    a0 = fma(t[0], x[0], a0);
+                    a1 = fma(t[1], x[1], a1);
+                    a2 = fma(t[2], x[2], a2);
+                    a3 = fma(t[3], x[3], a3);
+                    b0 = fma(u[0], z[0], b0);
+                    b1 = fma(u[1], z[1], b1);
+                    b2 = fma(u[2], z[2], b2);
+                    b3 = fma(u[3], z[3], b3);
+                    blk += 2;
+                }
+                if blk < b {
+                    let ci = blk * p + s;
+                    let t = &taps[ci..ci + 4];
+                    let x = &xin[ci..ci + 4];
+                    a0 = fma(t[0], x[0], a0);
+                    a1 = fma(t[1], x[1], a1);
+                    a2 = fma(t[2], x[2], a2);
+                    a3 = fma(t[3], x[3], a3);
+                }
+                out_row[s] = a0 + b0;
+                out_row[s + 1] = a1 + b1;
+                out_row[s + 2] = a2 + b2;
+                out_row[s + 3] = a3 + b3;
+                s += 4;
+            }
+            while s < p {
+                let mut acc = Complex64::ZERO;
+                for blk in 0..b {
+                    acc = fma(taps[blk * p + s], xin[blk * p + s], acc);
+                }
+                out_row[s] = acc;
+                s += 1;
+            }
+        }
+    }
+}
+
+/// Row-parallel [`convolve_real`] on a [`ThreadPool`]; same deterministic
+/// μ-chunk partitioning as [`convolve_pooled`], so the output is bitwise
+/// equal for every worker count.
+pub fn convolve_real_pooled(
+    shape: ConvShape,
+    coeffs: &ConvCoefficients,
+    xext: &[f64],
+    out: &mut [Complex64],
+    pool: &ThreadPool,
+) {
+    let ConvShape { mu, nu, p, .. } = shape;
+    let rows = out.len() / p;
+    assert_eq!(out.len(), rows * p, "out must be whole rows");
+    assert!(rows % mu == 0, "rows {rows} must be a multiple of mu {mu}");
+    assert!(
+        xext.len() >= shape.required_input(rows),
+        "xext too short: {} < {}",
+        xext.len(),
+        shape.required_input(rows)
+    );
+    let chunks = rows / mu;
+    let parts = pool.threads().min(chunks).max(1);
+    if parts == 1 {
+        return convolve_real(shape, coeffs, xext, out);
+    }
+    let out_ptr = SlicePtr::new(out);
+    pool.run(parts, |t| {
+        let (c0, cl) = part_range(chunks, parts, t);
+        // SAFETY: chunk row-ranges are disjoint across tasks; the borrow
+        // ends at the `run` barrier.
+        let sub = unsafe { out_ptr.slice(c0 * mu * p, cl * mu * p) };
+        convolve_real(shape, coeffs, &xext[c0 * nu * p..], sub);
     });
 }
 
@@ -554,6 +802,66 @@ mod tests {
             let pool = ThreadPool::new(workers);
             let mut pooled = vec![Complex64::ZERO; rows * cfg.p];
             convolve_pooled(shape, &coeffs, &xext, &mut pooled, &pool);
+            let same = serial
+                .iter()
+                .zip(&pooled)
+                .all(|(a, b)| a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits());
+            assert!(same, "workers={workers} drifted from serial");
+        }
+    }
+
+    fn real_signal(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.23).sin() + 0.1).collect()
+    }
+
+    #[test]
+    fn real_kernel_is_bitwise_the_complex_kernel_on_embedded_input() {
+        // Embedding the real samples as (x, 0) and running the complex
+        // kernel multiplies every tap imaginary part by an exact zero;
+        // the real kernel just skips those products. Same chains, same
+        // order — the halved-FMA kernel must agree bit for bit.
+        let (cfg, coeffs, shape) = setup();
+        let rows = cfg.mu * 8;
+        let len = shape.required_input(rows);
+        let xr = real_signal(len);
+        let xc: Vec<Complex64> = xr.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        let mut real = vec![Complex64::ZERO; rows * cfg.p];
+        let mut complex = vec![Complex64::ZERO; rows * cfg.p];
+        convolve_real(shape, &coeffs, &xr, &mut real);
+        convolve(shape, &coeffs, &xc, &mut complex);
+        for (i, (a, b)) in real.iter().zip(&complex).enumerate() {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "elem {i}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits(), "elem {i}");
+        }
+    }
+
+    #[test]
+    fn real_dispatched_kernel_matches_real_portable_reference() {
+        let (cfg, coeffs, shape) = setup();
+        let rows = cfg.mu * 6;
+        let xext = real_signal(shape.required_input(rows));
+        let mut fast = vec![Complex64::ZERO; rows * cfg.p];
+        let mut reference = vec![Complex64::ZERO; rows * cfg.p];
+        convolve_real(shape, &coeffs, &xext, &mut fast);
+        convolve_real_portable(shape, &coeffs, &xext, &mut reference);
+        let worst = max_abs_diff(&fast, &reference);
+        assert!(worst < 1e-13, "real kernels diverged by {worst:e}");
+        if kernel_name() == "portable" {
+            assert_eq!(worst, 0.0, "portable dispatch must be exact");
+        }
+    }
+
+    #[test]
+    fn pooled_real_convolve_is_bitwise_equal_to_serial() {
+        let (cfg, coeffs, shape) = setup();
+        let rows = cfg.m_prime;
+        let xext = real_signal(shape.required_input(rows));
+        let mut serial = vec![Complex64::ZERO; rows * cfg.p];
+        convolve_real(shape, &coeffs, &xext, &mut serial);
+        for workers in [1usize, 2, 4, 7] {
+            let pool = ThreadPool::new(workers);
+            let mut pooled = vec![Complex64::ZERO; rows * cfg.p];
+            convolve_real_pooled(shape, &coeffs, &xext, &mut pooled, &pool);
             let same = serial
                 .iter()
                 .zip(&pooled)

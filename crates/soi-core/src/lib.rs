@@ -37,4 +37,4 @@ pub use error::SoiError;
 pub use params::{SoiConfig, SoiParams};
 pub use pipeline::SoiFft;
 pub use soi_pool::ThreadPool;
-pub use workspace::SoiWorkspace;
+pub use workspace::{SoiRealWorkspace, SoiWorkspace};

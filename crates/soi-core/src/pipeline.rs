@@ -18,12 +18,12 @@
 //! correctness core and the per-node compute kernel.
 
 use crate::coeff::ConvCoefficients;
-use crate::conv::{convolve_pooled, ConvShape};
+use crate::conv::{convolve_pooled, convolve_real_pooled, ConvShape};
 use crate::error::SoiError;
 use crate::params::{SoiConfig, SoiParams};
-use crate::workspace::SoiWorkspace;
+use crate::workspace::{SoiRealWorkspace, SoiWorkspace};
 use soi_fft::batch::BatchFft;
-use soi_fft::permute::stride_permute_pooled;
+use soi_fft::permute::{stride_permute_pooled, transpose_partial_pooled};
 use soi_fft::plan::{Direction, Plan, Planner};
 use soi_num::Complex64;
 use soi_pool::{part_range, SlicePtr, ThreadPool};
@@ -199,6 +199,225 @@ impl SoiFft {
         Ok(())
     }
 
+    /// Real-input (r2c) forward transform: the packed half-spectrum
+    /// `y[0..=N/2]` of a real signal, `N/2 + 1` complex bins. The
+    /// remaining bins are redundant by conjugate-even symmetry
+    /// (`y[N−k] = conj(y[k])`). Convenience wrapper building a one-shot
+    /// serial [`SoiRealWorkspace`]; hold a workspace and call
+    /// [`Self::transform_real_into`] for repeated transforms.
+    pub fn transform_real(&self, x: &[f64]) -> Result<Vec<Complex64>, SoiError> {
+        let mut ws = SoiRealWorkspace::new(self, 1);
+        let mut y = vec![Complex64::ZERO; self.cfg.n / 2 + 1];
+        self.transform_real_into(x, &mut y, &mut ws)?;
+        Ok(y)
+    }
+
+    /// The real-input four-stage transform into a caller buffer of
+    /// `N/2 + 1` bins, reusing `ws` for every intermediate; zero
+    /// allocations in steady state, executed on `ws`'s worker pool.
+    ///
+    /// Relative to [`Self::transform_into`] this path (a) runs the
+    /// convolution on the real samples directly — two real FMAs per tap
+    /// instead of four, half the input bytes; (b) packs only the
+    /// non-redundant `P/2` segment lanes after `F_P` (for real `x`,
+    /// lane `P−s` is the conjugate mirror of lane `s` bin-reversed, so
+    /// segments `P/2..P` of the spectrum are determined by `0..P/2`);
+    /// (c) runs `F_{M'}` + fused demodulation on those `P/2` segments
+    /// only; and (d) fills the Nyquist bin with the exact alternating
+    /// fold [`nyquist_fold`]. Segments `0..P/2` are computed by the
+    /// byte-for-byte same arithmetic as the complex path on the embedded
+    /// input, so bins `0..N/2` are bitwise identical to it, and the
+    /// whole path is bitwise deterministic for every worker count.
+    ///
+    /// Requires an even segment count `P` (the half-spectrum boundary
+    /// must fall on a segment boundary).
+    pub fn transform_real_into(
+        &self,
+        x: &[f64],
+        y: &mut [Complex64],
+        ws: &mut SoiRealWorkspace,
+    ) -> Result<(), SoiError> {
+        let cfg = &self.cfg;
+        if cfg.p % 2 != 0 {
+            return Err(SoiError::BadSize(format!(
+                "real-input transform needs an even segment count, got P = {}",
+                cfg.p
+            )));
+        }
+        if x.len() != cfg.n {
+            return Err(SoiError::BadInput {
+                expected: cfg.n,
+                got: x.len(),
+            });
+        }
+        let half = cfg.n / 2 + 1;
+        if y.len() != half {
+            return Err(SoiError::BadInput {
+                expected: half,
+                got: y.len(),
+            });
+        }
+        ws.check(self)?;
+        let SoiRealWorkspace {
+            pool,
+            xext,
+            v,
+            seg,
+            scratch,
+            stride,
+            trace,
+            ..
+        } = ws;
+        let pool: &ThreadPool = pool;
+        let trace: &soi_trace::Trace = trace;
+        let ph = cfg.p / 2;
+        // Stage 1: real convolution over x extended with the circular halo.
+        trace.span_begin("halo", None);
+        xext[..cfg.n].copy_from_slice(x);
+        let (head, halo) = xext.split_at_mut(cfg.n);
+        halo.copy_from_slice(&head[..cfg.halo_len()]);
+        trace.span_end("halo", None);
+        trace.span_begin("conv", None);
+        convolve_real_pooled(self.shape(), &self.coeffs, xext, v, pool);
+        trace.span_end("conv", None);
+        // Stage 2: M' independent F_P over the contiguous groups.
+        trace.span_begin("fft_p", None);
+        self.batch_p.execute_pooled(v, pool, scratch);
+        trace.span_end("fft_p", None);
+        // Stage 3: conjugate-even pack — the partial transpose keeps only
+        // lanes 0..P/2 of each group. In the distributed algorithm this
+        // is the halved all-to-all.
+        trace.span_begin("pack", None);
+        transpose_partial_pooled(v, seg, cfg.m_prime, cfg.p, ph, pool);
+        trace.span_end("pack", None);
+        trace.span_begin("fft_m", None);
+        // Stage 4: per surviving segment, F_{M'} with the projection +
+        // Ŵ⁻¹ demodulation fused into the FFT's final output pass.
+        let parts = pool.threads().min(ph).max(1);
+        let scr_len = self.plan_m.scratch_len();
+        if parts == 1 {
+            for s in 0..ph {
+                let row = &mut seg[s * cfg.m_prime..(s + 1) * cfg.m_prime];
+                let out = &mut y[s * cfg.m..(s + 1) * cfg.m];
+                self.plan_m
+                    .execute_fused_into(row, &mut scratch[..scr_len], out, &self.coeffs.demod);
+            }
+        } else {
+            let seg_ptr = SlicePtr::new(seg);
+            let y_ptr = SlicePtr::new(y);
+            let scr_ptr = SlicePtr::new(scratch);
+            let stride = *stride;
+            pool.run(parts, |t| {
+                let (s0, sl) = part_range(ph, parts, t);
+                // SAFETY: segment ranges are disjoint across tasks, each
+                // task owns scratch stripe `t`, and all borrows end at the
+                // `run` barrier.
+                let scr = unsafe { scr_ptr.slice(t * stride, scr_len) };
+                for s in s0..s0 + sl {
+                    let row = unsafe { seg_ptr.slice(s * cfg.m_prime, cfg.m_prime) };
+                    let out = unsafe { y_ptr.slice(s * cfg.m, cfg.m) };
+                    self.plan_m
+                        .execute_fused_into(row, scr, out, &self.coeffs.demod);
+                }
+            });
+        }
+        // The Nyquist bin is exact and costs O(N): y_{N/2} = Σ x_j(−1)^j.
+        y[cfg.n / 2] = Complex64::new(nyquist_fold(x), 0.0);
+        trace.span_end("fft_m", None);
+        Ok(())
+    }
+
+    /// Compute only segment `s` of a **real** signal's spectrum —
+    /// `y_k for k ∈ [sM, (s+1)M)` — the r2c counterpart of
+    /// [`Self::transform_segment`]. Any `s < P` is allowed (the mirror
+    /// segments are still well-defined bins, just redundant).
+    pub fn transform_real_segment(
+        &self,
+        x: &[f64],
+        s: usize,
+    ) -> Result<Vec<Complex64>, SoiError> {
+        self.transform_real_segment_pooled(x, s, &ThreadPool::serial())
+    }
+
+    /// [`Self::transform_real_segment`] executed on a worker pool (same
+    /// determinism guarantee as [`Self::transform_segment_pooled`]).
+    pub fn transform_real_segment_pooled(
+        &self,
+        x: &[f64],
+        s: usize,
+        pool: &ThreadPool,
+    ) -> Result<Vec<Complex64>, SoiError> {
+        let cfg = &self.cfg;
+        if x.len() != cfg.n {
+            return Err(SoiError::BadInput {
+                expected: cfg.n,
+                got: x.len(),
+            });
+        }
+        assert!(s < cfg.p, "segment {s} out of range (P = {})", cfg.p);
+        let xp = self.modulate_real_ext(x, pool, |l| {
+            Complex64::root_of_unity(s * (l % cfg.p), cfg.p)
+        });
+        Ok(self.zoom_core(&xp, pool))
+    }
+
+    /// Compute an arbitrary length-`M` band of a **real** signal's
+    /// spectrum: the r2c counterpart of [`Self::transform_band`].
+    pub fn transform_real_band(&self, x: &[f64], k0: usize) -> Result<Vec<Complex64>, SoiError> {
+        self.transform_real_band_pooled(x, k0, &ThreadPool::serial())
+    }
+
+    /// [`Self::transform_real_band`] executed on a worker pool.
+    pub fn transform_real_band_pooled(
+        &self,
+        x: &[f64],
+        k0: usize,
+        pool: &ThreadPool,
+    ) -> Result<Vec<Complex64>, SoiError> {
+        let cfg = &self.cfg;
+        if x.len() != cfg.n {
+            return Err(SoiError::BadInput {
+                expected: cfg.n,
+                got: x.len(),
+            });
+        }
+        assert!(k0 < cfg.n, "band start {k0} out of range (N = {})", cfg.n);
+        let xp = self.modulate_real_ext(x, pool, |j| {
+            Complex64::root_of_unity(k0 * j % cfg.n, cfg.n)
+        });
+        Ok(self.zoom_core(&xp, pool))
+    }
+
+    /// Real-input counterpart of [`Self::modulate_ext`]:
+    /// `out[l] = phase(l)·x[l]` (a complex scale of a real sample), then
+    /// the circular halo. Same deterministic chunking.
+    fn modulate_real_ext<F>(&self, x: &[f64], pool: &ThreadPool, phase: F) -> Vec<Complex64>
+    where
+        F: Fn(usize) -> Complex64 + Sync,
+    {
+        let cfg = &self.cfg;
+        let mut out = vec![Complex64::ZERO; cfg.n + cfg.halo_len()];
+        let parts = pool.threads().min(cfg.n).max(1);
+        if parts == 1 {
+            for (l, slot) in out[..cfg.n].iter_mut().enumerate() {
+                *slot = phase(l).scale(x[l]);
+            }
+        } else {
+            let out_ptr = SlicePtr::new(&mut out);
+            pool.run(parts, |t| {
+                let (l0, ll) = part_range(cfg.n, parts, t);
+                // SAFETY: element ranges are disjoint across tasks.
+                let chunk = unsafe { out_ptr.slice(l0, ll) };
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = phase(l0 + i).scale(x[l0 + i]);
+                }
+            });
+        }
+        let (head, halo) = out.split_at_mut(cfg.n);
+        halo.copy_from_slice(&head[..cfg.halo_len()]);
+        out
+    }
+
     /// Inverse transform: recover `x` from a spectrum `y` such that
     /// `inverse(transform(x)) ≈ x`.
     ///
@@ -358,6 +577,32 @@ impl SoiFft {
             .execute_fused_into(&mut xt, &mut scratch, &mut out, &self.coeffs.demod);
         out
     }
+}
+
+/// Deterministic alternating fold `Σ_j x_j·(−1)^j` — the exact Nyquist
+/// bin of a real signal whose first sample sits at an **even** global
+/// index. Four fixed accumulator banks over 8-sample chunks, summed in a
+/// fixed tree: bitwise identical run-to-run and independent of worker
+/// count (it is never threaded). The distributed driver folds each
+/// rank's slice with this same function (rank slices start at even
+/// offsets because `M` is even whenever `P` is) and combines the
+/// partials with the deterministic all-reduce.
+pub fn nyquist_fold(x: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let mut chunks = x.chunks_exact(8);
+    for c in &mut chunks {
+        acc[0] += c[0] - c[1];
+        acc[1] += c[2] - c[3];
+        acc[2] += c[4] - c[5];
+        acc[3] += c[6] - c[7];
+    }
+    let mut tail = 0.0;
+    let mut sign = 1.0;
+    for &v in chunks.remainder() {
+        tail += sign * v;
+        sign = -sign;
+    }
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + tail
 }
 
 #[cfg(test)]
@@ -654,6 +899,196 @@ mod tests {
             soi.config().m_prime
         );
         assert!(cs.iter().all(|c| !c.is_generic()), "{cs:?}");
+    }
+
+    fn real_signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() + 0.3 * (i as f64 * 1.9).cos() - 0.1)
+            .collect()
+    }
+
+    #[test]
+    fn nyquist_fold_matches_naive_alternating_sum() {
+        for n in [0usize, 1, 5, 8, 9, 16, 23, 1000] {
+            let x = real_signal(n.max(1))[..n].to_vec();
+            let naive: f64 = x
+                .iter()
+                .enumerate()
+                .map(|(j, &v)| if j % 2 == 0 { v } else { -v })
+                .sum();
+            assert!((nyquist_fold(&x) - naive).abs() < 1e-12 * (n.max(1) as f64), "n={n}");
+        }
+    }
+
+    #[test]
+    fn real_transform_matches_exact_packed_rfft() {
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let x = real_signal(1 << 12);
+        let y = soi.transform_real(&x).unwrap();
+        assert_eq!(y.len(), (1 << 11) + 1);
+        let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        let exact = fft_forward(&xc);
+        let err = rel_l2_error(&y[..1 << 11], &exact[..1 << 11]);
+        let bound = soi.config().predicted_error();
+        assert!(err < bound * 10.0, "rel error {err:e} vs bound {bound:e}");
+        // The Nyquist bin is the exact alternating fold, not an SOI
+        // approximation — it should beat the bound outright.
+        assert!((y[1 << 11] - exact[1 << 11]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn real_transform_is_bitwise_the_complex_transform_below_nyquist() {
+        // Segments 0..P/2 of the r2c path run the byte-for-byte same
+        // arithmetic as the complex path on the embedded input; demand
+        // bitwise identity for every bin below Nyquist.
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let x = real_signal(1 << 12);
+        let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        let yc = soi.transform(&xc).unwrap();
+        let yr = soi.transform_real(&x).unwrap();
+        for k in 0..1 << 11 {
+            assert_eq!(yr[k].re.to_bits(), yc[k].re.to_bits(), "bin {k}");
+            assert_eq!(yr[k].im.to_bits(), yc[k].im.to_bits(), "bin {k}");
+        }
+        // At Nyquist the r2c path is exact while the complex path is the
+        // SOI approximation; they agree to the design bound.
+        let bound = soi.config().predicted_error() * (1 << 12) as f64;
+        assert!((yr[1 << 11] - yc[1 << 11]).abs() < bound);
+    }
+
+    #[test]
+    fn real_transform_satisfies_hermitian_symmetry() {
+        // The packed half-spectrum must mirror the complex transform's
+        // upper half: y[N−k] = conj(y[k]).
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits11).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let cfg = *soi.config();
+        let x = real_signal(1 << 12);
+        let xc: Vec<Complex64> = x.iter().map(|&v| Complex64::new(v, 0.0)).collect();
+        let yc = soi.transform(&xc).unwrap();
+        let yr = soi.transform_real(&x).unwrap();
+        let bound = cfg.predicted_error() * cfg.n as f64;
+        for k in (1..cfg.n / 2).step_by(97).chain([1, cfg.n / 2 - 1]) {
+            let mirror = yc[cfg.n - k];
+            assert!(
+                (yr[k].conj() - mirror).abs() < bound,
+                "bin {k}: {:?} vs conj {:?}",
+                yr[k],
+                mirror
+            );
+        }
+        // DC and Nyquist are real for real input: the DC imaginary part
+        // is pure SOI approximation error, the Nyquist bin exactly zero
+        // by construction.
+        assert!(yr[0].im.abs() < bound, "DC imag {:e}", yr[0].im);
+        assert_eq!(yr[cfg.n / 2].im, 0.0);
+    }
+
+    #[test]
+    fn real_transform_is_bitwise_deterministic_across_worker_counts() {
+        // P = 8 exercises the batched register-resident F_8 kernel in
+        // stage 2 alongside the pooled real conv and partial pack.
+        let params = SoiParams::with_preset(1 << 14, 8, AccuracyPreset::Digits10).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let x = real_signal(1 << 14);
+        let half = (1 << 13) + 1;
+        let mut reference = vec![Complex64::ZERO; half];
+        let mut ws1 = SoiRealWorkspace::new(&soi, 1);
+        soi.transform_real_into(&x, &mut reference, &mut ws1).unwrap();
+        // Run-to-run on a reused workspace.
+        let mut again = vec![Complex64::ZERO; half];
+        soi.transform_real_into(&x, &mut again, &mut ws1).unwrap();
+        for (a, b) in reference.iter().zip(&again) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        // Across worker counts.
+        for workers in [2usize, 3, 4, 7] {
+            let mut ws = SoiRealWorkspace::new(&soi, workers);
+            let mut y = vec![Complex64::ZERO; half];
+            soi.transform_real_into(&x, &mut y, &mut ws).unwrap();
+            let same = reference
+                .iter()
+                .zip(&y)
+                .all(|(a, b)| a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits());
+            assert!(same, "workers={workers} drifted from serial");
+        }
+    }
+
+    #[test]
+    fn real_segment_and_band_agree_with_real_transform() {
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits12).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let cfg = *soi.config();
+        let x = real_signal(1 << 12);
+        let y = soi.transform_real(&x).unwrap();
+        for s in 0..cfg.p / 2 {
+            let seg = soi.transform_real_segment(&x, s).unwrap();
+            let err = rel_l2_error(&seg, &y[s * cfg.m..(s + 1) * cfg.m]);
+            assert!(err < 1e-10, "segment {s}: {err:e}");
+        }
+        // A mirror-half segment reproduces the conjugate bins.
+        let seg = soi.transform_real_segment(&x, cfg.p - 1).unwrap();
+        let bound = cfg.predicted_error() * cfg.n as f64;
+        for i in (1..cfg.m).step_by(131) {
+            let mirror = y[cfg.n - ((cfg.p - 1) * cfg.m + i)].conj();
+            assert!((seg[i] - mirror).abs() < bound, "mirror bin {i}");
+        }
+        // Band at an aligned offset equals the segment API.
+        let band = soi.transform_real_band(&x, cfg.m).unwrap();
+        let seg1 = soi.transform_real_segment(&x, 1).unwrap();
+        assert!(rel_l2_error(&band, &seg1) < 1e-12);
+    }
+
+    #[test]
+    fn real_transform_rejects_odd_p_and_bad_lengths() {
+        let params = SoiParams::with_preset(10_000, 5, AccuracyPreset::Digits10).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let x = real_signal(10_000);
+        assert!(matches!(
+            soi.transform_real(&x),
+            Err(SoiError::BadSize(msg)) if msg.contains("even")
+        ));
+
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        assert!(matches!(
+            soi.transform_real(&real_signal(100)),
+            Err(SoiError::BadInput { expected, got: 100 }) if expected == 1 << 12
+        ));
+        let mut ws = SoiRealWorkspace::new(&soi, 1);
+        let mut y_short = vec![Complex64::ZERO; 1 << 11];
+        assert!(matches!(
+            soi.transform_real_into(&real_signal(1 << 12), &mut y_short, &mut ws),
+            Err(SoiError::BadInput { expected, got }) if expected == (1 << 11) + 1 && got == 1 << 11
+        ));
+    }
+
+    #[test]
+    fn real_tracing_is_transparent_and_emits_stage_spans() {
+        let params = SoiParams::with_preset(1 << 12, 4, AccuracyPreset::Digits10).unwrap();
+        let soi = SoiFft::new(&params).unwrap();
+        let x = real_signal(1 << 12);
+        let half = (1 << 11) + 1;
+        let mut ws_plain = SoiRealWorkspace::new(&soi, 2);
+        let mut y_plain = vec![Complex64::ZERO; half];
+        soi.transform_real_into(&x, &mut y_plain, &mut ws_plain).unwrap();
+
+        let mut ws_traced = SoiRealWorkspace::new(&soi, 2);
+        ws_traced.set_trace(soi_trace::Trace::recording(0));
+        let mut y_traced = vec![Complex64::ZERO; half];
+        soi.transform_real_into(&x, &mut y_traced, &mut ws_traced).unwrap();
+
+        for (a, b) in y_plain.iter().zip(&y_traced) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits());
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        let events = ws_traced.trace().drain();
+        let totals = soi_trace::phase_totals(&events);
+        let names: Vec<&str> = totals.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["halo", "conv", "fft_p", "pack", "fft_m"]);
     }
 
     #[test]

@@ -122,6 +122,106 @@ impl SoiWorkspace {
     }
 }
 
+/// Preallocated buffers + worker pool for the **real-input** (r2c)
+/// transform [`SoiFft::transform_real_into`].
+///
+/// Identical arena discipline to [`SoiWorkspace`], with the real-path
+/// shapes: the extended input is a stream of `N + halo` *reals* (half
+/// the bytes of the complex arena), the convolution output still spans
+/// the full `N'` complex values, and the segment buffer holds only the
+/// non-redundant `P/2` segments the Hermitian fold keeps.
+#[derive(Debug)]
+pub struct SoiRealWorkspace {
+    pub(crate) pool: Arc<ThreadPool>,
+    /// Extended real input: `N` samples followed by the circular halo.
+    pub(crate) xext: AlignedBuf<f64>,
+    /// Convolution output / `F_P` batch buffer (`N'` complex).
+    pub(crate) v: AlignedBuf<Complex64>,
+    /// Partially transposed segment buffer: `P/2` segments of `M'`.
+    pub(crate) seg: AlignedBuf<Complex64>,
+    /// Per-worker FFT scratch arena: `threads` stripes of `stride`.
+    pub(crate) scratch: AlignedBuf<Complex64>,
+    /// Stripe width of `scratch` (max engine scratch length).
+    pub(crate) stride: usize,
+    /// Configuration fingerprint: `(n, p, m_prime, halo_len)`.
+    pub(crate) shape: (usize, usize, usize, usize),
+    /// Phase-span recorder (disabled by default).
+    pub(crate) trace: Trace,
+}
+
+impl SoiRealWorkspace {
+    /// Build a real-input workspace for `soi` with a fresh pool of
+    /// `threads` workers (`1` = fully serial, spawns no threads).
+    pub fn new(soi: &SoiFft, threads: usize) -> Self {
+        Self::with_pool(soi, Arc::new(ThreadPool::new(threads)))
+    }
+
+    /// Build a real-input workspace for `soi` on an existing pool.
+    pub fn with_pool(soi: &SoiFft, pool: Arc<ThreadPool>) -> Self {
+        let cfg = soi.config();
+        let stride = soi
+            .batch_p()
+            .scratch_len()
+            .max(soi.plan_m().scratch_len())
+            .next_multiple_of(4);
+        Self {
+            xext: AlignedBuf::zeroed(cfg.n + cfg.halo_len()),
+            v: AlignedBuf::zeroed(cfg.n_prime),
+            seg: AlignedBuf::zeroed(cfg.p / 2 * cfg.m_prime),
+            scratch: AlignedBuf::zeroed(pool.threads() * stride),
+            stride,
+            shape: (cfg.n, cfg.p, cfg.m_prime, cfg.halo_len()),
+            trace: Trace::disabled(),
+            pool,
+        }
+    }
+
+    /// Attach a trace handle: subsequent [`SoiFft::transform_real_into`]
+    /// calls emit one span per pipeline stage ("halo", "conv", "fft_p",
+    /// "pack", "fft_m"). Pass [`Trace::disabled`] to detach.
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    /// The currently attached trace handle.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The worker pool this workspace executes on.
+    pub fn pool(&self) -> &ThreadPool {
+        &self.pool
+    }
+
+    /// Shared handle to the pool (for building sibling workspaces).
+    pub fn pool_arc(&self) -> Arc<ThreadPool> {
+        Arc::clone(&self.pool)
+    }
+
+    /// Worker count, caller included.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Verify this workspace was built for `soi`'s configuration.
+    pub(crate) fn check(&self, soi: &SoiFft) -> Result<(), SoiError> {
+        let cfg = soi.config();
+        let want = (cfg.n, cfg.p, cfg.m_prime, cfg.halo_len());
+        let stride = soi
+            .batch_p()
+            .scratch_len()
+            .max(soi.plan_m().scratch_len());
+        if self.shape != want || self.stride < stride {
+            return Err(SoiError::WorkspaceMismatch(format!(
+                "real workspace built for (n, p, m', halo) = {:?} with scratch stride {}, \
+                 transform needs {:?} with stride {}",
+                self.shape, self.stride, want, stride
+            )));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -439,6 +439,316 @@ impl DistSoiFft {
 
         Ok((y, times))
     }
+
+    /// Half-segments each rank of an `r`-rank cluster would own in the
+    /// real-input transform (`(P/2)/R` — conjugate symmetry makes only
+    /// the first `P/2` segments worth exchanging).
+    ///
+    /// # Errors
+    /// [`SoiError::BadSize`] if the segment count is odd (the Hermitian
+    /// fold pairs lane `s` with lane `P−s`); [`SoiError::BadRankCount`]
+    /// if `r` does not divide `P/2`; [`SoiError::BadAlignment`] if the
+    /// per-rank row count would not align with the μ-row chunks.
+    pub fn half_segments_per_rank(&self, ranks: usize) -> Result<usize, SoiError> {
+        let cfg = self.soi.config();
+        if cfg.p % 2 != 0 {
+            return Err(SoiError::BadSize(format!(
+                "real-input transform needs an even segment count, got P = {}",
+                cfg.p
+            )));
+        }
+        let ph = cfg.p / 2;
+        if ranks < 1 || ph % ranks != 0 {
+            return Err(SoiError::BadRankCount(format!(
+                "rank count {ranks} must divide the half-segment count P/2 = {ph}"
+            )));
+        }
+        let rows = cfg.m_prime / ranks;
+        if rows % cfg.mu != 0 {
+            return Err(SoiError::BadAlignment(format!(
+                "rows per rank {rows} must align with mu = {} chunks",
+                cfg.mu
+            )));
+        }
+        Ok(ph / ranks)
+    }
+
+    /// Real-input (r2c) transform on one rank of an `R`-rank cluster.
+    ///
+    /// `x_local` is this rank's `N/R` **real** samples. The pipeline is
+    /// the complex [`Self::run`] with the redundancy of a real signal
+    /// removed at every layer: the halo moves raw `f64`s (half the
+    /// bytes), the convolution runs the halved real kernel, and — the
+    /// headline — the all-to-all carries only the first `P/2` segments,
+    /// since conjugate symmetry (`X[N−k] = conj(X[k])`) makes segments
+    /// `P/2..P` derivable from the kept half. The exchange volume is
+    /// therefore half the complex transform's.
+    ///
+    /// Each rank returns the `(P/2)/R · M` packed half-spectrum bins of
+    /// its owned half-segments; the LAST rank additionally appends the
+    /// Nyquist bin `y[N/2]`, so concatenating rank outputs yields the
+    /// same `N/2 + 1`-point packed half-spectrum as
+    /// [`soi_core::SoiFft::transform_real`].
+    pub fn run_real<C: Communicator>(
+        &self,
+        comm: &mut C,
+        x_local: &[f64],
+        policy: ChargePolicy,
+    ) -> Result<(Vec<Complex64>, PhaseTimes), SoiError> {
+        self.run_real_with(comm, x_local, policy, &ThreadPool::serial())
+    }
+
+    /// [`Self::run_real`] with per-rank compute fanned across `pool`;
+    /// bitwise identical to the serial run for any worker count.
+    pub fn run_real_with<C: Communicator>(
+        &self,
+        comm: &mut C,
+        x_local: &[f64],
+        policy: ChargePolicy,
+        pool: &ThreadPool,
+    ) -> Result<(Vec<Complex64>, PhaseTimes), SoiError> {
+        self.run_real_scheduled(comm, x_local, policy, pool, ExchangeSchedule::from_env())
+    }
+
+    /// [`Self::run_real_with`] with the exchange schedule pinned
+    /// explicitly — the seam the equivalence tests use. Both schedules
+    /// produce bitwise-identical output.
+    pub fn run_real_scheduled<C: Communicator>(
+        &self,
+        comm: &mut C,
+        x_local: &[f64],
+        policy: ChargePolicy,
+        pool: &ThreadPool,
+        schedule: ExchangeSchedule,
+    ) -> Result<(Vec<Complex64>, PhaseTimes), SoiError> {
+        let cfg = *self.soi.config();
+        let ranks = comm.size();
+        let ch = self.half_segments_per_rank(ranks)?;
+        let local_pts = cfg.n / ranks; // reals on this rank (= 2·ch·M)
+        if x_local.len() != local_pts {
+            return Err(SoiError::BadInput {
+                expected: local_pts,
+                got: x_local.len(),
+            });
+        }
+        let rank = comm.rank();
+        let p = cfg.p;
+        let ph = p / 2;
+        let rows = cfg.m_prime / ranks; // P-groups computed on this rank
+        let out_pts = ch * cfg.m; // owned packed half-spectrum bins
+        let mut times = PhaseTimes::default();
+        let trace = comm.trace_handle();
+
+        // 1. Halo exchange — same ring pattern as the complex run, on raw
+        // reals: half the bytes per halo point.
+        trace.span_begin("halo", comm.clock_now());
+        let c0 = comm.comm_seconds();
+        let left = (rank + ranks - 1) % ranks;
+        let right = (rank + 1) % ranks;
+        let halo = comm.sendrecv(left, &x_local[..cfg.halo_len()], right)?;
+        times.halo = comm.comm_seconds() - c0;
+        trace.span_end("halo", comm.clock_now());
+
+        let mut xext = Vec::with_capacity(local_pts + cfg.halo_len());
+        xext.extend_from_slice(x_local);
+        xext.extend_from_slice(&halo);
+
+        // 2. Real convolution over my row range — two real FMAs per tap,
+        // half the arithmetic of the complex kernel.
+        trace.span_begin("conv", comm.clock_now());
+        let t0 = Instant::now();
+        let mut v = vec![Complex64::ZERO; rows * p];
+        soi_core::conv::convolve_real_pooled(
+            self.soi.shape(),
+            self.soi.coefficients(),
+            &xext,
+            &mut v,
+            pool,
+        );
+        let dt = policy.charge(
+            WorkKind::Conv,
+            conv_flops(rows * p, cfg.b) / 2.0, // real input halves the FMAs
+            t0.elapsed().as_secs_f64(),
+        );
+        comm.charge_compute(dt);
+        times.conv = dt;
+        trace.span_end("conv", comm.clock_now());
+
+        // 3. I ⊗ F_P over the local groups — still the full complex
+        // batch: every lane participates as F_P input; the redundancy
+        // only becomes droppable after the per-group transform.
+        trace.span_begin("fft_p", comm.clock_now());
+        let t0 = Instant::now();
+        let batch = self.soi.batch_p();
+        let mut batch_scratch =
+            vec![Complex64::ZERO; pool.threads().min(rows).max(1) * batch.scratch_len()];
+        batch.execute_pooled(&mut v, pool, &mut batch_scratch);
+        let dt = policy.charge(
+            WorkKind::Fft,
+            rows as f64 * fft_flops(p),
+            t0.elapsed().as_secs_f64(),
+        );
+        comm.charge_compute(dt);
+        times.fft_small = dt;
+        trace.span_end("fft_p", comm.clock_now());
+
+        trace.span_begin("pack", comm.clock_now());
+        // 4. Pack: the partial transpose keeps lanes 0..P/2 only —
+        // conjugate symmetry of the real input makes lanes P/2..P the
+        // mirror conjugates of the kept half, so they never enter the
+        // send buffer. Destination d's block is lanes [d·ch, (d+1)·ch),
+        // already segment-major, exactly as in the complex pack.
+        let t0 = Instant::now();
+        let mut send = vec![Complex64::ZERO; rows * ph];
+        soi_fft::permute::transpose_partial_pooled(&v, &mut send, rows, p, ph, pool);
+        let pack_bytes = ((rows * (p + ph)) * std::mem::size_of::<Complex64>()) as f64;
+        let dt = policy.charge(WorkKind::Mem, pack_bytes, t0.elapsed().as_secs_f64());
+        comm.charge_compute(dt);
+        times.pack = dt;
+        trace.span_end("pack", comm.clock_now());
+
+        // Nyquist bin: y[N/2] = Σ_j (−1)^j x_j is the one output the kept
+        // half-segments cannot produce. Every rank folds its own slice —
+        // local origins sit at even global offsets (N/R = 2·ch·M), so the
+        // alternating signs line up — and the rank-order allreduce
+        // combines the partials bitwise identically on every fabric.
+        // Placed before the schedule split so both schedules share it.
+        let c0 = comm.comm_seconds();
+        let nyq = comm.allreduce_sum(soi_core::pipeline::nyquist_fold(x_local))?;
+        times.exchange += comm.comm_seconds() - c0;
+
+        if schedule == ExchangeSchedule::Overlapped {
+            // 5–7 fused, exactly as the complex overlapped arm, over the
+            // ch owned half-segments.
+            trace.span_begin("exchange", comm.clock_now());
+            let c0 = comm.comm_seconds();
+            let mut xt = vec![Complex64::ZERO; ch * cfg.m_prime];
+            let mut y = vec![Complex64::ZERO; out_pts];
+            let mut scratch = vec![Complex64::ZERO; self.soi.plan_m().scratch_len()];
+            let demod = &self.soi.coefficients().demod;
+            let (mut fft_wall, mut demod_wall) = (0.0f64, 0.0f64);
+            let trace_cb = &trace;
+            let y_out = &mut y;
+            comm.all_to_all_seg(&send, &mut xt, ch, &mut |si, seg, clock| {
+                trace_cb.span_begin("fft_m", clock);
+                let t0 = Instant::now();
+                self.soi.plan_m().execute_with_scratch(seg, &mut scratch);
+                fft_wall += t0.elapsed().as_secs_f64();
+                trace_cb.span_end("fft_m", clock);
+                trace_cb.span_begin("demod", clock);
+                let t0 = Instant::now();
+                for k in 0..cfg.m {
+                    y_out[si * cfg.m + k] = seg[k] * demod[k];
+                }
+                demod_wall += t0.elapsed().as_secs_f64();
+                trace_cb.span_end("demod", clock);
+            })?;
+            times.exchange += comm.comm_seconds() - c0;
+            trace.span_end("exchange", comm.clock_now());
+
+            let dt = policy.charge(WorkKind::Fft, ch as f64 * fft_flops(cfg.m_prime), fft_wall);
+            comm.charge_compute(dt);
+            times.fft_large = dt;
+            let dt = policy.charge(
+                WorkKind::Mem,
+                2.0 * (out_pts * std::mem::size_of::<Complex64>()) as f64,
+                demod_wall,
+            );
+            comm.charge_compute(dt);
+            times.scale = dt;
+
+            if rank == ranks - 1 {
+                y.push(Complex64::new(nyq, 0.0));
+            }
+            return Ok((y, times));
+        }
+
+        // 5. The halved all-to-all: from src I receive its rows for each
+        // of my ch half-segments.
+        trace.span_begin("exchange", comm.clock_now());
+        let c0 = comm.comm_seconds();
+        let mut recv = vec![Complex64::ZERO; ch * cfg.m_prime];
+        comm.all_to_all(&send, &mut recv)?;
+        times.exchange += comm.comm_seconds() - c0;
+        trace.span_end("exchange", comm.clock_now());
+
+        // 5b. Unpack into per-half-segment x̃ vectors.
+        trace.span_begin("pack", comm.clock_now());
+        let t0 = Instant::now();
+        let mut xt = vec![Complex64::ZERO; ch * cfg.m_prime];
+        for src in 0..ranks {
+            for si in 0..ch {
+                let from = &recv[(src * ch + si) * rows..(src * ch + si + 1) * rows];
+                xt[si * cfg.m_prime + src * rows..si * cfg.m_prime + (src + 1) * rows]
+                    .copy_from_slice(from);
+            }
+        }
+        let dt = policy.charge(
+            WorkKind::Mem,
+            2.0 * (xt.len() * std::mem::size_of::<Complex64>()) as f64,
+            t0.elapsed().as_secs_f64(),
+        );
+        comm.charge_compute(dt);
+        times.pack += dt;
+        trace.span_end("pack", comm.clock_now());
+
+        // 6. F_{M'} per owned half-segment, one scratch stripe per worker.
+        trace.span_begin("fft_m", comm.clock_now());
+        let t0 = Instant::now();
+        let scr_len = self.soi.plan_m().scratch_len();
+        let parts = pool.threads().min(ch).max(1);
+        let mut scratch = vec![Complex64::ZERO; parts * scr_len];
+        if parts == 1 {
+            for seg in xt.chunks_exact_mut(cfg.m_prime) {
+                self.soi.plan_m().execute_with_scratch(seg, &mut scratch);
+            }
+        } else {
+            let xt_ptr = SlicePtr::new(&mut xt);
+            let scr_ptr = SlicePtr::new(&mut scratch);
+            pool.run(parts, |t| {
+                let (s0, sl) = part_range(ch, parts, t);
+                // SAFETY: segment ranges are disjoint across tasks and each
+                // task owns scratch stripe `t`; borrows end at the barrier.
+                let scr = unsafe { scr_ptr.slice(t * scr_len, scr_len) };
+                for si in s0..s0 + sl {
+                    let seg = unsafe { xt_ptr.slice(si * cfg.m_prime, cfg.m_prime) };
+                    self.soi.plan_m().execute_with_scratch(seg, scr);
+                }
+            });
+        }
+        let dt = policy.charge(
+            WorkKind::Fft,
+            ch as f64 * fft_flops(cfg.m_prime),
+            t0.elapsed().as_secs_f64(),
+        );
+        comm.charge_compute(dt);
+        times.fft_large = dt;
+        trace.span_end("fft_m", comm.clock_now());
+
+        // 7. Project + demodulate each half-segment; the last rank
+        // appends the Nyquist bin to complete the packed half-spectrum.
+        trace.span_begin("demod", comm.clock_now());
+        let t0 = Instant::now();
+        let demod = &self.soi.coefficients().demod;
+        let mut y = Vec::with_capacity(out_pts + 1);
+        for si in 0..ch {
+            let seg = &xt[si * cfg.m_prime..(si + 1) * cfg.m_prime];
+            y.extend((0..cfg.m).map(|k| seg[k] * demod[k]));
+        }
+        let dt = policy.charge(
+            WorkKind::Mem,
+            2.0 * (out_pts * std::mem::size_of::<Complex64>()) as f64,
+            t0.elapsed().as_secs_f64(),
+        );
+        comm.charge_compute(dt);
+        times.scale = dt;
+        trace.span_end("demod", comm.clock_now());
+        if rank == ranks - 1 {
+            y.push(Complex64::new(nyq, 0.0));
+        }
+
+        Ok((y, times))
+    }
 }
 
 #[cfg(test)]

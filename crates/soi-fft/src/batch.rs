@@ -16,6 +16,7 @@
 //! `tests/batch_equivalence.rs`).
 
 use crate::plan::{Direction, Plan};
+use crate::simd;
 use soi_num::{AlignedBuf, Complex, Real};
 use soi_pool::{part_range, SlicePtr, ThreadPool};
 use std::sync::Arc;
@@ -26,6 +27,12 @@ use std::sync::Arc;
 pub struct BatchFft<T> {
     plan: Arc<Plan<T>>,
     pool: ThreadPool,
+    /// Batched AVX2 fast path, decided once at plan time: forward rows of
+    /// length 8 (the production `F_P` shape, where per-row plan dispatch
+    /// overhead rivals the butterfly work) run through
+    /// [`simd::avx2::dft8_rows`], which keeps four rows of state in
+    /// registers per sweep instead of round-tripping scratch.
+    dft8: bool,
 }
 
 impl<T: Real> BatchFft<T> {
@@ -40,9 +47,14 @@ impl<T: Real> BatchFft<T> {
     /// [`crate::plan::Planner`] cache) instead of planning from scratch.
     pub fn with_plan(plan: Arc<Plan<T>>, threads: usize) -> Self {
         assert!(threads >= 1, "need at least one thread");
+        let dft8 = plan.len() == 8
+            && plan.direction() == Direction::Forward
+            && simd::is_c64::<T>()
+            && simd::enabled();
         Self {
             plan,
             pool: ThreadPool::new(threads),
+            dft8,
         }
     }
 
@@ -100,6 +112,13 @@ impl<T: Real> BatchFft<T> {
             scratch.len(),
             self.scratch_len()
         );
+        #[cfg(target_arch = "x86_64")]
+        if self.dft8 {
+            let rows = data.len() / m;
+            // SAFETY: `dft8` implies AVX2+FMA detected and `T = f64`.
+            unsafe { simd::avx2::dft8_rows(simd::c64s_mut(data), rows, true) };
+            return;
+        }
         for row in data.chunks_exact_mut(m) {
             self.plan.execute_with_scratch(row, scratch);
         }
@@ -149,6 +168,12 @@ impl<T: Real> BatchFft<T> {
             // `run` barrier.
             let chunk = unsafe { data_ptr.slice(r0 * m, rl * m) };
             let scr = unsafe { scratch_ptr.slice(t * stride, stride) };
+            #[cfg(target_arch = "x86_64")]
+            if self.dft8 {
+                // SAFETY: `dft8` implies AVX2+FMA detected and `T = f64`.
+                unsafe { simd::avx2::dft8_rows(simd::c64s_mut(chunk), rl, true) };
+                return;
+            }
             for row in chunk.chunks_exact_mut(m) {
                 self.plan.execute_with_scratch(row, scr);
             }
@@ -255,6 +280,28 @@ mod tests {
         BatchFft::new(m, Direction::Forward, 2).execute(&mut buf);
         BatchFft::new(m, Direction::Inverse, 2).execute(&mut buf);
         assert!(max_abs_diff(&buf, &data) < 1e-11);
+    }
+
+    #[test]
+    fn dft8_rows_batch_matches_naive_and_is_thread_invariant() {
+        // The production F_P shape: forward rows of length 8 take the
+        // batched register-resident kernel when SIMD is live, the plan
+        // path otherwise — both must match the naive DFT, and the thread
+        // split must never change a bit.
+        let (rows, m) = (13, 8);
+        let data = rows_signal(rows, m);
+        let mut serial = data.clone();
+        BatchFft::new(m, Direction::Forward, 1).execute(&mut serial);
+        for r in 0..rows {
+            let want = dft_naive(&data[r * m..(r + 1) * m]);
+            assert!(max_abs_diff(&serial[r * m..(r + 1) * m], &want) < 1e-12);
+        }
+        let mut threaded = data;
+        BatchFft::new(m, Direction::Forward, 4).execute(&mut threaded);
+        assert_eq!(
+            serial.iter().map(|c| (c.re.to_bits(), c.im.to_bits())).collect::<Vec<_>>(),
+            threaded.iter().map(|c| (c.re.to_bits(), c.im.to_bits())).collect::<Vec<_>>()
+        );
     }
 
     #[test]

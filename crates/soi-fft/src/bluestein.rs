@@ -9,6 +9,7 @@
 use crate::codelet::{self, Codelet, Dispatch};
 use crate::fourstep::RawFft;
 use crate::plan::Planner;
+use crate::simd;
 use crate::twiddle::Sign;
 use soi_num::{AlignedBuf, Complex, Real};
 use std::sync::Arc;
@@ -24,6 +25,10 @@ pub struct BluesteinFft<T> {
     /// Forward FFT (size m) of the zero-padded conjugate-chirp filter
     /// (cache-line aligned stream).
     filter_hat: AlignedBuf<Complex<T>>,
+    /// Post-multiply chirp with the `1/m` convolution normalization
+    /// folded in at plan time, so the output sweep is one complex
+    /// product per point instead of scale-then-multiply.
+    post_chirp: AlignedBuf<Complex<T>>,
     /// Size-`m` convolution engines (planner-cached Stockham plans; the
     /// padded size is a power of two by construction).
     fwd: Arc<RawFft<T>>,
@@ -61,12 +66,15 @@ impl<T: Real> BluesteinFft<T> {
             }
         }
         fwd.execute(&mut h);
+        let inv_m = T::ONE / T::from_usize(m);
+        let post: Vec<Complex<T>> = chirp.iter().map(|c| c.scale(inv_m)).collect();
         Self {
             n,
             m,
             sign,
             chirp: AlignedBuf::from_slice(&chirp),
             filter_hat: AlignedBuf::from_slice(&h),
+            post_chirp: AlignedBuf::from_slice(&post),
             fwd,
             inv,
         }
@@ -129,21 +137,18 @@ impl<T: Real> BluesteinFft<T> {
             scratch.len(),
             self.scratch_len()
         );
-        let inv_m = T::ONE / T::from_usize(self.m);
         let (a, rest) = scratch.split_at_mut(self.m);
         let st = &mut rest[..self.m];
-        for j in 0..self.n {
-            a[j] = data[j] * self.chirp[j];
-        }
+        // All three chirp sweeps run through the SIMD seam: the pre- and
+        // post-multiplies as weighted products against the aligned chirp
+        // streams (the 1/m normalization is baked into `post_chirp`), the
+        // pointwise filter as an in-place weighted product.
+        simd::weighted_product(&mut a[..self.n], data, &self.chirp);
         a[self.n..].fill(Complex::ZERO);
         self.fwd.execute_with_scratch(a, st);
-        for (av, &hv) in a.iter_mut().zip(self.filter_hat.iter()) {
-            *av = *av * hv;
-        }
+        simd::weighted_product_in(a, &self.filter_hat);
         self.inv.execute_with_scratch(a, st);
-        for k in 0..self.n {
-            data[k] = a[k].scale(inv_m) * self.chirp[k];
-        }
+        simd::weighted_product(data, &a[..self.n], &self.post_chirp);
     }
 
     /// Out-of-place execute.

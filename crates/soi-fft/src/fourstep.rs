@@ -103,6 +103,24 @@ impl<T: Real> RawFft<T> {
         self.execute_with_scratch(data, &mut scratch);
     }
 
+    /// Out-of-place unnormalized execute: transform `src` into `dst`
+    /// leaving `src` untouched, with results bitwise identical to the
+    /// in-place path (both engines run the exact same stage/combine
+    /// arithmetic — only the buffer schedule differs). This is the row
+    /// API the four-step uses to land `F_b` directly in the transpose
+    /// buffer.
+    pub fn process_with_scratch(
+        &self,
+        src: &[Complex<T>],
+        dst: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+    ) {
+        match self {
+            RawFft::Stockham(e) => e.process_with_scratch(src, dst, &mut scratch[..e.len()]),
+            RawFft::Mixed(e) => e.process_with_scratch(src, dst, scratch),
+        }
+    }
+
     /// The butterfly codelets this engine dispatches to.
     pub fn codelets(&self) -> Vec<Codelet> {
         match self {
@@ -306,16 +324,12 @@ impl<T: Real> FourStepFft<T> {
     /// (`scratch.len() >= self.scratch_len()`); allocation-free.
     pub fn execute_with_scratch(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) {
         let in_buf = self.run_steps(data, scratch, true);
+        debug_assert!(in_buf, "want_buf must stage the F_b rows in scratch");
         let (buf, _) = scratch.split_at_mut(self.n);
         // Final step: transpose a×b → b×a lands y[k1 + a·k2] in natural
-        // order. When the result rows already sit in `buf` the transpose
-        // writes straight into `data` and the copy-back disappears.
-        if in_buf {
-            self.transpose_pass(buf, data, self.a, self.b);
-        } else {
-            self.transpose_pass(data, buf, self.a, self.b);
-            data.copy_from_slice(buf);
-        }
+        // order, streaming buf→data — the F_b rows were transformed
+        // out-of-place into `buf`, so no copy-back pass remains.
+        self.transpose_pass(buf, data, self.a, self.b);
     }
 
     /// Blocked transpose through the SIMD kernel when active, the scalar
@@ -390,12 +404,13 @@ impl<T: Real> FourStepFft<T> {
 
     /// Steps 1–5. Returns `true` when the `a×b` row-major result
     /// (`rows[k1][k2] = y[k1 + a·k2]`) landed in `scratch[..n]`, `false`
-    /// when it is in `data`. `want_buf` asks the column path to stage the
-    /// result rows in `scratch[..n]` (worth one row-copy pass when the
-    /// caller's final transpose can then stream buf→data instead of
-    /// needing a copy-back); fused callers read the result wherever it
-    /// lies, so they pass `false` and F_b runs in place. The choice only
-    /// moves bytes — the computed values are bitwise identical.
+    /// when it is in `data`. `want_buf` asks both paths to run the F_b
+    /// rows out-of-place into `scratch[..n]` (free — the engines' row
+    /// transforms write dst directly), so the caller's final transpose
+    /// can stream buf→data with no copy-back pass; fused callers read
+    /// the result wherever it lies, so they pass `false` and F_b runs in
+    /// place. The choice only moves bytes — the computed values are
+    /// bitwise identical.
     fn run_steps(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>], want_buf: bool) -> bool {
         assert_eq!(data.len(), self.n, "data length mismatch");
         assert!(
@@ -424,14 +439,16 @@ impl<T: Real> FourStepFft<T> {
                 }
             }
             // Step 5: a rows of F_b. When the caller wants the result in
-            // `buf`, copy each row over first so the transform runs there
-            // and its final transpose streams buf→data with no copy-back;
-            // otherwise transform in place and skip the copy pass.
+            // `buf`, run each row transform out-of-place data→buf so the
+            // caller's final transpose streams buf→data with no copy-back
+            // and no staging copy either; otherwise transform in place.
             if want_buf {
                 for k1 in 0..a {
-                    let row = &mut buf[k1 * b..(k1 + 1) * b];
-                    row.copy_from_slice(&data[k1 * b..(k1 + 1) * b]);
-                    self.fb.execute_with_scratch(row, inner);
+                    self.fb.process_with_scratch(
+                        &data[k1 * b..(k1 + 1) * b],
+                        &mut buf[k1 * b..(k1 + 1) * b],
+                        inner,
+                    );
                 }
                 return true;
             }
@@ -454,6 +471,20 @@ impl<T: Real> FourStepFft<T> {
         // to a×b, so the scaling rides the pass that had to happen anyway.
         self.twiddle_pass(buf, data);
         // Step 5: a rows of F_b; row k1 becomes y[k1 + a·k2] over k2.
+        // `buf` is dead after the twiddle pass, so when the caller wants
+        // the rows there, F_b runs out-of-place data→buf and the final
+        // transpose streams buf→data — the full-array copy-back this path
+        // used to need is gone.
+        if want_buf {
+            for k1 in 0..a {
+                self.fb.process_with_scratch(
+                    &data[k1 * b..(k1 + 1) * b],
+                    &mut buf[k1 * b..(k1 + 1) * b],
+                    inner,
+                );
+            }
+            return true;
+        }
         for k1 in 0..a {
             self.fb
                 .execute_with_scratch(&mut data[k1 * b..(k1 + 1) * b], inner);

@@ -18,6 +18,7 @@
 
 use crate::codelet::{self, Codelet, Dispatch};
 use crate::simd;
+use crate::stockham::StockhamFft;
 use crate::twiddle::Sign;
 use soi_num::{AlignedBuf, Complex, Real};
 
@@ -74,7 +75,8 @@ struct Level<T> {
     /// `roots[j] = ω_radix^j`.
     roots: Vec<Complex<T>>,
     /// Dup'd twiddle streams when this level has a SIMD combine
-    /// (radix 4 at any `m`, radix 5 at `m ≥ 2`).
+    /// (radix 4 at any `m`, radix 5 and the generic primes `8 < r < 64`
+    /// at `m ≥ 2`).
     simd: Option<LevelSimd>,
 }
 
@@ -86,6 +88,11 @@ pub struct MixedRadixFft<T> {
     levels: Vec<Level<T>>,
     /// Upper bound on radix, sizing the per-execute butterfly scratch.
     max_radix: usize,
+    /// Stockham smooth ladder for `n = 2^k·5^j` on SIMD hosts: the
+    /// streaming stage structure beats the strided DIT recursion by
+    /// 2–3× at the pipeline's hot `M' = 2^k·5` sizes, so execution
+    /// delegates wholesale when the shape fits.
+    ladder: Option<StockhamFft<T>>,
 }
 
 impl<T: Real> MixedRadixFft<T> {
@@ -129,7 +136,7 @@ impl<T: Real> MixedRadixFft<T> {
                 }
             }
             let roots = (0..r).map(|j| sign.root(j, r)).collect();
-            let lsimd = if simd_ok && (r == 4 || (r == 5 && m >= 2)) {
+            let lsimd = if simd_ok && (r == 4 || (r == 5 && m >= 2) || (r > 8 && r < 64 && m >= 2)) {
                 let tw64 = simd::c64s(&tw);
                 let mut re = vec![0.0f64; (r - 1) * 2 * m];
                 let mut im = vec![0.0f64; (r - 1) * 2 * m];
@@ -161,6 +168,7 @@ impl<T: Real> MixedRadixFft<T> {
             sign,
             levels,
             max_radix,
+            ladder: StockhamFft::for_smooth(n, sign, want),
         }
     }
 
@@ -180,8 +188,12 @@ impl<T: Real> MixedRadixFft<T> {
     }
 
     /// The butterfly codelets this plan's levels dispatch to. Must mirror
-    /// the `match` in [`Self::rec`] (pinned by tests).
+    /// the `match` in [`Self::rec`] (pinned by tests) — or, when the
+    /// smooth ladder took over execution, the ladder's stage radices.
     pub fn codelets(&self) -> Vec<Codelet> {
+        if let Some(l) = &self.ladder {
+            return l.codelets();
+        }
         codelet::dedup(
             self.levels
                 .iter()
@@ -193,6 +205,9 @@ impl<T: Real> MixedRadixFft<T> {
     /// Per-level codelets with the active dispatch: a level reports
     /// `Avx2Fma` exactly when its combine runs the vector kernel.
     pub fn codelet_dispatch(&self) -> Vec<(Codelet, Dispatch)> {
+        if let Some(l) = &self.ladder {
+            return l.codelet_dispatch();
+        }
         codelet::dedup_dispatch(
             self.levels
                 .iter()
@@ -210,10 +225,28 @@ impl<T: Real> MixedRadixFft<T> {
 
     /// Out-of-place execute: `dst` receives the DFT of `src`.
     pub fn process(&self, src: &[Complex<T>], dst: &mut [Complex<T>]) {
+        let mut scratch = AlignedBuf::zeroed(self.scratch_len());
+        self.process_with_scratch(src, dst, &mut scratch);
+    }
+
+    /// Out-of-place execute reusing caller scratch (`scratch.len()` must
+    /// be at least [`Self::scratch_len`]); `src` is left untouched. The
+    /// DIT recursion is naturally out-of-place, so this runs the exact
+    /// same arithmetic as [`Self::execute_with_scratch`] (which stages
+    /// `data` through scratch first) — results are bitwise identical.
+    pub fn process_with_scratch(
+        &self,
+        src: &[Complex<T>],
+        dst: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+    ) {
         assert_eq!(src.len(), self.n);
         assert_eq!(dst.len(), self.n);
-        let mut scratch = vec![Complex::ZERO; 2 * self.max_radix];
-        self.rec(src, 1, dst, 0, &mut scratch);
+        if let Some(l) = &self.ladder {
+            return l.process_with_scratch(src, dst, &mut scratch[..self.n]);
+        }
+        let combine = &mut scratch[..2 * self.max_radix];
+        self.rec(src, 1, dst, 0, combine);
     }
 
     /// In-place execute (internally out-of-place into scratch).
@@ -239,9 +272,31 @@ impl<T: Real> MixedRadixFft<T> {
             scratch.len(),
             self.scratch_len()
         );
+        if let Some(l) = &self.ladder {
+            return l.execute_with_scratch(data, &mut scratch[..self.n]);
+        }
         let (src, combine) = scratch.split_at_mut(self.n);
         src.copy_from_slice(data);
         self.rec(src, 1, data, 0, &mut combine[..2 * self.max_radix]);
+    }
+
+    /// Transform `data` and write `out[k] = result[k]·weights[k]` — the
+    /// projection+demodulation fusion. With the smooth ladder active this
+    /// skips the copy-back entirely (the weighted write reads straight
+    /// from the final ping-pong buffer); otherwise it falls back to
+    /// execute-then-multiply. Both are bitwise equal to the unfused path.
+    pub fn execute_fused_into(
+        &self,
+        data: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+        out: &mut [Complex<T>],
+        weights: &[Complex<T>],
+    ) {
+        if let Some(l) = &self.ladder {
+            return l.execute_fused_into(data, &mut scratch[..self.n], out, weights);
+        }
+        self.execute_with_scratch(data, scratch);
+        simd::weighted_product(out, data, weights);
     }
 
     /// Recursive DIT:
@@ -453,6 +508,10 @@ impl<T: Real> MixedRadixFft<T> {
                             roots[2].im,
                         )
                     }
+                    r if r > 8 => {
+                        let roots = simd::c64s(&level.roots);
+                        simd::avx2::mixed_generic(out, level.m, r, &ls.re, &ls.im, roots)
+                    }
                     r => unreachable!("no SIMD combine for radix {r}"),
                 }
             }
@@ -568,6 +627,86 @@ mod tests {
         plan.process(&x, &mut dst);
         let want = dft_naive(&x);
         assert!(max_abs_diff(&dst, &want) < 1e-10 * n as f64);
+    }
+
+    #[test]
+    fn generic_level_simd_matches_portable() {
+        // Prime outer levels 11/13/31 run the vectorized dense butterfly
+        // on AVX2 hosts; pit it against the forced-portable plan.
+        for n in [22usize, 44, 13 * 6, 31 * 4, 11 * 25] {
+            let x = test_signal(n);
+            for sign in [Sign::Forward, Sign::Inverse] {
+                let fast = MixedRadixFft::with_simd(n, sign, true);
+                let slow = MixedRadixFft::with_simd(n, sign, false);
+                let mut a = x.clone();
+                let mut b = x.clone();
+                fast.execute(&mut a);
+                slow.execute(&mut b);
+                let err = max_abs_diff(&a, &b);
+                assert!(err < 1e-10 * n as f64, "n={n} sign={sign:?} err={err}");
+                // And both must still match the oracle.
+                let want = dft_naive_signed(&x, sign);
+                assert!(max_abs_diff(&a, &want) < 1e-8 * n as f64, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_ladder_takes_over_pow2_times_5_sizes() {
+        if !simd::cpu_supported() {
+            return;
+        }
+        use crate::codelet::Codelet;
+        // 1280 = 2^8·5: the ladder reports Stockham stage radices, all
+        // vectorized, and execution matches the naive oracle.
+        let plan = MixedRadixFft::<f64>::with_simd(1280, Sign::Forward, true);
+        let cs = plan.codelets();
+        assert!(cs.contains(&Codelet::Radix5), "{cs:?}");
+        assert!(cs.contains(&Codelet::Radix8), "{cs:?}");
+        assert!(
+            plan.codelet_dispatch().iter().all(|&(_, d)| d == Dispatch::Avx2Fma),
+            "{:?}",
+            plan.codelet_dispatch()
+        );
+        let x = test_signal(1280);
+        let want = dft_naive(&x);
+        let mut got = x.clone();
+        plan.execute(&mut got);
+        assert!(max_abs_diff(&got, &want) < 1e-9 * 1280.0);
+        // Ladder path keeps the fused == unfused bitwise contract.
+        let weights: Vec<Complex64> = (0..1000)
+            .map(|k| c64((k as f64 * 0.13).cos() + 1.5, (k as f64 * 0.37).sin()))
+            .collect();
+        let mut d1 = x.clone();
+        let mut s1 = vec![Complex64::ZERO; plan.scratch_len()];
+        plan.execute_with_scratch(&mut d1, &mut s1);
+        let mut d2 = x.clone();
+        let mut s2 = vec![Complex64::ZERO; plan.scratch_len()];
+        let mut out = vec![Complex64::ZERO; 1000];
+        plan.execute_fused_into(&mut d2, &mut s2, &mut out, &weights);
+        for k in 0..1000 {
+            let want = d1[k] * weights[k];
+            assert_eq!(out[k].re.to_bits(), want.re.to_bits(), "bin {k}");
+            assert_eq!(out[k].im.to_bits(), want.im.to_bits(), "bin {k}");
+        }
+    }
+
+    #[test]
+    fn process_with_scratch_is_bitwise_in_place_execute() {
+        for n in [40usize, 44, 360, 1280] {
+            let x = test_signal(n);
+            let plan = MixedRadixFft::new(n, Sign::Forward);
+            let mut want = x.clone();
+            let mut s1 = vec![Complex64::ZERO; plan.scratch_len()];
+            plan.execute_with_scratch(&mut want, &mut s1);
+            let mut got = vec![Complex64::ZERO; n];
+            let mut s2 = vec![Complex64::ZERO; plan.scratch_len()];
+            plan.process_with_scratch(&x, &mut got, &mut s2);
+            for k in 0..n {
+                assert_eq!(got[k].re.to_bits(), want[k].re.to_bits(), "n={n} k={k}");
+                assert_eq!(got[k].im.to_bits(), want[k].im.to_bits(), "n={n} k={k}");
+            }
+        }
     }
 
     #[test]

@@ -71,6 +71,76 @@ pub fn transpose_pooled<T: Copy + Send + Sync>(
     });
 }
 
+/// Partial out-of-place transpose: `src` is `rows×cols` row-major; `dst`
+/// receives the transpose of its first `keep` columns (a `keep×rows`
+/// row-major matrix). This is the real-input pack stage: only the
+/// non-redundant half of the demodulation lanes survives the Hermitian
+/// fold, so the transpose touches and moves only those columns.
+/// Cache-blocked.
+pub fn transpose_partial<T: Copy>(
+    src: &[T],
+    dst: &mut [T],
+    rows: usize,
+    cols: usize,
+    keep: usize,
+) {
+    assert!(keep <= cols, "keep {keep} exceeds cols {cols}");
+    assert_eq!(src.len(), rows * cols, "src shape mismatch");
+    assert_eq!(dst.len(), rows * keep, "dst shape mismatch");
+    for r0 in (0..rows).step_by(BLOCK) {
+        let r1 = (r0 + BLOCK).min(rows);
+        for c0 in (0..keep).step_by(BLOCK) {
+            let c1 = (c0 + BLOCK).min(keep);
+            for r in r0..r1 {
+                for c in c0..c1 {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
+    }
+}
+
+/// [`transpose_partial`] executed block-row-parallel on a pool. Each
+/// source row belongs to exactly one task, so writes are disjoint and the
+/// output is identical for every worker count.
+pub fn transpose_partial_pooled<T: Copy + Send + Sync>(
+    src: &[T],
+    dst: &mut [T],
+    rows: usize,
+    cols: usize,
+    keep: usize,
+    pool: &ThreadPool,
+) {
+    assert!(keep <= cols, "keep {keep} exceeds cols {cols}");
+    assert_eq!(src.len(), rows * cols, "src shape mismatch");
+    assert_eq!(dst.len(), rows * keep, "dst shape mismatch");
+    let blocks = rows.div_ceil(BLOCK);
+    let parts = pool.threads().min(blocks).max(1);
+    if parts == 1 {
+        return transpose_partial(src, dst, rows, cols, keep);
+    }
+    let dst_ptr = SlicePtr::new(dst);
+    pool.run(parts, |t| {
+        let (b0, bl) = part_range(blocks, parts, t);
+        let r_lo = b0 * BLOCK;
+        let r_hi = ((b0 + bl) * BLOCK).min(rows);
+        for r0 in (r_lo..r_hi).step_by(BLOCK) {
+            let r1 = (r0 + BLOCK).min(r_hi);
+            for c0 in (0..keep).step_by(BLOCK) {
+                let c1 = (c0 + BLOCK).min(keep);
+                for r in r0..r1 {
+                    for c in c0..c1 {
+                        // SAFETY: destination index `c·rows + r` is unique
+                        // to this task because each `r` belongs to exactly
+                        // one block-row range.
+                        unsafe { dst_ptr.write(c * rows + r, src[r * cols + c]) };
+                    }
+                }
+            }
+        }
+    });
+}
+
 /// The paper's stride permutation `w = P_perm^{ℓ,n}·v`:
 /// `w[j + k·ℓ] = v[k + j·(n/ℓ)]`.
 ///
@@ -241,6 +311,31 @@ mod tests {
             stride_permute(&v, &mut a, l);
             stride_permute_pooled(&v, &mut b, l, &pool);
             assert_eq!(a, b, "l={l}");
+        }
+    }
+
+    #[test]
+    fn partial_transpose_is_the_full_transpose_restricted() {
+        for (rows, cols, keep) in [(6usize, 4usize, 2usize), (37, 53, 20), (100, 8, 4), (5, 5, 5), (9, 7, 0)] {
+            let src: Vec<u32> = (0..(rows * cols) as u32).collect();
+            let mut full = vec![0u32; rows * cols];
+            transpose(&src, &mut full, rows, cols);
+            let mut part = vec![0u32; rows * keep];
+            transpose_partial(&src, &mut part, rows, cols, keep);
+            assert_eq!(part, full[..rows * keep], "rows={rows} cols={cols} keep={keep}");
+        }
+    }
+
+    #[test]
+    fn pooled_partial_transpose_matches_serial_exactly() {
+        let pool = ThreadPool::new(4);
+        for (rows, cols, keep) in [(128usize, 8usize, 4usize), (200, 6, 3), (37, 53, 11), (1, 64, 32)] {
+            let src: Vec<u64> = (0..(rows * cols) as u64).collect();
+            let mut serial = vec![0u64; rows * keep];
+            let mut pooled = vec![0u64; rows * keep];
+            transpose_partial(&src, &mut serial, rows, cols, keep);
+            transpose_partial_pooled(&src, &mut pooled, rows, cols, keep, &pool);
+            assert_eq!(serial, pooled, "rows={rows} cols={cols} keep={keep}");
         }
     }
 

@@ -354,7 +354,10 @@ impl<T: Real> Plan<T> {
                 Engine::FourStep(e) => {
                     return e.execute_fused_into(data, scratch, out, weights);
                 }
-                Engine::Mixed(_) | Engine::Bluestein(_) => {}
+                Engine::Mixed(e) => {
+                    return e.execute_fused_into(data, scratch, out, weights);
+                }
+                Engine::Bluestein(_) => {}
             }
         }
         self.execute_with_scratch(data, scratch);

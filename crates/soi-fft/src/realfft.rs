@@ -6,8 +6,18 @@
 //! memory traffic versus a complex transform of padded data — the standard
 //! trick every production FFT library (and the paper's MKL building
 //! blocks) provides.
+//!
+//! Both the forward split and the inverse merge epilogues run through the
+//! [`crate::simd`] dispatch seam: on AVX2+FMA hardware the conjugate-even
+//! unpack is a vectorized sweep pairing the forward bin stream with a
+//! reversed-and-conjugated load of the mirror bins. The kernels use the
+//! exact-rounding complex product, so SIMD and portable dispatch are
+//! bitwise identical — dispatch is decided once at plan construction
+//! (`SOI_NO_SIMD` ablates it) and never changes results.
 
+use crate::codelet::{self, Codelet, Dispatch};
 use crate::plan::Plan;
+use crate::simd;
 use soi_num::{AlignedBuf, Complex, Real};
 
 /// A prepared real-input forward FFT of even length `n`.
@@ -16,16 +26,32 @@ pub struct RealFft<T> {
     n: usize,
     half_plan: Plan<T>,
     /// Unpack twiddles `exp(−2πi k/n)`, k = 0..n/2.
-    tw: Vec<Complex<T>>,
+    tw: AlignedBuf<Complex<T>>,
+    /// Run the split epilogue through the AVX2 kernel. Decided once at
+    /// plan construction; the half plan makes its own (equivalent) call.
+    use_simd: bool,
 }
 
 impl<T: Real> RealFft<T> {
     /// Plan a real FFT of even size `n ≥ 2`.
     pub fn new(n: usize) -> Self {
+        Self::with_simd(n, simd::enabled())
+    }
+
+    /// Plan with an explicit SIMD choice for the split epilogue (tests
+    /// compare the two dispatches bitwise). The inner half-length plan is
+    /// built identically either way, so only the epilogue differs.
+    pub(crate) fn with_simd(n: usize, want: bool) -> Self {
         assert!(n >= 2 && n % 2 == 0, "real FFT requires even n ≥ 2, got {n}");
         let half_plan = Plan::forward(n / 2);
-        let tw = (0..=n / 2).map(|k| Complex::root_of_unity(k, n)).collect();
-        Self { n, half_plan, tw }
+        let tw: Vec<Complex<T>> = (0..=n / 2).map(|k| Complex::root_of_unity(k, n)).collect();
+        let use_simd = want && simd::cpu_supported() && simd::is_c64::<T>();
+        Self {
+            n,
+            half_plan,
+            tw: AlignedBuf::from_slice(&tw),
+            use_simd,
+        }
     }
 
     /// Input length.
@@ -41,6 +67,22 @@ impl<T: Real> RealFft<T> {
     /// Number of output bins (`n/2 + 1`).
     pub fn output_len(&self) -> usize {
         self.n / 2 + 1
+    }
+
+    /// Butterfly kernels this plan runs: the half-length plan's plus the
+    /// Hermitian split epilogue.
+    pub fn codelets(&self) -> Vec<Codelet> {
+        let mut v = self.half_plan.codelets();
+        v.push(Codelet::Split);
+        codelet::dedup(v)
+    }
+
+    /// Per-codelet dispatch report (epilogue row included).
+    pub fn codelet_dispatch(&self) -> Vec<(Codelet, Dispatch)> {
+        let mut v = self.half_plan.codelet_dispatch();
+        let d = if self.use_simd { Dispatch::Avx2Fma } else { Dispatch::Portable };
+        v.push((Codelet::Split, d));
+        codelet::dedup_dispatch(v)
     }
 
     /// Forward transform: real input → `n/2+1` Hermitian spectrum bins
@@ -77,15 +119,18 @@ impl<T: Real> RealFft<T> {
         }
         self.half_plan.execute_with_scratch(z, rest);
         // Unpack: X_k = (Z_k + conj(Z_{h−k}))/2 − (i/2)·w^k·(Z_k − conj(Z_{h−k}))
-        let half = T::HALF;
-        for (k, slot) in out.iter_mut().enumerate() {
-            let zk = if k == h { z[0] } else { z[k] };
-            let zc = z[(h - k) % h].conj();
-            let even = (zk + zc).scale(half);
-            let odd = (zk - zc).scale(half);
-            let w = self.tw[k];
-            *slot = even + (odd * w).mul_neg_i();
+        #[cfg(target_arch = "x86_64")]
+        if self.use_simd {
+            unsafe {
+                simd::avx2::hermitian_split(
+                    simd::c64s(z),
+                    simd::c64s(&self.tw),
+                    simd::c64s_mut(out),
+                );
+            }
+            return;
         }
+        simd::hermitian_split_scalar(z, &self.tw, out);
     }
 }
 
@@ -94,19 +139,31 @@ impl<T: Real> RealFft<T> {
 pub struct RealIfft<T> {
     n: usize,
     half_plan: Plan<T>,
-    tw: Vec<Complex<T>>,
+    tw: AlignedBuf<Complex<T>>,
+    use_simd: bool,
 }
 
 impl<T: Real> RealIfft<T> {
     /// Plan an inverse real FFT producing even length `n ≥ 2`.
     pub fn new(n: usize) -> Self {
+        Self::with_simd(n, simd::enabled())
+    }
+
+    /// Plan with an explicit SIMD choice for the merge epilogue.
+    pub(crate) fn with_simd(n: usize, want: bool) -> Self {
         assert!(n >= 2 && n % 2 == 0, "real IFFT requires even n ≥ 2, got {n}");
         // Inverse half-size complex plan, 1/(n/2)-normalized.
         let half_plan = Plan::inverse(n / 2);
-        let tw = (0..=n / 2)
+        let tw: Vec<Complex<T>> = (0..=n / 2)
             .map(|k| Complex::root_of_unity(k, n).conj())
             .collect();
-        Self { n, half_plan, tw }
+        let use_simd = want && simd::cpu_supported() && simd::is_c64::<T>();
+        Self {
+            n,
+            half_plan,
+            tw: AlignedBuf::from_slice(&tw),
+            use_simd,
+        }
     }
 
     /// Output length.
@@ -119,26 +176,71 @@ impl<T: Real> RealIfft<T> {
         self.n == 0
     }
 
+    /// Scratch elements [`Self::inverse_into`] needs: the repacked
+    /// half-length buffer plus the half plan's own scratch.
+    pub fn scratch_len(&self) -> usize {
+        self.n / 2 + self.half_plan.scratch_len()
+    }
+
+    /// Butterfly kernels this plan runs (merge epilogue included).
+    pub fn codelets(&self) -> Vec<Codelet> {
+        let mut v = self.half_plan.codelets();
+        v.push(Codelet::Split);
+        codelet::dedup(v)
+    }
+
+    /// Per-codelet dispatch report.
+    pub fn codelet_dispatch(&self) -> Vec<(Codelet, Dispatch)> {
+        let mut v = self.half_plan.codelet_dispatch();
+        let d = if self.use_simd { Dispatch::Avx2Fma } else { Dispatch::Portable };
+        v.push((Codelet::Split, d));
+        codelet::dedup_dispatch(v)
+    }
+
     /// Inverse transform from `n/2+1` Hermitian bins to `n` real samples.
     pub fn inverse(&self, spectrum: &[Complex<T>]) -> Vec<T> {
+        let mut out = vec![T::from_usize(0); self.n];
+        let mut scratch = AlignedBuf::zeroed(self.scratch_len());
+        self.inverse_into(spectrum, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`Self::inverse`] into caller buffers (`out.len() == n`,
+    /// `scratch.len() ≥ scratch_len()`); allocation-free.
+    pub fn inverse_into(
+        &self,
+        spectrum: &[Complex<T>],
+        out: &mut [T],
+        scratch: &mut [Complex<T>],
+    ) {
         let h = self.n / 2;
         assert_eq!(spectrum.len(), h + 1, "expected n/2+1 spectrum bins");
+        assert_eq!(out.len(), self.n);
+        let (z, rest) = scratch.split_at_mut(h);
         // Repack: Z_k = E_k + i·w^{−k}·O_k with E/O the even/odd spectra.
-        let mut z: Vec<Complex<T>> = Vec::with_capacity(h);
-        for k in 0..h {
-            let xk = spectrum[k];
-            let xc = spectrum[h - k].conj();
-            let even = (xk + xc).scale(T::HALF);
-            let odd = (xk - xc).scale(T::HALF).mul_i() * self.tw[k];
-            z.push(even + odd);
+        #[cfg(target_arch = "x86_64")]
+        let merged = if self.use_simd {
+            unsafe {
+                simd::avx2::hermitian_merge(
+                    simd::c64s(spectrum),
+                    simd::c64s(&self.tw),
+                    simd::c64s_mut(z),
+                );
+            }
+            true
+        } else {
+            false
+        };
+        #[cfg(not(target_arch = "x86_64"))]
+        let merged = false;
+        if !merged {
+            simd::hermitian_merge_scalar(spectrum, &self.tw, z);
         }
-        self.half_plan.execute(&mut z);
-        let mut out = Vec::with_capacity(self.n);
-        for v in z {
-            out.push(v.re);
-            out.push(v.im);
+        self.half_plan.execute_with_scratch(z, rest);
+        for (k, v) in z.iter().enumerate() {
+            out[2 * k] = v.re;
+            out[2 * k + 1] = v.im;
         }
-        out
     }
 }
 
@@ -146,7 +248,7 @@ impl<T: Real> RealIfft<T> {
 mod tests {
     use super::*;
     use crate::dft::dft_naive;
-    use soi_num::{Complex64};
+    use soi_num::Complex64;
 
     fn real_signal(n: usize) -> Vec<f64> {
         (0..n)
@@ -166,6 +268,47 @@ mod tests {
             for (k, (&g, &w)) in out.iter().zip(&want).enumerate() {
                 assert_eq!(g.re.to_bits(), w.re.to_bits(), "n={n} bin={k}");
                 assert_eq!(g.im.to_bits(), w.im.to_bits(), "n={n} bin={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_and_portable_split_are_bitwise_identical() {
+        // The split/merge kernels use the exact-rounding complex product,
+        // so the two dispatches must agree to the bit (the half plan is
+        // constructed identically on both sides).
+        for n in [8usize, 10, 64, 126, 1000, 4096] {
+            let x = real_signal(n);
+            let fast = RealFft::<f64>::with_simd(n, true);
+            let slow = RealFft::<f64>::with_simd(n, false);
+            let a = fast.forward(&x);
+            let b = slow.forward(&x);
+            for k in 0..a.len() {
+                assert_eq!(a[k].re.to_bits(), b[k].re.to_bits(), "n={n} bin={k}");
+                assert_eq!(a[k].im.to_bits(), b[k].im.to_bits(), "n={n} bin={k}");
+            }
+            let fi = RealIfft::<f64>::with_simd(n, true);
+            let si = RealIfft::<f64>::with_simd(n, false);
+            let ra = fi.inverse(&a);
+            let rb = si.inverse(&b);
+            for k in 0..n {
+                assert_eq!(ra[k].to_bits(), rb[k].to_bits(), "n={n} sample={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_into_matches_allocating_inverse_bitwise() {
+        for n in [8usize, 64, 1000, 16384] {
+            let x = real_signal(n);
+            let spec = RealFft::new(n).forward(&x);
+            let plan = RealIfft::new(n);
+            let want = plan.inverse(&spec);
+            let mut out = vec![0.0f64; n];
+            let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+            plan.inverse_into(&spec, &mut out, &mut scratch);
+            for k in 0..n {
+                assert_eq!(out[k].to_bits(), want[k].to_bits(), "n={n} sample={k}");
             }
         }
     }
@@ -209,6 +352,16 @@ mod tests {
                 assert!((a - b).abs() < 1e-11, "n={n}");
             }
         }
+    }
+
+    #[test]
+    fn reports_split_epilogue_codelet() {
+        let plan = RealFft::<f64>::new(256);
+        assert!(plan.codelets().contains(&Codelet::Split));
+        let rows = plan.codelet_dispatch();
+        assert!(rows.iter().any(|&(c, _)| c == Codelet::Split));
+        let ip = RealIfft::<f64>::new(256);
+        assert!(ip.codelets().contains(&Codelet::Split));
     }
 
     #[test]

@@ -138,6 +138,101 @@ pub fn weighted_product<T: Real>(out: &mut [Complex<T>], res: &[Complex<T>], w: 
     }
 }
 
+/// `data[k] = data[k] * w[k]` — the in-place weighted multiply of
+/// Bluestein's pointwise filter pass and the chirp sweeps. Same exact
+/// (non-FMA) rounding contract as [`weighted_product`]: bitwise
+/// identical to the scalar loop on every path.
+pub fn weighted_product_in<T: Real>(data: &mut [Complex<T>], w: &[Complex<T>]) {
+    let len = data.len();
+    assert!(w.len() >= len, "weighted_product_in weights too short");
+    #[cfg(target_arch = "x86_64")]
+    if is_c64::<T>() && enabled() {
+        unsafe {
+            avx2::weighted_product_in(c64s_mut(data), &c64s(w)[..len]);
+        }
+        return;
+    }
+    for (k, slot) in data.iter_mut().enumerate() {
+        *slot = *slot * w[k];
+    }
+}
+
+/// Hermitian split epilogue of the real-input FFT: unpack the
+/// half-length complex spectrum `z` (length `h`) into the `h+1`
+/// non-redundant bins of the length-`2h` real transform,
+/// `out[k] = (z_k + conj(z_{h−k}))/2 − (i/2)·w^k·(z_k − conj(z_{h−k}))`
+/// with `z_h ≡ z_0` and the unpack twiddles `w^k = exp(−2πi k/2h)` in
+/// `tw[0..=h]`. The AVX2 body uses the exact (non-FMA) complex product
+/// and pure sign-flip rotations, so it is **bitwise identical** to the
+/// scalar loop — the property the r2c SIMD-vs-portable pins rely on.
+pub fn hermitian_split<T: Real>(z: &[Complex<T>], tw: &[Complex<T>], out: &mut [Complex<T>]) {
+    let h = z.len();
+    assert_eq!(out.len(), h + 1, "hermitian_split output must be h+1 bins");
+    assert!(tw.len() >= h + 1, "hermitian_split twiddles too short");
+    #[cfg(target_arch = "x86_64")]
+    if is_c64::<T>() && enabled() {
+        unsafe {
+            avx2::hermitian_split(c64s(z), c64s(tw), c64s_mut(out));
+        }
+        return;
+    }
+    hermitian_split_scalar(z, tw, out);
+}
+
+/// Portable body of [`hermitian_split`]; also the explicit reference
+/// path for plans built with SIMD disabled.
+pub fn hermitian_split_scalar<T: Real>(
+    z: &[Complex<T>],
+    tw: &[Complex<T>],
+    out: &mut [Complex<T>],
+) {
+    let h = z.len();
+    let half = T::HALF;
+    for (k, slot) in out.iter_mut().enumerate() {
+        let zk = if k == h { z[0] } else { z[k] };
+        let zc = z[(h - k) % h].conj();
+        let even = (zk + zc).scale(half);
+        let odd = (zk - zc).scale(half);
+        *slot = even + (odd * tw[k]).mul_neg_i();
+    }
+}
+
+/// Hermitian merge prologue of the inverse real FFT: repack the `h+1`
+/// spectrum bins into the half-length complex input
+/// `z[k] = (x_k + conj(x_{h−k}))/2 + i·w̄^k·(x_k − conj(x_{h−k}))/2`
+/// (`tw` holds the conjugated twiddles `w̄^k`). Bitwise identical to the
+/// scalar loop on every path, mirroring [`hermitian_split`].
+pub fn hermitian_merge<T: Real>(spec: &[Complex<T>], tw: &[Complex<T>], z: &mut [Complex<T>]) {
+    let h = z.len();
+    assert_eq!(spec.len(), h + 1, "hermitian_merge expects h+1 spectrum bins");
+    assert!(tw.len() >= h, "hermitian_merge twiddles too short");
+    #[cfg(target_arch = "x86_64")]
+    if is_c64::<T>() && enabled() {
+        unsafe {
+            avx2::hermitian_merge(c64s(spec), c64s(tw), c64s_mut(z));
+        }
+        return;
+    }
+    hermitian_merge_scalar(spec, tw, z);
+}
+
+/// Portable body of [`hermitian_merge`].
+pub fn hermitian_merge_scalar<T: Real>(
+    spec: &[Complex<T>],
+    tw: &[Complex<T>],
+    z: &mut [Complex<T>],
+) {
+    let h = z.len();
+    let half = T::HALF;
+    for (k, slot) in z.iter_mut().enumerate() {
+        let xk = spec[k];
+        let xc = spec[h - k].conj();
+        let even = (xk + xc).scale(half);
+        let odd = (xk - xc).scale(half).mul_i() * tw[k];
+        *slot = even + odd;
+    }
+}
+
 /// The AVX2+FMA kernel bodies. Everything here is `unsafe fn` gated on
 /// `#[target_feature(enable = "avx2", enable = "fma")]`; callers must
 /// have checked [`cpu_supported`]. Helper intrinsic wrappers are
@@ -256,6 +351,166 @@ pub mod avx2 {
         }
         if k < len {
             out[k] = res[k] * w[k];
+        }
+    }
+
+    /// `data[k] = data[k]·w[k]`, exact-rounding form (see
+    /// [`super::weighted_product_in`]).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn weighted_product_in(data: &mut [Complex64], w: &[Complex64]) {
+        let len = data.len();
+        let len2 = len & !1;
+        let dp = data.as_mut_ptr();
+        let wp = w.as_ptr();
+        let mut k = 0;
+        while k < len2 {
+            let v = ld(dp.add(k));
+            let wv = ld(wp.add(k));
+            st(dp.add(k), cmul_exact(v, dup_re(wv), dup_im(wv)));
+            k += 2;
+        }
+        if k < len {
+            data[k] = data[k] * w[k];
+        }
+    }
+
+    /// Hermitian split epilogue (see [`super::hermitian_split`]). The
+    /// vector loop walks `k` ascending in pairs while a reversed load +
+    /// 128-bit lane swap supplies the conjugate partner `z_{h−k}`; bins
+    /// 0 and `h` (which wrap to `z_0`) plus the parity leftover run the
+    /// scalar formulas. Exact complex products and sign-flip rotations
+    /// throughout — bitwise identical to the scalar loop.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn hermitian_split(z: &[Complex64], tw: &[Complex64], out: &mut [Complex64]) {
+        let h = z.len();
+        debug_assert_eq!(out.len(), h + 1);
+        debug_assert!(tw.len() >= h + 1);
+        let half = _mm256_set1_pd(0.5);
+        let conj_mask = mask_neg_im();
+        let zp = z.as_ptr();
+        let wp = tw.as_ptr();
+        let op = out.as_mut_ptr();
+        let edge = |k: usize, zk: Complex64, zc: Complex64| -> Complex64 {
+            let even = (zk + zc).scale(0.5);
+            let odd = (zk - zc).scale(0.5);
+            even + (odd * *wp.add(k)).mul_neg_i()
+        };
+        *op = edge(0, *zp, (*zp).conj());
+        let mut k = 1;
+        while k + 1 < h {
+            let zk = ld(zp.add(k));
+            // [z_{h−k−1}, z_{h−k}] → lane swap → [z_{h−k}, z_{h−k−1}].
+            let zr = ld(zp.add(h - k - 1));
+            let zc = _mm256_xor_pd(_mm256_permute2f128_pd(zr, zr, 0x01), conj_mask);
+            let even = _mm256_mul_pd(_mm256_add_pd(zk, zc), half);
+            let odd = _mm256_mul_pd(_mm256_sub_pd(zk, zc), half);
+            let wv = ld(wp.add(k));
+            let c = cmul_exact(odd, dup_re(wv), dup_im(wv));
+            st(op.add(k), _mm256_add_pd(even, jrot(c, conj_mask)));
+            k += 2;
+        }
+        while k < h {
+            *op.add(k) = edge(k, *zp.add(k), (*zp.add(h - k)).conj());
+            k += 1;
+        }
+        *op.add(h) = edge(h, *zp, (*zp).conj());
+    }
+
+    /// Hermitian merge prologue (see [`super::hermitian_merge`]); the
+    /// inverse of [`hermitian_split`], same reversed-load pairing and
+    /// the same bitwise-identical-to-scalar contract.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn hermitian_merge(spec: &[Complex64], tw: &[Complex64], z: &mut [Complex64]) {
+        let h = z.len();
+        debug_assert_eq!(spec.len(), h + 1);
+        debug_assert!(tw.len() >= h);
+        let half = _mm256_set1_pd(0.5);
+        let conj_mask = mask_neg_im();
+        let imask = mask_neg_re(); // mul_i
+        let sp = spec.as_ptr();
+        let wp = tw.as_ptr();
+        let zp = z.as_mut_ptr();
+        let mut k = 0;
+        while k + 1 < h {
+            let xk = ld(sp.add(k));
+            let xr = ld(sp.add(h - k - 1));
+            let xc = _mm256_xor_pd(_mm256_permute2f128_pd(xr, xr, 0x01), conj_mask);
+            let even = _mm256_mul_pd(_mm256_add_pd(xk, xc), half);
+            let odd = _mm256_mul_pd(_mm256_sub_pd(xk, xc), half);
+            let oi = jrot(odd, imask);
+            let wv = ld(wp.add(k));
+            st(zp.add(k), _mm256_add_pd(even, cmul_exact(oi, dup_re(wv), dup_im(wv))));
+            k += 2;
+        }
+        while k < h {
+            let xk = *sp.add(k);
+            let xc = (*sp.add(h - k)).conj();
+            let even = (xk + xc).scale(0.5);
+            let odd = (xk - xc).scale(0.5).mul_i() * *wp.add(k);
+            *zp.add(k) = even + odd;
+            k += 1;
+        }
+    }
+
+    /// Batched in-place 8-point DFTs over `rows` contiguous rows of 8
+    /// complex doubles — the `fft_p` stage of the SOI pipeline at
+    /// `P = 8`, where per-row plan dispatch can't vectorize (each row is
+    /// a single butterfly). Two rows run per iteration: column `c` of
+    /// rows `(r, r+1)` forms one 256-bit vector via a split load, the
+    /// radix-8 DIF butterfly runs vertically across the pair, and a
+    /// single-stage size-8 transform has unit twiddles and natural-order
+    /// output, so results store straight back. Each 128-bit half is
+    /// independent, so a row's bits do not depend on its pairing — the
+    /// across-worker-count determinism pins hold for any row split. An
+    /// odd final row computes in the low half alone.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn dft8_rows(data: &mut [Complex64], rows: usize, forward: bool) {
+        debug_assert_eq!(data.len(), rows * 8);
+        let jmask = if forward { mask_neg_re() } else { mask_neg_im() };
+        let kmask = if forward { mask_neg_im() } else { mask_neg_re() };
+        let rv = _mm256_set1_pd(0.5f64.sqrt());
+        let base = data.as_mut_ptr() as *mut f64;
+        let mut r = 0;
+        while r < rows {
+            let pair = r + 1 < rows;
+            let lo = base.add(r * 16);
+            let hi = if pair { base.add((r + 1) * 16) } else { lo };
+            let a0 = _mm256_loadu2_m128d(hi, lo);
+            let a1 = _mm256_loadu2_m128d(hi.add(2), lo.add(2));
+            let a2 = _mm256_loadu2_m128d(hi.add(4), lo.add(4));
+            let a3 = _mm256_loadu2_m128d(hi.add(6), lo.add(6));
+            let a4 = _mm256_loadu2_m128d(hi.add(8), lo.add(8));
+            let a5 = _mm256_loadu2_m128d(hi.add(10), lo.add(10));
+            let a6 = _mm256_loadu2_m128d(hi.add(12), lo.add(12));
+            let a7 = _mm256_loadu2_m128d(hi.add(14), lo.add(14));
+            let s0 = _mm256_add_pd(a0, a4);
+            let s1 = _mm256_add_pd(a1, a5);
+            let s2 = _mm256_add_pd(a2, a6);
+            let s3 = _mm256_add_pd(a3, a7);
+            let d0 = _mm256_sub_pd(a0, a4);
+            let d1 = _mm256_sub_pd(a1, a5);
+            let d2 = _mm256_sub_pd(a2, a6);
+            let d3 = _mm256_sub_pd(a3, a7);
+            let (e0, e1, e2, e3) = dft4(s0, s1, s2, s3, jmask);
+            let t1 = _mm256_mul_pd(_mm256_add_pd(d1, jrot(d1, kmask)), rv);
+            let t2 = jrot(d2, kmask);
+            let t3 = _mm256_mul_pd(_mm256_sub_pd(jrot(d3, kmask), d3), rv);
+            let (o0, o1, o2, o3) = dft4(d0, t1, t2, t3, jmask);
+            let v = [e0, o0, e1, o1, e2, o2, e3, o3];
+            if pair {
+                let mut c = 0;
+                while c < 8 {
+                    _mm256_storeu2_m128d(hi.add(c * 2), lo.add(c * 2), v[c]);
+                    c += 1;
+                }
+            } else {
+                let mut c = 0;
+                while c < 8 {
+                    _mm_storeu_pd(lo.add(c * 2), _mm256_castpd256_pd128(v[c]));
+                    c += 1;
+                }
+            }
+            r += 2;
         }
     }
 
@@ -785,6 +1040,74 @@ pub mod avx2 {
         }
     }
 
+    /// Generic-radix DIT combine vectorized over `k` (`m ≥ 2`,
+    /// `8 < r < 64`) — the outer prime levels (11, 13, …) of the
+    /// mixed-radix engine. The `r` twiddled inputs for a `k`-pair are
+    /// staged in registers, then each of the `r` outputs accumulates the
+    /// dense `O(r²)` butterfly with broadcast roots and one FMA complex
+    /// product per term. Same structure as the portable fallback, just
+    /// two columns at a time.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn mixed_generic(
+        out: &mut [Complex64],
+        m: usize,
+        r: usize,
+        re_dup: &[f64],
+        im_dup: &[f64],
+        roots: &[Complex64],
+    ) {
+        debug_assert!(m >= 2 && r > 8 && r < 64);
+        debug_assert_eq!(re_dup.len(), (r - 1) * 2 * m);
+        debug_assert_eq!(roots.len(), r);
+        let op = out.as_mut_ptr();
+        let rp = re_dup.as_ptr();
+        let ip = im_dup.as_ptr();
+        let mut t = [_mm256_setzero_pd(); 64];
+        let m2 = m & !1;
+        let mut k = 0;
+        while k < m2 {
+            t[0] = ld(op.add(k));
+            for q in 1..r {
+                t[q] = cmul_fma(
+                    ld(op.add(q * m + k)),
+                    _mm256_loadu_pd(rp.add((q - 1) * 2 * m + 2 * k)),
+                    _mm256_loadu_pd(ip.add((q - 1) * 2 * m + 2 * k)),
+                );
+            }
+            for k2 in 0..r {
+                let mut acc = t[0];
+                for (q, &tq) in t.iter().enumerate().take(r).skip(1) {
+                    let w = *roots.get_unchecked((q * k2) % r);
+                    acc = _mm256_add_pd(
+                        acc,
+                        cmul_fma(tq, _mm256_set1_pd(w.re), _mm256_set1_pd(w.im)),
+                    );
+                }
+                st(op.add(k2 * m + k), acc);
+            }
+            k += 2;
+        }
+        if k < m {
+            // Scalar tail column, mirroring the portable butterfly.
+            let mut ts = [Complex64::ZERO; 64];
+            ts[0] = out[k];
+            for q in 1..r {
+                let w = Complex64 {
+                    re: *rp.add((q - 1) * 2 * m + 2 * k),
+                    im: *ip.add((q - 1) * 2 * m + 2 * k),
+                };
+                ts[q] = out[q * m + k] * w;
+            }
+            for k2 in 0..r {
+                let mut acc = ts[0];
+                for (q, &tq) in ts.iter().enumerate().take(r).skip(1) {
+                    acc = tq.mul_add(roots[(q * k2) % r], acc);
+                }
+                out[k2 * m + k] = acc;
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Four-step passes
     // ------------------------------------------------------------------
@@ -1013,6 +1336,93 @@ mod tests {
                 let want = res[k] * w[k];
                 assert_eq!(got[k].re.to_bits(), want.re.to_bits(), "n={n} k={k}");
                 assert_eq!(got[k].im.to_bits(), want.im.to_bits(), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_product_in_matches_scalar_bitwise() {
+        for n in [1usize, 2, 7, 64, 129] {
+            let src: Vec<Complex64> = (0..n)
+                .map(|i| c64((i as f64 * 0.7).sin() + 0.2, (i as f64 * 1.1).cos()))
+                .collect();
+            let w: Vec<Complex64> = (0..n)
+                .map(|i| c64((i as f64 * 0.3).cos() - 1.1, (i as f64 * 0.9).sin()))
+                .collect();
+            let mut got = src.clone();
+            weighted_product_in(&mut got, &w);
+            for k in 0..n {
+                let want = src[k] * w[k];
+                assert_eq!(got[k].re.to_bits(), want.re.to_bits(), "n={n} k={k}");
+                assert_eq!(got[k].im.to_bits(), want.im.to_bits(), "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn hermitian_split_and_merge_match_scalar_bitwise() {
+        // The dispatched wrappers (AVX2 on capable hosts) must agree with
+        // the scalar formulas to the bit: the kernels use the
+        // exact-rounding complex product and pure sign-flip rotations.
+        for h in [1usize, 2, 3, 8, 33, 500] {
+            let n = 2 * h;
+            let z: Vec<Complex64> = (0..h)
+                .map(|i| c64((i as f64 * 0.61).sin() - 0.3, (i as f64 * 0.83).cos()))
+                .collect();
+            let tw: Vec<Complex64> = (0..=h)
+                .map(|k| Complex64::root_of_unity(k, n))
+                .collect();
+            let mut fast = vec![Complex64::ZERO; h + 1];
+            let mut slow = vec![Complex64::ZERO; h + 1];
+            hermitian_split(&z, &tw, &mut fast);
+            hermitian_split_scalar(&z, &tw, &mut slow);
+            for k in 0..=h {
+                assert_eq!(fast[k].re.to_bits(), slow[k].re.to_bits(), "h={h} k={k}");
+                assert_eq!(fast[k].im.to_bits(), slow[k].im.to_bits(), "h={h} k={k}");
+            }
+            // Merge: feed the split output back through both dispatches.
+            let twc: Vec<Complex64> = tw.iter().map(|w| w.conj()).collect();
+            let mut mf = vec![Complex64::ZERO; h];
+            let mut ms = vec![Complex64::ZERO; h];
+            hermitian_merge(&fast, &twc, &mut mf);
+            hermitian_merge_scalar(&slow, &twc, &mut ms);
+            for k in 0..h {
+                assert_eq!(mf[k].re.to_bits(), ms[k].re.to_bits(), "h={h} k={k}");
+                assert_eq!(mf[k].im.to_bits(), ms[k].im.to_bits(), "h={h} k={k}");
+            }
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn dft8_rows_matches_naive_dft() {
+        if !cpu_supported() {
+            return;
+        }
+        for rows in [1usize, 2, 3, 8, 17] {
+            for forward in [true, false] {
+                let src: Vec<Complex64> = (0..rows * 8)
+                    .map(|i| c64((i as f64 * 0.47).sin() + 0.1, (i as f64 * 0.73).cos()))
+                    .collect();
+                let mut got = src.clone();
+                unsafe { avx2::dft8_rows(&mut got, rows, forward) };
+                for r in 0..rows {
+                    let row = &src[r * 8..r * 8 + 8];
+                    for k in 0..8 {
+                        let mut want = Complex64::ZERO;
+                        for j in 0..8 {
+                            let ang = 2.0 * std::f64::consts::PI * (j * k % 8) as f64 / 8.0;
+                            let (s, c) = if forward {
+                                ((-ang).sin(), (-ang).cos())
+                            } else {
+                                (ang.sin(), ang.cos())
+                            };
+                            want = want + row[j] * c64(c, s);
+                        }
+                        let err = (got[r * 8 + k] - want).abs();
+                        assert!(err < 1e-12, "rows={rows} fwd={forward} r={r} k={k} err={err}");
+                    }
+                }
             }
         }
     }

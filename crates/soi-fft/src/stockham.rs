@@ -23,6 +23,10 @@ use soi_num::{AlignedBuf, Complex, Real};
 struct StockhamSimd {
     first_re: AlignedBuf<f64>,
     first_im: AlignedBuf<f64>,
+    /// Radix-5 butterfly constants `(Re ω₅, Re ω₅², Im ω₅, Im ω₅²)`,
+    /// direction-signed — used by the smooth-ladder stages (see
+    /// [`StockhamFft::for_smooth`]); zero-cost to carry for pure pow2.
+    r5: (f64, f64, f64, f64),
 }
 
 /// A prepared power-of-two Stockham transform.
@@ -51,7 +55,7 @@ impl<T: Real> StockhamFft<T> {
     /// each other in one process.
     pub fn with_simd(n: usize, sign: Sign, want: bool) -> Self {
         assert!(n.is_power_of_two() && n > 0, "Stockham requires a power of two, got {n}");
-        let mut stages = Vec::new();
+        let mut radices = Vec::new();
         let mut cur = n;
         while cur > 1 {
             let r = if cur % 8 == 0 {
@@ -61,15 +65,74 @@ impl<T: Real> StockhamFft<T> {
             } else {
                 2
             };
+            radices.push(r);
+            cur /= r;
+        }
+        Self::from_radices(n, sign, &radices, want)
+    }
+
+    /// Plan a SIMD smooth ladder for `n = 2^k · 5^j` (`j ≥ 1`,
+    /// `n % 16 == 0`): the pow2 stages run first (radix 8 leading, so the
+    /// vectorized first-stage kernel applies and every later stage
+    /// streams an even `s`), the radix-5 stages close. Returns `None`
+    /// when the shape doesn't fit or the host can't run the vector
+    /// kernels — callers (the mixed-radix engine) fall back to their own
+    /// path. Stockham's streaming structure beats the mixed-radix
+    /// recursion by ~2–3× at these sizes, which is the whole point.
+    pub(crate) fn for_smooth(n: usize, sign: Sign, want: bool) -> Option<Self> {
+        if !(want && simd::cpu_supported() && simd::is_c64::<T>()) {
+            return None;
+        }
+        let mut pow2 = n;
+        let mut fives = 0usize;
+        while pow2 % 5 == 0 {
+            pow2 /= 5;
+            fives += 1;
+        }
+        // n % 16 == 0 makes the leading radix-8 stage's m = n/8 even (the
+        // vectorized first-stage kernel pairs p's), and pow2 ≥ 16 keeps
+        // the greedy pow2 schedule non-empty after the leading 8.
+        if fives == 0 || !pow2.is_power_of_two() || n % 16 != 0 {
+            return None;
+        }
+        let mut radices = vec![8usize];
+        let mut rest = pow2 / 8;
+        while rest > 1 {
+            let r = if rest % 8 == 0 {
+                8
+            } else if rest % 4 == 0 {
+                4
+            } else {
+                2
+            };
+            radices.push(r);
+            rest /= r;
+        }
+        radices.extend(std::iter::repeat(5).take(fives));
+        Some(Self::from_radices(n, sign, &radices, true))
+    }
+
+    /// Shared constructor: build the stage tables for an explicit radix
+    /// schedule and decide SIMD dispatch. `want` is intersected with what
+    /// the host supports (AVX2+FMA, `f64` elements, a leading radix-8
+    /// stage with even `m` so the vector kernels cover every stage with
+    /// no tails); it deliberately ignores the `SOI_NO_SIMD` env so
+    /// property tests can pit both paths against each other in one
+    /// process.
+    fn from_radices(n: usize, sign: Sign, radices: &[usize], want: bool) -> Self {
+        let mut stages = Vec::new();
+        let mut cur = n;
+        for &r in radices {
             stages.push(StageTwiddles::new(cur, r, sign));
             cur /= r;
         }
-        // n ≥ 16 guarantees stage 0 is radix 8 with even m = n/8 ≥ 2 and
-        // every later stage streams s ∈ {8, 64, ...} — all even, so the
-        // vector kernels cover every stage with no tails.
-        let simd = if want && simd::cpu_supported() && simd::is_c64::<T>() && n >= 16 {
+        debug_assert_eq!(cur, 1, "radix schedule must exhaust n");
+        let simd_ok = want
+            && simd::cpu_supported()
+            && simd::is_c64::<T>()
+            && stages.first().map_or(false, |st| st.radix == 8 && st.m % 2 == 0);
+        let simd = if simd_ok {
             let st0 = &stages[0];
-            debug_assert_eq!(st0.radix, 8);
             let m = st0.m;
             let tw = simd::c64s(&st0.tw);
             // Aligned streams: the kernel reads these 4 f64 (32 bytes)
@@ -85,7 +148,13 @@ impl<T: Real> StockhamFft<T> {
                     first_im[c * 2 * m + 2 * p + 1] = w.im;
                 }
             }
-            Some(StockhamSimd { first_re, first_im })
+            let w1 = sign.root(1, 5);
+            let w2 = sign.root(2, 5);
+            Some(StockhamSimd {
+                first_re,
+                first_im,
+                r5: (w1.re, w2.re, w1.im, w2.im),
+            })
         } else {
             None
         };
@@ -120,6 +189,7 @@ impl<T: Real> StockhamFft<T> {
             .map(|st| match st.radix {
                 2 => Codelet::Radix2,
                 4 => Codelet::Radix4,
+                5 => Codelet::Radix5,
                 8 => Codelet::Radix8,
                 r => Codelet::Generic(r),
             })
@@ -160,52 +230,35 @@ impl<T: Real> StockhamFft<T> {
         if self.n == 1 {
             return true;
         }
-        #[cfg(target_arch = "x86_64")]
-        if self.simd.is_some() {
-            return self.run_stages_simd(data, scratch);
-        }
         let mut s = 1usize; // stream count (number of interleaved sub-vectors)
         let mut in_data = true; // which buffer currently holds the live values
-        for st in &self.stages {
-            let (src, dst): (&mut [Complex<T>], &mut [Complex<T>]) = if in_data {
-                (data, &mut *scratch)
+        for i in 0..self.stages.len() {
+            if in_data {
+                self.stage_into(i, s, data, scratch);
             } else {
-                (scratch, &mut *data)
-            };
-            match st.radix {
-                2 => stage_radix2(src, dst, st, s),
-                4 => stage_radix4(src, dst, st, s, self.sign),
-                8 => stage_radix8(src, dst, st, s, self.sign),
-                r => unreachable!("unsupported Stockham radix {r}"),
+                self.stage_into(i, s, scratch, data);
             }
-            s *= st.radix;
+            s *= self.stages[i].radix;
             in_data = !in_data;
         }
         in_data
     }
 
-    /// SIMD stage driver: same ping-pong as the portable path, with
-    /// every stage routed to an AVX2+FMA kernel. Only reachable when the
-    /// constructor built the streams (so `T = f64`, AVX2+FMA present,
-    /// `n ≥ 16`).
-    #[cfg(target_arch = "x86_64")]
-    fn run_stages_simd(&self, data: &mut [Complex<T>], scratch: &mut [Complex<T>]) -> bool {
-        let sd = self.simd.as_ref().unwrap();
-        let data = simd::c64s_mut(data);
-        let scratch = simd::c64s_mut(scratch);
-        let forward = self.sign == Sign::Forward;
-        let mut s = 1usize;
-        let mut in_data = true;
-        for (i, st) in self.stages.iter().enumerate() {
-            let (src, dst): (&mut [soi_num::Complex64], &mut [soi_num::Complex64]) = if in_data {
-                (&mut *data, &mut *scratch)
-            } else {
-                (&mut *scratch, &mut *data)
-            };
+    /// Run stage `i` (stream count `s`) from `src` into `dst`, routed to
+    /// the AVX2+FMA kernel when the constructor built the streams (so
+    /// `T = f64`, AVX2+FMA present, leading radix-8 stage with even `m`).
+    fn stage_into(&self, i: usize, s: usize, src: &[Complex<T>], dst: &mut [Complex<T>]) {
+        let st = &self.stages[i];
+        #[cfg(target_arch = "x86_64")]
+        if let Some(sd) = &self.simd {
+            let src = simd::c64s(src);
+            let dst = simd::c64s_mut(dst);
             let tw = simd::c64s(&st.tw);
-            // Safety: constructor checked AVX2+FMA; stage geometry
-            // (even m for stage 0, even s ≥ 8 afterwards) is guaranteed
-            // by the n ≥ 16 power-of-two schedule.
+            let forward = self.sign == Sign::Forward;
+            let (c1, c2, s1, s2) = sd.r5;
+            // Safety: constructor checked AVX2+FMA; stage geometry (even
+            // m for stage 0, even s ≥ 8 afterwards) is guaranteed by both
+            // the pow2 and the smooth-ladder schedules.
             unsafe {
                 if i == 0 {
                     simd::avx2::stockham_first8(src, dst, &sd.first_re, &sd.first_im, st.m, forward);
@@ -213,15 +266,59 @@ impl<T: Real> StockhamFft<T> {
                     match st.radix {
                         2 => simd::avx2::stockham_q2(src, dst, tw, st.m, s, s),
                         4 => simd::avx2::stockham_q4(src, dst, tw, st.m, s, s, forward),
+                        5 => simd::avx2::stockham_q5(src, dst, tw, st.m, s, s, c1, c2, s1, s2),
                         8 => simd::avx2::stockham_q8(src, dst, tw, st.m, s, s, forward),
                         r => unreachable!("unsupported Stockham radix {r}"),
                     }
                 }
             }
-            s *= st.radix;
-            in_data = !in_data;
+            return;
         }
-        in_data
+        match st.radix {
+            2 => stage_radix2(src, dst, st, s),
+            4 => stage_radix4(src, dst, st, s, self.sign),
+            5 => stage_radix5(src, dst, st, s, self.sign),
+            8 => stage_radix8(src, dst, st, s, self.sign),
+            r => unreachable!("unsupported Stockham radix {r}"),
+        }
+    }
+
+    /// Out-of-place execute: transform `src` into `dst` without touching
+    /// `src` (`scratch.len() ≥ n`). Runs the exact same stage kernels in
+    /// the same order as [`Self::execute_with_scratch`] — only the buffer
+    /// schedule differs (the first stage targets whichever of `dst`/
+    /// `scratch` makes the remaining ping-pong land in `dst`) — so the
+    /// result is bitwise identical to the in-place path. This is the seam
+    /// the four-step uses to land `F_b` rows directly in the transpose
+    /// buffer instead of copying them there afterwards.
+    pub fn process_with_scratch(
+        &self,
+        src: &[Complex<T>],
+        dst: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+    ) {
+        assert_eq!(src.len(), self.n, "src length mismatch");
+        assert_eq!(dst.len(), self.n, "dst length mismatch");
+        assert!(scratch.len() >= self.n, "scratch too short");
+        let nst = self.stages.len();
+        if nst == 0 {
+            dst.copy_from_slice(src);
+            return;
+        }
+        let scratch = &mut scratch[..self.n];
+        let mut s = 1usize;
+        for i in 0..nst {
+            // Stage i writes dst when the remaining stage count is odd,
+            // so stage nst−1 always writes dst.
+            let to_dst = (nst - i) % 2 == 1;
+            match (i == 0, to_dst) {
+                (true, true) => self.stage_into(0, s, src, dst),
+                (true, false) => self.stage_into(0, s, src, scratch),
+                (false, true) => self.stage_into(i, s, scratch, dst),
+                (false, false) => self.stage_into(i, s, dst, scratch),
+            }
+            s *= self.stages[i].radix;
+        }
     }
 
     /// Transform `data` and write `out[k] = result[k]·weights[k]` for
@@ -315,6 +412,44 @@ fn stage_radix4<T: Real>(
             y[q + s * (4 * p + 1)] = (amc - jbmd) * w1;
             y[q + s * (4 * p + 2)] = (apc - bpd) * w2;
             y[q + s * (4 * p + 3)] = (amc + jbmd) * w3;
+        }
+    }
+}
+
+/// One radix-5 DIF Stockham stage (smooth-ladder closer; mirrors the
+/// real-symmetric half-complexity factorization of `stockham_q5`).
+fn stage_radix5<T: Real>(
+    x: &[Complex<T>],
+    y: &mut [Complex<T>],
+    st: &StageTwiddles<T>,
+    s: usize,
+    sign: Sign,
+) {
+    let m = st.m;
+    let w1 = sign.root(1, 5);
+    let w2 = sign.root(2, 5);
+    let (c1, c2, s1, s2) = (w1.re, w2.re, w1.im, w2.im);
+    for p in 0..m {
+        let tw = &st.tw[p * 4..p * 4 + 4];
+        for q in 0..s {
+            let a = x[q + s * p];
+            let b = x[q + s * (p + m)];
+            let c = x[q + s * (p + 2 * m)];
+            let d = x[q + s * (p + 3 * m)];
+            let e = x[q + s * (p + 4 * m)];
+            let t1 = b + e;
+            let t2 = c + d;
+            let t3 = b - e;
+            let t4 = c - d;
+            let m1 = a + t1.scale(c1) + t2.scale(c2);
+            let m2 = a + t1.scale(c2) + t2.scale(c1);
+            let v1 = (t3.scale(s1) + t4.scale(s2)).mul_i();
+            let v2 = (t3.scale(s2) - t4.scale(s1)).mul_i();
+            y[q + s * (5 * p)] = a + t1 + t2;
+            y[q + s * (5 * p + 1)] = (m1 + v1) * tw[0];
+            y[q + s * (5 * p + 2)] = (m2 + v2) * tw[1];
+            y[q + s * (5 * p + 3)] = (m2 - v2) * tw[2];
+            y[q + s * (5 * p + 4)] = (m1 - v1) * tw[3];
         }
     }
 }
@@ -546,6 +681,77 @@ mod tests {
             assert_eq!(a.re.to_bits(), b.re.to_bits(), "bin {k}");
             assert_eq!(a.im.to_bits(), b.im.to_bits(), "bin {k}");
         }
+    }
+
+    #[test]
+    fn process_with_scratch_is_bitwise_the_in_place_execute() {
+        for n in [1usize, 2, 8, 16, 256, 2048] {
+            let x = test_signal(n);
+            for sign in [Sign::Forward, Sign::Inverse] {
+                let plan = StockhamFft::new(n, sign);
+                let mut want = x.clone();
+                let mut s1 = vec![Complex64::ZERO; n];
+                plan.execute_with_scratch(&mut want, &mut s1);
+                let mut got = vec![Complex64::ZERO; n];
+                let mut s2 = vec![Complex64::ZERO; n];
+                plan.process_with_scratch(&x, &mut got, &mut s2);
+                for k in 0..n {
+                    assert_eq!(got[k].re.to_bits(), want[k].re.to_bits(), "n={n} k={k}");
+                    assert_eq!(got[k].im.to_bits(), want[k].im.to_bits(), "n={n} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_ladder_matches_naive_dft() {
+        if !simd::cpu_supported() {
+            assert!(StockhamFft::<f64>::for_smooth(80, Sign::Forward, true).is_none());
+            return;
+        }
+        for n in [80usize, 400, 640, 1280, 2560] {
+            for sign in [Sign::Forward, Sign::Inverse] {
+                let plan = StockhamFft::<f64>::for_smooth(n, sign, true)
+                    .unwrap_or_else(|| panic!("no ladder for {n}"));
+                let x = test_signal(n);
+                let want = dft_naive_signed(&x, sign);
+                let mut got = x.clone();
+                plan.execute(&mut got);
+                let err = max_abs_diff(&got, &want);
+                assert!(err < 1e-9 * n as f64, "n={n} sign={sign:?} err={err}");
+                // Out-of-place path agrees bitwise with in-place.
+                let mut oop = vec![Complex64::ZERO; n];
+                let mut sc = vec![Complex64::ZERO; n];
+                plan.process_with_scratch(&x, &mut oop, &mut sc);
+                for k in 0..n {
+                    assert_eq!(oop[k].re.to_bits(), got[k].re.to_bits(), "n={n} k={k}");
+                    assert_eq!(oop[k].im.to_bits(), got[k].im.to_bits(), "n={n} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smooth_ladder_rejects_unsupported_shapes() {
+        // No factor of 5, not 16-divisible, or a non-5-smooth cofactor.
+        for n in [64usize, 20, 40, 280, 48] {
+            assert!(
+                StockhamFft::<f64>::for_smooth(n, Sign::Forward, true).is_none(),
+                "n={n} should have no ladder"
+            );
+        }
+    }
+
+    #[test]
+    fn smooth_ladder_reports_radix5_codelet() {
+        if !simd::cpu_supported() {
+            return;
+        }
+        let plan = StockhamFft::<f64>::for_smooth(1280, Sign::Forward, true).unwrap();
+        let cs = plan.codelets();
+        assert!(cs.contains(&Codelet::Radix5), "{cs:?}");
+        assert!(cs.iter().all(|c| !c.is_generic()), "{cs:?}");
+        assert_eq!(plan.dispatch(), Dispatch::Avx2Fma);
     }
 
     #[test]

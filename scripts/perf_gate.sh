@@ -91,12 +91,42 @@ else
     if [ "$bn" != "$fn" ]; then
         echo "perf-gate: baseline N=$bn != fresh N=$fn; pipeline comparison skipped"
     else
-        # `{"phase":"conv","total_ns":53805135}` -> `conv 53805135`
+        # `{"phase":"conv","total_ns":53805135}` -> `conv 53805135`, with
+        # rows inside the `real_phases_ns` array prefixed `real_` so the
+        # r2c pipeline's phases (same names) don't collide with the
+        # complex ones.
         phases() {
-            sed -n 's/.*"phase":"\([a-z_]*\)","total_ns":\([0-9][0-9]*\).*/\1 \2/p' "$1"
+            awk '
+                /"real_phases_ns":/ { pre = "real_" }
+                /^  "phases_ns":/   { pre = "" }
+                match($0, /"phase":"[a-z_]*","total_ns":[0-9]*/) {
+                    s = substr($0, RSTART, RLENGTH)
+                    gsub(/"phase":"|","total_ns":/, " ", s)
+                    split(s, f, " ")
+                    print pre f[1], f[2]
+                }' "$1"
         }
-        { phases "$BASE" | sed 's/^/B /'; phases "$FRESH" | sed 's/^/F /'; } |
-            check_report pipeline
+        # Worker-scaling medians from `results` / `real_results`:
+        # `{"workers":1,"median_ns":24046731.0,...}` -> `into_w1 24046731`.
+        # The real rows gate the r2c headline: if `real_into_w1` regresses
+        # past tolerance while `into_w1` holds, the r2c speedup fell.
+        medians() {
+            awk '
+                /"results": \[/      { pre = "into_w" }
+                /"real_results": \[/ { pre = "real_into_w" }
+                pre != "" && match($0, /"workers":[0-9]*,"median_ns":[0-9.]*/) {
+                    s = substr($0, RSTART, RLENGTH)
+                    gsub(/"workers":|"median_ns":/, "", s)
+                    split(s, f, ",")
+                    printf "%s%s %d\n", pre, f[1], f[2]
+                }' "$1"
+        }
+        {
+            phases "$BASE" | sed 's/^/B /'
+            medians "$BASE" | sed 's/^/B /'
+            phases "$FRESH" | sed 's/^/F /'
+            medians "$FRESH" | sed 's/^/F /'
+        } | check_report pipeline
     fi
 fi
 
