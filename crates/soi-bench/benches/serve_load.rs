@@ -1,0 +1,355 @@
+//! Serve-layer latency/throughput bench: what does the long-lived
+//! daemon buy, and how does it degrade under load?
+//!
+//! Two measurements, recorded to `BENCH_serve.json` at the repo root:
+//!
+//! 1. **Latency vs offered load** — `CLIENTS` open-loop clients pace
+//!    identical full-transform requests at a fixed aggregate rate
+//!    (0.25×, 0.5×, 1×, 2× of the calibrated single-stream capacity)
+//!    and report p50/p99 response latency, achieved throughput, and how
+//!    much admission control shed. Latencies are measured from each
+//!    request's *scheduled* send time, so a sender falling behind under
+//!    overload is charged, not hidden (no coordinated omission).
+//! 2. **Batched vs unbatched ablation** — the same closed-loop client
+//!    pool against a batching server (shared engines, hot arenas) and
+//!    against `batching = false` (a fresh engine per request — exactly
+//!    what `SOI_NO_BATCH=1` gives `soi serve`). Every response in both
+//!    modes is verified bitwise against one locally computed
+//!    `transform_into` reference before the ratio is reported.
+//!
+//! Harness-free binary (run via `cargo bench -p soi-bench`). Knobs:
+//!
+//! * `SOI_BENCH_SERVE_N` — transform size (default 2^15).
+//! * `SOI_BENCH_SERVE_CLIENTS` — concurrent clients (default 8).
+//! * `SOI_BENCH_SERVE_REQS` — requests per client per load point
+//!   (default 30).
+//! * `SOI_BENCH_SERVE_THREADS` — executor worker threads (default 2).
+//! * `SOI_BENCH_SERVE_OUT` — output path override (default
+//!   `BENCH_serve.json` at the repo root); CI smoke runs point this at
+//!   a scratch file so the committed baseline is never clobbered.
+
+use soi_core::{SoiFft, SoiParams, SoiWorkspace};
+use soi_num::Complex64;
+use soi_serve::{
+    preset_for_digits, Reply, Request, RequestKind, Samples, ServeClient, ServeConfig, Server,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const P: usize = 4;
+const DIGITS: u32 = 10;
+const TIMEOUT: Duration = Duration::from_secs(300);
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+fn signal(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|j| {
+            let t = j as f64;
+            Complex64::new((t * 0.37).sin() + 0.4 * (t * 1.7).cos(), (t * 0.11).cos())
+        })
+        .collect()
+}
+
+fn make_request(id: u64, n: usize, samples: &Arc<Vec<Complex64>>) -> Request {
+    Request {
+        id,
+        tenant: "bench".into(),
+        n,
+        p: P,
+        digits: DIGITS,
+        kind: RequestKind::Full,
+        arg: 0,
+        deadline_ms: 0,
+        samples: Samples::Complex(samples.as_ref().clone()),
+    }
+}
+
+/// Single-stream closed-loop service rate: warm the engine, then time
+/// back-to-back calls. The load ladder is expressed in multiples of
+/// this.
+fn calibrate_rps(addr: &str, n: usize, samples: &Arc<Vec<Complex64>>) -> f64 {
+    let mut client = ServeClient::connect(addr, TIMEOUT).expect("calibration connect");
+    for id in 0..3 {
+        match client.call(&make_request(id, n, samples)).expect("warmup call") {
+            Reply::Ok(_) => {}
+            other => panic!("warmup: unexpected reply {other:?}"),
+        }
+    }
+    let iters = 10u64;
+    let t0 = Instant::now();
+    for id in 0..iters {
+        match client.call(&make_request(100 + id, n, samples)).expect("timed call") {
+            Reply::Ok(_) => {}
+            other => panic!("calibration: unexpected reply {other:?}"),
+        }
+    }
+    let per_call = t0.elapsed().as_secs_f64() / iters as f64;
+    let _ = client.bye();
+    1.0 / per_call
+}
+
+struct LoadPoint {
+    offered_rps: f64,
+    achieved_rps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    ok: usize,
+    shed: usize,
+}
+
+/// One open-loop load point: `clients` connections each pacing
+/// `reqs` requests at `offered_rps / clients`, latencies from the
+/// scheduled send instant to reply receipt.
+fn run_load_point(
+    addr: &str,
+    n: usize,
+    samples: &Arc<Vec<Complex64>>,
+    clients: usize,
+    reqs: usize,
+    offered_rps: f64,
+) -> LoadPoint {
+    let per_client = offered_rps / clients as f64;
+    let interval = Duration::from_secs_f64(1.0 / per_client);
+    let t_start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            let samples = Arc::clone(samples);
+            std::thread::spawn(move || {
+                let client = ServeClient::connect(&addr, TIMEOUT).expect("load connect");
+                let (mut sink, mut stream) = client.split().expect("split");
+                let rx = std::thread::spawn(move || {
+                    let mut events = Vec::with_capacity(reqs);
+                    for _ in 0..reqs {
+                        match stream.recv().expect("load recv") {
+                            Reply::Ok(resp) => events.push((resp.id, Instant::now(), true)),
+                            Reply::Rejected(rej) => events.push((rej.id, Instant::now(), false)),
+                            other => panic!("load: unexpected reply {other:?}"),
+                        }
+                    }
+                    events
+                });
+                let base = Instant::now();
+                let mut scheds: HashMap<u64, Instant> = HashMap::with_capacity(reqs);
+                for i in 0..reqs {
+                    let id = (c * reqs + i) as u64;
+                    let sched = base + interval.mul_f64(i as f64);
+                    let now = Instant::now();
+                    if now < sched {
+                        std::thread::sleep(sched - now);
+                    }
+                    sink.send_request(&make_request(id, n, &samples)).expect("load send");
+                    scheds.insert(id, sched);
+                }
+                let events = rx.join().expect("receiver thread");
+                let _ = sink.bye();
+                (scheds, events)
+            })
+        })
+        .collect();
+
+    let mut latencies_us: Vec<f64> = Vec::new();
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    for h in handles {
+        let (scheds, events) = h.join().expect("client thread");
+        for (id, at, was_ok) in events {
+            if was_ok {
+                ok += 1;
+                let sched = scheds[&id];
+                latencies_us.push(at.duration_since(sched).as_secs_f64() * 1e6);
+            } else {
+                shed += 1;
+            }
+        }
+    }
+    let wall = t_start.elapsed().as_secs_f64();
+    latencies_us.sort_by(f64::total_cmp);
+    let pick = |q: f64| -> f64 {
+        if latencies_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_us.len() as f64 * q) as usize).min(latencies_us.len() - 1);
+        latencies_us[idx]
+    };
+    LoadPoint {
+        offered_rps,
+        achieved_rps: ok as f64 / wall,
+        p50_us: pick(0.50),
+        p99_us: pick(0.99),
+        ok,
+        shed,
+    }
+}
+
+/// Closed-loop same-plan throughput against `server`; every response is
+/// checked bitwise against `reference`.
+fn closed_loop_rps(
+    addr: &str,
+    n: usize,
+    samples: &Arc<Vec<Complex64>>,
+    reference: &Arc<Vec<Complex64>>,
+    clients: usize,
+    reqs: usize,
+) -> f64 {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.to_string();
+            let samples = Arc::clone(samples);
+            let reference = Arc::clone(reference);
+            std::thread::spawn(move || {
+                let mut client = ServeClient::connect(&addr, TIMEOUT).expect("ablation connect");
+                for i in 0..reqs {
+                    let id = (c * reqs + i) as u64;
+                    match client.call(&make_request(id, n, &samples)).expect("ablation call") {
+                        Reply::Ok(resp) => {
+                            assert_eq!(resp.id, id);
+                            assert_eq!(resp.bins.len(), reference.len());
+                            for (b, (got, want)) in
+                                resp.bins.iter().zip(reference.iter()).enumerate()
+                            {
+                                assert_eq!(
+                                    got.re.to_bits(),
+                                    want.re.to_bits(),
+                                    "id {id} bin {b}: re differs from direct transform_into"
+                                );
+                                assert_eq!(
+                                    got.im.to_bits(),
+                                    want.im.to_bits(),
+                                    "id {id} bin {b}: im differs from direct transform_into"
+                                );
+                            }
+                        }
+                        other => panic!("ablation: unexpected reply {other:?}"),
+                    }
+                }
+                let _ = client.bye();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("ablation client");
+    }
+    (clients * reqs) as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn start_server(threads: usize, batching: bool) -> Server {
+    Server::start(ServeConfig {
+        threads,
+        batching,
+        queue_cap: 64,
+        ..ServeConfig::default()
+    })
+    .expect("server start")
+}
+
+fn main() {
+    let n = env_usize("SOI_BENCH_SERVE_N", 1 << 15);
+    let clients = env_usize("SOI_BENCH_SERVE_CLIENTS", 8);
+    let reqs = env_usize("SOI_BENCH_SERVE_REQS", 30);
+    let threads = env_usize("SOI_BENCH_SERVE_THREADS", 2);
+    let samples = Arc::new(signal(n));
+
+    // The bitwise ground truth for the ablation's response checks.
+    let params = SoiParams::with_preset(n, P, preset_for_digits(DIGITS)).expect("params");
+    let soi = SoiFft::new(&params).expect("pipeline");
+    let mut ws = SoiWorkspace::new(&soi, 1);
+    let mut reference = vec![Complex64::ZERO; n];
+    soi.transform_into(&samples, &mut reference, &mut ws).expect("reference");
+    let reference = Arc::new(reference);
+
+    // --- latency vs offered load ---
+    let mut server = start_server(threads, true);
+    let addr = server.addr().to_string();
+    let capacity = calibrate_rps(&addr, n, &samples);
+    println!(
+        "serve_load N={n} P={P} digits={DIGITS} threads={threads}: capacity ~ {capacity:.1} req/s"
+    );
+    let mut load_json = Vec::new();
+    for &x in &[0.25f64, 0.5, 1.0, 2.0] {
+        let point = run_load_point(&addr, n, &samples, clients, reqs, capacity * x);
+        println!(
+            "load {x:>4}x ({:>7.1} req/s offered): achieved {:>7.1} req/s, p50 {:>9.0} us, \
+             p99 {:>9.0} us, ok {:>4}, shed {:>4}",
+            point.offered_rps, point.achieved_rps, point.p50_us, point.p99_us, point.ok, point.shed
+        );
+        load_json.push(format!(
+            "    {{\"x\":{x},\"offered_rps\":{:.1},\"achieved_rps\":{:.1},\"p50_us\":{:.0},\
+             \"p99_us\":{:.0},\"ok\":{},\"shed\":{}}}",
+            point.offered_rps, point.achieved_rps, point.p50_us, point.p99_us, point.ok, point.shed
+        ));
+    }
+    let snap = server.stats();
+    println!(
+        "server: {} batches / {} requests (max {}/batch), plan cache {} hits {} misses",
+        snap.batches, snap.batched_requests, snap.max_batch, snap.plan_hits, snap.plan_misses
+    );
+    {
+        let mut c = ServeClient::connect(&addr, TIMEOUT).expect("shutdown connect");
+        c.shutdown().expect("shutdown");
+    }
+    server.join();
+
+    // --- batched vs unbatched ablation ---
+    let abl_reqs = reqs.max(10);
+    let mut batched_server = start_server(threads, true);
+    let batched_rps = closed_loop_rps(
+        batched_server.addr(),
+        n,
+        &samples,
+        &reference,
+        clients,
+        abl_reqs,
+    );
+    {
+        let mut c = ServeClient::connect(batched_server.addr(), TIMEOUT).expect("shutdown");
+        c.shutdown().expect("shutdown");
+    }
+    batched_server.join();
+
+    let mut unbatched_server = start_server(threads, false);
+    let unbatched_rps = closed_loop_rps(
+        unbatched_server.addr(),
+        n,
+        &samples,
+        &reference,
+        clients,
+        abl_reqs,
+    );
+    {
+        let mut c = ServeClient::connect(unbatched_server.addr(), TIMEOUT).expect("shutdown");
+        c.shutdown().expect("shutdown");
+    }
+    unbatched_server.join();
+
+    let ratio = batched_rps / unbatched_rps;
+    println!(
+        "ablation ({clients} clients x {abl_reqs} same-plan requests): batched {batched_rps:.1} \
+         req/s vs unbatched {unbatched_rps:.1} req/s — {ratio:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"soi_serve\",\n  \"n\": {n},\n  \"p\": {P},\n  \"digits\": {DIGITS},\n  \
+         \"clients\": {clients},\n  \"reqs_per_client\": {reqs},\n  \"threads\": {threads},\n  \
+         \"capacity_rps\": {capacity:.1},\n  \"load\": [\n{}\n  ],\n  \"ablation\": {{\n    \
+         \"reqs_per_client\": {abl_reqs},\n    \"batched_rps\": {batched_rps:.1},\n    \
+         \"unbatched_rps\": {unbatched_rps:.1},\n    \"batched_over_unbatched\": {ratio:.3},\n    \
+         \"unbatched_over_batched\": {:.3}\n  }}\n}}\n",
+        load_json.join(",\n"),
+        1.0 / ratio
+    );
+    let path = std::env::var("SOI_BENCH_SERVE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
+    });
+    std::fs::write(&path, &json).expect("write serve bench json");
+    println!("wrote {path}");
+}

@@ -62,6 +62,32 @@ USAGE:
       reloading its input from the checkpoint directory; such a worker
       ignores any armed fault.
 
+  soi serve [--addr <host:port>] [--threads <t>] [--queue <cap>]
+            [--batch <max>] [--engines <cap>] [--idle-ms <ms>]
+            [--stats <host:port>]
+      Run the long-lived spectral-transform daemon: accepts transform
+      requests (full spectra, segments, zoom bands; complex and real
+      input) from many concurrent clients, coalesces compatible requests
+      into batches through cached engines, sheds load past --queue with
+      typed Overloaded rejects, and expires queued requests past their
+      deadline with typed Expired rejects — never partial results.
+      --addr defaults to 127.0.0.1:0 (a free port, printed on startup).
+      Env knobs: SOI_SERVE_QUEUE/BATCH/ENGINES/IDLE_MS, SOI_NO_BATCH=1
+      (ablation: a fresh engine per request). --stats <addr> instead
+      connects to a running daemon and prints its accounting snapshot
+      (per-tenant requests/bytes/compute, batches, plan-cache hits).
+
+  soi request --addr <host:port> [--n <size>] [--p <segments>]
+              [--digits <6..15>] [--input complex|real] [--segment <s>]
+              [--band <k0>] [--deadline-ms <ms>] [--tenant <name>]
+              [--count <c>] [--check 1] [--shutdown 1]
+      Send transform requests for the standard synthetic signal to a
+      running daemon. --segment/--band select one M-bin slice instead of
+      the full spectrum; --input real exercises the r2c path. --count
+      pipelines c identical requests. --check 1 recomputes the transform
+      locally and fails unless every response is bitwise identical.
+      --shutdown 1 asks the daemon to drain and exit.
+
   soi trace-check --file <trace.jsonl>
       Validate a recorded trace: per-link byte conservation, identical
       collective sequences, clock monotonicity, barrier agreement, span
@@ -828,6 +854,230 @@ pub fn trace_view(a: &Args) -> CmdResult {
 }
 
 /// `soi info`.
+/// `soi serve`: run the daemon (or, with `--stats <addr>`, query one).
+pub fn serve(a: &Args) -> CmdResult {
+    a.restrict(&["addr", "threads", "queue", "batch", "engines", "idle-ms", "stats"])?;
+    if let Some(addr) = a.get("stats") {
+        let mut client = soi_serve::ServeClient::connect(addr, Duration::from_secs(10))?;
+        let snap = client.stats()?;
+        let _ = client.bye();
+        print_serve_stats(&snap);
+        return Ok(());
+    }
+    let mut cfg = soi_serve::ServeConfig::from_env();
+    cfg.addr = a.get("addr").unwrap_or("127.0.0.1:0").to_string();
+    cfg.threads = a.get_positive("threads", 1)?;
+    cfg.queue_cap = a.get_usize("queue", cfg.queue_cap)?;
+    cfg.max_batch = a.get_positive("batch", cfg.max_batch)?;
+    cfg.engine_cap = a.get_positive("engines", cfg.engine_cap)?;
+    let idle_ms = a.get_positive("idle-ms", cfg.idle_timeout.as_millis() as usize)?;
+    cfg.idle_timeout = Duration::from_millis(idle_ms as u64);
+    let batching = cfg.batching;
+    let mut server = soi_serve::Server::start(cfg)?;
+    // The bench and the CI smoke poll this exact line for the resolved
+    // port; stdout is line-buffered even when redirected.
+    println!("serve    : listening on {}", server.addr());
+    println!(
+        "serve    : batching {}, idle timeout {idle_ms} ms (send a shutdown \
+         request or SIGKILL to stop)",
+        if batching { "on" } else { "off (SOI_NO_BATCH)" }
+    );
+    server.join();
+    let snap = server.stats();
+    let answered: u64 = snap.tenants.iter().map(|t| t.ok).sum();
+    println!("serve    : drained and stopped; {answered} request(s) answered");
+    print_serve_stats(&snap);
+    Ok(())
+}
+
+fn print_serve_stats(s: &soi_serve::StatsSnapshot) {
+    println!(
+        "serve    : connections {} total / {} active / {} idle-closed / {} lost",
+        s.connections, s.active_connections, s.idle_closed, s.peer_lost
+    );
+    println!(
+        "serve    : batches {} ({} requests, max {}/batch), queue depth {}",
+        s.batches, s.batched_requests, s.max_batch, s.queue_depth
+    );
+    println!(
+        "serve    : plan cache {} hits / {} misses / {} evictions; engines {} built / {} evicted",
+        s.plan_hits, s.plan_misses, s.plan_evictions, s.engine_builds, s.engine_evictions
+    );
+    for t in &s.tenants {
+        println!(
+            "serve    : tenant {:<12} req {:>5}  ok {:>5}  shed {:>4}  expired {:>4}  \
+             bad {:>4}  in {:>10} B  out {:>10} B  compute {:.3} ms",
+            t.tenant,
+            t.requests,
+            t.ok,
+            t.shed,
+            t.expired,
+            t.rejected,
+            t.bytes_in,
+            t.bytes_out,
+            t.compute_ns as f64 / 1e6
+        );
+    }
+}
+
+/// `soi request`: issue transform requests to a running daemon.
+pub fn request(a: &Args) -> CmdResult {
+    a.restrict(&[
+        "addr", "n", "p", "digits", "input", "segment", "band", "deadline-ms", "tenant",
+        "count", "check", "shutdown",
+    ])?;
+    let addr = a.get("addr").ok_or("--addr <host:port> is required")?;
+    let mut client = soi_serve::ServeClient::connect(addr, Duration::from_secs(120))?;
+    if a.get_usize("shutdown", 0)? == 1 {
+        client.shutdown()?;
+        println!("request  : daemon acknowledged shutdown");
+        return Ok(());
+    }
+    let geo = JobGeometry::from_args(a, 1 << 14, 4)?;
+    let JobGeometry { n, p, digits, .. } = geo;
+    let real = match a.get("input").unwrap_or("complex") {
+        "complex" => false,
+        "real" => true,
+        other => return Err(format!("unknown input kind `{other}` (complex|real)").into()),
+    };
+    let segment = a.get("segment");
+    let band = a.get("band");
+    if segment.is_some() && band.is_some() {
+        return Err("--segment and --band are mutually exclusive".into());
+    }
+    let parse = |key: &str, v: &str| -> Result<usize, String> {
+        v.parse().map_err(|_| format!("--{key} must be an integer"))
+    };
+    let (kind, arg) = match (real, segment, band) {
+        (false, None, None) => (soi_serve::RequestKind::Full, 0),
+        (false, Some(s), None) => (soi_serve::RequestKind::Segment, parse("segment", s)?),
+        (false, None, Some(k)) => (soi_serve::RequestKind::Band, parse("band", k)?),
+        (true, None, None) => (soi_serve::RequestKind::RealFull, 0),
+        (true, Some(s), None) => (soi_serve::RequestKind::RealSegment, parse("segment", s)?),
+        (true, None, Some(k)) => (soi_serve::RequestKind::RealBand, parse("band", k)?),
+        _ => unreachable!("segment/band exclusivity checked above"),
+    };
+    let samples = if real {
+        soi_serve::Samples::Real(synthetic_real(n))
+    } else {
+        soi_serve::Samples::Complex(synthetic(n))
+    };
+    let count = a.get_positive("count", 1)? as u64;
+    let deadline_ms = a.get_usize("deadline-ms", 0)? as u64;
+    let tenant = a.get("tenant").unwrap_or("cli").to_string();
+    for id in 0..count {
+        client.send_request(&soi_serve::Request {
+            id,
+            tenant: tenant.clone(),
+            n,
+            p,
+            digits: digits as u32,
+            kind,
+            arg,
+            deadline_ms,
+            samples: samples.clone(),
+        })?;
+    }
+    let mut responses = std::collections::BTreeMap::new();
+    for _ in 0..count {
+        match client.recv()? {
+            soi_serve::Reply::Ok(resp) => {
+                responses.insert(resp.id, resp);
+            }
+            soi_serve::Reply::Rejected(rej) => {
+                return Err(format!(
+                    "request {} rejected ({}): {}",
+                    rej.id,
+                    rej.code.name(),
+                    rej.message
+                )
+                .into())
+            }
+            other => return Err(format!("unexpected reply: {other:?}").into()),
+        }
+    }
+    let _ = client.bye();
+    let total_ns: u64 = responses.values().map(|r| r.compute_ns).sum();
+    let bins = responses.values().next().map(|r| r.bins.len()).unwrap_or(0);
+    println!(
+        "request  : {count} {} response(s), {bins} bins each, server compute {:.3} ms total",
+        kind.name(),
+        total_ns as f64 / 1e6
+    );
+    if a.get_usize("check", 0)? == 1 {
+        let reference = local_reference(n, p, digits, kind, arg, &samples)?;
+        for resp in responses.values() {
+            if resp.bins.len() != reference.len() {
+                return Err(format!(
+                    "check failed: response {} has {} bins, local transform has {}",
+                    resp.id,
+                    resp.bins.len(),
+                    reference.len()
+                )
+                .into());
+            }
+            for (i, (got, want)) in resp.bins.iter().zip(&reference).enumerate() {
+                if got.re.to_bits() != want.re.to_bits() || got.im.to_bits() != want.im.to_bits()
+                {
+                    return Err(format!(
+                        "check failed: response {} bin {i} differs from the local \
+                         transform ({got:?} vs {want:?})",
+                        resp.id
+                    )
+                    .into());
+                }
+            }
+        }
+        println!("request  : check ok — all responses bitwise-identical to the local transform");
+    }
+    Ok(())
+}
+
+/// The real-valued synthetic signal (`soi transform --input real` uses
+/// the same one, so spectra are comparable across verbs).
+fn synthetic_real(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|j| {
+            let t = j as f64;
+            (t * 0.37).sin() + 0.4 * (t * 1.7).cos()
+        })
+        .collect()
+}
+
+/// Recompute a request locally, serially, through the same preset
+/// mapping the daemon uses — the bitwise ground truth for `--check`.
+fn local_reference(
+    n: usize,
+    p: usize,
+    digits: usize,
+    kind: soi_serve::RequestKind,
+    arg: usize,
+    samples: &soi_serve::Samples,
+) -> Result<Vec<Complex64>, Box<dyn std::error::Error>> {
+    let params = SoiParams::with_preset(n, p, preset_for_digits(digits)?)?;
+    let soi = SoiFft::new(&params)?;
+    use soi_serve::{RequestKind as K, Samples as S};
+    Ok(match (kind, samples) {
+        (K::Full, S::Complex(x)) => {
+            let mut ws = SoiWorkspace::new(&soi, 1);
+            let mut y = vec![Complex64::ZERO; n];
+            soi.transform_into(x, &mut y, &mut ws)?;
+            y
+        }
+        (K::Segment, S::Complex(x)) => soi.transform_segment(x, arg)?,
+        (K::Band, S::Complex(x)) => soi.transform_band(x, arg)?,
+        (K::RealFull, S::Real(x)) => {
+            let mut ws = SoiRealWorkspace::new(&soi, 1);
+            let mut y = vec![Complex64::ZERO; n / 2 + 1];
+            soi.transform_real_into(x, &mut y, &mut ws)?;
+            y
+        }
+        (K::RealSegment, S::Real(x)) => soi.transform_real_segment(x, arg)?,
+        (K::RealBand, S::Real(x)) => soi.transform_real_band(x, arg)?,
+        _ => return Err("request kind does not match sample domain".into()),
+    })
+}
+
 pub fn info(a: &Args) -> CmdResult {
     a.restrict(&[])?;
     println!("soi {} — low-communication 1-D FFT", env!("CARGO_PKG_VERSION"));

@@ -7,6 +7,8 @@
 //!               [--trace trace.jsonl]
 //! soi launch    --ranks 4 [--n 65536] [--p 8] [--threads 2] [--trace t.jsonl]
 //! soi worker    --rendezvous host:port [--n 65536] [--p 8]
+//! soi serve     [--addr host:port] [--threads 2] [--queue 64] [--stats host:port]
+//! soi request   --addr host:port [--n 16384] [--p 4] [--segment 2] [--check 1]
 //! soi trace-check --file trace.jsonl
 //! soi trace-view  --file trace.jsonl [--out trace.json]
 //! soi info
@@ -39,6 +41,8 @@ fn run(tokens: Vec<String>) -> i32 {
         "simulate" => commands::simulate(&parsed),
         "launch" => commands::launch(&parsed),
         "worker" => commands::worker(&parsed),
+        "serve" => commands::serve(&parsed),
+        "request" => commands::request(&parsed),
         "trace-check" => commands::trace_check(&parsed),
         "trace-view" => commands::trace_view(&parsed),
         "info" => commands::info(&parsed),
@@ -167,6 +171,47 @@ mod tests {
     fn trace_check_requires_a_readable_file() {
         assert_eq!(run(toks("trace-check")), 1);
         assert_eq!(run(toks("trace-check --file /nonexistent/t.jsonl")), 1);
+    }
+
+    #[test]
+    fn serve_and_request_roundtrip_via_cli() {
+        // In-process daemon; the `request` verb talks to it over real
+        // sockets exactly as an external client would.
+        let mut server = soi_serve::Server::start(soi_serve::ServeConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+        for args in [
+            format!("request --addr {addr} --n 4096 --p 4 --digits 10 --check 1"),
+            format!("request --addr {addr} --n 4096 --p 4 --digits 10 --segment 2 --check 1"),
+            format!("request --addr {addr} --n 4096 --p 4 --digits 10 --band 777 --check 1"),
+            format!(
+                "request --addr {addr} --n 4096 --p 4 --digits 10 --input real --check 1"
+            ),
+            format!(
+                "request --addr {addr} --n 4096 --p 4 --digits 10 --input real --segment 1 \
+                 --count 3 --check 1"
+            ),
+            format!("serve --stats {addr}"),
+        ] {
+            assert_eq!(run(toks(&args)), 0, "{args}");
+        }
+        // A server-rejected request surfaces as a runtime error.
+        assert_eq!(
+            run(toks(&format!(
+                "request --addr {addr} --n 4096 --p 4 --segment 9"
+            ))),
+            1
+        );
+        assert_eq!(run(toks(&format!("request --addr {addr} --shutdown 1"))), 0);
+        server.join();
+    }
+
+    #[test]
+    fn request_requires_addr_and_consistent_options() {
+        assert_eq!(run(toks("request --n 4096 --p 4")), 1);
+        assert_eq!(
+            run(toks("request --addr 127.0.0.1:1 --segment 1 --band 2")),
+            1
+        );
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub mod splitradix;
 pub mod stockham;
 pub mod twiddle;
 
-pub use plan::{Direction, Plan, Planner};
+pub use plan::{CacheStats, Direction, Plan, Planner};
 
 use soi_num::{Complex, Real};
 

@@ -382,24 +382,141 @@ impl<T: Real> Plan<T> {
     }
 }
 
+/// Cumulative counters for one planner cache. A long-lived daemon polls
+/// these (via `soi serve --stats`) to see whether its working set fits
+/// the configured capacity: a rising eviction count means plans are
+/// being rebuilt in steady state and the cap should grow.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that had to build.
+    pub misses: u64,
+    /// Entries discarded to stay under capacity.
+    pub evictions: u64,
+}
+
+/// A small LRU map: entries carry a monotonically increasing touch
+/// stamp, and inserting past capacity discards the stalest entry. The
+/// O(capacity) eviction scan is fine at the cap sizes used here (tens of
+/// entries, each worth megabytes of twiddle tables).
+#[derive(Debug)]
+struct Lru<K, V> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<K, (u64, V)>,
+    stats: CacheStats,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> Lru<K, V> {
+    fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            tick: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up and touch; counts a hit or a miss.
+    fn get(&mut self, k: &K) -> Option<V> {
+        self.tick += 1;
+        match self.map.get_mut(k) {
+            Some((stamp, v)) => {
+                *stamp = self.tick;
+                self.stats.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert-or-touch: a concurrent builder may have won the race, in
+    /// which case the existing entry is kept (so repeat callers keep
+    /// sharing one `Arc`). Evicts stalest entries past capacity.
+    fn insert(&mut self, k: K, v: V) -> V {
+        self.tick += 1;
+        if let Some((stamp, existing)) = self.map.get_mut(&k) {
+            *stamp = self.tick;
+            return existing.clone();
+        }
+        self.map.insert(k, (self.tick, v.clone()));
+        while self.map.len() > self.cap {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        v
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// Default plan-cache capacity when `SOI_PLAN_CACHE_CAP` is unset:
+/// comfortably above any single pipeline's working set (a SOI transform
+/// needs ~4 plans; the whole test suite peaks well below this) while
+/// still bounding a daemon that sees adversarially many distinct sizes.
+const DEFAULT_PLAN_CACHE_CAP: usize = 64;
+
+/// Plan-cache capacity: `SOI_PLAN_CACHE_CAP` (entries, > 0) or the
+/// default. Read per planner construction so tests can exercise both.
+fn capacity_from_env() -> usize {
+    std::env::var("SOI_PLAN_CACHE_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(DEFAULT_PLAN_CACHE_CAP)
+}
+
 /// A caching planner: hands out shared plans, building each
 /// (size, direction) once, plus a second cache of the raw inner engines
 /// composite plans (four-step, Bluestein) recurse into — so e.g. the
 /// Stockham twiddles of a Bluestein padding size, or a four-step row
 /// engine shared between two composite sizes, are built once per
 /// process-wide planner rather than once per plan. Thread-safe.
-#[derive(Debug, Default)]
+///
+/// Both caches are bounded LRU (capacity via [`Planner::with_capacity`]
+/// or the `SOI_PLAN_CACHE_CAP` environment variable, default 64 plans):
+/// a long-lived daemon serving arbitrary client sizes cannot grow plan
+/// or twiddle memory without limit. Eviction only drops the cache's
+/// `Arc`; live transforms keep their plans alive.
+#[derive(Debug)]
 pub struct Planner<T> {
-    cache: Mutex<HashMap<(usize, Direction), Arc<Plan<T>>>>,
-    raw: Mutex<HashMap<(usize, Sign), Arc<RawFft<T>>>>,
+    cache: Mutex<Lru<(usize, Direction), Arc<Plan<T>>>>,
+    raw: Mutex<Lru<(usize, Sign), Arc<RawFft<T>>>>,
+}
+
+impl<T: Real> Default for Planner<T> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<T: Real> Planner<T> {
-    /// New empty planner.
+    /// New empty planner with the environment-configured capacity.
     pub fn new() -> Self {
+        Self::with_capacity(capacity_from_env())
+    }
+
+    /// New empty planner bounded to `cap` cached plans. The raw-engine
+    /// cache gets `2·cap`: one composite plan can pull in two inner
+    /// engines (four-step rows, Bluestein forward + inverse), so a plan
+    /// working set that fits always keeps its raw engines resident too.
+    pub fn with_capacity(cap: usize) -> Self {
         Self {
-            cache: Mutex::new(HashMap::new()),
-            raw: Mutex::new(HashMap::new()),
+            cache: Mutex::new(Lru::new(cap)),
+            raw: Mutex::new(Lru::new(cap.saturating_mul(2).max(1))),
         }
     }
 
@@ -411,7 +528,7 @@ impl<T: Real> Planner<T> {
             .expect("planner cache poisoned")
             .get(&(n, direction))
         {
-            return p.clone();
+            return p;
         }
         // Build OUTSIDE the lock: composite engines recurse into
         // `self.raw` during construction, and holding the plan lock
@@ -421,9 +538,7 @@ impl<T: Real> Planner<T> {
         self.cache
             .lock()
             .expect("planner cache poisoned")
-            .entry((n, direction))
-            .or_insert(built)
-            .clone()
+            .insert((n, direction), built)
     }
 
     /// Get (or build and cache) a raw unnormalized inner engine.
@@ -434,20 +549,33 @@ impl<T: Real> Planner<T> {
             .expect("planner raw cache poisoned")
             .get(&(n, sign))
         {
-            return e.clone();
+            return e;
         }
         let built = Arc::new(RawFft::new(n, sign));
         self.raw
             .lock()
             .expect("planner raw cache poisoned")
-            .entry((n, sign))
-            .or_insert(built)
-            .clone()
+            .insert((n, sign), built)
     }
 
-    /// Number of distinct plans built so far.
+    /// Number of distinct plans currently cached.
     pub fn cached_plans(&self) -> usize {
         self.cache.lock().expect("planner cache poisoned").len()
+    }
+
+    /// Plan-cache capacity (entries).
+    pub fn plan_capacity(&self) -> usize {
+        self.cache.lock().expect("planner cache poisoned").cap
+    }
+
+    /// Cumulative hit/miss/eviction counters of the plan cache.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("planner cache poisoned").stats
+    }
+
+    /// Cumulative hit/miss/eviction counters of the raw-engine cache.
+    pub fn raw_cache_stats(&self) -> CacheStats {
+        self.raw.lock().expect("planner raw cache poisoned").stats
     }
 
     /// Forward-plan convenience on the shared cache.
@@ -695,6 +823,49 @@ mod tests {
         // 1019 is prime with the same padded size: both engines reused.
         let _ = planner.plan(1019, Direction::Forward);
         assert_eq!(planner.cached_raw_engines(), 4);
+    }
+
+    #[test]
+    fn plan_cache_is_bounded_lru_with_counters() {
+        let planner: Planner<f64> = Planner::with_capacity(2);
+        assert_eq!(planner.plan_capacity(), 2);
+        let first16 = planner.plan(16, Direction::Forward);
+        let first32 = planner.plan(32, Direction::Forward);
+        // Touch 16 so 32 becomes the least recently used entry...
+        let _ = planner.plan(16, Direction::Forward);
+        // ...then a third size must evict exactly it.
+        let _ = planner.plan(64, Direction::Forward);
+        assert_eq!(planner.cached_plans(), 2);
+        let s = planner.plan_cache_stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 3, 1));
+        // The survivor is still the same shared Arc (a hit)...
+        let again16 = planner.plan(16, Direction::Forward);
+        assert!(Arc::ptr_eq(&first16, &again16));
+        // ...while the victim gets rebuilt from scratch (a miss).
+        let again32 = planner.plan(32, Direction::Forward);
+        assert!(!Arc::ptr_eq(&first32, &again32));
+        let s = planner.plan_cache_stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (2, 4, 2));
+    }
+
+    #[test]
+    fn raw_cache_eviction_does_not_break_live_composite_plans() {
+        // Capacity 1 ⇒ raw cap 2: planning 65536 (one shared 256 row
+        // engine) then 131072 (256 + 512) must stay within bounds and
+        // keep every already-built plan executable.
+        let planner: Planner<f64> = Planner::with_capacity(1);
+        let a = planner.plan(65536, Direction::Forward);
+        let b = planner.plan(131072, Direction::Forward);
+        assert!(planner.cached_plans() <= 1);
+        assert!(planner.cached_raw_engines() <= 2);
+        assert!(planner.raw_cache_stats().misses >= 2);
+        // Evicted plans/engines kept alive by callers still work.
+        for plan in [&a, &b] {
+            let n = plan.len();
+            let mut data = test_signal(n);
+            plan.execute(&mut data);
+            assert!(data[0].abs().is_finite());
+        }
     }
 
     #[test]

@@ -1,0 +1,495 @@
+//! The serve scheduler: accept/reader threads feed a bounded admission
+//! queue; one executor thread drains it in geometry-coalesced batches.
+//!
+//! Threading model:
+//!
+//! * **Accept thread** — blocks on the [`ServiceListener`], spawns one
+//!   detached reader thread per connection, exits when the shutdown
+//!   token fires.
+//! * **Reader threads** (one per connection) — decode frames, do all
+//!   *semantic* validation and admission control, and push accepted jobs
+//!   onto the shared queue. Rejections (malformed, out-of-range,
+//!   overloaded) are answered right here with a typed [`Reject`]; the
+//!   queue only ever holds executable work. An idle connection times out
+//!   and is closed; a vanished client is counted and released.
+//! * **Executor thread** (exactly one) — drains up to `max_batch` jobs
+//!   at a time, groups them by `(N, P, digits, kind)`, and runs each
+//!   group through one cached [`Engine`](crate::engine::Engine), so
+//!   compatible requests share plans, window coefficients, and workspace
+//!   arenas. One executor means compute results are produced in a
+//!   deterministic order for a given queue content; concurrency across
+//!   *requests* comes from batching and from the worker pool inside each
+//!   transform, not from racing executors.
+//!
+//! Deadlines are relative budgets from arrival. The admission queue
+//! re-checks them at execute time: a request that expired while queued
+//! gets a typed [`RejectCode::Expired`] and is never partially computed.
+
+use crate::engine::EngineCache;
+use crate::proto::{
+    Reject, RejectCode, Request, RequestKind, StatsSnapshot, TAG_BYE, TAG_REJECT, TAG_REQUEST,
+    TAG_RESPONSE, TAG_SHUTDOWN, TAG_STATS, TAG_STATS_REQUEST,
+};
+use crate::stats::Registry;
+use soi_core::ThreadPool;
+use soi_trace::Trace;
+use soi_wire::{ServiceConn, ServiceListener, ServiceWriter, ShutdownToken, WireError};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:0` picks a free port).
+    pub addr: String,
+    /// Worker threads inside each transform.
+    pub threads: usize,
+    /// Admission queue capacity; a request arriving past it is shed with
+    /// a typed `Overloaded` reject.
+    pub queue_cap: usize,
+    /// Most requests drained into one executor pass.
+    pub max_batch: usize,
+    /// Resident engine (geometry) cap for the executor cache.
+    pub engine_cap: usize,
+    /// Reader-side idle deadline: a connection silent this long is
+    /// closed and its thread released.
+    pub idle_timeout: Duration,
+    /// Batch compatible requests through shared engines. Off, every
+    /// request builds a fresh engine — the unamortized baseline the
+    /// `SOI_NO_BATCH=1` ablation measures.
+    pub batching: bool,
+    /// Per-frame write deadline.
+    pub op_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            threads: 1,
+            queue_cap: 64,
+            max_batch: 32,
+            engine_cap: 8,
+            idle_timeout: Duration::from_secs(30),
+            batching: true,
+            op_timeout: Duration::from_secs(20),
+        }
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok().filter(|&v| v > 0)
+}
+
+impl ServeConfig {
+    /// Defaults overridden by the environment: `SOI_SERVE_QUEUE`,
+    /// `SOI_SERVE_BATCH`, `SOI_SERVE_ENGINES`, `SOI_SERVE_IDLE_MS`, and
+    /// the ablation switch `SOI_NO_BATCH=1`.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::default();
+        if let Some(v) = env_usize("SOI_SERVE_QUEUE") {
+            cfg.queue_cap = v;
+        }
+        if let Some(v) = env_usize("SOI_SERVE_BATCH") {
+            cfg.max_batch = v;
+        }
+        if let Some(v) = env_usize("SOI_SERVE_ENGINES") {
+            cfg.engine_cap = v;
+        }
+        if let Some(v) = env_usize("SOI_SERVE_IDLE_MS") {
+            cfg.idle_timeout = Duration::from_millis(v as u64);
+        }
+        if std::env::var("SOI_NO_BATCH").map(|v| v == "1").unwrap_or(false) {
+            cfg.batching = false;
+        }
+        cfg
+    }
+}
+
+/// One admitted request waiting for the executor.
+struct Job {
+    req: Request,
+    arrival: Instant,
+    writer: ServiceWriter,
+}
+
+/// State shared by the accept, reader, and executor threads.
+struct Shared {
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<Job>>,
+    cv: Condvar,
+    stop: AtomicBool,
+    stats: Registry,
+}
+
+impl Shared {
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop it; call
+/// [`Server::shutdown`] (or send a SHUTDOWN frame) then [`Server::join`].
+pub struct Server {
+    addr: String,
+    shared: Arc<Shared>,
+    token: ShutdownToken,
+    accept: Option<std::thread::JoinHandle<()>>,
+    executor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start the accept + executor threads.
+    pub fn start(cfg: ServeConfig) -> Result<Server, WireError> {
+        let listener = ServiceListener::bind(&cfg.addr, cfg.op_timeout)?;
+        let addr = listener.local_addr();
+        let token = listener.shutdown_token();
+        let shared = Arc::new(Shared {
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            stats: Registry::new(),
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let token = token.clone();
+            std::thread::Builder::new()
+                .name("soi-serve-accept".into())
+                .spawn(move || accept_loop(listener, shared, token))
+                .map_err(|e| WireError::Io(format!("spawn accept thread: {e}")))?
+        };
+        let executor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("soi-serve-exec".into())
+                .spawn(move || executor_loop(shared))
+                .map_err(|e| WireError::Io(format!("spawn executor thread: {e}")))?
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            token,
+            accept: Some(accept),
+            executor: Some(executor),
+        })
+    }
+
+    /// The bound address (resolved port included).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Point-in-time stats snapshot (same contents as the STATS frame).
+    pub fn stats(&self) -> StatsSnapshot {
+        let depth = self.shared.queue.lock().expect("serve queue poisoned").len() as u64;
+        self.shared.stats.snapshot(depth)
+    }
+
+    /// Stop accepting, let the executor drain the queue, wake everyone.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.token.fire();
+        self.shared.cv.notify_all();
+    }
+
+    /// Wait for the accept and executor threads to exit. Reader threads
+    /// are detached; they exit on disconnect or at their idle deadline.
+    pub fn join(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.executor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: ServiceListener, shared: Arc<Shared>, token: ShutdownToken) {
+    loop {
+        match listener.accept() {
+            Ok(Some(conn)) => {
+                let shared = Arc::clone(&shared);
+                let token = token.clone();
+                // Detached: a reader thread's lifetime is its
+                // connection's, bounded by the idle deadline.
+                let _ = std::thread::Builder::new()
+                    .name("soi-serve-conn".into())
+                    .spawn(move || reader_loop(conn, shared, token));
+            }
+            Ok(None) => return, // shutdown token fired
+            Err(_) if shared.stopped() => return,
+            Err(_) => continue, // transient accept error; keep serving
+        }
+    }
+}
+
+/// Semantic validation: everything the pipeline would either reject
+/// deeper (wrapped in less useful errors) or `assert!` on (segment/band
+/// range). Returns the reject message on failure.
+fn validate(req: &Request) -> Result<(), String> {
+    if req.n == 0 || req.p == 0 {
+        return Err(format!("N = {} and P = {} must be positive", req.n, req.p));
+    }
+    if req.n % req.p != 0 {
+        return Err(format!("P = {} does not divide N = {}", req.p, req.n));
+    }
+    if req.kind.is_real() && req.p % 2 != 0 {
+        return Err(format!(
+            "real-input kinds need an even segment count, got P = {}",
+            req.p
+        ));
+    }
+    match req.kind {
+        RequestKind::Segment | RequestKind::RealSegment if req.arg >= req.p => Err(format!(
+            "segment {} out of range (P = {})",
+            req.arg, req.p
+        )),
+        RequestKind::Band | RequestKind::RealBand if req.arg >= req.n => Err(format!(
+            "band start {} out of range (N = {})",
+            req.arg, req.n
+        )),
+        _ => Ok(()),
+    }
+}
+
+fn reject(writer: &ServiceWriter, id: u64, code: RejectCode, message: String) {
+    let _ = writer.send(TAG_REJECT, &Reject { id, code, message }.encode());
+}
+
+fn reader_loop(mut conn: ServiceConn, shared: Arc<Shared>, token: ShutdownToken) {
+    shared.stats.connection_opened();
+    let writer = conn.writer();
+    loop {
+        if shared.stopped() {
+            break;
+        }
+        match conn.read(shared.cfg.idle_timeout) {
+            Ok((TAG_REQUEST, payload)) => {
+                let bytes_in = payload.len() as u64;
+                let req = match Request::decode(payload) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        // Undecodable: no trustworthy id or tenant.
+                        reject(&writer, 0, RejectCode::BadRequest, e.to_string());
+                        continue;
+                    }
+                };
+                shared.stats.record_request(&req.tenant, bytes_in);
+                if let Err(msg) = validate(&req) {
+                    shared.stats.record_bad(&req.tenant);
+                    reject(&writer, req.id, RejectCode::BadRequest, msg);
+                    continue;
+                }
+                let mut q = shared.queue.lock().expect("serve queue poisoned");
+                if q.len() >= shared.cfg.queue_cap {
+                    drop(q);
+                    shared.stats.record_shed(&req.tenant);
+                    reject(
+                        &writer,
+                        req.id,
+                        RejectCode::Overloaded,
+                        format!("admission queue full ({} queued)", shared.cfg.queue_cap),
+                    );
+                    continue;
+                }
+                q.push_back(Job {
+                    req,
+                    arrival: Instant::now(),
+                    writer: writer.clone(),
+                });
+                drop(q);
+                shared.cv.notify_one();
+            }
+            Ok((TAG_STATS_REQUEST, _)) => {
+                let depth = shared.queue.lock().expect("serve queue poisoned").len() as u64;
+                let _ = writer.send(TAG_STATS, &shared.stats.snapshot(depth).encode());
+            }
+            Ok((TAG_SHUTDOWN, _)) => {
+                let _ = writer.send(TAG_BYE, &[]);
+                shared.stop.store(true, Ordering::SeqCst);
+                token.fire();
+                shared.cv.notify_all();
+                break;
+            }
+            Ok((TAG_BYE, _)) => break, // clean client goodbye
+            Ok((tag, _)) => {
+                reject(
+                    &writer,
+                    0,
+                    RejectCode::BadRequest,
+                    format!("unexpected frame tag {tag:#04x} on a serve connection"),
+                );
+                break;
+            }
+            Err(WireError::Timeout { .. }) => {
+                // A shutdown poke can look like idle if it lands between
+                // frames; don't count those.
+                if !shared.stopped() {
+                    shared.stats.idle_closed();
+                }
+                break;
+            }
+            Err(WireError::PeerLost { .. }) => {
+                shared.stats.peer_lost();
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+    shared.stats.connection_closed();
+}
+
+fn executor_loop(shared: Arc<Shared>) {
+    let pool = Arc::new(ThreadPool::new(shared.cfg.threads));
+    let mut engines = EngineCache::new(shared.cfg.engine_cap, Arc::clone(&pool));
+    let trace = Trace::disabled();
+    let mut batch: Vec<Job> = Vec::new();
+    let mut payload: Vec<u8> = Vec::new();
+    loop {
+        {
+            let mut q = shared.queue.lock().expect("serve queue poisoned");
+            while q.is_empty() && !shared.stopped() {
+                q = shared.cv.wait(q).expect("serve queue poisoned");
+            }
+            if q.is_empty() {
+                // Stopped with nothing left: every admitted request has
+                // been answered.
+                return;
+            }
+            let take = if shared.cfg.batching { shared.cfg.max_batch } else { 1 };
+            let take = take.min(q.len());
+            batch.extend(q.drain(..take));
+        }
+        let size = batch.len() as u64;
+        shared.stats.record_batch(size);
+        trace.span_begin("serve_batch", None);
+        trace.counter("serve.batch_size", size as f64);
+        if shared.cfg.batching {
+            run_batched(&mut batch, &mut engines, &shared, &mut payload);
+        } else {
+            run_unbatched(&mut batch, &pool, &shared, &mut payload);
+        }
+        trace.span_end("serve_batch", None);
+        batch.clear();
+    }
+}
+
+fn deadline_expired(job: &Job) -> bool {
+    job.req.deadline_ms > 0
+        && job.arrival.elapsed() >= Duration::from_millis(job.req.deadline_ms)
+}
+
+fn answer(
+    job: &Job,
+    engines: &mut EngineCache,
+    shared: &Shared,
+    payload: &mut Vec<u8>,
+) {
+    if deadline_expired(job) {
+        shared.stats.record_expired(&job.req.tenant);
+        reject(
+            &job.writer,
+            job.req.id,
+            RejectCode::Expired,
+            format!(
+                "deadline of {} ms expired after {} ms in queue",
+                job.req.deadline_ms,
+                job.arrival.elapsed().as_millis()
+            ),
+        );
+        return;
+    }
+    // Build (or fetch) the engine first and mirror the cache counters
+    // into the registry *before* any reply leaves, so a client that sees
+    // its response and immediately snapshots stats observes consistent
+    // accounting.
+    let (b0, e0) = (engines.builds(), engines.evictions());
+    if let Err(e) = engines.get(job.req.n, job.req.p, job.req.digits) {
+        shared.stats.record_bad(&job.req.tenant);
+        reject(&job.writer, job.req.id, RejectCode::BadRequest, e.to_string());
+        return;
+    }
+    for _ in b0..engines.builds() {
+        shared.stats.record_engine_build();
+    }
+    for _ in e0..engines.evictions() {
+        shared.stats.record_engine_eviction();
+    }
+    let engine = engines
+        .get(job.req.n, job.req.p, job.req.digits)
+        .expect("engine resident after build");
+    let t0 = Instant::now();
+    match engine.execute(&job.req) {
+        Ok(bins) => {
+            let compute_ns = t0.elapsed().as_nanos() as u64;
+            crate::proto::encode_response_into(job.req.id, compute_ns, bins, payload);
+            let bytes_out = payload.len() as u64;
+            // Account before sending (same consistency argument); a send
+            // failure means the client vanished mid-reply, which the
+            // reader thread records as a lost peer.
+            shared.stats.record_ok(&job.req.tenant, bytes_out, compute_ns);
+            let _ = job.writer.send(TAG_RESPONSE, payload);
+        }
+        Err(e) => {
+            shared.stats.record_bad(&job.req.tenant);
+            reject(&job.writer, job.req.id, RejectCode::BadRequest, e.to_string());
+        }
+    }
+}
+
+/// Batched path: group the drained jobs by engine key, first-appearance
+/// order, FIFO within each group, and run every group through one cached
+/// engine. Engine state (plans, coefficients, arenas) is hot across the
+/// whole group.
+fn run_batched(
+    batch: &mut Vec<Job>,
+    engines: &mut EngineCache,
+    shared: &Shared,
+    payload: &mut Vec<u8>,
+) {
+    // Geometry key per job; stable grouping without a HashMap allocation
+    // per batch (batches are small — max_batch defaults to 32).
+    let mut order: Vec<usize> = Vec::with_capacity(batch.len());
+    let mut keys: Vec<(usize, usize, u32, RequestKind)> = Vec::with_capacity(batch.len());
+    for job in batch.iter() {
+        keys.push((job.req.n, job.req.p, job.req.digits, job.req.kind));
+    }
+    let mut seen: Vec<(usize, usize, u32, RequestKind)> = Vec::new();
+    for key in &keys {
+        if !seen.contains(key) {
+            seen.push(*key);
+        }
+    }
+    for key in &seen {
+        for (i, k) in keys.iter().enumerate() {
+            if k == key {
+                order.push(i);
+            }
+        }
+    }
+    for &i in &order {
+        answer(&batch[i], engines, shared, payload);
+    }
+}
+
+/// Unbatched ablation: every request plans and allocates from scratch —
+/// a fresh engine (pipeline, window design, workspace arenas) per
+/// request. The process-global `Planner` twiddle cache is still shared
+/// (it is process-wide by design), so the ablation isolates the
+/// *serve-layer* amortization: engine reuse and grouped execution.
+fn run_unbatched(
+    batch: &mut Vec<Job>,
+    pool: &Arc<ThreadPool>,
+    shared: &Shared,
+    payload: &mut Vec<u8>,
+) {
+    for job in batch.iter() {
+        let mut fresh = EngineCache::new(1, Arc::clone(pool));
+        answer(job, &mut fresh, shared, payload);
+    }
+}

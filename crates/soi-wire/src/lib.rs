@@ -26,6 +26,11 @@
 //! * [`loopback`] — an in-process harness (ranks as threads, payloads
 //!   over real localhost sockets) used by the equivalence and
 //!   kill-one-rank tests here and in `soi-dist`.
+//! * [`service`] — the listener side for long-lived daemons
+//!   (`soi serve`): framed connections with idle deadlines (a stalled
+//!   client is a `Timeout`, a dead one a `PeerLost` — never a pinned
+//!   reader thread), a locked cloneable writer half, and a shutdown
+//!   token that wakes a blocking accept.
 //!
 //! The crate is std-only, like everything else in the workspace.
 
@@ -35,9 +40,11 @@ pub mod error;
 pub mod frame;
 pub mod loopback;
 pub mod pod;
+pub mod service;
 
 pub use bootstrap::{connect_with_backoff, Bootstrap, Rendezvous, WireConfig};
 pub use comm::{WireComm, WireStats};
 pub use error::WireError;
 pub use loopback::{loopback_mesh, run_loopback};
 pub use pod::{decode_slice, encode_slice, Pod};
+pub use service::{ServiceConn, ServiceListener, ServiceWriter, ShutdownToken};

@@ -19,6 +19,8 @@
 #                        (default target/perf_gate/BENCH_pipeline.json)
 #   SOI_PERF_KERNELS_FRESH=...  path for the fresh kernel measurement
 #                        (default target/perf_gate/BENCH_kernels.json)
+#   SOI_PERF_SERVE_FRESH=...  path for the fresh serve measurement
+#                        (default target/perf_gate/BENCH_serve.json)
 #   SOI_BENCH_SAMPLES    forwarded to the bench timer (default here: 5,
 #                        lighter than the committed-baseline runs)
 #
@@ -189,6 +191,41 @@ else
         }
         { dist_rows "$DBASE" | sed 's/^/B /'; dist_rows "$DFRESH" | sed 's/^/F /'; } |
             check_report dist
+    fi
+fi
+
+# --- serve latency gate ----------------------------------------------------
+
+SBASE="BENCH_serve.json"
+SFRESH="${SOI_PERF_SERVE_FRESH:-target/perf_gate/BENCH_serve.json}"
+case "$SFRESH" in /*) ;; *) SFRESH="$PWD/$SFRESH" ;; esac
+
+if [ ! -f "$SBASE" ]; then
+    echo "perf-gate: no committed $SBASE baseline; serve comparison skipped"
+else
+    mkdir -p "$(dirname "$SFRESH")"
+    echo "==> perf-gate: fresh serve measurement (writes $SFRESH)"
+    SOI_BENCH_SERVE_OUT="$SFRESH" \
+        cargo bench --offline -q -p soi-bench --bench serve_load
+
+    bn="$(field "$SBASE" n)"
+    fn="$(field "$SFRESH" n)"
+    if [ "$bn" != "$fn" ]; then
+        echo "perf-gate: baseline N=$bn != fresh N=$fn; serve comparison skipped"
+    else
+        # Load-ladder rows
+        #   `{"x":0.5,...,"p50_us":10393,"p99_us":22257,...}`
+        #     -> `serve_p50/0.5 10393` and `serve_p99/0.5 22257`
+        # plus the batching ablation as `unbatched_over_batched` (the
+        # inverse throughput ratio, so losing the batching win shows up
+        # as an *increase* and trips the same one-sided tolerance).
+        serve_rows() {
+            sed -n 's/.*"x":\([0-9.]*\),[^}]*"p50_us":\([0-9.]*\).*/serve_p50\/\1 \2/p' "$1"
+            sed -n 's/.*"x":\([0-9.]*\),[^}]*"p99_us":\([0-9.]*\).*/serve_p99\/\1 \2/p' "$1"
+            sed -n 's/.*"unbatched_over_batched": \([0-9.]*\).*/unbatched_over_batched \1/p' "$1"
+        }
+        { serve_rows "$SBASE" | sed 's/^/B /'; serve_rows "$SFRESH" | sed 's/^/F /'; } |
+            check_report serve
     fi
 fi
 

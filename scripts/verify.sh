@@ -75,6 +75,47 @@ cargo run --release --offline -q -p soi-cli --bin soi -- \
     trace-check --file "$fault_trace"
 rm -f "$fault_trace"
 
+echo "==> serve smoke: daemon on an ephemeral port, mixed verified requests, clean shutdown"
+serve_log="${TMPDIR:-/tmp}/soi-verify-serve.$$.log"
+./target/release/soi serve --addr 127.0.0.1:0 --threads 2 > "$serve_log" 2>&1 &
+serve_pid=$!
+# The daemon prints `serve    : listening on <addr>` once bound; poll for it.
+serve_addr=""
+i=0
+while [ $i -lt 100 ]; do
+    serve_addr="$(sed -n 's/^serve    : listening on //p' "$serve_log")"
+    [ -n "$serve_addr" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "ERROR: soi serve exited before binding:" >&2
+        cat "$serve_log" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$serve_addr" ]; then
+    echo "ERROR: soi serve never reported its listen address" >&2
+    cat "$serve_log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+# Every kind the protocol carries, each response checked bitwise against a
+# locally computed reference; then a stats snapshot and a clean shutdown.
+$launch_to ./target/release/soi request --addr "$serve_addr" \
+    --n 16384 --p 4 --digits 10 --count 2 --check 1
+$launch_to ./target/release/soi request --addr "$serve_addr" \
+    --n 16384 --p 4 --digits 10 --segment 2 --check 1
+$launch_to ./target/release/soi request --addr "$serve_addr" \
+    --n 16384 --p 4 --digits 10 --band 1234 --check 1
+$launch_to ./target/release/soi request --addr "$serve_addr" \
+    --n 16384 --p 4 --digits 10 --input real --check 1
+$launch_to ./target/release/soi request --addr "$serve_addr" \
+    --n 16384 --p 4 --digits 10 --input real --band 777 --check 1
+$launch_to ./target/release/soi serve --stats "$serve_addr"
+$launch_to ./target/release/soi request --addr "$serve_addr" --shutdown 1
+wait "$serve_pid"
+rm -f "$serve_log"
+
 echo "==> cargo build --release --offline -p soi-bench --benches"
 cargo build --release --offline -p soi-bench --benches
 
@@ -99,10 +140,12 @@ if [ "${1:-}" = "--with-benches" ]; then
     SOI_BENCH_PIPELINE_N=16384 \
     SOI_BENCH_DIST_ITERS=2 SOI_BENCH_DIST_N=16384 \
     SOI_BENCH_FAULT_N=16384 SOI_BENCH_FAULT_SAMPLES=1 \
+    SOI_BENCH_SERVE_N=4096 SOI_BENCH_SERVE_REQS=5 SOI_BENCH_SERVE_CLIENTS=4 \
     SOI_BENCH_PIPELINE_OUT="$PWD/target/bench_smoke/BENCH_pipeline.json" \
     SOI_BENCH_KERNELS_OUT="$PWD/target/bench_smoke/BENCH_kernels.json" \
     SOI_BENCH_DIST_OUT="$PWD/target/bench_smoke/BENCH_dist.json" \
     SOI_BENCH_FAULTS_OUT="$PWD/target/bench_smoke/BENCH_faults.json" \
+    SOI_BENCH_SERVE_OUT="$PWD/target/bench_smoke/BENCH_serve.json" \
         cargo bench --offline -p soi-bench
 fi
 
